@@ -1,0 +1,115 @@
+// Figure 5 reproduction: the two spectrum-optimization strategies.
+// (a) Strategy 1 — fewer channels per gateway concentrates decoders:
+//     5 gateways in 1.6 MHz, capacity grows 16 -> 48 as channels/GW drop
+//     from 8 to 2.
+// (b) Strategy 2 — heterogeneous channel settings across 3 gateways lift
+//     capacity from 16 (standard) to ~24+.
+#include "harness.hpp"
+
+using namespace alphawan;
+using namespace alphawan::bench;
+
+namespace {
+
+// Configure `count` clustered gateways with `width`-channel windows tiled
+// across the 8-channel spectrum.
+void tile_channels(Deployment& deployment, Network& network, int width) {
+  const auto channels = deployment.spectrum().grid_channels();
+  int start = 0;
+  for (auto& gw : network.gateways()) {
+    GatewayChannelConfig cfg;
+    for (int c = 0; c < width; ++c) {
+      cfg.channels.push_back(
+          channels[static_cast<std::size_t>((start + c) % 8)]);
+    }
+    // Keep windows contiguous within the radio span.
+    std::sort(cfg.channels.begin(), cfg.channels.end(),
+              [](const Channel& a, const Channel& b) {
+                return a.center < b.center;
+              });
+    gw.apply_channels(cfg);
+    start = (start + width) % 8;
+  }
+}
+
+std::size_t burst_capacity(Deployment& deployment, Network& network,
+                           Rng& rng) {
+  auto nodesCopy = std::vector<EndNode*>();
+  for (auto& n : network.nodes()) nodesCopy.push_back(&n);
+  PacketIdSource ids;
+  return run_burst(deployment, nodesCopy, 0.0, ids).total_delivered();
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Fig. 5a — Strategy 1: capacity vs channels per gateway\n"
+      "(5 gateways, 1.6 MHz, 48 orthogonal users; paper: 16 -> 48)");
+  std::printf("  %-16s %-10s %-10s\n", "channels_per_gw", "paper",
+              "measured");
+  const int paper_5a[3][2] = {{8, 16}, {4, 32}, {2, 48}};
+  for (const auto& row : paper_5a) {
+    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    auto& network = deployment.add_network("op");
+    place_clustered_gateways(deployment, network, 5);
+    Rng rng(7);
+    (void)add_orthogonal_users(deployment, network, 48, rng);
+    tile_channels(deployment, network, row[0]);
+    const auto measured = burst_capacity(deployment, network, rng);
+    std::printf("  %-16d %-10d %-10zu\n", row[0], row[1], measured);
+  }
+
+  print_header(
+      "Fig. 5b — Strategy 2: heterogeneous channel settings, 3 gateways\n"
+      "(paper: standard 16 -> 24 with heterogeneous settings)");
+  std::printf("  %-16s %-10s\n", "setting", "measured");
+  {
+    // Standard: all three gateways identical.
+    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    auto& network = deployment.add_network("op");
+    place_clustered_gateways(deployment, network, 3);
+    Rng rng(9);
+    (void)add_orthogonal_users(deployment, network, 48, rng);
+    std::printf("  %-16s %-10zu   (paper: 16)\n", "standard",
+                burst_capacity(deployment, network, rng));
+  }
+  {
+    // Setting 1: gw1 keeps 8 channels; gw2/gw3 take disjoint halves.
+    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    auto& network = deployment.add_network("op");
+    place_clustered_gateways(deployment, network, 3);
+    Rng rng(9);
+    (void)add_orthogonal_users(deployment, network, 48, rng);
+    const auto chans = deployment.spectrum().grid_channels();
+    auto& gws = network.gateways();
+    gws[1].apply_channels(
+        GatewayChannelConfig{{chans[0], chans[1], chans[2], chans[3]}});
+    gws[2].apply_channels(
+        GatewayChannelConfig{{chans[4], chans[5], chans[6], chans[7]}});
+    std::printf("  %-16s %-10zu   (paper: ~24)\n", "heterogeneous-1",
+                burst_capacity(deployment, network, rng));
+  }
+  {
+    // Setting 2: staggered 4-channel windows.
+    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    auto& network = deployment.add_network("op");
+    place_clustered_gateways(deployment, network, 3);
+    Rng rng(9);
+    (void)add_orthogonal_users(deployment, network, 48, rng);
+    const auto chans = deployment.spectrum().grid_channels();
+    auto& gws = network.gateways();
+    gws[0].apply_channels(
+        GatewayChannelConfig{{chans[0], chans[1], chans[2], chans[3]}});
+    gws[1].apply_channels(
+        GatewayChannelConfig{{chans[2], chans[3], chans[4], chans[5]}});
+    gws[2].apply_channels(
+        GatewayChannelConfig{{chans[4], chans[5], chans[6], chans[7]}});
+    std::printf("  %-16s %-10zu   (paper: ~24)\n", "heterogeneous-2",
+                burst_capacity(deployment, network, rng));
+  }
+  print_note(
+      "shape check: heterogeneous settings beat the standard plan without\n"
+      "  any extra hardware; disjoint halves use the most decoders");
+  return 0;
+}

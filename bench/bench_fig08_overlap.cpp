@@ -1,0 +1,81 @@
+// Figure 8 reproduction: packet reception of a master link vs the channel
+// overlap ratio with an interfering link, for weak/strong interferers and
+// orthogonal/non-orthogonal data rates. Calibration target (paper):
+// >40% misalignment (overlap < 0.6) keeps PRR > 80% even for strong
+// non-orthogonal interferers; orthogonal DRs survive almost any overlap.
+#include "harness.hpp"
+
+#include "net/sync_word.hpp"
+#include "radio/gateway_radio.hpp"
+#include "phy/sensitivity.hpp"
+
+using namespace alphawan;
+using namespace alphawan::bench;
+
+namespace {
+
+constexpr int kTrials = 60;
+
+double prr_at_overlap(double overlap, Db interferer_delta, bool orthogonal,
+                      Rng& rng) {
+  const Spectrum spec = spectrum_1m6();
+  int ok = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    GatewayRadio radio(default_profile(), 0, kPublicSyncWord);
+    radio.configure_channels({spec.grid_channel(0)});
+
+    // Master link: DR4 (SF8) with a modest 5 dB margin over its threshold
+    // (a realistic mid-cell link) plus small per-trial fading.
+    Transmission wanted;
+    wanted.id = 1;
+    wanted.node = 1;
+    wanted.channel = spec.grid_channel(0);
+    wanted.params.sf = SpreadingFactor::kSF8;
+    wanted.start = 0.0;
+    const Dbm noise = noise_floor_dbm(kLoRaBandwidth125k);
+    const Dbm wanted_power = noise + demod_snr_threshold(wanted.params.sf) +
+                             5.0 + rng.uniform(-0.5, 0.5);
+
+    Transmission interferer = wanted;
+    interferer.id = 2;
+    interferer.node = 2;
+    interferer.network = 1;  // another operator
+    interferer.sync_word = sync_word_for_network(1);
+    interferer.params.sf =
+        orthogonal ? SpreadingFactor::kSF10 : SpreadingFactor::kSF8;
+    interferer.channel.center +=
+        (1.0 - overlap) * kLoRaBandwidth125k;
+    const Dbm interferer_power =
+        wanted_power + interferer_delta + rng.uniform(-0.5, 0.5);
+
+    const auto outcomes = radio.process(
+        {RxEvent{wanted, wanted_power}, RxEvent{interferer, interferer_power}});
+    if (outcomes[0].disposition == RxDisposition::kDelivered) ++ok;
+  }
+  return static_cast<double>(ok) / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Fig. 8 — master-link PRR vs channel overlap ratio\n"
+      "(DR4 master link with 5 dB margin; interferer weak = +8 dB,\n"
+      "strong = +20 dB relative to the master)");
+  std::printf("  %-9s %-16s %-16s %-16s %-16s\n", "overlap", "weak/orth",
+              "strong/orth", "weak/non-orth", "strong/non-orth");
+  Rng rng(8);
+  for (double overlap = 0.0; overlap <= 1.001; overlap += 0.1) {
+    const double weak_orth = prr_at_overlap(overlap, 8.0, true, rng);
+    const double strong_orth = prr_at_overlap(overlap, 20.0, true, rng);
+    const double weak_non = prr_at_overlap(overlap, 8.0, false, rng);
+    const double strong_non = prr_at_overlap(overlap, 20.0, false, rng);
+    std::printf("  %-9.1f %-16.2f %-16.2f %-16.2f %-16.2f\n", overlap,
+                weak_orth, strong_orth, weak_non, strong_non);
+  }
+  print_note(
+      "paper anchors: PRR > 0.8 for overlap <= 0.6 even non-orthogonal;\n"
+      "  orthogonal DRs tolerate large overlaps; strong non-orthogonal\n"
+      "  interferers fail first as overlap grows");
+  return 0;
+}

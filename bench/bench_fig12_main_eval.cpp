@@ -1,0 +1,254 @@
+// Figure 12 reproduction — AlphaWAN's headline evaluation.
+// (a) capacity vs number of gateways (1..15), 144 users, 4.8 MHz
+// (b) capacity and per-MHz efficiency vs operating spectrum (15 GWs)
+// (c) contention management: full vs no-node-side vs standard LoRaWAN
+// (d,e) spectrum sharing across 1..6 coexisting networks
+#include "harness.hpp"
+
+#include "baselines/random_cp.hpp"
+
+using namespace alphawan;
+using namespace alphawan::bench;
+
+namespace {
+
+AlphaWanConfig fast_alphawan(bool strategy1, bool node_side = true) {
+  AlphaWanConfig cfg;
+  cfg.strategy8_spectrum_sharing = false;
+  cfg.planner.strategy1_adapt_channel_count = strategy1;
+  cfg.planner.strategy7_node_side = node_side;
+  cfg.planner.ga.population = 24;
+  cfg.planner.ga.generations = 50;
+  cfg.planner.ga.seed = 77;
+  return cfg;
+}
+
+// Build a clustered-gateway deployment with `users` orthogonal ring users
+// and measure burst capacity under a configuration strategy.
+template <typename ConfigureFn>
+std::size_t capacity_of(const Spectrum& spectrum, int gateways, int users,
+                        ConfigureFn&& configure, std::uint64_t seed = 7) {
+  Deployment deployment{Region{600, 600}, spectrum, quiet_channel()};
+  auto& network = deployment.add_network("op");
+  place_clustered_gateways(deployment, network, gateways);
+  Rng rng(seed);
+  auto nodes = add_orthogonal_users(deployment, network, users, rng);
+  configure(deployment, network);
+  PacketIdSource ids;
+  return run_burst(deployment, nodes, 0.0, ids, seed).total_delivered();
+}
+
+void homogeneous_standard(Deployment& deployment, Network& network) {
+  std::vector<GatewayId> ids;
+  for (const auto& gw : network.gateways()) ids.push_back(gw.id());
+  network.apply_config(homogeneous_standard_config(deployment.spectrum(), ids,
+                                                   /*spread=*/true));
+}
+
+void random_cp_gateways(Deployment& deployment, Network& network,
+                        std::uint64_t seed) {
+  // Random channel windows only (node settings untouched, they are already
+  // orthogonal) — the Random CP comparator of Sec. 5.1.1.
+  Rng rng(seed);
+  const Spectrum& spectrum = deployment.spectrum();
+  NetworkChannelConfig config;
+  for (const auto& gw : network.gateways()) {
+    const int width = static_cast<int>(rng.uniform_int(2, 4));
+    const int start =
+        static_cast<int>(rng.uniform_int(0, spectrum.grid_size() - width));
+    GatewayChannelConfig gw_cfg;
+    for (int c = start; c < start + width; ++c) {
+      gw_cfg.channels.push_back(spectrum.grid_channel(c));
+    }
+    config.gateways[gw.id()] = std::move(gw_cfg);
+  }
+  network.apply_config(config);
+}
+
+void alphawan_upgrade(Deployment& deployment, Network& network,
+                      const AlphaWanConfig& cfg) {
+  LatencyModel latency{LatencyModelConfig{}, 3};
+  AlphaWanController controller(cfg, latency);
+  const auto links = oracle_link_estimates(deployment, network);
+  (void)controller.upgrade(network, deployment.spectrum(), links,
+                           uniform_traffic(network));
+}
+
+void figure_12a() {
+  print_header(
+      "Fig. 12a — max concurrent users vs #gateways (4.8 MHz, 144 users)\n"
+      "paper: standard ~48 flat; AlphaWAN w/o S1 +143%; full version grows\n"
+      "linearly and reaches the 144 oracle at ~9 gateways");
+  std::printf("  %-6s %-8s %-10s %-12s %-14s %-12s\n", "GWs", "oracle",
+              "standard", "random-CP", "alpha-no-S1", "alpha-full");
+  const Spectrum spec = spectrum_4m8();
+  for (int gws : {1, 3, 5, 7, 9, 11, 13, 15}) {
+    const std::size_t std_cap = capacity_of(
+        spec, gws, 144,
+        [](Deployment& d, Network& n) { homogeneous_standard(d, n); });
+    const std::size_t rnd_cap = capacity_of(
+        spec, gws, 144,
+        [&](Deployment& d, Network& n) { random_cp_gateways(d, n, 100 + gws); });
+    const std::size_t no_s1 = capacity_of(
+        spec, gws, 144, [&](Deployment& d, Network& n) {
+          alphawan_upgrade(d, n, fast_alphawan(/*strategy1=*/false));
+        });
+    const std::size_t full = capacity_of(
+        spec, gws, 144, [&](Deployment& d, Network& n) {
+          alphawan_upgrade(d, n, fast_alphawan(/*strategy1=*/true));
+        });
+    std::printf("  %-6d %-8d %-10zu %-12zu %-14zu %-12zu\n", gws, 144,
+                std_cap, rnd_cap, no_s1, full);
+  }
+}
+
+void figure_12b() {
+  print_header(
+      "Fig. 12b — capacity and per-MHz efficiency vs spectrum (15 GWs)\n"
+      "paper: standard 16 @1.6MHz / 64 @6.4MHz; AlphaWAN full reaches the\n"
+      "oracle and the highest per-MHz capacity (+292% vs standard)");
+  std::printf("  %-10s %-8s %-10s %-12s %-12s %-14s %-14s\n", "MHz",
+              "oracle", "standard", "alpha-full", "random-CP", "std/MHz",
+              "alpha/MHz");
+  for (double mhz : {1.6, 3.2, 4.8, 6.4}) {
+    const Spectrum spec{916.8e6, mhz * 1e6};
+    const int users = oracle_capacity(spec);
+    const std::size_t std_cap = capacity_of(
+        spec, 15, users,
+        [](Deployment& d, Network& n) { homogeneous_standard(d, n); });
+    const std::size_t rnd_cap = capacity_of(
+        spec, 15, users,
+        [&](Deployment& d, Network& n) { random_cp_gateways(d, n, 55); });
+    const std::size_t full = capacity_of(
+        spec, 15, users, [&](Deployment& d, Network& n) {
+          alphawan_upgrade(d, n, fast_alphawan(true));
+        });
+    std::printf("  %-10.1f %-8d %-10zu %-12zu %-12zu %-14.1f %-14.1f\n", mhz,
+                users, std_cap, full, rnd_cap,
+                static_cast<double>(std_cap) / mhz,
+                static_cast<double>(full) / mhz);
+  }
+}
+
+void figure_12c() {
+  print_header(
+      "Fig. 12c — contention management (144 realistic users, 15 GWs)\n"
+      "paper means: standard 42, AlphaWAN w/o node side 57, full 68");
+  // Realistic population: random placement, standard-ADR settings — the
+  // node mix AlphaWAN has to manage rather than a pre-orthogonalized one.
+  RunningStats std_stats, gw_only_stats, full_stats;
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    for (int variant = 0; variant < 3; ++variant) {
+      Deployment deployment{Region{2100, 1600}, spectrum_4m8(),
+                            urban_channel(trial + 40)};
+      auto& network = deployment.add_network("op");
+      Rng rng(trial * 13 + 1);
+      deployment.place_gateways(network, 15, default_profile(), rng);
+      deployment.place_nodes(network, 144, rng);
+      apply_standard_lorawan(deployment, network, rng);
+      if (variant == 1) {
+        alphawan_upgrade(deployment, network,
+                         fast_alphawan(true, /*node_side=*/false));
+      } else if (variant == 2) {
+        alphawan_upgrade(deployment, network, fast_alphawan(true, true));
+      }
+      std::vector<EndNode*> nodes;
+      for (auto& n : network.nodes()) nodes.push_back(&n);
+      PacketIdSource ids;
+      const auto delivered =
+          run_burst(deployment, nodes, 0.0, ids, trial).total_delivered();
+      (variant == 0   ? std_stats
+       : variant == 1 ? gw_only_stats
+                      : full_stats)
+          .add(static_cast<double>(delivered));
+    }
+  }
+  print_row("standard LoRaWAN (mean users)", 42.0, std_stats.mean());
+  print_row("AlphaWAN w/o node side (mean)", 57.0, gw_only_stats.mean());
+  print_row("AlphaWAN full version (mean)", 68.0, full_stats.mean());
+  std::printf(
+      "  ranges: std [%.0f, %.0f]  gw-only [%.0f, %.0f]  full [%.0f, %.0f]\n",
+      std_stats.min(), std_stats.max(), gw_only_stats.min(),
+      gw_only_stats.max(), full_stats.min(), full_stats.max());
+}
+
+void figure_12de() {
+  print_header(
+      "Fig. 12d/12e — spectrum sharing among 1..6 coexisting networks\n"
+      "(1.6 MHz, 3 GWs + 24 users per network)\n"
+      "paper: standard collapses with density; AlphaWAN holds >= 20-23\n"
+      "users per network; per-MHz gain 158.9% - 778.1%");
+  std::printf("  %-9s %-22s %-22s %-12s %-12s\n", "networks",
+              "std per-net (min..max)", "alpha per-net (min..max)", "std/MHz",
+              "alpha/MHz");
+  for (int count = 1; count <= 6; ++count) {
+    std::size_t std_total = 0, alpha_total = 0;
+    std::size_t std_min = 1e9, std_max = 0, alpha_min = 1e9, alpha_max = 0;
+    for (int mode = 0; mode < 2; ++mode) {
+      Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+      Rng rng(61 + count);
+      std::vector<Network*> nets;
+      std::vector<std::vector<EndNode*>> net_nodes;
+      for (int n = 0; n < count; ++n) {
+        auto& net = deployment.add_network("op" + std::to_string(n));
+        place_clustered_gateways(deployment, net, 3);
+        // Real coexisting operators differ in settings and path loss.
+        net_nodes.push_back(add_orthogonal_users(deployment, net, 24, rng,
+                                                 /*offset=*/n * 12,
+                                                 /*radius=*/110.0 + 25.0 * n));
+        nets.push_back(&net);
+      }
+      if (mode == 1) {
+        MasterNode master(
+            MasterConfig{deployment.spectrum(), 0.4, count});
+        LatencyModel latency{LatencyModelConfig{}, 3};
+        for (auto* net : nets) {
+          AlphaWanConfig cfg = fast_alphawan(true);
+          cfg.strategy8_spectrum_sharing = true;
+          AlphaWanController controller(cfg, latency);
+          const auto links = oracle_link_estimates(deployment, *net);
+          (void)controller.upgrade(*net, deployment.spectrum(), links,
+                                   uniform_traffic(*net), &master);
+        }
+      } else {
+        for (auto* net : nets) homogeneous_standard(deployment, *net);
+      }
+      // Joint burst: all networks interleaved in lock-on order.
+      std::vector<EndNode*> all;
+      for (int i = 0; i < 24; ++i) {
+        for (auto& nodes : net_nodes) all.push_back(nodes[i]);
+      }
+      PacketIdSource ids;
+      const auto result = run_burst(deployment, all, 0.0, ids, 9);
+      for (auto* net : nets) {
+        const std::size_t d = result.delivered.at(net->id());
+        if (mode == 0) {
+          std_total += d;
+          std_min = std::min(std_min, d);
+          std_max = std::max(std_max, d);
+        } else {
+          alpha_total += d;
+          alpha_min = std::min(alpha_min, d);
+          alpha_max = std::max(alpha_max, d);
+        }
+      }
+    }
+    char std_range[32], alpha_range[32];
+    std::snprintf(std_range, sizeof(std_range), "%zu..%zu", std_min, std_max);
+    std::snprintf(alpha_range, sizeof(alpha_range), "%zu..%zu", alpha_min,
+                  alpha_max);
+    std::printf("  %-9d %-22s %-22s %-12.1f %-12.1f\n", count, std_range,
+                alpha_range, static_cast<double>(std_total) / 1.6,
+                static_cast<double>(alpha_total) / 1.6);
+  }
+}
+
+}  // namespace
+
+int main() {
+  figure_12a();
+  figure_12b();
+  figure_12c();
+  figure_12de();
+  return 0;
+}

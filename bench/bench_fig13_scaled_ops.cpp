@@ -1,0 +1,199 @@
+// Figure 13 reproduction: LoRaWAN at scale (2k-12k duty-cycled users,
+// 15 gateways, 4.8 MHz) — AlphaWAN vs the state of the art.
+//   (a) aggregate network throughput  (b) packet reception ratio
+//   (c) loss-factor breakdown at 6k users
+//   (d) spectrum utilization (per-DR delivered share)
+// Baselines: LoRaWAN w/o ADR, LoRaWAN w/ ADR, LMAC (CSMA), CIC (collision
+// resolution, still bound by 16 decoders), Random CP.
+#include "harness.hpp"
+
+#include "baselines/cic.hpp"
+#include "baselines/lmac.hpp"
+#include "baselines/random_cp.hpp"
+
+using namespace alphawan;
+using namespace alphawan::bench;
+
+namespace {
+
+constexpr Seconds kWindow = 30.0;
+// Per-user airtime utilization (half the regulatory 1% duty budget).
+constexpr double kUserUtilization = 0.005;
+constexpr std::size_t kPhysicalNodes = 144;
+
+enum class Strategy {
+  kNoAdr,
+  kAdr,
+  kLmac,
+  kCic,
+  kRandomCp,
+  kAlphaWan,
+};
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kNoAdr: return "LoRaWAN w/o ADR";
+    case Strategy::kAdr: return "LoRaWAN w/ ADR";
+    case Strategy::kLmac: return "LMAC";
+    case Strategy::kCic: return "CIC";
+    case Strategy::kRandomCp: return "Random CP";
+    case Strategy::kAlphaWan: return "AlphaWAN";
+  }
+  return "?";
+}
+
+struct Result {
+  double throughput_bps = 0;
+  double prr = 0;
+  double dec = 0, chan = 0, other = 0;
+  std::array<double, kNumDataRates> dr_share{};
+};
+
+Result run(Strategy strategy, std::size_t users, std::uint64_t seed) {
+  Deployment deployment{Region{2100, 1600}, spectrum_4m8(),
+                        urban_channel(seed)};
+  auto& network = deployment.add_network("op");
+  Rng rng(seed);
+  deployment.place_gateways(network, 15, default_profile(), rng);
+  deployment.place_nodes(network, kPhysicalNodes, rng);
+
+  StandardLorawanOptions std_options;
+  std_options.use_adr = strategy != Strategy::kNoAdr;
+  // Commercial operators run homogeneous plans (paper Sec. 3.2); only the
+  // channel-planning strategies diversify them.
+  std_options.spread_gateways_across_plans = false;
+  std_options.adr.installation_margin = 10.0;  // keep links robust
+  std_options.adr.min_tx_power = 8.0;
+  apply_standard_lorawan(deployment, network, rng, std_options);
+  if (strategy == Strategy::kRandomCp) {
+    apply_random_cp(deployment, network, rng);
+  } else if (strategy == Strategy::kAlphaWan) {
+    LatencyModel latency{LatencyModelConfig{}, 3};
+    AlphaWanConfig cfg;
+    cfg.strategy8_spectrum_sharing = false;
+    cfg.planner.ga.population = 24;
+    cfg.planner.ga.generations = 40;
+    // Demand in Erlangs (offered airtime utilization): each physical node
+    // hosts users/144 virtual users at kUserUtilization each. Decoder
+    // capacities C_j are concurrency limits, so Erlang units line up.
+    const double users_per_node =
+        static_cast<double>(users) / kPhysicalNodes;
+    cfg.planner.pair_capacity = 0.08;  // clean Aloha load per (ch, DR) pair
+    AlphaWanController controller(cfg, latency);
+    const auto links = oracle_link_estimates(deployment, network);
+    std::map<NodeId, double> demand;
+    for (const auto& node : network.nodes()) {
+      demand[node.id()] = users_per_node * kUserUtilization;
+    }
+    (void)controller.upgrade(network, deployment.spectrum(), links, demand);
+  }
+
+  // Emulated duty-cycled users (paper Sec. 5.2.1): each physical node
+  // hosts users/144 virtual users, each filling kUserUtilization of its
+  // data rate's airtime.
+  PacketIdSource ids;
+  Rng traffic_rng(seed * 7 + 1);
+  std::vector<Transmission> txs;
+  const std::size_t users_per_node =
+      std::max<std::size_t>(1, users / kPhysicalNodes);
+  NodeId virtual_base = 1'000'000;
+  for (auto& node : network.nodes()) {
+    const Seconds airtime = time_on_air(node.tx_params(), 10);
+    const double rate = kUserUtilization / airtime;
+    std::vector<EndNode*> one = {&node};
+    auto node_txs = emulated_user_traffic(one, users_per_node, kWindow, rate,
+                                          traffic_rng, ids, virtual_base);
+    virtual_base += users_per_node;
+    txs.insert(txs.end(), node_txs.begin(), node_txs.end());
+  }
+  sort_by_start(txs);
+  if (strategy == Strategy::kLmac) {
+    Rng lmac_rng(seed + 5);
+    txs = lmac_schedule(std::move(txs), lmac_rng);
+  }
+
+  ScenarioRunner runner(deployment, seed);
+  if (strategy == Strategy::kCic) {
+    runner.set_post_processor(make_cic_processor());
+  }
+  MetricsCollector metrics;
+  (void)runner.run_window(txs, metrics);
+
+  Result result;
+  result.prr = metrics.total_prr();
+  result.throughput_bps =
+      8.0 * static_cast<double>(metrics.total_delivered_bytes()) / kWindow;
+  result.dec = metrics.loss_fraction(LossCause::kDecoderContentionIntra) +
+               metrics.loss_fraction(LossCause::kDecoderContentionInter);
+  result.chan = metrics.loss_fraction(LossCause::kChannelContentionIntra) +
+                metrics.loss_fraction(LossCause::kChannelContentionInter);
+  result.other = metrics.loss_fraction(LossCause::kOther);
+  // Fig. 13d — spectrum utilization: delivered traffic share per DR.
+  double delivered_total = 0;
+  for (const auto& fate : metrics.fates()) {
+    if (!fate.delivered) continue;
+    delivered_total += 1.0;
+    result.dr_share[static_cast<std::size_t>(dr_value(fate.dr))] += 1.0;
+  }
+  if (delivered_total > 0) {
+    for (auto& share : result.dr_share) share /= delivered_total;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t scales[] = {2000, 4000, 6000, 8000, 10000, 12000};
+  const Strategy strategies[] = {Strategy::kNoAdr, Strategy::kAdr,
+                                 Strategy::kLmac, Strategy::kCic,
+                                 Strategy::kRandomCp, Strategy::kAlphaWan};
+
+  print_header(
+      "Fig. 13a/13b — throughput (kbps) and PRR vs user scale\n"
+      "paper: w/o-ADR, LMAC, CIC saturate at ~6k users (decoder bound);\n"
+      "AlphaWAN keeps PRR > 85% at 12k users");
+  std::printf("  %-18s", "strategy");
+  for (auto s : scales) std::printf(" %8zu", s);
+  std::printf("\n");
+  std::vector<Result> at_6k(std::size(strategies));
+  for (std::size_t si = 0; si < std::size(strategies); ++si) {
+    std::vector<Result> row;
+    for (std::size_t sc = 0; sc < std::size(scales); ++sc) {
+      row.push_back(run(strategies[si], scales[sc], 900 + sc));
+      if (scales[sc] == 6000) at_6k[si] = row.back();
+    }
+    std::printf("  %-18s", strategy_name(strategies[si]));
+    for (const auto& r : row) std::printf(" %8.1f", r.throughput_bps / 1e3);
+    std::printf("  kbps\n");
+    std::printf("  %-18s", "");
+    for (const auto& r : row) std::printf(" %8.2f", r.prr);
+    std::printf("  PRR\n");
+  }
+
+  print_header(
+      "Fig. 13c — loss factors at the 6k-user scale\n"
+      "paper: decoder contention dominates for the non-planning baselines");
+  std::printf("  %-18s %-10s %-10s %-10s\n", "strategy", "decoder",
+              "channel", "other");
+  for (std::size_t si = 0; si < std::size(strategies); ++si) {
+    std::printf("  %-18s %-10.3f %-10.3f %-10.3f\n",
+                strategy_name(strategies[si]), at_6k[si].dec, at_6k[si].chan,
+                at_6k[si].other);
+  }
+
+  print_header(
+      "Fig. 13d — spectrum utilization at 6k users: delivered share per DR\n"
+      "paper: ADR piles traffic on DR5; AlphaWAN uses all data rates");
+  std::printf("  %-18s", "strategy");
+  for (int dr = 0; dr < kNumDataRates; ++dr) std::printf("   DR%d ", dr);
+  std::printf("\n");
+  for (std::size_t si = 0; si < std::size(strategies); ++si) {
+    std::printf("  %-18s", strategy_name(strategies[si]));
+    for (int dr = 0; dr < kNumDataRates; ++dr) {
+      std::printf(" %5.2f ", at_6k[si].dr_share[static_cast<std::size_t>(dr)]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 14 reproduction: partial adoption — four coexisting networks,
+// 0..4 of which join AlphaWAN's spectrum sharing; the rest stay on legacy
+// standard plans. Paper: adopters roughly double their capacity, legacy
+// networks improve slightly (less contention on the standard channels),
+// and everyone wins once all four coordinate.
+#include "harness.hpp"
+
+using namespace alphawan;
+using namespace alphawan::bench;
+
+int main() {
+  print_header(
+      "Fig. 14 — per-network users served vs number of AlphaWAN adopters\n"
+      "(4 coexisting networks, 1.6 MHz, 3 GWs + 24 users each)");
+  std::printf("  %-10s %-10s %-10s %-10s %-10s   %s\n", "adopters", "net1",
+              "net2", "net3", "net4", "(net3/net4 adopt first)");
+
+  for (int adopters = 0; adopters <= 4; ++adopters) {
+    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    Rng rng(71);
+    std::vector<Network*> nets;
+    std::vector<std::vector<EndNode*>> net_nodes;
+    for (int n = 0; n < 4; ++n) {
+      auto& net = deployment.add_network("op" + std::to_string(n + 1));
+      place_clustered_gateways(deployment, net, 3);
+      // Staggered pair sets and ring radii: real coexisting operators use
+      // partially-overlapping settings and sit at different path losses.
+      net_nodes.push_back(add_orthogonal_users(deployment, net, 24, rng,
+                                               /*pair_offset=*/n * 12,
+                                               /*radius=*/110.0 + 35.0 * n));
+      nets.push_back(&net);
+    }
+    // Legacy networks: homogeneous standard plans.
+    for (auto* net : nets) {
+      std::vector<GatewayId> ids;
+      for (const auto& gw : net->gateways()) ids.push_back(gw.id());
+      net->apply_config(
+          homogeneous_standard_config(deployment.spectrum(), ids, true));
+    }
+    // The last `adopters` networks join AlphaWAN (paper: networks 3 and 4
+    // adopt first).
+    // base_offset keeps adopters misaligned from the legacy standard grid.
+    MasterNode master(MasterConfig{deployment.spectrum(), 0.4,
+                                   std::max(adopters, 1), 37.5e3});
+    LatencyModel latency{LatencyModelConfig{}, 3};
+    for (int n = 4 - adopters; n < 4; ++n) {
+      AlphaWanConfig cfg;
+      cfg.strategy8_spectrum_sharing = true;
+      cfg.planner.ga.population = 24;
+      cfg.planner.ga.generations = 40;
+      AlphaWanController controller(cfg, latency);
+      const auto links = oracle_link_estimates(deployment, *nets[n]);
+      (void)controller.upgrade(*nets[n], deployment.spectrum(), links,
+                               uniform_traffic(*nets[n]), &master);
+    }
+    // Joint service session.
+    std::vector<EndNode*> all;
+    for (int i = 0; i < 24; ++i) {
+      for (auto& nodes : net_nodes) all.push_back(nodes[i]);
+    }
+    const auto served = run_service_session(deployment, all, 10, 5);
+    std::printf("  %-10d", adopters);
+    for (auto* net : nets) {
+      const auto it = served.find(net->id());
+      std::printf(" %-10zu", it == served.end() ? 0 : it->second.size());
+    }
+    std::printf("\n");
+  }
+  print_note(
+      "paper: 0 adopters -> ~4 users each; 2 adopters -> adopters ~2x,\n"
+      "  legacy slightly up; 4 adopters -> all networks high");
+  return 0;
+}

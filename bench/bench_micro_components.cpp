@@ -1,0 +1,121 @@
+// Component micro-benchmarks (google-benchmark): throughput of the pieces
+// the system runs continuously — airtime math, decoder pool churn, the
+// gateway radio pipeline, frame encode/decode + MIC, and the CP solver at
+// the Fig. 17 scales.
+#include <benchmark/benchmark.h>
+
+#include "core/ga_solver.hpp"
+#include "net/frame.hpp"
+#include "net/sync_word.hpp"
+#include "phy/airtime.hpp"
+#include "radio/gateway_radio.hpp"
+
+namespace alphawan {
+namespace {
+
+void BM_Airtime(benchmark::State& state) {
+  TxParams params;
+  params.sf = SpreadingFactor::kSF9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(time_on_air(params, 10));
+  }
+}
+BENCHMARK(BM_Airtime);
+
+void BM_DecoderPoolChurn(benchmark::State& state) {
+  DecoderPool pool(16);
+  Seconds t = 0.0;
+  PacketId id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.try_acquire(t, t + 0.05, 0, id++));
+    t += 0.001;
+  }
+}
+BENCHMARK(BM_DecoderPoolChurn);
+
+std::vector<RxEvent> burst_events(int count) {
+  const Spectrum spec = spectrum_1m6();
+  std::vector<RxEvent> events;
+  for (int i = 0; i < count; ++i) {
+    Transmission tx;
+    tx.id = static_cast<PacketId>(i + 1);
+    tx.node = static_cast<NodeId>(i + 1);
+    tx.channel = spec.grid_channel(i % 8);
+    tx.params.sf = sf_from_index((i / 8) % 6);
+    tx.start = 0.0005 * i;
+    events.push_back(RxEvent{tx, -85.0});
+  }
+  return events;
+}
+
+void BM_GatewayRadioProcess(benchmark::State& state) {
+  GatewayRadio radio(default_profile(), 0, kPublicSyncWord);
+  const Spectrum spec = spectrum_1m6();
+  std::vector<Channel> channels;
+  for (int i = 0; i < 8; ++i) channels.push_back(spec.grid_channel(i));
+  radio.configure_channels(channels);
+  const auto events = burst_events(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radio.process(events));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GatewayRadioProcess)->Arg(48)->Arg(144)->Arg(1000);
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  SessionKeys keys;
+  keys.nwk_skey.fill(0x42);
+  keys.app_skey.fill(0x24);
+  DataFrame frame;
+  frame.fhdr.dev_addr = make_dev_addr(1, 77);
+  frame.fhdr.fcnt = 9;
+  frame.fport = 1;
+  frame.frm_payload.assign(10, 0xAB);
+  for (auto _ : state) {
+    const auto raw = encode_frame(frame, keys);
+    benchmark::DoNotOptimize(decode_frame(raw, keys));
+  }
+}
+BENCHMARK(BM_FrameEncodeDecode);
+
+CpInstance solver_instance(int users, int gateways) {
+  CpInstance inst;
+  inst.spectrum = spectrum_4m8();
+  inst.num_channels = inst.spectrum.grid_size();
+  for (int j = 0; j < gateways; ++j) {
+    inst.gateways.push_back({static_cast<GatewayId>(j + 1), 16, 8, 8});
+  }
+  for (int i = 0; i < users; ++i) {
+    CpNode node;
+    node.id = static_cast<NodeId>(i + 1);
+    node.traffic = 1.0;
+    node.min_level.assign(static_cast<std::size_t>(gateways), 0);
+    // Roughly half the gateways in reach, varying per node.
+    for (int j = 0; j < gateways; ++j) {
+      if ((i + j) % 2 == 0) {
+        node.min_level[static_cast<std::size_t>(j)] = 2;
+      }
+    }
+    inst.nodes.push_back(std::move(node));
+  }
+  return inst;
+}
+
+// The Fig. 17 CP-solve scaling measurement (4k -> 12k users).
+void BM_CpSolve(benchmark::State& state) {
+  const auto inst = solver_instance(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(0)) / 1000);
+  GaConfig cfg;
+  cfg.population = 32;
+  cfg.generations = 60;
+  cfg.early_stop = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_cp(inst, cfg));
+  }
+}
+BENCHMARK(BM_CpSolve)->Unit(benchmark::kMillisecond)->Arg(4000)->Arg(8000)->Arg(12000)->Iterations(1);
+
+}  // namespace
+}  // namespace alphawan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+// Shared scaffolding for the reproduction benches: canonical deployments
+// (lab-bench clustered gateways, testbed-style grids), orthogonal user
+// populations, and table printing. Each bench binary regenerates one table
+// or figure of the paper and prints the paper's reported values alongside
+// the measured ones (see EXPERIMENTS.md).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "baselines/standard_lorawan.hpp"
+#include "core/controller.hpp"
+#include "sim/scenario.hpp"
+#include "sim/traffic.hpp"
+
+namespace alphawan::bench {
+
+// Stable links: the paper's controlled capacity experiments pick placements
+// with clear margins, so decoder contention is not confounded by fading.
+inline ChannelModelConfig quiet_channel() {
+  ChannelModelConfig cfg;
+  cfg.shadowing_sigma_db = 0.3;
+  cfg.fast_fading_sigma_db = 0.1;
+  return cfg;
+}
+
+// Urban channel for the at-scale studies (Figs. 4, 13, 21).
+inline ChannelModelConfig urban_channel(std::uint64_t seed = 1) {
+  ChannelModelConfig cfg;
+  cfg.shadowing_sigma_db = 3.0;
+  cfg.fast_fading_sigma_db = 0.8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Colocated gateway cluster (lab-style; every gateway hears every node at
+// similar power). Initial channels: standard plan 0.
+inline void place_clustered_gateways(Deployment& deployment, Network& network,
+                                     int count,
+                                     GatewayProfile profile = default_profile()) {
+  const Point center = deployment.region().center();
+  const auto plan0 = standard_plan(deployment.spectrum(), 0);
+  for (int i = 0; i < count; ++i) {
+    const Point pos{center.x + 15.0 * i - 7.5 * (count - 1),
+                    center.y + 10.0 * (i % 2)};
+    auto& gw = network.add_gateway(deployment.next_gateway_id(), pos, profile);
+    gw.apply_channels(GatewayChannelConfig{plan0.channels});
+  }
+}
+
+// Ring of users with globally orthogonal (channel, SF) pairs starting at
+// `pair_offset`; balanced received powers, no RF collisions by design.
+inline std::vector<EndNode*> add_orthogonal_users(Deployment& deployment,
+                                                  Network& network, int count,
+                                                  Rng& rng,
+                                                  int pair_offset = 0,
+                                                  double radius = 140.0) {
+  std::vector<EndNode*> nodes;
+  const auto channels = deployment.spectrum().grid_channels();
+  const Point center = deployment.region().center();
+  for (int k = 0; k < count; ++k) {
+    const int i = k + pair_offset;
+    NodeRadioConfig cfg;
+    cfg.channel = channels[static_cast<std::size_t>(i) % channels.size()];
+    cfg.dr = static_cast<DataRate>(
+        (i / static_cast<int>(channels.size())) % kNumDataRates);
+    cfg.tx_power = 14.0;
+    const double angle = 2.0 * std::numbers::pi *
+                         (static_cast<double>(k) + rng.uniform(0.0, 0.5)) /
+                         static_cast<double>(count);
+    const Point pos{center.x + radius * std::cos(angle),
+                    center.y + radius * std::sin(angle)};
+    nodes.push_back(&network.add_node(deployment.next_node_id(), pos, cfg));
+  }
+  return nodes;
+}
+
+// Run one concurrent burst (lock-on staggered) and return delivered count
+// per network.
+inline WindowResult run_burst(Deployment& deployment,
+                              std::vector<EndNode*> nodes, Seconds at,
+                              PacketIdSource& ids, std::uint64_t seed = 7) {
+  ScenarioRunner runner(deployment, seed);
+  const auto txs = staggered_by_lock_on(std::move(nodes), at, 0.0004, ids);
+  return runner.run_window(txs);
+}
+
+// Max concurrent users supported: largest N (<= limit) such that a burst
+// of N orthogonal users is fully (>= threshold) delivered. The paper's
+// "maximum number of concurrent users" metric.
+inline std::size_t max_concurrent_users(Deployment& deployment,
+                                        const std::vector<EndNode*>& nodes,
+                                        PacketIdSource& ids,
+                                        double threshold = 0.95) {
+  std::size_t best = 0;
+  Seconds at = 0.0;
+  for (std::size_t n = 1; n <= nodes.size(); ++n) {
+    std::vector<EndNode*> subset(nodes.begin(),
+                                 nodes.begin() + static_cast<std::ptrdiff_t>(n));
+    const auto result = run_burst(deployment, subset, at, ids);
+    at += 100.0;  // separate bursts in time
+    if (static_cast<double>(result.total_delivered()) >=
+        threshold * static_cast<double>(n)) {
+      best = result.total_delivered();
+    }
+  }
+  return best;
+}
+
+// A service session: the users transmit repeatedly across `bursts`
+// concurrent rounds with a re-shuffled lock-on order each round (as in a
+// live network, where dispatch order rotates). Returns the set of users
+// whose packets were received at least once — the paper's "service ratio"
+// numerator (Fig. 15).
+inline std::map<NetworkId, std::set<NodeId>> run_service_session(
+    Deployment& deployment, std::vector<EndNode*> all, int bursts,
+    std::uint64_t seed) {
+  std::map<NetworkId, std::set<NodeId>> served;
+  PacketIdSource ids;
+  Rng rng(seed);
+  ScenarioRunner runner(deployment, seed);
+  Seconds at = 0.0;
+  for (int round = 0; round < bursts; ++round) {
+    // Fisher-Yates shuffle of the lock-on order.
+    for (std::size_t i = all.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(all[i - 1], all[j]);
+    }
+    const auto txs = staggered_by_lock_on(all, at, 0.0004, ids);
+    const auto result = runner.run_window(txs);
+    for (const auto& fate : result.fates) {
+      if (fate.delivered) served[fate.network].insert(fate.node);
+    }
+    at += 120.0;
+  }
+  return served;
+}
+
+// ---- printing -------------------------------------------------------------
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_row(const char* label, double paper, double measured,
+                      const char* unit = "") {
+  std::printf("  %-44s paper=%8.1f  measured=%8.1f %s\n", label, paper,
+              measured, unit);
+}
+
+inline void print_note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace alphawan::bench

@@ -1,0 +1,136 @@
+// Coexistence: two operators share 1.6 MHz through the AlphaWAN Master.
+//
+// Walks the full inter-network channel-planning exchange — registration
+// and plan assignment as real protocol messages over the simulated
+// backhaul — then shows the capacity effect of frequency-misaligned plans.
+//
+//   ./example_coexistence
+#include <cmath>
+#include <cstdio>
+
+#include "backhaul/bus.hpp"
+#include "core/controller.hpp"
+#include "sim/scenario.hpp"
+#include "sim/traffic.hpp"
+
+using namespace alphawan;
+
+namespace {
+
+std::vector<EndNode*> ring_users(Deployment& deployment, Network& network,
+                                 int count, int pair_offset, double radius) {
+  std::vector<EndNode*> nodes;
+  const auto channels = deployment.spectrum().grid_channels();
+  const Point center = deployment.region().center();
+  for (int k = 0; k < count; ++k) {
+    const int i = k + pair_offset;
+    NodeRadioConfig cfg;
+    cfg.channel = channels[i % 8];
+    cfg.dr = static_cast<DataRate>((i / 8) % kNumDataRates);
+    const double angle = 2 * 3.14159265 * k / count;
+    nodes.push_back(&network.add_node(
+        deployment.next_node_id(),
+        {center.x + radius * std::cos(angle),
+         center.y + radius * std::sin(angle)},
+        cfg));
+  }
+  return nodes;
+}
+
+void add_gateways(Deployment& deployment, Network& network, int count) {
+  const Point center = deployment.region().center();
+  const auto plan0 = standard_plan(deployment.spectrum(), 0);
+  for (int i = 0; i < count; ++i) {
+    auto& gw = network.add_gateway(deployment.next_gateway_id(),
+                                   {center.x + 20.0 * i, center.y + 10.0 * i},
+                                   default_profile());
+    gw.apply_channels(GatewayChannelConfig{plan0.channels});
+  }
+}
+
+}  // namespace
+
+int main() {
+  ChannelModelConfig quiet;
+  quiet.shadowing_sigma_db = 0.3;
+  quiet.fast_fading_sigma_db = 0.1;
+  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet};
+  auto& op1 = deployment.add_network("metro-utility");
+  auto& op2 = deployment.add_network("parking-iot");
+  add_gateways(deployment, op1, 3);
+  add_gateways(deployment, op2, 3);
+  auto nodes1 = ring_users(deployment, op1, 24, 0, 130.0);
+  auto nodes2 = ring_users(deployment, op2, 24, 24, 150.0);
+
+  std::printf("Two operators, one 1.6 MHz band, 24 users each.\n\n");
+
+  // --- the Master protocol over the simulated backhaul ------------------
+  Engine engine;
+  LatencyModel latency{LatencyModelConfig{}, 11};
+  MessageBus bus(engine, latency);
+  MasterNode master(MasterConfig{deployment.spectrum(), 0.4, 2});
+  MasterService service(master, bus);
+
+  for (const Network* op : {&op1, &op2}) {
+    const EndpointId endpoint = "server-" + op->name();
+    bus.attach(endpoint, [&, name = op->name()](const EndpointId&,
+                                                std::vector<std::uint8_t> p) {
+      const auto msg = decode_message(p);
+      if (!msg) return;
+      if (const auto* ack = std::get_if<RegisterAckMsg>(&*msg)) {
+        std::printf("  [%s] registered with Master (epoch %u)\n",
+                    name.c_str(), ack->master_epoch);
+      } else if (const auto* assign = std::get_if<PlanAssignMsg>(&*msg)) {
+        std::printf(
+            "  [%s] plan assigned: %zu channels, offset %+.1f kHz, "
+            "overlap %.0f%%\n",
+            name.c_str(), assign->channels.size(),
+            assign->frequency_offset / 1e3, 100.0 * assign->overlap_ratio);
+      }
+    });
+    bus.send(endpoint, MasterService::endpoint(),
+             encode_message(RegisterMsg{op->id(), op->name()}), /*wan=*/true);
+    bus.send(endpoint, MasterService::endpoint(),
+             encode_message(PlanRequestMsg{op->id(),
+                                           deployment.spectrum().base,
+                                           deployment.spectrum().width, 8}),
+             /*wan=*/true);
+  }
+  engine.run();
+  std::printf("  backhaul: %zu messages, %zu bytes, %.0f ms elapsed\n\n",
+              bus.stats().messages, bus.stats().bytes, engine.now() * 1e3);
+
+  // --- apply AlphaWAN on both operators ---------------------------------
+  for (Network* op : {&op1, &op2}) {
+    AlphaWanConfig config;
+    config.strategy8_spectrum_sharing = true;
+    AlphaWanController controller(config, latency);
+    const auto links = oracle_link_estimates(deployment, *op);
+    const auto report = controller.upgrade(
+        *op, deployment.spectrum(), links, uniform_traffic(*op), &master);
+    std::printf("  [%s] upgraded: offset %+.1f kHz, total latency %.1f s\n",
+                op->name().c_str(), report.frequency_offset / 1e3,
+                report.total());
+  }
+
+  // --- measure the shared-spectrum burst --------------------------------
+  std::vector<EndNode*> all;
+  for (int i = 0; i < 24; ++i) {
+    all.push_back(nodes1[i]);
+    all.push_back(nodes2[i]);
+  }
+  PacketIdSource ids;
+  ScenarioRunner runner(deployment, 5);
+  const auto txs = staggered_by_lock_on(all, 0.0, 0.0004, ids);
+  const auto result = runner.run_window(txs);
+  std::printf(
+      "\n48 concurrent packets (24 per operator) in the shared band:\n");
+  std::printf("  %s: %zu/24 received\n", op1.name().c_str(),
+              result.delivered.at(op1.id()));
+  std::printf("  %s: %zu/24 received\n", op2.name().c_str(),
+              result.delivered.at(op2.id()));
+  std::printf(
+      "  (standard coexistence would cap the TOTAL at 16 — the two\n"
+      "   networks' packets would contend for every gateway's decoders)\n");
+  return 0;
+}

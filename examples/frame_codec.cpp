@@ -1,0 +1,69 @@
+// Frame codec: why a gateway cannot filter foreign packets early.
+//
+// Encodes a real LoRaWAN 1.0.x uplink (AES-CTR payload encryption +
+// AES-CMAC MIC), then shows that another network — even holding the raw
+// bytes — learns nothing before a full decode + MIC check, which is the
+// root of the inter-network decoder contention the paper identifies.
+//
+//   ./example_frame_codec
+#include <cstdio>
+
+#include "net/end_node.hpp"
+
+using namespace alphawan;
+
+namespace {
+void hexdump(const char* label, std::span<const std::uint8_t> bytes) {
+  std::printf("  %-12s", label);
+  for (const auto b : bytes) std::printf("%02x", b);
+  std::printf("  (%zu bytes)\n", bytes.size());
+}
+}  // namespace
+
+int main() {
+  NodeRadioConfig cfg;
+  cfg.channel = Channel{923.3e6, 125e3};
+  cfg.dr = DataRate::kDR3;
+  EndNode sensor(/*id=*/42, /*network=*/3, Point{100, 50}, cfg);
+
+  const std::vector<std::uint8_t> reading = {0x17, 0x03, 0x42, 0x01,
+                                             0x99, 0xEE, 0x10, 0x00,
+                                             0x25, 0x5C};
+  std::printf("LoRaWAN uplink from DevAddr 0x%08X (NwkID %u):\n\n",
+              sensor.dev_addr(), nwk_id(sensor.dev_addr()));
+  hexdump("payload", reading);
+
+  const auto raw = sensor.encode_uplink(reading);
+  hexdump("PHYPayload", raw);
+  std::printf("\n");
+
+  // The owner network decodes it fine.
+  const auto own = decode_frame(raw, sensor.keys());
+  std::printf("own network decode: %s (FCnt %u, FPort %d, %zu bytes)\n",
+              own.ok() ? "OK" : "FAILED", own.frame->fhdr.fcnt,
+              *own.frame->fport, own.frame->frm_payload.size());
+
+  // A coexisting network holds different session keys: the MIC fails, but
+  // only AFTER the gateway spent a decoder receiving the whole packet.
+  SessionKeys foreign;
+  foreign.nwk_skey.fill(0x77);
+  foreign.app_skey.fill(0x88);
+  const auto other = decode_frame(raw, foreign);
+  std::printf("foreign network decode: %s\n",
+              other.error == DecodeError::kBadMic ? "rejected (bad MIC)"
+                                                  : "unexpected");
+
+  // Header peeking (what a network server does for routing) works without
+  // keys — but only after the radio has fully received the frame.
+  const auto header = peek_header(raw);
+  std::printf(
+      "\nheader peek (post-reception routing): DevAddr 0x%08X, FCnt %u\n",
+      header->dev_addr, header->fcnt);
+  std::printf(
+      "\nThe network identifiers live INSIDE the frame: a COTS gateway\n"
+      "must commit one of its 16 decoders for the packet's full airtime\n"
+      "before it can tell the packet belongs to someone else (paper\n"
+      "Sec. 3.1) — AlphaWAN's frequency misalignment filters foreign\n"
+      "packets in the analog front-end instead.\n");
+  return 0;
+}

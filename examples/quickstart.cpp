@@ -1,0 +1,107 @@
+// Quickstart: the decoder contention problem in ~100 lines.
+//
+// Builds a single-operator deployment (5 gateways, 48 IoT nodes in
+// 1.6 MHz), demonstrates the 16-packet ceiling of standard LoRaWAN, then
+// runs AlphaWAN's intra-network channel planning and shows the capacity
+// reaching the 48-user theoretical bound.
+//
+//   ./example_quickstart
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/standard_lorawan.hpp"
+#include "core/controller.hpp"
+#include "sim/scenario.hpp"
+#include "sim/traffic.hpp"
+
+using namespace alphawan;
+
+namespace {
+
+std::size_t concurrent_capacity(Deployment& deployment,
+                                std::vector<EndNode*> nodes, Seconds at,
+                                PacketIdSource& ids) {
+  ScenarioRunner runner(deployment, 7);
+  const auto txs = staggered_by_lock_on(std::move(nodes), at, 0.0004, ids);
+  return runner.run_window(txs).total_delivered();
+}
+
+}  // namespace
+
+int main() {
+  // --- a 600 x 600 m site with quiet links (a controlled experiment) ----
+  ChannelModelConfig quiet;
+  quiet.shadowing_sigma_db = 0.3;
+  quiet.fast_fading_sigma_db = 0.1;
+  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet};
+  auto& network = deployment.add_network("quickstart-op");
+
+  // Five colocated COTS gateways (WisGate-class: 8 channels, 16 decoders),
+  // initially all on the standard 8-channel plan.
+  const Point center = deployment.region().center();
+  const auto plan0 = standard_plan(deployment.spectrum(), 0);
+  for (int i = 0; i < 5; ++i) {
+    auto& gw = network.add_gateway(deployment.next_gateway_id(),
+                                   {center.x + 15.0 * i, center.y},
+                                   default_profile());
+    gw.apply_channels(GatewayChannelConfig{plan0.channels});
+  }
+
+  // 48 nodes on a ring, one per orthogonal (channel, SF) pair: the
+  // theoretical maximum concurrency of 1.6 MHz. No RF collisions possible.
+  std::vector<EndNode*> nodes;
+  Rng rng(1);
+  const auto channels = deployment.spectrum().grid_channels();
+  for (int i = 0; i < 48; ++i) {
+    NodeRadioConfig cfg;
+    cfg.channel = channels[i % 8];
+    cfg.dr = static_cast<DataRate>(i / 8);
+    const double angle = 2 * 3.14159265 * i / 48.0;
+    nodes.push_back(&network.add_node(
+        deployment.next_node_id(),
+        {center.x + 140 * std::cos(angle), center.y + 140 * std::sin(angle)},
+        cfg));
+  }
+
+  PacketIdSource ids;
+  std::printf("AlphaWAN quickstart — 5 gateways, 48 users, 1.6 MHz\n\n");
+  const auto before = concurrent_capacity(deployment, nodes, 0.0, ids);
+  std::printf("standard LoRaWAN (homogeneous plans): %zu / 48 concurrent "
+              "packets received\n",
+              before);
+  std::printf("  -> every gateway locks onto the same first 16 preambles and\n"
+              "     drops the rest: the decoder contention problem.\n\n");
+
+  // --- AlphaWAN: intra-network channel planning -------------------------
+  LatencyModel latency{LatencyModelConfig{}, 3};
+  AlphaWanConfig config;
+  config.strategy8_spectrum_sharing = false;  // single operator
+  AlphaWanController controller(config, latency);
+  const auto links = oracle_link_estimates(deployment, network);
+  const auto report = controller.upgrade(
+      network, deployment.spectrum(), links, uniform_traffic(network));
+  std::printf("AlphaWAN capacity upgrade applied:\n");
+  std::printf("  CP solve            %6.2f s (measured)\n", report.cp_solve);
+  std::printf("  config distribution %6.2f s\n", report.config_distribution);
+  std::printf("  gateway reboot      %6.2f s\n", report.gateway_reboot);
+  std::printf("  gateways reconfigured: %zu, nodes steered: %zu\n\n",
+              report.delta.gateways_changed, report.delta.nodes_changed);
+
+  for (const auto& gw : network.gateways()) {
+    std::printf("  gateway %u now operates %zu channel(s):", gw.id(),
+                gw.channels().size());
+    for (const auto& ch : gw.channels()) {
+      std::printf(" %.1f", ch.center / 1e6);
+    }
+    std::printf(" MHz\n");
+  }
+
+  const auto after = concurrent_capacity(deployment, nodes, 100.0, ids);
+  std::printf("\nAlphaWAN channel planning: %zu / 48 concurrent packets "
+              "received (%.1fx)\n",
+              after, static_cast<double>(after) / before);
+  std::printf("  -> fewer channels per gateway concentrate its decoders\n"
+              "     (Strategy 1) and heterogeneous plans let every gateway\n"
+              "     capture a different slice of the spectrum (Strategy 2).\n");
+  return 0;
+}

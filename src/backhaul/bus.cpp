@@ -1,0 +1,30 @@
+#include "backhaul/bus.hpp"
+
+#include <utility>
+
+namespace alphawan {
+
+void MessageBus::attach(const EndpointId& id, Handler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void MessageBus::detach(const EndpointId& id) { handlers_.erase(id); }
+
+void MessageBus::send(const EndpointId& from, const EndpointId& to,
+                      std::vector<std::uint8_t> payload, bool wan) {
+  ++stats_.messages;
+  stats_.bytes += payload.size();
+  const Seconds delay = wan ? latency_.wan_one_way()
+                            : latency_.lan_transfer(payload.size());
+  engine_.schedule_in(
+      delay, [this, from, to, data = std::move(payload)]() mutable {
+        const auto it = handlers_.find(to);
+        if (it == handlers_.end()) {
+          ++dropped_;
+          return;
+        }
+        it->second(from, std::move(data));
+      });
+}
+
+}  // namespace alphawan

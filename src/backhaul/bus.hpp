@@ -1,0 +1,57 @@
+// In-process message bus with simulated delivery latency: the backhaul
+// substrate carrying operator <-> Master traffic and server -> gateway
+// config pushes. Endpoints exchange framed byte payloads; delivery is
+// scheduled on a discrete-event Engine so end-to-end latencies (Fig. 17)
+// are measurable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "backhaul/latency_model.hpp"
+#include "sim/engine.hpp"
+
+namespace alphawan {
+
+using EndpointId = std::string;
+
+struct BusStats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+};
+
+class MessageBus {
+ public:
+  using Handler =
+      std::function<void(const EndpointId& from, std::vector<std::uint8_t>)>;
+
+  MessageBus(Engine& engine, LatencyModel& latency)
+      : engine_(engine), latency_(latency) {}
+
+  // Register (or replace) an endpoint's receive handler.
+  void attach(const EndpointId& id, Handler handler);
+  void detach(const EndpointId& id);
+  [[nodiscard]] bool attached(const EndpointId& id) const {
+    return handlers_.contains(id);
+  }
+
+  // Send a payload; `wan` selects the WAN (operator<->Master) latency
+  // distribution instead of the LAN one. Messages to unknown endpoints are
+  // dropped (counted in `dropped()`).
+  void send(const EndpointId& from, const EndpointId& to,
+            std::vector<std::uint8_t> payload, bool wan = false);
+
+  [[nodiscard]] const BusStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+ private:
+  Engine& engine_;
+  LatencyModel& latency_;
+  std::map<EndpointId, Handler> handlers_;
+  BusStats stats_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace alphawan

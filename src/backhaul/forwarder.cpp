@@ -1,0 +1,224 @@
+#include "backhaul/forwarder.hpp"
+
+namespace alphawan {
+namespace {
+
+void encode_uplink(BufferWriter& w, const UplinkRecord& rec) {
+  w.u64(rec.packet);
+  w.u32(rec.node);
+  w.u32(rec.gateway);
+  w.u16(rec.network);
+  w.f64(rec.timestamp);
+  w.f64(rec.channel.center);
+  w.f64(rec.channel.bandwidth);
+  w.u8(static_cast<std::uint8_t>(dr_value(rec.dr)));
+  w.f64(rec.snr);
+}
+
+std::optional<UplinkRecord> decode_uplink(BufferReader& r) {
+  UplinkRecord rec;
+  const auto packet = r.u64();
+  const auto node = r.u32();
+  const auto gateway = r.u32();
+  const auto network = r.u16();
+  const auto timestamp = r.f64();
+  const auto center = r.f64();
+  const auto bandwidth = r.f64();
+  const auto dr = r.u8();
+  const auto snr = r.f64();
+  if (!r.ok() || !dr || *dr >= kNumDataRates) return std::nullopt;
+  rec.packet = *packet;
+  rec.node = *node;
+  rec.gateway = *gateway;
+  rec.network = static_cast<NetworkId>(*network);
+  rec.timestamp = *timestamp;
+  rec.channel = Channel{*center, *bandwidth};
+  rec.dr = static_cast<DataRate>(*dr);
+  rec.snr = *snr;
+  return rec;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_forwarder(const ForwarderMessage& msg) {
+  BufferWriter w;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, PushDataMsg>) {
+          w.u8(static_cast<std::uint8_t>(ForwarderOp::kPushData));
+          w.u16(m.token);
+          w.u32(m.gateway);
+          w.u32(static_cast<std::uint32_t>(m.uplinks.size()));
+          for (const auto& rec : m.uplinks) encode_uplink(w, rec);
+        } else if constexpr (std::is_same_v<T, PushAckMsg>) {
+          w.u8(static_cast<std::uint8_t>(ForwarderOp::kPushAck));
+          w.u16(m.token);
+        } else if constexpr (std::is_same_v<T, PullDataMsg>) {
+          w.u8(static_cast<std::uint8_t>(ForwarderOp::kPullData));
+          w.u16(m.token);
+          w.u32(m.gateway);
+        } else if constexpr (std::is_same_v<T, PullRespMsg>) {
+          w.u8(static_cast<std::uint8_t>(ForwarderOp::kPullResp));
+          w.u16(m.token);
+          w.u32(m.gateway);
+          w.u32(static_cast<std::uint32_t>(m.channels.size()));
+          for (const auto& ch : m.channels) {
+            w.f64(ch.center);
+            w.f64(ch.bandwidth);
+          }
+        } else if constexpr (std::is_same_v<T, PullAckMsg>) {
+          w.u8(static_cast<std::uint8_t>(ForwarderOp::kPullAck));
+          w.u16(m.token);
+        }
+      },
+      msg);
+  return w.take();
+}
+
+std::optional<ForwarderMessage> decode_forwarder(
+    std::span<const std::uint8_t> payload) {
+  BufferReader r(payload);
+  const auto op = r.u8();
+  if (!op) return std::nullopt;
+  switch (static_cast<ForwarderOp>(*op)) {
+    case ForwarderOp::kPushData: {
+      PushDataMsg m;
+      const auto token = r.u16();
+      const auto gateway = r.u32();
+      const auto count = r.u32();
+      if (!token || !gateway || !count || *count > 65536) return std::nullopt;
+      m.token = *token;
+      m.gateway = *gateway;
+      m.uplinks.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        const auto rec = decode_uplink(r);
+        if (!rec) return std::nullopt;
+        m.uplinks.push_back(*rec);
+      }
+      if (r.remaining() != 0) return std::nullopt;
+      return m;
+    }
+    case ForwarderOp::kPushAck: {
+      const auto token = r.u16();
+      if (!token || r.remaining() != 0) return std::nullopt;
+      return PushAckMsg{*token};
+    }
+    case ForwarderOp::kPullData: {
+      const auto token = r.u16();
+      const auto gateway = r.u32();
+      if (!token || !gateway || r.remaining() != 0) return std::nullopt;
+      return PullDataMsg{*token, *gateway};
+    }
+    case ForwarderOp::kPullResp: {
+      PullRespMsg m;
+      const auto token = r.u16();
+      const auto gateway = r.u32();
+      const auto count = r.u32();
+      if (!token || !gateway || !count || *count > 4096) return std::nullopt;
+      m.token = *token;
+      m.gateway = *gateway;
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        const auto center = r.f64();
+        const auto bandwidth = r.f64();
+        if (!center || !bandwidth) return std::nullopt;
+        m.channels.push_back(Channel{*center, *bandwidth});
+      }
+      if (r.remaining() != 0) return std::nullopt;
+      return m;
+    }
+    case ForwarderOp::kPullAck: {
+      const auto token = r.u16();
+      if (!token || r.remaining() != 0) return std::nullopt;
+      return PullAckMsg{*token};
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- gateway side -----------------------------------------------------------
+
+GatewayForwarder::GatewayForwarder(Gateway& gateway, MessageBus& bus,
+                                   EndpointId server)
+    : gateway_(gateway), bus_(bus), server_(std::move(server)) {
+  bus_.attach(endpoint(), [this](const EndpointId& from,
+                                 std::vector<std::uint8_t> payload) {
+    on_message(from, std::move(payload));
+  });
+}
+
+EndpointId GatewayForwarder::endpoint() const {
+  return "gw-" + std::to_string(gateway_.id());
+}
+
+std::uint16_t GatewayForwarder::push_uplinks(
+    std::vector<UplinkRecord> uplinks) {
+  PushDataMsg msg;
+  msg.token = next_token_++;
+  msg.gateway = gateway_.id();
+  msg.uplinks = std::move(uplinks);
+  pending_push_.insert(msg.token);
+  bus_.send(endpoint(), server_, encode_forwarder(msg));
+  return msg.token;
+}
+
+std::uint16_t GatewayForwarder::pull() {
+  PullDataMsg msg{next_token_++, gateway_.id()};
+  bus_.send(endpoint(), server_, encode_forwarder(msg));
+  return msg.token;
+}
+
+void GatewayForwarder::on_message(const EndpointId& /*from*/,
+                                  std::vector<std::uint8_t> payload) {
+  const auto msg = decode_forwarder(payload);
+  if (!msg) return;
+  if (const auto* ack = std::get_if<PushAckMsg>(&*msg)) {
+    pending_push_.erase(ack->token);
+  } else if (const auto* resp = std::get_if<PullRespMsg>(&*msg)) {
+    if (resp->gateway != gateway_.id() || resp->channels.empty()) return;
+    gateway_.apply_channels(GatewayChannelConfig{resp->channels});
+    ++configs_applied_;
+    bus_.send(endpoint(), server_,
+              encode_forwarder(PullAckMsg{resp->token}));
+  }
+}
+
+// ---- server side -------------------------------------------------------------
+
+ForwarderServer::ForwarderServer(NetworkServer& server, MessageBus& bus,
+                                 EndpointId endpoint)
+    : server_(server), bus_(bus), endpoint_(std::move(endpoint)) {
+  bus_.attach(endpoint_, [this](const EndpointId& from,
+                                std::vector<std::uint8_t> payload) {
+    on_message(from, std::move(payload));
+  });
+}
+
+bool ForwarderServer::push_config(GatewayId gateway,
+                                  std::vector<Channel> channels) {
+  const auto it = pull_paths_.find(gateway);
+  if (it == pull_paths_.end()) return false;
+  PullRespMsg msg;
+  msg.token = next_token_++;
+  msg.gateway = gateway;
+  msg.channels = std::move(channels);
+  bus_.send(endpoint_, it->second, encode_forwarder(msg));
+  return true;
+}
+
+void ForwarderServer::on_message(const EndpointId& from,
+                                 std::vector<std::uint8_t> payload) {
+  const auto msg = decode_forwarder(payload);
+  if (!msg) return;
+  if (const auto* push = std::get_if<PushDataMsg>(&*msg)) {
+    server_.ingest(push->uplinks);
+    ++batches_;
+    bus_.send(endpoint_, from, encode_forwarder(PushAckMsg{push->token}));
+  } else if (const auto* pull = std::get_if<PullDataMsg>(&*msg)) {
+    pull_paths_[pull->gateway] = from;
+    bus_.send(endpoint_, from, encode_forwarder(PullAckMsg{pull->token}));
+  }
+  // PullAck: nothing to do (config application is observable at the GW).
+}
+
+}  // namespace alphawan

@@ -1,0 +1,129 @@
+// Gateway <-> network-server forwarding protocol, modeled on the Semtech
+// UDP packet forwarder that real LoRaWAN gateways run: PUSH_DATA carries
+// uplink receptions (with rx metadata), PULL_DATA keeps the downlink path
+// alive, PULL_RESP carries downlink payloads / configuration updates, and
+// every datagram is acknowledged with a token echo.
+//
+// The wire format here is the library's binary codec rather than Semtech's
+// JSON, but the protocol state machine (tokens, acks, keepalive) is the
+// same — it is what the AlphaWAN agents on gateways ride on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <optional>
+#include <variant>
+
+#include "backhaul/bus.hpp"
+#include "backhaul/wire.hpp"
+#include "net/gateway.hpp"
+#include "net/network_server.hpp"
+
+namespace alphawan {
+
+enum class ForwarderOp : std::uint8_t {
+  kPushData = 0x00,
+  kPushAck = 0x01,
+  kPullData = 0x02,
+  kPullResp = 0x03,
+  kPullAck = 0x04,
+};
+
+struct PushDataMsg {
+  std::uint16_t token = 0;
+  GatewayId gateway = kInvalidGateway;
+  std::vector<UplinkRecord> uplinks;
+};
+
+struct PushAckMsg {
+  std::uint16_t token = 0;
+};
+
+struct PullDataMsg {
+  std::uint16_t token = 0;
+  GatewayId gateway = kInvalidGateway;
+};
+
+struct PullRespMsg {
+  std::uint16_t token = 0;
+  GatewayId gateway = kInvalidGateway;
+  // Channel configuration push (the AlphaWAN agent applies it and reboots).
+  std::vector<Channel> channels;
+};
+
+struct PullAckMsg {
+  std::uint16_t token = 0;
+};
+
+using ForwarderMessage = std::variant<PushDataMsg, PushAckMsg, PullDataMsg,
+                                      PullRespMsg, PullAckMsg>;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_forwarder(
+    const ForwarderMessage& msg);
+[[nodiscard]] std::optional<ForwarderMessage> decode_forwarder(
+    std::span<const std::uint8_t> payload);
+
+// The gateway-side agent: forwards uplink batches, answers PULL_RESP
+// configuration pushes by reconfiguring its gateway, tracks ack state.
+class GatewayForwarder {
+ public:
+  GatewayForwarder(Gateway& gateway, MessageBus& bus, EndpointId server);
+
+  [[nodiscard]] EndpointId endpoint() const;
+
+  // Send one batch of uplinks (PUSH_DATA). Returns the token used.
+  std::uint16_t push_uplinks(std::vector<UplinkRecord> uplinks);
+  // Send a keepalive (PULL_DATA) so the server can address us.
+  std::uint16_t pull();
+
+  [[nodiscard]] std::size_t unacked_pushes() const {
+    return pending_push_.size();
+  }
+  [[nodiscard]] std::size_t configs_applied() const {
+    return configs_applied_;
+  }
+
+ private:
+  void on_message(const EndpointId& from, std::vector<std::uint8_t> payload);
+
+  Gateway& gateway_;
+  MessageBus& bus_;
+  EndpointId server_;
+  std::uint16_t next_token_ = 1;
+  std::set<std::uint16_t> pending_push_;
+  std::size_t configs_applied_ = 0;
+};
+
+// The server-side endpoint: ingests PUSH_DATA into a NetworkServer, acks
+// everything, and can push channel configurations to gateways that have
+// pulled at least once.
+class ForwarderServer {
+ public:
+  ForwarderServer(NetworkServer& server, MessageBus& bus,
+                  EndpointId endpoint = "nss");
+
+  [[nodiscard]] const EndpointId& endpoint() const { return endpoint_; }
+  // Gateways that have an open downlink path (sent PULL_DATA).
+  [[nodiscard]] const std::map<GatewayId, EndpointId>& pull_paths() const {
+    return pull_paths_;
+  }
+
+  // Push a channel configuration to a gateway (must have pulled).
+  // Returns false when no downlink path is known.
+  bool push_config(GatewayId gateway, std::vector<Channel> channels);
+
+  [[nodiscard]] std::size_t uplink_batches() const { return batches_; }
+
+ private:
+  void on_message(const EndpointId& from, std::vector<std::uint8_t> payload);
+
+  NetworkServer& server_;
+  MessageBus& bus_;
+  EndpointId endpoint_;
+  std::map<GatewayId, EndpointId> pull_paths_;
+  std::uint16_t next_token_ = 1;
+  std::size_t batches_ = 0;
+};
+
+}  // namespace alphawan

@@ -1,0 +1,32 @@
+#include "backhaul/latency_model.hpp"
+
+#include <algorithm>
+
+namespace alphawan {
+
+LatencyModel::LatencyModel(LatencyModelConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+Seconds LatencyModel::lan_transfer(std::size_t bytes) {
+  return config_.lan_rtt +
+         static_cast<double>(bytes) / config_.lan_bytes_per_second;
+}
+
+Seconds LatencyModel::wan_one_way() {
+  return std::max(1e-3, rng_.normal(config_.wan_one_way_mean,
+                                    config_.wan_one_way_sigma));
+}
+
+Seconds LatencyModel::master_round_trip() {
+  return wan_one_way() + wan_one_way();
+}
+
+Seconds LatencyModel::gateway_reboot() {
+  return std::max(0.5, rng_.normal(config_.reboot_mean, config_.reboot_sigma));
+}
+
+Seconds LatencyModel::config_push(std::size_t bytes) {
+  return config_.config_push_base + lan_transfer(bytes);
+}
+
+}  // namespace alphawan

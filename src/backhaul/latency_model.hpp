@@ -1,0 +1,49 @@
+// Latency model of the backhaul and of gateway maintenance operations,
+// parameterized from the paper's Fig. 17 measurements: gateway reboot
+// ~4.62 s, operator-to-Master exchanges 0.17-0.28 s, config distribution
+// over 2.5 GbE in tens of milliseconds.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace alphawan {
+
+struct LatencyModelConfig {
+  // LAN between gateways and the network server (2.5 Gbps Ethernet).
+  Seconds lan_rtt = 0.8e-3;
+  double lan_bytes_per_second = 2.5e9 / 8.0;
+  // WAN between an operator's server and the cloud Master node (one way).
+  Seconds wan_one_way_mean = 0.055;
+  Seconds wan_one_way_sigma = 0.012;
+  // Gateway reboot after a channel reconfiguration.
+  Seconds reboot_mean = 4.62;
+  Seconds reboot_sigma = 0.35;
+  // Per-gateway configuration push (serialize + apply).
+  Seconds config_push_base = 12e-3;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyModelConfig config = LatencyModelConfig{},
+                        std::uint64_t seed = 17);
+
+  // Transfer time of `bytes` over the LAN, including one RTT.
+  [[nodiscard]] Seconds lan_transfer(std::size_t bytes);
+  // One-way operator <-> Master WAN latency (randomized per message).
+  [[nodiscard]] Seconds wan_one_way();
+  // Full request/response exchange with the Master.
+  [[nodiscard]] Seconds master_round_trip();
+  // Gateway reboot duration (randomized per gateway).
+  [[nodiscard]] Seconds gateway_reboot();
+  // Config distribution to one gateway carrying `bytes` of configuration.
+  [[nodiscard]] Seconds config_push(std::size_t bytes);
+
+  [[nodiscard]] const LatencyModelConfig& config() const { return config_; }
+
+ private:
+  LatencyModelConfig config_;
+  Rng rng_;
+};
+
+}  // namespace alphawan

@@ -1,0 +1,136 @@
+#include "backhaul/master_protocol.hpp"
+
+namespace alphawan {
+namespace {
+
+enum class Tag : std::uint8_t {
+  kRegister = 1,
+  kRegisterAck = 2,
+  kPlanRequest = 3,
+  kPlanAssign = 4,
+  kError = 5,
+};
+
+void encode_channel(BufferWriter& w, const Channel& ch) {
+  w.f64(ch.center);
+  w.f64(ch.bandwidth);
+}
+
+std::optional<Channel> decode_channel(BufferReader& r) {
+  const auto center = r.f64();
+  const auto bw = r.f64();
+  if (!center || !bw) return std::nullopt;
+  return Channel{*center, *bw};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const MasterMessage& msg) {
+  BufferWriter w;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RegisterMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kRegister));
+          w.u16(m.operator_id);
+          w.str(m.operator_name);
+        } else if constexpr (std::is_same_v<T, RegisterAckMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kRegisterAck));
+          w.u16(m.operator_id);
+          w.u32(m.master_epoch);
+        } else if constexpr (std::is_same_v<T, PlanRequestMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kPlanRequest));
+          w.u16(m.operator_id);
+          w.f64(m.spectrum_base);
+          w.f64(m.spectrum_width);
+          w.u16(m.requested_channels);
+        } else if constexpr (std::is_same_v<T, PlanAssignMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kPlanAssign));
+          w.u16(m.operator_id);
+          w.f64(m.overlap_ratio);
+          w.f64(m.frequency_offset);
+          w.u32(static_cast<std::uint32_t>(m.channels.size()));
+          for (const auto& ch : m.channels) encode_channel(w, ch);
+        } else if constexpr (std::is_same_v<T, ErrorMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kError));
+          w.u16(m.code);
+          w.str(m.message);
+        }
+      },
+      msg);
+  return w.take();
+}
+
+std::optional<MasterMessage> decode_message(
+    std::span<const std::uint8_t> payload) {
+  BufferReader r(payload);
+  const auto tag = r.u8();
+  if (!tag) return std::nullopt;
+  switch (static_cast<Tag>(*tag)) {
+    case Tag::kRegister: {
+      RegisterMsg m;
+      const auto id = r.u16();
+      const auto name = r.str();
+      if (!id || !name || r.remaining() != 0) return std::nullopt;
+      m.operator_id = *id;
+      m.operator_name = *name;
+      return m;
+    }
+    case Tag::kRegisterAck: {
+      RegisterAckMsg m;
+      const auto id = r.u16();
+      const auto epoch = r.u32();
+      if (!id || !epoch || r.remaining() != 0) return std::nullopt;
+      m.operator_id = *id;
+      m.master_epoch = *epoch;
+      return m;
+    }
+    case Tag::kPlanRequest: {
+      PlanRequestMsg m;
+      const auto id = r.u16();
+      const auto base = r.f64();
+      const auto width = r.f64();
+      const auto want = r.u16();
+      if (!id || !base || !width || !want || r.remaining() != 0) {
+        return std::nullopt;
+      }
+      m.operator_id = *id;
+      m.spectrum_base = *base;
+      m.spectrum_width = *width;
+      m.requested_channels = *want;
+      return m;
+    }
+    case Tag::kPlanAssign: {
+      PlanAssignMsg m;
+      const auto id = r.u16();
+      const auto overlap = r.f64();
+      const auto offset = r.f64();
+      const auto count = r.u32();
+      if (!id || !overlap || !offset || !count) return std::nullopt;
+      if (*count > 4096) return std::nullopt;
+      m.operator_id = *id;
+      m.overlap_ratio = *overlap;
+      m.frequency_offset = *offset;
+      m.channels.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        const auto ch = decode_channel(r);
+        if (!ch) return std::nullopt;
+        m.channels.push_back(*ch);
+      }
+      if (r.remaining() != 0) return std::nullopt;
+      return m;
+    }
+    case Tag::kError: {
+      ErrorMsg m;
+      const auto code = r.u16();
+      const auto text = r.str();
+      if (!code || !text || r.remaining() != 0) return std::nullopt;
+      m.code = *code;
+      m.message = *text;
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,69 @@
+// Operator <-> AlphaWAN-Master protocol (paper Sec. 4.3.2): operators
+// register before deploying, then request channel plans; the Master
+// responds with frequency-misaligned channel assignments. In the paper the
+// exchange runs over TCP; here the same messages are serialized with the
+// wire codec and carried by the in-process MessageBus.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "backhaul/wire.hpp"
+#include "phy/band_plan.hpp"
+
+namespace alphawan {
+
+struct RegisterMsg {
+  NetworkId operator_id = 0;
+  std::string operator_name;
+
+  friend bool operator==(const RegisterMsg&, const RegisterMsg&) = default;
+};
+
+struct RegisterAckMsg {
+  NetworkId operator_id = 0;
+  std::uint32_t master_epoch = 0;
+
+  friend bool operator==(const RegisterAckMsg&,
+                         const RegisterAckMsg&) = default;
+};
+
+struct PlanRequestMsg {
+  NetworkId operator_id = 0;
+  Hz spectrum_base = 0.0;
+  Hz spectrum_width = 0.0;
+  std::uint16_t requested_channels = 8;
+
+  friend bool operator==(const PlanRequestMsg&,
+                         const PlanRequestMsg&) = default;
+};
+
+struct PlanAssignMsg {
+  NetworkId operator_id = 0;
+  double overlap_ratio = 0.0;  // with the nearest coexisting plan
+  Hz frequency_offset = 0.0;   // applied to the standard grid
+  std::vector<Channel> channels;
+
+  friend bool operator==(const PlanAssignMsg&, const PlanAssignMsg&) = default;
+};
+
+struct ErrorMsg {
+  std::uint16_t code = 0;
+  std::string message;
+
+  friend bool operator==(const ErrorMsg&, const ErrorMsg&) = default;
+};
+
+using MasterMessage = std::variant<RegisterMsg, RegisterAckMsg, PlanRequestMsg,
+                                   PlanAssignMsg, ErrorMsg>;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_message(
+    const MasterMessage& msg);
+
+// Returns nullopt on malformed/truncated/unknown-tag payloads.
+[[nodiscard]] std::optional<MasterMessage> decode_message(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace alphawan

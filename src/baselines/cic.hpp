@@ -1,0 +1,27 @@
+// Baseline: CIC-style concurrent interference cancellation (Shahid et al.,
+// SIGCOMM'21). A CIC receiver separates up to K time-overlapping
+// same-channel transmissions using sub-band spectra, recovering packets a
+// stock demodulator loses to collisions. Per the paper's methodology
+// (Sec. 5.2.1), CIC is still subject to the COTS decoder budget: resolving
+// a collision does not conjure a free decoder, so decoder-contention drops
+// stay dropped.
+#pragma once
+
+#include "sim/scenario.hpp"
+
+namespace alphawan {
+
+struct CicOptions {
+  // Maximum simultaneous same-channel transmissions CIC can disentangle.
+  int max_resolvable = 3;
+  // Minimum SNR headroom above the demod threshold CIC needs to separate
+  // sub-band spectra reliably.
+  Db snr_headroom = 1.0;
+};
+
+// Post-processor for ScenarioRunner: promotes collision drops back to
+// receptions when CIC could have resolved them.
+[[nodiscard]] RxPostProcessor make_cic_processor(
+    CicOptions options = CicOptions{});
+
+}  // namespace alphawan

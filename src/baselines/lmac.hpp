@@ -1,0 +1,33 @@
+// Baseline: LMAC-style carrier-sense MAC for LoRa (Gamage et al.,
+// SIGCOMM'20). Nodes perform channel-activity detection before
+// transmitting and defer while their channel is busy, trading latency for
+// fewer RF collisions. Decoder contention is untouched — which is exactly
+// why LMAC saturates at ~6k users in Fig. 13.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "radio/transmission.hpp"
+
+namespace alphawan {
+
+struct LmacOptions {
+  // Maximum total deferral before a node gives up waiting and transmits
+  // anyway (regulatory/application latency bound).
+  Seconds max_defer = 5.0;
+  // Random inter-frame gap inserted after a busy channel clears.
+  Seconds min_gap = 5e-3;
+  Seconds max_gap = 30e-3;
+  // Carrier sensing range: transmitters farther apart than this cannot
+  // hear each other (hidden terminals persist, as in real LMAC).
+  Meters sense_range = 1500.0;
+};
+
+// Reschedule transmissions according to carrier-sense rules. Returns a new
+// schedule (same packets, possibly deferred starts).
+[[nodiscard]] std::vector<Transmission> lmac_schedule(
+    std::vector<Transmission> txs, Rng& rng,
+    const LmacOptions& options = LmacOptions{});
+
+}  // namespace alphawan

@@ -1,0 +1,20 @@
+// Baseline: randomized channel planning (paper Sec. 5.1.1). Follows
+// Strategy 1 — each gateway operates a reduced, random number of channels
+// — but picks the channels at random instead of optimizing coverage, and
+// leaves the node side to standard ADR. Isolates how much of AlphaWAN's
+// gain comes from optimization rather than from merely diversifying.
+#pragma once
+
+#include "sim/topology.hpp"
+
+namespace alphawan {
+
+struct RandomCpOptions {
+  int min_channels_per_gateway = 2;
+  int max_channels_per_gateway = 4;
+};
+
+void apply_random_cp(Deployment& deployment, Network& network, Rng& rng,
+                     const RandomCpOptions& options = RandomCpOptions{});
+
+}  // namespace alphawan

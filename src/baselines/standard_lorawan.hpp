@@ -1,0 +1,28 @@
+// Baseline: standard LoRaWAN operation. Gateways are uniformly configured
+// from the standard channel plans (homogeneous reception — the paper's
+// root inefficiency); nodes pick random channels; data rates come either
+// from the default long-range setting (ADR off) or from the greedy
+// standard ADR (ADR on).
+#pragma once
+
+#include "net/adr.hpp"
+#include "sim/topology.hpp"
+
+namespace alphawan {
+
+struct StandardLorawanOptions {
+  bool use_adr = true;
+  // Spread gateways across the available standard plans (operators with
+  // more gateways than one plan covers do this for spectrum coverage).
+  bool spread_gateways_across_plans = true;
+  AdrConfig adr{};
+};
+
+// Configure a network the way commercial operators run LoRaWAN today.
+// Node data rates use `deployment` geometry as a stand-in for the ADR
+// feedback loop (the strongest-gateway SNR standard ADR would converge to).
+void apply_standard_lorawan(Deployment& deployment, Network& network,
+                            Rng& rng, const StandardLorawanOptions& options =
+                                          StandardLorawanOptions{});
+
+}  // namespace alphawan

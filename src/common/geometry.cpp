@@ -1,0 +1,80 @@
+#include "common/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alphawan {
+
+Meters distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double bearing(const Point& from, const Point& to) {
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+Point Region::random_point(Rng& rng) const {
+  return {rng.uniform(0.0, width), rng.uniform(0.0, height)};
+}
+
+bool Region::contains(const Point& p) const {
+  return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+}
+
+std::vector<Point> grid_placement(const Region& region, std::size_t count,
+                                  Rng& rng, double jitter_fraction) {
+  std::vector<Point> points;
+  points.reserve(count);
+  if (count == 0) return points;
+  // Pick the most-square grid that holds `count` cells.
+  const auto cols = static_cast<std::size_t>(std::ceil(std::sqrt(
+      static_cast<double>(count) * region.width / region.height)));
+  const std::size_t rows = (count + cols - 1) / cols;
+  const double cell_w = region.width / static_cast<double>(cols);
+  const double cell_h = region.height / static_cast<double>(rows);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t r = i / cols;
+    const std::size_t c = i % cols;
+    const double jitter_x =
+        rng.uniform(-jitter_fraction, jitter_fraction) * cell_w;
+    const double jitter_y =
+        rng.uniform(-jitter_fraction, jitter_fraction) * cell_h;
+    Point p{(static_cast<double>(c) + 0.5) * cell_w + jitter_x,
+            (static_cast<double>(r) + 0.5) * cell_h + jitter_y};
+    p.x = std::clamp(p.x, 0.0, region.width);
+    p.y = std::clamp(p.y, 0.0, region.height);
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<Point> uniform_placement(const Region& region, std::size_t count,
+                                     Rng& rng) {
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back(region.random_point(rng));
+  }
+  return points;
+}
+
+std::vector<Point> clustered_placement(const Region& region, std::size_t count,
+                                       std::size_t clusters,
+                                       Meters cluster_sigma, Rng& rng) {
+  std::vector<Point> centers = uniform_placement(region, std::max<std::size_t>(clusters, 1), rng);
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& c = centers[i % centers.size()];
+    Point p{c.x + rng.normal(0.0, cluster_sigma),
+            c.y + rng.normal(0.0, cluster_sigma)};
+    p.x = std::clamp(p.x, 0.0, region.width);
+    p.y = std::clamp(p.y, 0.0, region.height);
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,21 @@
+// Minimal leveled logger (printf-style; gcc 12 has no <format>). Off by
+// default so simulations stay quiet; benches and examples can raise the
+// level for narrative output.
+#pragma once
+
+#include <string_view>
+
+namespace alphawan {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+// printf-style logging; no-op when `level` is below the global level.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace alphawan

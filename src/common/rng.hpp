@@ -1,0 +1,50 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components of the simulator draw from an explicitly seeded
+// Rng so that every experiment is exactly reproducible. The generator is
+// xoshiro256** (public domain, Blackman & Vigna) seeded via SplitMix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace alphawan {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Standard normal via Box-Muller (cached second sample).
+  double normal();
+  // Normal with given mean / standard deviation.
+  double normal(double mean, double stddev);
+  // Exponential with given rate (lambda > 0).
+  double exponential(double rate);
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Derive an independent child stream (for per-entity generators).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace alphawan

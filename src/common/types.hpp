@@ -1,0 +1,55 @@
+// Basic identifiers, physical-unit aliases, and constants shared by all
+// AlphaWAN subsystems.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace alphawan {
+
+// ---- identifiers ---------------------------------------------------------
+using NodeId = std::uint32_t;
+using GatewayId = std::uint32_t;
+using NetworkId = std::uint16_t;
+using ChannelIndex = std::int32_t;  // index into a band plan's channel grid
+using PacketId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr GatewayId kInvalidGateway =
+    std::numeric_limits<GatewayId>::max();
+inline constexpr ChannelIndex kInvalidChannel = -1;
+
+// ---- physical units ------------------------------------------------------
+// Plain double aliases with unit-bearing names. All frequencies in Hz, all
+// powers in dBm (or dB for ratios), all times in seconds unless a name says
+// otherwise.
+using Hz = double;
+using Dbm = double;
+using Db = double;
+using Seconds = double;
+using Meters = double;
+
+inline constexpr Hz kLoRaBandwidth125k = 125e3;
+inline constexpr Hz kLoRaBandwidth250k = 250e3;
+inline constexpr Hz kLoRaBandwidth500k = 500e3;
+
+// Standard LoRaWAN channel spacing used throughout the paper's testbed
+// (8 channels per 1.6 MHz of spectrum).
+inline constexpr Hz kChannelSpacing = 200e3;
+
+// Thermal noise floor for a 125 kHz LoRa channel: -174 dBm/Hz + 10log10(BW)
+// + typical 6 dB receiver noise figure.
+[[nodiscard]] constexpr Dbm noise_floor_dbm(Hz bandwidth) {
+  // constexpr-friendly log10 for the three bandwidths we use.
+  double log_bw = 0.0;
+  if (bandwidth >= 499e3) {
+    log_bw = 56.99;  // 10*log10(500e3)
+  } else if (bandwidth >= 249e3) {
+    log_bw = 53.98;  // 10*log10(250e3)
+  } else {
+    log_bw = 50.97;  // 10*log10(125e3)
+  }
+  return -174.0 + log_bw + 6.0;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,69 @@
+#include "core/cp_solution.hpp"
+
+#include <cstdio>
+
+namespace alphawan {
+
+Dbm level_tx_power(int level) {
+  // Shorter levels can afford lower power; longer levels use the ladder's
+  // upper rungs. Level 0 (DR5, short) -> 8 dBm ... level 5 (DR0) -> 14 dBm.
+  static constexpr Dbm kPower[kNumLevels] = {8.0, 8.0, 11.0, 11.0, 14.0, 14.0};
+  if (level < 0 || level >= kNumLevels) return kDefaultTxPower;
+  return kPower[level];
+}
+
+NetworkChannelConfig to_network_config(const CpInstance& instance,
+                                       const CpSolution& solution,
+                                       Hz frequency_offset) {
+  NetworkChannelConfig config;
+  auto shifted = [&](int grid_index) {
+    Channel ch = instance.spectrum.grid_channel(grid_index);
+    ch.center += frequency_offset;
+    return ch;
+  };
+  for (std::size_t j = 0; j < instance.gateways.size(); ++j) {
+    GatewayChannelConfig gw_cfg;
+    gw_cfg.channels.reserve(solution.gateway_channels[j].size());
+    for (const auto c : solution.gateway_channels[j]) {
+      gw_cfg.channels.push_back(shifted(c));
+    }
+    config.gateways[instance.gateways[j].id] = std::move(gw_cfg);
+  }
+  for (std::size_t i = 0; i < instance.nodes.size(); ++i) {
+    NodeRadioConfig node_cfg;
+    node_cfg.channel = shifted(solution.node_channel[i]);
+    node_cfg.dr = level_to_dr(solution.node_level[i]);
+    node_cfg.tx_power = level_tx_power(solution.node_level[i]);
+    config.nodes[instance.nodes[i].id] = node_cfg;
+  }
+  return config;
+}
+
+std::string describe_solution(const CpInstance& instance,
+                              const CpSolution& solution,
+                              const CpEvaluation& eval) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "CP solution: objective=%.3f overload=%.3f pair=%.3f "
+                "disconnected=%.3f\n",
+                eval.objective, eval.overload_risk, eval.pair_overload,
+                eval.disconnected);
+  out += line;
+  for (std::size_t j = 0; j < instance.gateways.size(); ++j) {
+    std::snprintf(line, sizeof(line), "  GW %u load=%.1f/%d channels=[",
+                  instance.gateways[j].id,
+                  j < eval.gateway_load.size() ? eval.gateway_load[j] : 0.0,
+                  instance.gateways[j].decoders);
+    out += line;
+    for (std::size_t k = 0; k < solution.gateway_channels[j].size(); ++k) {
+      std::snprintf(line, sizeof(line), "%s%d", k ? "," : "",
+                    solution.gateway_channels[j][k]);
+      out += line;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,45 @@
+// Evolutionary solver for the CP problem (paper Sec. 4.3.1 runs an
+// evolutionary algorithm on a central server). Tournament selection,
+// per-gateway / per-node uniform crossover, repair-based feasibility, and
+// greedy seeding. Deterministic under a fixed seed.
+#pragma once
+
+#include <optional>
+
+#include "core/cp_problem.hpp"
+#include "core/greedy_seed.hpp"
+
+namespace alphawan {
+
+struct GaConfig {
+  int population = 32;
+  int generations = 80;
+  int tournament = 3;
+  int elites = 2;
+  double crossover_rate = 0.9;
+  // Per-gene mutation probability for node genes; gateway genes mutate
+  // with 10x this rate per gateway.
+  double mutation_rate = 0.02;
+  std::uint64_t seed = 42;
+  // Strategy 1 disabled: force this channel count on every gateway.
+  std::optional<int> forced_channel_count;
+  // Strategy 7 node-side disabled: node genes are frozen to the values of
+  // `frozen_nodes` (must be set when true).
+  bool freeze_nodes = false;
+  std::optional<CpSolution> initial;  // seed of the frozen node genes
+  // Stop early once the objective reaches zero (perfect plan).
+  bool early_stop = true;
+  CpWeights weights{};
+};
+
+struct GaResult {
+  CpSolution best;
+  CpEvaluation best_eval;
+  int generations_run = 0;
+  std::size_t evaluations = 0;
+};
+
+[[nodiscard]] GaResult solve_cp(const CpInstance& instance,
+                                const GaConfig& config = GaConfig{});
+
+}  // namespace alphawan

@@ -1,0 +1,42 @@
+#include "core/log_parser.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace alphawan {
+
+LinkEstimates parse_links(std::span<const UplinkRecord> log,
+                          const std::map<NodeId, Dbm>& tx_power_of) {
+  LinkEstimates estimates;
+  std::set<std::pair<NodeId, PacketId>> seen;
+  for (const auto& rec : log) {
+    auto& node = estimates.nodes[rec.node];
+    auto [it, inserted] = node.gateway_snr.try_emplace(rec.gateway, rec.snr);
+    if (!inserted) it->second = std::max(it->second, rec.snr);
+    if (seen.insert({rec.node, rec.packet}).second) ++node.packets;
+    const auto power_it = tx_power_of.find(rec.node);
+    if (power_it != tx_power_of.end()) {
+      node.observed_tx_power = power_it->second;
+    }
+  }
+  return estimates;
+}
+
+std::map<NodeId, std::vector<std::size_t>> per_window_counts(
+    std::span<const UplinkRecord> log, Seconds window_len,
+    std::size_t num_windows) {
+  std::map<NodeId, std::vector<std::size_t>> series;
+  std::set<PacketId> counted;
+  for (const auto& rec : log) {
+    if (!counted.insert(rec.packet).second) continue;  // dedup gateways
+    if (rec.timestamp < 0.0) continue;
+    const auto w = static_cast<std::size_t>(rec.timestamp / window_len);
+    if (w >= num_windows) continue;
+    auto& counts = series[rec.node];
+    if (counts.size() < num_windows) counts.resize(num_windows, 0);
+    ++counts[w];
+  }
+  return series;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,97 @@
+#include "core/master.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alphawan {
+
+MasterNode::MasterNode(MasterConfig config) : config_(config) {
+  config_.desired_overlap = std::clamp(config_.desired_overlap, 0.0, 0.95);
+  config_.expected_networks = std::max(1, config_.expected_networks);
+}
+
+Hz MasterNode::plan_offset_step() const {
+  const Hz desired_delta =
+      (1.0 - config_.desired_overlap) * kLoRaBandwidth125k;
+  const int networks =
+      std::max<int>(config_.expected_networks,
+                    static_cast<int>(slots_.size()));
+  if (networks <= 1) return desired_delta;
+  // Plans repeat every grid spacing; compress the step when the desired
+  // misalignment cannot host everyone.
+  const int capacity =
+      std::max(1, static_cast<int>(kChannelSpacing / desired_delta));
+  if (networks <= capacity) return desired_delta;
+  return kChannelSpacing / static_cast<double>(networks);
+}
+
+double MasterNode::effective_overlap() const {
+  const Hz step = plan_offset_step();
+  return std::max(0.0, 1.0 - step / kLoRaBandwidth125k);
+}
+
+RegisterAckMsg MasterNode::handle_register(const RegisterMsg& msg) {
+  if (!slots_.contains(msg.operator_id)) {
+    const int slot = static_cast<int>(slots_.size());
+    slots_[msg.operator_id] = slot;
+    ++epoch_;
+  }
+  return RegisterAckMsg{msg.operator_id, epoch_};
+}
+
+std::optional<Hz> MasterNode::offset_of(NetworkId operator_id) const {
+  const auto it = slots_.find(operator_id);
+  if (it == slots_.end()) return std::nullopt;
+  return config_.base_offset +
+         plan_offset_step() * static_cast<double>(it->second);
+}
+
+MasterMessage MasterNode::handle_plan_request(const PlanRequestMsg& msg) {
+  const auto offset = offset_of(msg.operator_id);
+  if (!offset) {
+    return ErrorMsg{1, "operator not registered"};
+  }
+  PlanAssignMsg assign;
+  assign.operator_id = msg.operator_id;
+  assign.frequency_offset = *offset;
+  assign.overlap_ratio = effective_overlap();
+  // Channels: the requested count of grid channels, shifted by the
+  // operator's offset, kept inside the spectrum.
+  const Spectrum& spec = config_.spectrum;
+  const int want = std::max<int>(1, msg.requested_channels);
+  for (int k = 0; k < spec.grid_size() && static_cast<int>(
+                                              assign.channels.size()) < want;
+       ++k) {
+    Channel ch = spec.grid_channel(k);
+    ch.center += *offset;
+    if (spec.contains(ch)) assign.channels.push_back(ch);
+  }
+  return assign;
+}
+
+MasterService::MasterService(MasterNode& master, MessageBus& bus)
+    : master_(master), bus_(bus) {
+  bus_.attach(endpoint(), [this](const EndpointId& from,
+                                 std::vector<std::uint8_t> payload) {
+    on_message(from, std::move(payload));
+  });
+}
+
+void MasterService::on_message(const EndpointId& from,
+                               std::vector<std::uint8_t> payload) {
+  const auto msg = decode_message(payload);
+  MasterMessage reply = ErrorMsg{2, "malformed message"};
+  if (msg) {
+    if (const auto* reg = std::get_if<RegisterMsg>(&*msg)) {
+      reply = master_.handle_register(*reg);
+    } else if (const auto* req = std::get_if<PlanRequestMsg>(&*msg)) {
+      reply = master_.handle_plan_request(*req);
+    } else {
+      reply = ErrorMsg{3, "unexpected message type"};
+    }
+  }
+  ++requests_served_;
+  bus_.send(endpoint(), from, encode_message(reply), /*wan=*/true);
+}
+
+}  // namespace alphawan

@@ -1,0 +1,83 @@
+// The AlphaWAN Master node (paper Sec. 4.3.2): a centralized spectrum
+// coordinator. Operators register before deploying; the Master divides the
+// shared spectrum into frequency-misaligned sub-channel plans and assigns
+// one per operator, keeping an up-to-date occupancy record.
+//
+// Misalignment policy: with a desired pairwise overlap ratio rho, adjacent
+// plans are offset by delta = (1 - rho) * 125 kHz. The 200 kHz grid
+// spacing bounds how many distinct plans fit (floor(spacing / delta));
+// when more operators register than fit, the Master compresses delta to
+// spacing / N, trading overlap for operator count — exactly the "optimal
+// misalignment depends on the number of coexisting networks" tradeoff.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "backhaul/bus.hpp"
+#include "backhaul/master_protocol.hpp"
+#include "phy/band_plan.hpp"
+
+namespace alphawan {
+
+struct MasterConfig {
+  Spectrum spectrum{};
+  // Desired pairwise channel overlap between adjacent operator plans.
+  double desired_overlap = 0.4;
+  // Expected number of coexisting networks in the region (used to pick
+  // the misalignment before everyone has registered).
+  int expected_networks = 2;
+  // Extra offset applied to every plan — used to keep AlphaWAN adopters
+  // misaligned from legacy networks that squat on the standard grid
+  // (partial-adoption deployments, Fig. 14).
+  Hz base_offset = 0.0;
+};
+
+class MasterNode {
+ public:
+  explicit MasterNode(MasterConfig config);
+
+  // Protocol handlers (pure logic; transport-agnostic).
+  [[nodiscard]] RegisterAckMsg handle_register(const RegisterMsg& msg);
+  [[nodiscard]] MasterMessage handle_plan_request(const PlanRequestMsg& msg);
+
+  // The frequency offset assigned to an operator (registered order).
+  [[nodiscard]] std::optional<Hz> offset_of(NetworkId operator_id) const;
+  // Effective per-step offset under the current policy.
+  [[nodiscard]] Hz plan_offset_step() const;
+  // Worst-case overlap ratio between any two assigned plans.
+  [[nodiscard]] double effective_overlap() const;
+
+  [[nodiscard]] std::size_t registered_operators() const {
+    return slots_.size();
+  }
+  [[nodiscard]] const MasterConfig& config() const { return config_; }
+
+ private:
+  MasterConfig config_;
+  std::uint32_t epoch_ = 1;
+  std::map<NetworkId, int> slots_;  // operator -> misalignment slot
+};
+
+// Bus-attached Master service: decodes framed protocol messages addressed
+// to endpoint "master" and replies to the sender (the Fig. 17 latency path
+// and the integration tests exercise this).
+class MasterService {
+ public:
+  MasterService(MasterNode& master, MessageBus& bus);
+
+  [[nodiscard]] static EndpointId endpoint() { return "master"; }
+  [[nodiscard]] std::size_t requests_served() const {
+    return requests_served_;
+  }
+
+ private:
+  void on_message(const EndpointId& from, std::vector<std::uint8_t> payload);
+
+  MasterNode& master_;
+  MessageBus& bus_;
+  std::size_t requests_served_ = 0;
+};
+
+}  // namespace alphawan

@@ -1,0 +1,24 @@
+#include "core/traffic_estimator.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace alphawan {
+
+std::map<NodeId, double> TrafficEstimator::estimate(
+    const std::map<NodeId, std::vector<std::size_t>>& series) const {
+  std::map<NodeId, double> demand;
+  for (const auto& [node, counts] : series) {
+    if (counts.empty()) continue;
+    std::vector<double> samples;
+    samples.reserve(counts.size());
+    for (const auto c : counts) samples.push_back(static_cast<double>(c));
+    const double q = percentile(samples, config_.demand_quantile);
+    demand[node] =
+        std::max(config_.min_traffic, q * config_.safety_factor);
+  }
+  return demand;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,42 @@
+// AlphaWAN's traffic estimator (paper Sec. 4.3.3): combines per-window
+// traffic series across gateways and "aggressively uses samples with high
+// capacity demand" so the computed plan covers peak rather than average
+// load.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace alphawan {
+
+struct TrafficEstimatorConfig {
+  // Quantile of the per-window series used as the node's demand
+  // (1.0 = peak window, the aggressive choice the paper advocates).
+  double demand_quantile = 1.0;
+  // Multiplier headroom for growth between planning runs.
+  double safety_factor = 1.0;
+  // Floor for nodes that were heard at least once (a silent-but-known
+  // node still needs a slot).
+  double min_traffic = 0.5;
+};
+
+class TrafficEstimator {
+ public:
+  explicit TrafficEstimator(TrafficEstimatorConfig config = {})
+      : config_(config) {}
+
+  // Estimated demand (packets per window) per node.
+  [[nodiscard]] std::map<NodeId, double> estimate(
+      const std::map<NodeId, std::vector<std::size_t>>& series) const;
+
+  [[nodiscard]] const TrafficEstimatorConfig& config() const {
+    return config_;
+  }
+
+ private:
+  TrafficEstimatorConfig config_;
+};
+
+}  // namespace alphawan

@@ -1,0 +1,59 @@
+#include "net/adr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/sensitivity.hpp"
+
+namespace alphawan {
+
+std::optional<NodeRadioConfig> standard_adr(const NodeRadioConfig& current,
+                                            const LinkProfile& profile,
+                                            const AdrConfig& adr) {
+  if (profile.uplinks == 0) return std::nullopt;
+  const Db snr = profile.best_snr();
+  const Db required = demod_snr_threshold(dr_to_sf(current.dr));
+  Db margin = snr - required - adr.installation_margin;
+  int steps = static_cast<int>(std::floor(margin / adr.step_db));
+
+  NodeRadioConfig next = current;
+  // Raise data rate while steps remain (each DR step needs one margin
+  // step); DR5 is the ceiling.
+  while (steps > 0 && next.dr != DataRate::kDR5) {
+    next.dr = static_cast<DataRate>(dr_value(next.dr) + 1);
+    --steps;
+  }
+  // Remaining steps reduce transmit power.
+  while (steps > 0 && next.tx_power - adr.step_db >= adr.min_tx_power) {
+    next.tx_power -= adr.step_db;
+    --steps;
+  }
+  // Negative margin: back the data rate off / restore power.
+  while (steps < 0 && next.tx_power + adr.step_db <= adr.max_tx_power) {
+    next.tx_power += adr.step_db;
+    ++steps;
+  }
+  while (steps < 0 && next.dr != DataRate::kDR0) {
+    next.dr = static_cast<DataRate>(dr_value(next.dr) - 1);
+    ++steps;
+  }
+  return next;
+}
+
+std::map<NodeId, NodeRadioConfig> standard_adr_all(
+    const std::map<NodeId, NodeRadioConfig>& current,
+    const NetworkServer& server, const AdrConfig& adr) {
+  std::map<NodeId, NodeRadioConfig> out;
+  for (const auto& [node, cfg] : current) {
+    const auto it = server.link_profiles().find(node);
+    if (it == server.link_profiles().end()) {
+      out.emplace(node, cfg);
+      continue;
+    }
+    const auto next = standard_adr(cfg, it->second, adr);
+    out.emplace(node, next.value_or(cfg));
+  }
+  return out;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,49 @@
+// LoRaWAN cryptography: AES-128 (FIPS-197 encrypt-only), AES-CMAC
+// (RFC 4493), and the LoRaWAN 1.0.x payload encryption / MIC constructions
+// (LoRa Alliance specification sections 4.3.3 and 4.4).
+//
+// Encrypt-only AES suffices: LoRaWAN payload "encryption" is a CTR-style
+// XOR with an AES-encrypted keystream (so decryption reuses encryption),
+// and CMAC only ever encrypts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace alphawan {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+// AES-128 single-block encryption.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+  [[nodiscard]] AesBlock encrypt(const AesBlock& plaintext) const;
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_{};  // 11 round keys
+};
+
+// AES-CMAC (RFC 4493) over an arbitrary message.
+[[nodiscard]] AesBlock aes_cmac(const AesKey& key,
+                                std::span<const std::uint8_t> message);
+
+// LoRaWAN frame-payload encryption (spec 4.3.3): CTR keystream
+// A_i = AES(K, 0x01 | 4x00 | dir | DevAddr | FCnt | 0x00 | i).
+// Symmetric: call again with the same arguments to decrypt.
+[[nodiscard]] std::vector<std::uint8_t> lorawan_encrypt_payload(
+    const AesKey& key, std::uint32_t dev_addr, std::uint32_t fcnt,
+    std::uint8_t direction, std::span<const std::uint8_t> payload);
+
+// LoRaWAN MIC (spec 4.4): first 4 bytes of
+// CMAC(NwkSKey, B0 | msg), B0 = 0x49 | 4x00 | dir | DevAddr | FCnt | 0 | len.
+[[nodiscard]] std::uint32_t lorawan_mic(const AesKey& nwk_skey,
+                                        std::uint32_t dev_addr,
+                                        std::uint32_t fcnt,
+                                        std::uint8_t direction,
+                                        std::span<const std::uint8_t> msg);
+
+}  // namespace alphawan

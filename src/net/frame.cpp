@@ -1,0 +1,137 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace alphawan {
+namespace {
+
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint8_t FCtrl::to_byte() const {
+  return static_cast<std::uint8_t>((adr ? 0x80 : 0) | (adr_ack_req ? 0x40 : 0) |
+                                   (ack ? 0x20 : 0) | (fopts_len & 0x0F));
+}
+
+FCtrl FCtrl::from_byte(std::uint8_t b) {
+  FCtrl f;
+  f.adr = (b & 0x80) != 0;
+  f.adr_ack_req = (b & 0x40) != 0;
+  f.ack = (b & 0x20) != 0;
+  f.fopts_len = b & 0x0F;
+  return f;
+}
+
+std::vector<std::uint8_t> encode_frame(const DataFrame& frame,
+                                       const SessionKeys& keys) {
+  if (frame.fhdr.fopts.size() > kMaxFOptsLen) {
+    throw std::invalid_argument("encode_frame: FOpts longer than 15 bytes");
+  }
+  if (!frame.frm_payload.empty() && !frame.fport.has_value()) {
+    throw std::invalid_argument("encode_frame: payload requires FPort");
+  }
+  const std::uint8_t direction =
+      frame.is_uplink() ? kUplinkDirection : kDownlinkDirection;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(13 + frame.fhdr.fopts.size() + frame.frm_payload.size());
+  out.push_back(static_cast<std::uint8_t>(static_cast<int>(frame.mtype) << 5));
+  put_u32_le(out, frame.fhdr.dev_addr);
+  FCtrl fctrl = frame.fhdr.fctrl;
+  fctrl.fopts_len = static_cast<std::uint8_t>(frame.fhdr.fopts.size());
+  out.push_back(fctrl.to_byte());
+  out.push_back(static_cast<std::uint8_t>(frame.fhdr.fcnt & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(frame.fhdr.fcnt >> 8));
+  out.insert(out.end(), frame.fhdr.fopts.begin(), frame.fhdr.fopts.end());
+  if (frame.fport.has_value()) {
+    out.push_back(*frame.fport);
+    const auto encrypted = lorawan_encrypt_payload(
+        frame.fport == 0 ? keys.nwk_skey : keys.app_skey, frame.fhdr.dev_addr,
+        frame.fhdr.fcnt, direction, frame.frm_payload);
+    out.insert(out.end(), encrypted.begin(), encrypted.end());
+  }
+  const std::uint32_t mic = lorawan_mic(keys.nwk_skey, frame.fhdr.dev_addr,
+                                        frame.fhdr.fcnt, direction, out);
+  put_u32_le(out, mic);
+  return out;
+}
+
+std::optional<FrameHeader> peek_header(std::span<const std::uint8_t> raw) {
+  // MHDR(1) + DevAddr(4) + FCtrl(1) + FCnt(2) + MIC(4) minimum.
+  if (raw.size() < 12) return std::nullopt;
+  FrameHeader fhdr;
+  fhdr.dev_addr = get_u32_le(raw.data() + 1);
+  fhdr.fctrl = FCtrl::from_byte(raw[5]);
+  fhdr.fcnt = static_cast<std::uint16_t>(raw[6] | (raw[7] << 8));
+  if (raw.size() < 12u + fhdr.fctrl.fopts_len) return std::nullopt;
+  fhdr.fopts.assign(raw.begin() + 8, raw.begin() + 8 + fhdr.fctrl.fopts_len);
+  return fhdr;
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> raw,
+                          const SessionKeys& keys) {
+  DecodeResult result;
+  if (raw.size() < 12) {
+    result.error = DecodeError::kTooShort;
+    return result;
+  }
+  const std::uint8_t mhdr = raw[0];
+  const auto mtype = static_cast<MType>(mhdr >> 5);
+  if (mtype != MType::kUnconfirmedDataUp && mtype != MType::kConfirmedDataUp &&
+      mtype != MType::kUnconfirmedDataDown &&
+      mtype != MType::kConfirmedDataDown) {
+    result.error = DecodeError::kBadMType;
+    return result;
+  }
+  const auto header = peek_header(raw);
+  if (!header) {
+    result.error = DecodeError::kBadLength;
+    return result;
+  }
+  const std::size_t header_end = 8 + header->fctrl.fopts_len;
+  const std::size_t mic_offset = raw.size() - 4;
+  if (mic_offset < header_end) {
+    result.error = DecodeError::kBadLength;
+    return result;
+  }
+
+  DataFrame frame;
+  frame.mtype = mtype;
+  frame.fhdr = *header;
+  const std::uint8_t direction =
+      frame.is_uplink() ? kUplinkDirection : kDownlinkDirection;
+
+  const std::uint32_t expected_mic =
+      lorawan_mic(keys.nwk_skey, frame.fhdr.dev_addr, frame.fhdr.fcnt,
+                  direction, raw.subspan(0, mic_offset));
+  const std::uint32_t got_mic = get_u32_le(raw.data() + mic_offset);
+  if (expected_mic != got_mic) {
+    result.error = DecodeError::kBadMic;
+    return result;
+  }
+
+  if (mic_offset > header_end) {
+    frame.fport = raw[header_end];
+    const auto cipher = raw.subspan(header_end + 1, mic_offset - header_end - 1);
+    frame.frm_payload = lorawan_encrypt_payload(
+        *frame.fport == 0 ? keys.nwk_skey : keys.app_skey, frame.fhdr.dev_addr,
+        frame.fhdr.fcnt, direction, cipher);
+  }
+  result.frame = std::move(frame);
+  return result;
+}
+
+}  // namespace alphawan

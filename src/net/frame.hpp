@@ -1,0 +1,109 @@
+// LoRaWAN 1.0.x PHYPayload codec: MHDR | FHDR | FPort | FRMPayload | MIC.
+//
+// The codec matters to the paper's story: the network identifiers that
+// could filter foreign packets (DevAddr's NwkID bits, the MIC) live INSIDE
+// the frame, so a gateway must fully decode a packet — consuming a decoder
+// — before it can tell the packet belongs to another network (Sec. 3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/crypto.hpp"
+
+namespace alphawan {
+
+enum class MType : std::uint8_t {
+  kJoinRequest = 0x00,
+  kJoinAccept = 0x01,
+  kUnconfirmedDataUp = 0x02,
+  kUnconfirmedDataDown = 0x03,
+  kConfirmedDataUp = 0x04,
+  kConfirmedDataDown = 0x05,
+  kProprietary = 0x07,
+};
+
+inline constexpr std::uint8_t kUplinkDirection = 0x00;
+inline constexpr std::uint8_t kDownlinkDirection = 0x01;
+inline constexpr std::size_t kMaxFOptsLen = 15;
+
+struct FCtrl {
+  bool adr = false;
+  bool adr_ack_req = false;
+  bool ack = false;
+  std::uint8_t fopts_len = 0;
+
+  [[nodiscard]] std::uint8_t to_byte() const;
+  [[nodiscard]] static FCtrl from_byte(std::uint8_t b);
+};
+
+struct FrameHeader {
+  std::uint32_t dev_addr = 0;
+  FCtrl fctrl{};
+  std::uint16_t fcnt = 0;
+  std::vector<std::uint8_t> fopts;  // piggybacked MAC commands
+};
+
+// A decoded (or to-be-encoded) uplink/downlink data frame.
+struct DataFrame {
+  MType mtype = MType::kUnconfirmedDataUp;
+  FrameHeader fhdr{};
+  std::optional<std::uint8_t> fport;     // absent if no payload
+  std::vector<std::uint8_t> frm_payload;  // plaintext application payload
+
+  [[nodiscard]] bool is_uplink() const {
+    return mtype == MType::kUnconfirmedDataUp ||
+           mtype == MType::kConfirmedDataUp;
+  }
+};
+
+// DevAddr layout (LoRaWAN 1.0): 7-bit NwkID | 25-bit NwkAddr.
+[[nodiscard]] constexpr std::uint8_t nwk_id(std::uint32_t dev_addr) {
+  return static_cast<std::uint8_t>(dev_addr >> 25);
+}
+[[nodiscard]] constexpr std::uint32_t make_dev_addr(std::uint8_t nwk,
+                                                    std::uint32_t nwk_addr) {
+  return (static_cast<std::uint32_t>(nwk & 0x7F) << 25) |
+         (nwk_addr & 0x01FFFFFF);
+}
+
+// Session keys for a device.
+struct SessionKeys {
+  AesKey nwk_skey{};
+  AesKey app_skey{};
+};
+
+// Serialize a frame: encrypts FRMPayload with AppSKey and appends the
+// NwkSKey MIC. Throws std::invalid_argument on structural errors (FOpts
+// too long, FPort missing while payload present).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const DataFrame& frame,
+                                                     const SessionKeys& keys);
+
+enum class DecodeError {
+  kTooShort,
+  kBadMType,
+  kBadLength,
+  kBadMic,
+};
+
+struct DecodeResult {
+  std::optional<DataFrame> frame;
+  std::optional<DecodeError> error;
+
+  [[nodiscard]] bool ok() const { return frame.has_value(); }
+};
+
+// Parse and verify a PHYPayload. MIC is checked against `keys.nwk_skey`;
+// payload decrypted with `keys.app_skey`. A wrong-network frame fails with
+// kBadMic — exactly the "must decode before filtering" property.
+[[nodiscard]] DecodeResult decode_frame(std::span<const std::uint8_t> raw,
+                                        const SessionKeys& keys);
+
+// Parse only the header (no MIC check) — what a network server does to
+// route by DevAddr before key lookup.
+[[nodiscard]] std::optional<FrameHeader> peek_header(
+    std::span<const std::uint8_t> raw);
+
+}  // namespace alphawan

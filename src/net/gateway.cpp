@@ -1,0 +1,50 @@
+#include "net/gateway.hpp"
+
+namespace alphawan {
+
+Gateway::Gateway(GatewayId id, NetworkId network, Point position,
+                 GatewayProfile profile, std::uint16_t sync_word)
+    : id_(id),
+      network_(network),
+      position_(position),
+      radio_(profile, network, sync_word),
+      antenna_(std::make_unique<OmniAntenna>()) {}
+
+void Gateway::apply_channels(const GatewayChannelConfig& config) {
+  radio_.configure_channels(config.channels);
+  channels_ = config.channels;
+  ++reboot_count_;
+}
+
+void Gateway::set_antenna(std::unique_ptr<Antenna> antenna,
+                          double boresight_rad) {
+  antenna_ = std::move(antenna);
+  boresight_rad_ = boresight_rad;
+}
+
+Db Gateway::antenna_gain_towards(const Point& target) const {
+  const double azimuth = bearing(position_, target);
+  return antenna_->gain(azimuth - boresight_rad_);
+}
+
+std::vector<RxOutcome> Gateway::receive_window(
+    const std::vector<RxEvent>& events, std::vector<UplinkRecord>& uplinks) {
+  auto outcomes = radio_.process(events);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& out = outcomes[i];
+    if (out.disposition != RxDisposition::kDelivered) continue;
+    UplinkRecord rec;
+    rec.packet = out.packet;
+    rec.node = out.node;
+    rec.gateway = id_;
+    rec.network = network_;
+    rec.timestamp = events[i].tx.end();
+    rec.channel = events[i].tx.channel;
+    rec.dr = sf_to_dr(events[i].tx.params.sf);
+    rec.snr = out.snr;
+    uplinks.push_back(rec);
+  }
+  return outcomes;
+}
+
+}  // namespace alphawan

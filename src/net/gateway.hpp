@@ -1,0 +1,71 @@
+// A LoRaWAN gateway: position + antenna + the COTS radio model + packet
+// forwarding. Converts radio outcomes into the uplink records a network
+// server stores (the metadata AlphaWAN's log parser later mines).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "net/channel_plan.hpp"
+#include "phy/antenna.hpp"
+#include "radio/gateway_radio.hpp"
+
+namespace alphawan {
+
+// Metadata a gateway attaches when forwarding a decoded uplink to the
+// network server (ChirpStack-style rxInfo).
+struct UplinkRecord {
+  PacketId packet = 0;
+  NodeId node = kInvalidNode;
+  GatewayId gateway = kInvalidGateway;
+  NetworkId network = 0;
+  Seconds timestamp = 0.0;
+  Channel channel{};
+  DataRate dr = DataRate::kDR0;
+  Db snr = 0.0;
+};
+
+class Gateway {
+ public:
+  Gateway(GatewayId id, NetworkId network, Point position,
+          GatewayProfile profile, std::uint16_t sync_word);
+
+  [[nodiscard]] GatewayId id() const { return id_; }
+  [[nodiscard]] NetworkId network() const { return network_; }
+  [[nodiscard]] const Point& position() const { return position_; }
+  [[nodiscard]] const GatewayProfile& profile() const {
+    return radio_.profile();
+  }
+  [[nodiscard]] const GatewayRadio& radio() const { return radio_; }
+  [[nodiscard]] const std::vector<Channel>& channels() const {
+    return channels_;
+  }
+
+  // Apply a channel configuration (triggers a "reboot" in the latency
+  // model). Throws on configurations the hardware cannot realize.
+  void apply_channels(const GatewayChannelConfig& config);
+
+  // Antenna control (omni by default; directional for the Fig. 7 study).
+  void set_antenna(std::unique_ptr<Antenna> antenna, double boresight_rad);
+  [[nodiscard]] Db antenna_gain_towards(const Point& target) const;
+
+  // Process one window of on-air transmissions; returns per-event radio
+  // outcomes and appends delivered packets to `uplinks`.
+  [[nodiscard]] std::vector<RxOutcome> receive_window(
+      const std::vector<RxEvent>& events, std::vector<UplinkRecord>& uplinks);
+
+  [[nodiscard]] int reboot_count() const { return reboot_count_; }
+
+ private:
+  GatewayId id_;
+  NetworkId network_;
+  Point position_;
+  GatewayRadio radio_;
+  std::vector<Channel> channels_;
+  std::unique_ptr<Antenna> antenna_;
+  double boresight_rad_ = 0.0;
+  int reboot_count_ = 0;
+};
+
+}  // namespace alphawan

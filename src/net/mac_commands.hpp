@@ -1,0 +1,136 @@
+// LoRaWAN MAC commands (spec 1.0.x, Sec. 5) — the mechanism AlphaWAN uses
+// to push node-side configuration without touching firmware: LinkADRReq
+// carries data-rate/power/channel-mask updates, NewChannelReq defines the
+// (possibly grid-misaligned) channel frequencies of an assigned plan, and
+// DevStatusReq/Ans feeds link margins back into the planner.
+//
+// Commands travel piggybacked in FOpts (<=15 bytes) or in an FPort-0
+// payload; this codec parses/serializes those byte streams.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "phy/lora_params.hpp"
+
+namespace alphawan {
+
+enum class MacCid : std::uint8_t {
+  kLinkCheckReq = 0x02,   // uplink
+  kLinkCheckAns = 0x02,   // downlink
+  kLinkAdrReq = 0x03,     // downlink
+  kLinkAdrAns = 0x03,     // uplink
+  kDutyCycleReq = 0x04,   // downlink
+  kDutyCycleAns = 0x04,   // uplink
+  kDevStatusReq = 0x06,   // downlink
+  kDevStatusAns = 0x06,   // uplink
+  kNewChannelReq = 0x07,  // downlink
+  kNewChannelAns = 0x07,  // uplink
+};
+
+// ---- downlink commands (server -> device) ---------------------------------
+
+struct LinkAdrReq {
+  std::uint8_t data_rate = 0;   // DR index 0..5
+  std::uint8_t tx_power = 0;    // TXPower index 0..7
+  std::uint16_t ch_mask = 0;    // 16-channel enable mask
+  std::uint8_t ch_mask_cntl = 0;
+  std::uint8_t nb_trans = 1;
+
+  friend bool operator==(const LinkAdrReq&, const LinkAdrReq&) = default;
+};
+
+struct DutyCycleReq {
+  std::uint8_t max_duty_cycle = 0;  // limit = 1 / 2^n
+
+  friend bool operator==(const DutyCycleReq&, const DutyCycleReq&) = default;
+};
+
+struct DevStatusReq {
+  friend bool operator==(const DevStatusReq&, const DevStatusReq&) = default;
+};
+
+struct NewChannelReq {
+  std::uint8_t ch_index = 0;
+  Hz frequency = 0.0;          // encoded as 24-bit freq / 100 Hz
+  std::uint8_t min_dr = 0;
+  std::uint8_t max_dr = 5;
+
+  friend bool operator==(const NewChannelReq& a, const NewChannelReq& b) {
+    // Frequency survives the 100 Hz wire granularity.
+    return a.ch_index == b.ch_index && a.min_dr == b.min_dr &&
+           a.max_dr == b.max_dr &&
+           std::abs(a.frequency - b.frequency) < 100.0;
+  }
+};
+
+// ---- uplink commands (device -> server) ------------------------------------
+
+struct LinkAdrAns {
+  bool channel_mask_ack = true;
+  bool data_rate_ack = true;
+  bool power_ack = true;
+
+  friend bool operator==(const LinkAdrAns&, const LinkAdrAns&) = default;
+};
+
+struct DutyCycleAns {
+  friend bool operator==(const DutyCycleAns&, const DutyCycleAns&) = default;
+};
+
+struct DevStatusAns {
+  std::uint8_t battery = 255;  // 255 = unknown/external power
+  std::int8_t margin = 0;      // demod margin of last DevStatusReq, dB
+
+  friend bool operator==(const DevStatusAns&, const DevStatusAns&) = default;
+};
+
+struct NewChannelAns {
+  bool freq_ok = true;
+  bool dr_ok = true;
+
+  friend bool operator==(const NewChannelAns&, const NewChannelAns&) = default;
+};
+
+using DownlinkMacCommand =
+    std::variant<LinkAdrReq, DutyCycleReq, DevStatusReq, NewChannelReq>;
+using UplinkMacCommand =
+    std::variant<LinkAdrAns, DutyCycleAns, DevStatusAns, NewChannelAns>;
+
+// Serialize command lists to the FOpts byte stream.
+[[nodiscard]] std::vector<std::uint8_t> encode_downlink_commands(
+    std::span<const DownlinkMacCommand> commands);
+[[nodiscard]] std::vector<std::uint8_t> encode_uplink_commands(
+    std::span<const UplinkMacCommand> commands);
+
+// Parse an FOpts byte stream; returns nullopt on any malformed/truncated
+// command (the spec requires discarding the remainder).
+[[nodiscard]] std::optional<std::vector<DownlinkMacCommand>>
+decode_downlink_commands(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<std::vector<UplinkMacCommand>>
+decode_uplink_commands(std::span<const std::uint8_t> bytes);
+
+// ---- AlphaWAN integration ---------------------------------------------------
+
+// Translate a node radio-config change into the MAC commands a LoRaWAN
+// server would enqueue: a NewChannelReq when the target channel is not yet
+// defined at `ch_index`, plus a LinkAdrReq selecting the channel/DR/power.
+struct NodeConfigCommands {
+  std::vector<DownlinkMacCommand> commands;
+  std::size_t bytes = 0;  // wire size (for downlink budgeting)
+};
+
+[[nodiscard]] NodeConfigCommands commands_for_config_change(
+    const struct NodeRadioConfig& current, const struct NodeRadioConfig& next,
+    std::uint8_t ch_index);
+
+// TXPower ladder index for a dBm setting (nearest step at or below).
+[[nodiscard]] std::uint8_t tx_power_index(Dbm dbm);
+[[nodiscard]] Dbm tx_power_from_index(std::uint8_t index);
+
+}  // namespace alphawan

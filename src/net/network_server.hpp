@@ -1,0 +1,72 @@
+// The network server (ChirpStack counterpart): deduplicates uplinks
+// forwarded by multiple gateways, stores the operational log that
+// AlphaWAN's log parser and traffic estimator consume, and tracks
+// delivery statistics.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/gateway.hpp"
+
+namespace alphawan {
+
+// Per-node link profile maintained by the server from uplink metadata:
+// which gateways hear the node and how well. This is the ADR input and a
+// core piece of the CP problem's coverage relation r_ijl.
+struct LinkProfile {
+  // Best SNR seen per gateway.
+  std::map<GatewayId, Db> gateway_snr;
+  std::size_t uplinks = 0;
+
+  [[nodiscard]] Db best_snr() const;
+  [[nodiscard]] std::size_t gateway_count() const {
+    return gateway_snr.size();
+  }
+};
+
+class NetworkServer {
+ public:
+  explicit NetworkServer(NetworkId network) : network_(network) {}
+
+  [[nodiscard]] NetworkId network() const { return network_; }
+
+  // Ingest one window's uplink records from all gateways. Duplicate
+  // receptions of the same packet by several gateways count once.
+  void ingest(const std::vector<UplinkRecord>& records);
+
+  // Unique packets delivered so far.
+  [[nodiscard]] std::size_t delivered_packets() const {
+    return delivered_.size();
+  }
+  [[nodiscard]] bool was_delivered(PacketId packet) const {
+    return delivered_.contains(packet);
+  }
+
+  // The raw operational log (every reception, including duplicates).
+  [[nodiscard]] const std::vector<UplinkRecord>& log() const { return log_; }
+
+  // Link profiles per node.
+  [[nodiscard]] const std::map<NodeId, LinkProfile>& link_profiles() const {
+    return link_profiles_;
+  }
+
+  // Number of unique packets delivered per node (traffic evidence).
+  [[nodiscard]] const std::map<NodeId, std::size_t>& per_node_delivered()
+      const {
+    return per_node_delivered_;
+  }
+
+  void clear();
+
+ private:
+  NetworkId network_;
+  std::vector<UplinkRecord> log_;
+  std::set<PacketId> delivered_;
+  std::map<NodeId, LinkProfile> link_profiles_;
+  std::map<NodeId, std::size_t> per_node_delivered_;
+};
+
+}  // namespace alphawan

@@ -1,0 +1,11 @@
+#include "net/sync_word.hpp"
+
+namespace alphawan {
+
+std::uint16_t sync_word_for_network(NetworkId network) {
+  if (network == 0) return kPublicSyncWord;
+  // Spread private networks over distinct odd words away from 0x34.
+  return static_cast<std::uint16_t>(kPrivateSyncWordBase + 2 * network);
+}
+
+}  // namespace alphawan

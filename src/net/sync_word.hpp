@@ -1,0 +1,20 @@
+// Frame sync words distinguish coexisting networks at the PHY framing
+// level (LoRaWAN spec: 0x34 public, 0x12 private). Crucially — and this is
+// the paper's point — the sync word sits BETWEEN preamble and payload, so a
+// gateway only learns it after committing a decoder to the packet.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace alphawan {
+
+inline constexpr std::uint16_t kPublicSyncWord = 0x34;
+inline constexpr std::uint16_t kPrivateSyncWordBase = 0x12;
+
+// Deterministic sync word for a network: network 0 gets the public word,
+// private networks get distinct words derived from their id.
+[[nodiscard]] std::uint16_t sync_word_for_network(NetworkId network);
+
+}  // namespace alphawan

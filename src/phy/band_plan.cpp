@@ -1,0 +1,62 @@
+#include "phy/band_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace alphawan {
+
+std::vector<Channel> Spectrum::grid_channels() const {
+  std::vector<Channel> out;
+  const int n = grid_size();
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(grid_channel(i));
+  return out;
+}
+
+bool Spectrum::contains(const Channel& ch) const {
+  return ch.low() >= base - 1.0 && ch.high() <= high() + 1.0;
+}
+
+int Spectrum::nearest_grid_index(Hz center) const {
+  return static_cast<int>(
+      std::lround((center - base - kChannelSpacing / 2) / kChannelSpacing));
+}
+
+Hz ChannelPlan::span() const {
+  if (channels.empty()) return 0.0;
+  auto [lo, hi] = std::minmax_element(
+      channels.begin(), channels.end(),
+      [](const Channel& a, const Channel& b) { return a.center < b.center; });
+  return hi->high() - lo->low();
+}
+
+ChannelPlan standard_plan(const Spectrum& spectrum, int plan_index) {
+  const int first = plan_index * 8;
+  if (plan_index < 0 || first + 8 > spectrum.grid_size()) {
+    throw std::out_of_range("standard_plan: plan #" +
+                            std::to_string(plan_index) +
+                            " does not fit in spectrum");
+  }
+  ChannelPlan plan;
+  plan.name = "std-plan-" + std::to_string(plan_index);
+  plan.channels.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    plan.channels.push_back(spectrum.grid_channel(first + i));
+  }
+  return plan;
+}
+
+int num_standard_plans(const Spectrum& spectrum) {
+  return spectrum.grid_size() / 8;
+}
+
+int oracle_capacity(const Spectrum& spectrum) {
+  return spectrum.grid_size() * kNumSpreadingFactors;
+}
+
+Spectrum spectrum_1m6() { return Spectrum{923.2e6, 1.6e6}; }
+Spectrum spectrum_4m8() { return Spectrum{916.8e6, 4.8e6}; }
+Spectrum spectrum_6m4() { return Spectrum{916.0e6, 6.4e6}; }
+
+}  // namespace alphawan

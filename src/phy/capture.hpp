@@ -1,0 +1,32 @@
+// Co-channel capture model: when two LoRa transmissions overlap in time on
+// the same (or partially overlapping) channel, whether the wanted packet
+// survives depends on its signal-to-interference ratio and the SF pair.
+//
+// Same-SF interference is destructive unless the wanted packet is a few dB
+// stronger (capture effect). Different SFs are quasi-orthogonal: the wanted
+// packet survives unless the interferer is MUCH stronger (tens of dB). The
+// thresholds follow the widely used measurements of Croce et al. (IEEE CL
+// 2018) and match the paper's observation that orthogonal DRs coexist
+// cleanly on overlapping channels (Fig. 8 / Fig. 16).
+#pragma once
+
+#include "phy/lora_params.hpp"
+
+namespace alphawan {
+
+// Minimum SIR (dB) for the wanted packet (row: wanted SF, col: interferer
+// SF) to survive a time-overlapping interferer.
+[[nodiscard]] Db capture_sir_threshold(SpreadingFactor wanted,
+                                       SpreadingFactor interferer);
+
+// True if a wanted packet with signal `wanted_dbm` survives a single
+// interferer with in-band power `interferer_dbm`.
+[[nodiscard]] bool survives_interference(SpreadingFactor wanted_sf,
+                                         Dbm wanted_dbm,
+                                         SpreadingFactor interferer_sf,
+                                         Dbm interferer_dbm);
+
+// Aggregate interference: combine interferer powers (linear sum, in dBm).
+[[nodiscard]] Dbm combine_powers_dbm(Dbm a, Dbm b);
+
+}  // namespace alphawan

@@ -1,0 +1,29 @@
+#include "phy/lora_params.hpp"
+
+namespace alphawan {
+
+std::string_view sf_name(SpreadingFactor sf) {
+  switch (sf) {
+    case SpreadingFactor::kSF7: return "SF7";
+    case SpreadingFactor::kSF8: return "SF8";
+    case SpreadingFactor::kSF9: return "SF9";
+    case SpreadingFactor::kSF10: return "SF10";
+    case SpreadingFactor::kSF11: return "SF11";
+    case SpreadingFactor::kSF12: return "SF12";
+  }
+  return "SF?";
+}
+
+std::string_view dr_name(DataRate dr) {
+  switch (dr) {
+    case DataRate::kDR0: return "DR0";
+    case DataRate::kDR1: return "DR1";
+    case DataRate::kDR2: return "DR2";
+    case DataRate::kDR3: return "DR3";
+    case DataRate::kDR4: return "DR4";
+    case DataRate::kDR5: return "DR5";
+  }
+  return "DR?";
+}
+
+}  // namespace alphawan

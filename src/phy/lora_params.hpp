@@ -1,0 +1,109 @@
+// LoRa PHY parameterization: spreading factors, data rates, coding rates.
+//
+// The paper's testbed (AS923-style band, 125 kHz channels) uses the classic
+// DR0..DR5 ladder: DR0 = SF12 ... DR5 = SF7, all at 125 kHz. Six mutually
+// quasi-orthogonal spreading factors per channel give the "6 concurrent
+// users per channel" theoretical figure used throughout the paper
+// (24 channels x 6 DRs = 144 concurrent users in 4.8 MHz).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace alphawan {
+
+enum class SpreadingFactor : std::uint8_t {
+  kSF7 = 7,
+  kSF8 = 8,
+  kSF9 = 9,
+  kSF10 = 10,
+  kSF11 = 11,
+  kSF12 = 12,
+};
+
+inline constexpr std::array<SpreadingFactor, 6> kAllSpreadingFactors = {
+    SpreadingFactor::kSF7,  SpreadingFactor::kSF8,  SpreadingFactor::kSF9,
+    SpreadingFactor::kSF10, SpreadingFactor::kSF11, SpreadingFactor::kSF12,
+};
+
+inline constexpr int kNumSpreadingFactors =
+    static_cast<int>(kAllSpreadingFactors.size());
+
+[[nodiscard]] constexpr int sf_value(SpreadingFactor sf) {
+  return static_cast<int>(sf);
+}
+
+// Index 0..5 for SF7..SF12 (handy for matrices).
+[[nodiscard]] constexpr int sf_index(SpreadingFactor sf) {
+  return sf_value(sf) - 7;
+}
+
+[[nodiscard]] constexpr SpreadingFactor sf_from_index(int index) {
+  return static_cast<SpreadingFactor>(index + 7);
+}
+
+[[nodiscard]] std::string_view sf_name(SpreadingFactor sf);
+
+// LoRaWAN data rate (regional ladder used by the paper: DR0=SF12..DR5=SF7,
+// all 125 kHz).
+enum class DataRate : std::uint8_t {
+  kDR0 = 0,  // SF12 — longest range, slowest
+  kDR1 = 1,  // SF11
+  kDR2 = 2,  // SF10
+  kDR3 = 3,  // SF9
+  kDR4 = 4,  // SF8
+  kDR5 = 5,  // SF7 — shortest range, fastest
+};
+
+inline constexpr std::array<DataRate, 6> kAllDataRates = {
+    DataRate::kDR0, DataRate::kDR1, DataRate::kDR2,
+    DataRate::kDR3, DataRate::kDR4, DataRate::kDR5,
+};
+
+inline constexpr int kNumDataRates = static_cast<int>(kAllDataRates.size());
+
+[[nodiscard]] constexpr int dr_value(DataRate dr) {
+  return static_cast<int>(dr);
+}
+
+[[nodiscard]] constexpr SpreadingFactor dr_to_sf(DataRate dr) {
+  return static_cast<SpreadingFactor>(12 - static_cast<int>(dr));
+}
+
+[[nodiscard]] constexpr DataRate sf_to_dr(SpreadingFactor sf) {
+  return static_cast<DataRate>(12 - static_cast<int>(sf));
+}
+
+[[nodiscard]] std::string_view dr_name(DataRate dr);
+
+// 4/(4+cr) coding rate; LoRaWAN uplinks use CR 4/5.
+enum class CodingRate : std::uint8_t {
+  kCR45 = 1,
+  kCR46 = 2,
+  kCR47 = 3,
+  kCR48 = 4,
+};
+
+// Full radio settings of one transmission.
+struct TxParams {
+  SpreadingFactor sf = SpreadingFactor::kSF7;
+  Hz bandwidth = kLoRaBandwidth125k;
+  CodingRate coding_rate = CodingRate::kCR45;
+  std::uint8_t preamble_symbols = 8;  // LoRaWAN default
+  bool explicit_header = true;
+  bool crc_enabled = true;
+
+  friend bool operator==(const TxParams&, const TxParams&) = default;
+};
+
+// Two transmissions on the same channel are "orthogonal" when they use
+// different spreading factors (the paper's theoretical capacity assumes
+// this quasi-orthogonality).
+[[nodiscard]] constexpr bool orthogonal(SpreadingFactor a, SpreadingFactor b) {
+  return a != b;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,48 @@
+#include "phy/sensitivity.hpp"
+
+namespace alphawan {
+
+Db demod_snr_threshold(SpreadingFactor sf) {
+  switch (sf) {
+    case SpreadingFactor::kSF7: return -7.5;
+    case SpreadingFactor::kSF8: return -10.0;
+    case SpreadingFactor::kSF9: return -12.5;
+    case SpreadingFactor::kSF10: return -15.0;
+    case SpreadingFactor::kSF11: return -17.5;
+    case SpreadingFactor::kSF12: return -20.0;
+  }
+  return 0.0;
+}
+
+Dbm sensitivity_dbm(SpreadingFactor sf, Hz bandwidth) {
+  return noise_floor_dbm(bandwidth) + demod_snr_threshold(sf);
+}
+
+std::optional<DataRate> best_data_rate_for_snr(Db snr, Db margin) {
+  // DR5 (SF7) is fastest; walk from fastest to slowest.
+  for (int dr = kNumDataRates - 1; dr >= 0; --dr) {
+    const auto rate = static_cast<DataRate>(dr);
+    if (snr >= demod_snr_threshold(dr_to_sf(rate)) + margin) {
+      return rate;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::array<RangeLevel, kNumDataRates>& range_levels() {
+  // Ranges derived from the urban log-distance model in channel_model.cpp
+  // at 14 dBm: the distance where mean SNR ~= demod threshold + 5 dB fade
+  // margin. These anchor the CP problem's discrete DR set; they are not
+  // used for reception decisions.
+  static const std::array<RangeLevel, kNumDataRates> kLevels = {{
+      {DataRate::kDR5, 610.0, 14.0},   // SF7
+      {DataRate::kDR4, 720.0, 14.0},   // SF8
+      {DataRate::kDR3, 850.0, 14.0},   // SF9
+      {DataRate::kDR2, 1000.0, 14.0},  // SF10
+      {DataRate::kDR1, 1180.0, 14.0},  // SF11
+      {DataRate::kDR0, 1390.0, 14.0},  // SF12
+  }};
+  return kLevels;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,49 @@
+// Receiver sensitivity / demodulation thresholds and the DR <-> range
+// mapping used by the CP problem's discrete transmission-distance set.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "phy/lora_params.hpp"
+
+namespace alphawan {
+
+// Minimum SNR (dB) required to demodulate each spreading factor at 125 kHz
+// (Semtech SX1276/SX1302 datasheet values). SF12 decodes ~20 dB below the
+// noise floor — this is why directional antennas fail to isolate users
+// (paper Fig. 7): even signals attenuated 40 dB can remain decodable.
+[[nodiscard]] Db demod_snr_threshold(SpreadingFactor sf);
+
+// Receiver sensitivity in dBm = noise floor + demod threshold.
+[[nodiscard]] Dbm sensitivity_dbm(SpreadingFactor sf, Hz bandwidth);
+
+// Extra SNR (dB) above the bare demodulation limit that the packet
+// detector needs to lock onto a preamble reliably.
+inline constexpr Db kDetectionMargin = 0.0;
+
+// Best (fastest) data rate whose threshold the given SNR satisfies with
+// `margin` dB to spare; nullopt if even SF12 cannot be demodulated.
+[[nodiscard]] std::optional<DataRate> best_data_rate_for_snr(Db snr,
+                                                             Db margin = 0.0);
+
+// The CP formulation discretizes node communication ranges into |DR|
+// levels: level l corresponds to using DataRate l at some transmit power.
+// This table maps a discrete level to the approximate reliable range in a
+// typical urban channel (used by planners; the simulator itself always
+// works from actual path loss).
+struct RangeLevel {
+  DataRate dr;
+  Meters typical_range;
+  Dbm tx_power;
+};
+
+[[nodiscard]] const std::array<RangeLevel, kNumDataRates>& range_levels();
+
+// Transmit power ladder available to end nodes (LoRaWAN TXPower steps).
+inline constexpr std::array<Dbm, 6> kTxPowerLadder = {2.0,  5.0,  8.0,
+                                                      11.0, 14.0, 20.0};
+inline constexpr Dbm kDefaultTxPower = 14.0;
+inline constexpr Dbm kMaxTxPower = 20.0;
+
+}  // namespace alphawan

@@ -1,0 +1,16 @@
+#include "radio/detector.hpp"
+
+namespace alphawan {
+
+std::optional<Detection> detect(const Transmission& tx, Db snr) {
+  if (snr < demod_snr_threshold(tx.params.sf) + kDetectionMargin) {
+    return std::nullopt;
+  }
+  return Detection{tx.lock_on(), snr};
+}
+
+Db packet_snr(Dbm rx_power, Hz bandwidth) {
+  return rx_power - noise_floor_dbm(bandwidth);
+}
+
+}  // namespace alphawan

@@ -1,0 +1,25 @@
+// Preamble detection: decides whether a chain locks onto a packet and at
+// what instant. Detection only depends on the packet's SNR clearing the
+// spreading factor's demodulation threshold — COTS gateways do not
+// prioritize by SNR or channel crowdedness (paper Figs. 3c/3d).
+#pragma once
+
+#include <optional>
+
+#include "phy/sensitivity.hpp"
+#include "radio/transmission.hpp"
+
+namespace alphawan {
+
+struct Detection {
+  Seconds lock_on = 0.0;   // dispatch instant (end of preamble)
+  Db snr = 0.0;            // packet SNR at this gateway
+};
+
+// Returns the detection if the packet is lockable at the given SNR.
+[[nodiscard]] std::optional<Detection> detect(const Transmission& tx, Db snr);
+
+// SNR of a received packet given its in-band power.
+[[nodiscard]] Db packet_snr(Dbm rx_power, Hz bandwidth);
+
+}  // namespace alphawan

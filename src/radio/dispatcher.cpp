@@ -1,0 +1,27 @@
+#include "radio/dispatcher.hpp"
+
+#include <algorithm>
+
+namespace alphawan {
+
+void sort_fcfs(std::vector<DispatchEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const DispatchEntry& a, const DispatchEntry& b) {
+              if (a.lock_on != b.lock_on) return a.lock_on < b.lock_on;
+              return a.packet < b.packet;
+            });
+}
+
+DispatchResult dispatch(DecoderPool& pool, const DispatchEntry& entry) {
+  DispatchResult result;
+  pool.release_expired(entry.lock_on);
+  // Record occupancy mix before attempting, so a refusal can be attributed
+  // to intra- vs inter-network contention.
+  const bool foreign = pool.any_foreign_occupant(entry.network);
+  result.acquired =
+      pool.try_acquire(entry.lock_on, entry.end, entry.network, entry.packet);
+  result.foreign_among_occupants = !result.acquired && foreign;
+  return result;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,36 @@
+// The FCFS dispatcher: orders detected packets by lock-on time and assigns
+// decoders from the pool in that order (paper Appendix C, Fig. 20b).
+#pragma once
+
+#include <vector>
+
+#include "radio/decoder_pool.hpp"
+#include "radio/transmission.hpp"
+
+namespace alphawan {
+
+// An entry awaiting dispatch: a detected packet bound to a chain.
+struct DispatchEntry {
+  // Index into the caller's RxEvent array.
+  std::size_t event_index = 0;
+  Seconds lock_on = 0.0;
+  Seconds end = 0.0;
+  NetworkId network = 0;
+  PacketId packet = 0;
+};
+
+// Sort entries into FCFS dispatch order: by lock-on time, ties broken by
+// packet id for determinism.
+void sort_fcfs(std::vector<DispatchEntry>& entries);
+
+// Outcome of a dispatch attempt.
+struct DispatchResult {
+  bool acquired = false;
+  bool foreign_among_occupants = false;  // valid when !acquired
+};
+
+// Attempt to claim a decoder for one entry.
+[[nodiscard]] DispatchResult dispatch(DecoderPool& pool,
+                                      const DispatchEntry& entry);
+
+}  // namespace alphawan

@@ -1,0 +1,215 @@
+#include "radio/gateway_radio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "phy/capture.hpp"
+#include "phy/overlap.hpp"
+#include "phy/sensitivity.hpp"
+#include "radio/detector.hpp"
+
+namespace alphawan {
+namespace {
+
+double dbm_to_lin(Dbm p) { return std::pow(10.0, p / 10.0); }
+Dbm lin_to_dbm(double lin) { return 10.0 * std::log10(lin); }
+
+}  // namespace
+
+GatewayRadio::GatewayRadio(GatewayProfile profile, NetworkId network,
+                           std::uint16_t sync_word)
+    : profile_(profile),
+      network_(network),
+      sync_word_(sync_word),
+      pool_(static_cast<std::size_t>(profile.decoders)) {}
+
+void GatewayRadio::configure_channels(std::vector<Channel> channels) {
+  if (channels.empty()) {
+    throw std::invalid_argument("GatewayRadio: empty channel set");
+  }
+  if (static_cast<int>(channels.size()) > profile_.data_rx_chains) {
+    throw std::invalid_argument(
+        "GatewayRadio: more channels than Rx chains (P_j violated)");
+  }
+  auto [lo, hi] = std::minmax_element(
+      channels.begin(), channels.end(),
+      [](const Channel& a, const Channel& b) { return a.center < b.center; });
+  if (hi->high() - lo->low() > profile_.rx_spectrum + 1.0) {
+    throw std::invalid_argument(
+        "GatewayRadio: channel span exceeds radio bandwidth (B_j violated)");
+  }
+  chains_.clear();
+  chains_.reserve(channels.size());
+  for (const auto& ch : channels) chains_.push_back(RxChain{ch});
+}
+
+std::vector<RxOutcome> GatewayRadio::process(
+    const std::vector<RxEvent>& events) {
+  std::vector<RxOutcome> outcomes(events.size());
+  pool_.reset();
+
+  // Phase 1: front-end + detection per event.
+  std::vector<DispatchEntry> queue;
+  std::vector<int> chain_of(events.size(), -1);
+  queue.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    auto& out = outcomes[i];
+    out.packet = ev.tx.id;
+    out.node = ev.tx.node;
+    out.network = ev.tx.network;
+    const auto chain = best_chain(chains_, ev.tx.channel);
+    if (!chain) {
+      out.disposition = RxDisposition::kRejectedFrontEnd;
+      continue;
+    }
+    chain_of[i] = static_cast<int>(*chain);
+    out.chain_channel = static_cast<int>(*chain);
+    out.snr = packet_snr(ev.rx_power, ev.tx.channel.bandwidth);
+    const auto detection = detect(ev.tx, out.snr);
+    if (!detection) {
+      out.disposition = RxDisposition::kNotDetected;
+      continue;
+    }
+    queue.push_back(DispatchEntry{i, detection->lock_on, ev.tx.end(),
+                                  ev.tx.network, ev.tx.id});
+  }
+
+  // Phase 2: FCFS dispatch into the decoder pool.
+  sort_fcfs(queue);
+  std::vector<std::size_t> decoding;  // event indices holding a decoder
+  decoding.reserve(queue.size());
+  for (const auto& entry : queue) {
+    const DispatchResult result = dispatch(pool_, entry);
+    auto& out = outcomes[entry.event_index];
+    if (!result.acquired) {
+      out.disposition = RxDisposition::kDroppedDecoderBusy;
+      out.foreign_among_occupants = result.foreign_among_occupants;
+      continue;
+    }
+    decoding.push_back(entry.event_index);
+  }
+
+  // Phase 3: decode each packet that holds a decoder, accounting for
+  // interference from *all* transmissions in the air (including ones the
+  // front-end rejected or that were never detected — their RF energy is
+  // still present). Events are bucketed by coarse frequency (interference
+  // requires spectral overlap) and sorted by start time within a bucket,
+  // bounding the interferer scan to plausible overlappers.
+  constexpr auto bucket_of = [](Hz center) {
+    return static_cast<std::int64_t>(center / kChannelSpacing);
+  };
+  std::map<std::int64_t, std::vector<std::size_t>> by_bucket;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    by_bucket[bucket_of(events[i].tx.channel.center)].push_back(i);
+  }
+  std::map<std::int64_t, Seconds> bucket_max_duration;
+  for (auto& [bucket, indices] : by_bucket) {
+    std::sort(indices.begin(), indices.end(),
+              [&](std::size_t a, std::size_t b) {
+                return events[a].tx.start < events[b].tx.start;
+              });
+    Seconds longest = 0.0;
+    for (const auto idx : indices) {
+      longest = std::max(longest, events[idx].tx.end() - events[idx].tx.start);
+    }
+    bucket_max_duration[bucket] = longest;
+  }
+
+  for (const std::size_t i : decoding) {
+    const auto& ev = events[i];
+    auto& out = outcomes[i];
+    const Channel& rx_ch = chains_[static_cast<std::size_t>(chain_of[i])].channel;
+
+    const double noise_lin =
+        dbm_to_lin(noise_floor_dbm(ev.tx.channel.bandwidth));
+    double misaligned_intf_lin = 0.0;
+    double aligned_same_sf_lin = 0.0;
+    bool collided = false;
+    bool foreign_fatal = false;
+    Dbm strongest_same_sf = -400.0;
+
+    // Candidates: same or adjacent frequency bucket, starting within
+    // [ev.start - bucket_longest, ev.end).
+    const std::int64_t center_bucket = bucket_of(ev.tx.channel.center);
+    for (std::int64_t bucket = center_bucket - 1;
+         bucket <= center_bucket + 1; ++bucket) {
+      const auto bucket_it = by_bucket.find(bucket);
+      if (bucket_it == by_bucket.end()) continue;
+      const auto& indices = bucket_it->second;
+      const Seconds lookback = bucket_max_duration[bucket];
+      const auto first = std::lower_bound(
+          indices.begin(), indices.end(), ev.tx.start - lookback,
+          [&](std::size_t idx, Seconds t) {
+            return events[idx].tx.start < t;
+          });
+    for (auto it = first; it != indices.end(); ++it) {
+      const std::size_t j = *it;
+      if (events[j].tx.start >= ev.tx.end()) break;
+      if (j == i) continue;
+      const auto& other = events[j];
+      if (!ev.tx.overlaps_in_time(other.tx)) continue;
+      const double rho = overlap_ratio(other.tx.channel, rx_ch);
+      if (rho <= 0.0) continue;
+      const bool same_sf = other.tx.params.sf == ev.tx.params.sf;
+      if (rho >= kDetectOverlapThreshold) {
+        // Co-channel interferer: SF capture matrix applies.
+        if (same_sf) {
+          aligned_same_sf_lin += dbm_to_lin(other.rx_power);
+          if (other.rx_power > strongest_same_sf) {
+            strongest_same_sf = other.rx_power;
+            // Attribute a potential fatal collision to this interferer.
+          }
+          if (ev.rx_power - other.rx_power <
+              capture_sir_threshold(ev.tx.params.sf, other.tx.params.sf)) {
+            collided = true;
+            foreign_fatal = other.tx.network != ev.tx.network;
+          }
+        } else if (ev.rx_power - other.rx_power <
+                   capture_sir_threshold(ev.tx.params.sf,
+                                         other.tx.params.sf)) {
+          collided = true;
+          foreign_fatal = other.tx.network != ev.tx.network;
+        }
+      } else {
+        // Misaligned interferer: filter-truncated energy acts as noise.
+        Dbm eff = effective_interference_dbm(other.rx_power, other.tx.channel,
+                                             rx_ch);
+        if (!same_sf) eff -= kCrossSfMisalignedRejection;
+        if (eff > -250.0) misaligned_intf_lin += dbm_to_lin(eff);
+      }
+    }
+    }
+
+    // Combined same-SF co-channel power must also satisfy capture.
+    if (!collided && aligned_same_sf_lin > 0.0) {
+      const Dbm combined = lin_to_dbm(aligned_same_sf_lin);
+      if (ev.rx_power - combined <
+          capture_sir_threshold(ev.tx.params.sf, ev.tx.params.sf)) {
+        collided = true;
+      }
+    }
+
+    if (collided) {
+      out.disposition = RxDisposition::kDroppedCollision;
+      out.foreign_interferer = foreign_fatal;
+      continue;
+    }
+
+    const Db snr_eff =
+        ev.rx_power - lin_to_dbm(noise_lin + misaligned_intf_lin);
+    if (snr_eff < demod_snr_threshold(ev.tx.params.sf)) {
+      out.disposition = RxDisposition::kDroppedLowSnr;
+      continue;
+    }
+
+    out.disposition = ev.tx.sync_word == sync_word_
+                          ? RxDisposition::kDelivered
+                          : RxDisposition::kDecodedForeign;
+  }
+  return outcomes;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,45 @@
+#include "radio/profiles.hpp"
+
+namespace alphawan {
+
+std::string_view chipset_name(Chipset chipset) {
+  switch (chipset) {
+    case Chipset::kSX1301: return "SX1301";
+    case Chipset::kSX1302: return "SX1302";
+    case Chipset::kSX1303: return "SX1303";
+    case Chipset::kSX1308: return "SX1308";
+  }
+  return "?";
+}
+
+GatewayProfile profile_dragino_lps8n() {
+  return {"Dragino LPS8N", Chipset::kSX1302, 1.6e6, 8, 1, 16};
+}
+
+GatewayProfile profile_rak7246g() {
+  return {"RAK7246G", Chipset::kSX1308, 1.6e6, 8, 1, 8};
+}
+
+GatewayProfile profile_rak7268cv2() {
+  return {"RAK7268CV2 (WisGate)", Chipset::kSX1302, 1.6e6, 8, 1, 16};
+}
+
+GatewayProfile profile_rak7289cv2() {
+  // Dual SX1303: doubled chains, decoders and monitored spectrum.
+  return {"RAK7289CV2", Chipset::kSX1303, 3.2e6, 16, 2, 32};
+}
+
+GatewayProfile profile_kerlink_ibts() {
+  return {"Kerlink Wirnet iBTS", Chipset::kSX1301, 1.6e6, 8, 1, 8};
+}
+
+GatewayProfile default_profile() { return profile_rak7268cv2(); }
+
+const std::vector<GatewayProfile>& all_profiles() {
+  static const std::vector<GatewayProfile> kProfiles = {
+      profile_dragino_lps8n(), profile_rak7246g(), profile_rak7268cv2(),
+      profile_rak7289cv2(), profile_kerlink_ibts()};
+  return kProfiles;
+}
+
+}  // namespace alphawan

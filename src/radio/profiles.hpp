@@ -1,0 +1,47 @@
+// COTS gateway hardware profiles (paper Table 4). Capacity of the radio is
+// fixed by the chipset: Rx chains bound how many channels can be monitored
+// and the decoder pool bounds concurrent packet reception.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace alphawan {
+
+enum class Chipset : std::uint8_t { kSX1301, kSX1302, kSX1303, kSX1308 };
+
+[[nodiscard]] std::string_view chipset_name(Chipset chipset);
+
+struct GatewayProfile {
+  std::string_view product;
+  Chipset chipset = Chipset::kSX1302;
+  Hz rx_spectrum = 1.6e6;       // maximal radio bandwidth B_j
+  int data_rx_chains = 8;       // multi-SF channels (P_j)
+  int service_rx_chains = 1;    // LoRa service / FSK chains
+  int decoders = 16;            // decoder pool size C_j
+
+  // Theoretical concurrent capacity of the monitored spectrum: every
+  // chain's channel times 6 orthogonal SFs (Table 4 "Theory Capacity").
+  [[nodiscard]] int theory_capacity() const {
+    return (data_rx_chains + service_rx_chains) * 6;
+  }
+  // Practical concurrency: the decoder pool size (Table 4 "Practical").
+  [[nodiscard]] int practical_capacity() const { return decoders; }
+};
+
+// Profiles from Table 4.
+[[nodiscard]] GatewayProfile profile_dragino_lps8n();      // SX1302, 16 dec
+[[nodiscard]] GatewayProfile profile_rak7246g();           // SX1308, 8 dec
+[[nodiscard]] GatewayProfile profile_rak7268cv2();         // SX1302, 16 dec
+[[nodiscard]] GatewayProfile profile_rak7289cv2();         // SX1303x2, 32 dec
+[[nodiscard]] GatewayProfile profile_kerlink_ibts();       // SX1301, 8 dec
+
+// Default profile used across the evaluation (the paper's case-study
+// gateway WisGate RAK7268CV2).
+[[nodiscard]] GatewayProfile default_profile();
+
+[[nodiscard]] const std::vector<GatewayProfile>& all_profiles();
+
+}  // namespace alphawan

@@ -1,0 +1,19 @@
+#include "radio/rx_chain.hpp"
+
+namespace alphawan {
+
+std::optional<std::size_t> best_chain(const std::vector<RxChain>& chains,
+                                      const Channel& packet_channel) {
+  std::optional<std::size_t> best;
+  double best_overlap = 0.0;
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const double rho = overlap_ratio(packet_channel, chains[i].channel);
+    if (rho >= kDetectOverlapThreshold && rho > best_overlap) {
+      best_overlap = rho;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,30 @@
+// One receive chain of the gateway front-end: tuned to a single channel,
+// detecting all spreading factors on it (SX130x IF chain behaviour).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "phy/band_plan.hpp"
+#include "phy/overlap.hpp"
+#include "radio/transmission.hpp"
+
+namespace alphawan {
+
+struct RxChain {
+  Channel channel{};
+
+  // True if this chain's filter passes the packet's channel well enough to
+  // correlate a preamble (front-end frequency selectivity).
+  [[nodiscard]] bool passes(const Channel& packet_channel) const {
+    return detectable(packet_channel, channel);
+  }
+};
+
+// Select the chain that best matches a packet's channel. Returns the chain
+// index, or nullopt if every chain's filter truncates the packet
+// (front-end rejection — the Strategy-8 isolation path).
+[[nodiscard]] std::optional<std::size_t> best_chain(
+    const std::vector<RxChain>& chains, const Channel& packet_channel);
+
+}  // namespace alphawan

@@ -1,0 +1,94 @@
+// On-air transmission descriptor shared by the radio model and the
+// simulator, plus the per-gateway reception outcome taxonomy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.hpp"
+#include "phy/airtime.hpp"
+#include "phy/band_plan.hpp"
+#include "phy/lora_params.hpp"
+
+namespace alphawan {
+
+// One uplink transmission as it exists in the air. Times are absolute
+// simulation seconds.
+struct Transmission {
+  PacketId id = 0;
+  NodeId node = kInvalidNode;
+  NetworkId network = 0;
+  std::uint16_t sync_word = 0x34;  // LoRaWAN public sync word
+  Channel channel{};
+  TxParams params{};
+  std::uint32_t payload_bytes = 10;  // paper uses 10-byte payloads
+  Dbm tx_power = 14.0;
+  Point origin{};  // transmitter position (for propagation)
+  Seconds start = 0.0;
+
+  // End of preamble: the instant a gateway locks on and a decoder is
+  // claimed (paper Sec. 3.1).
+  [[nodiscard]] Seconds lock_on() const {
+    return start + preamble_duration(params);
+  }
+  [[nodiscard]] Seconds end() const {
+    return start + time_on_air(params, payload_bytes);
+  }
+  [[nodiscard]] bool overlaps_in_time(const Transmission& other) const {
+    return start < other.end() && other.start < end();
+  }
+};
+
+// What happened to one packet at one gateway.
+enum class RxDisposition : std::uint8_t {
+  // Success: decoded and destined to this gateway's network.
+  kDelivered,
+  // Decoded fine, but the sync word revealed a foreign network; the packet
+  // consumed a decoder for its full duration and was then discarded
+  // (paper Sec. 3.1, Figs. 3e/3f).
+  kDecodedForeign,
+  // Preamble detected, but every decoder was busy at lock-on time: the
+  // decoder contention drop.
+  kDroppedDecoderBusy,
+  // A decoder was assigned but interference corrupted the payload
+  // (channel contention).
+  kDroppedCollision,
+  // Detected and decoded started but SNR below the demodulation threshold.
+  kDroppedLowSnr,
+  // Preamble never detected: signal below sensitivity at this gateway.
+  kNotDetected,
+  // Front-end truncated the packet: its channel is misaligned with every
+  // operating channel of this gateway (Strategy 8 isolation). No decoder
+  // was consumed.
+  kRejectedFrontEnd,
+};
+
+[[nodiscard]] constexpr bool consumed_decoder(RxDisposition d) {
+  return d == RxDisposition::kDelivered || d == RxDisposition::kDecodedForeign ||
+         d == RxDisposition::kDroppedCollision ||
+         d == RxDisposition::kDroppedLowSnr;
+}
+
+// A transmission as seen by one gateway's front-end.
+struct RxEvent {
+  Transmission tx{};
+  Dbm rx_power = -200.0;  // received signal power at this gateway
+};
+
+struct RxOutcome {
+  PacketId packet = 0;
+  NodeId node = kInvalidNode;
+  NetworkId network = 0;
+  RxDisposition disposition = RxDisposition::kNotDetected;
+  // For kDroppedDecoderBusy: true if at least one decoder was occupied by a
+  // foreign-network packet at the drop instant (inter-network contention).
+  bool foreign_among_occupants = false;
+  // For kDroppedCollision: true if the fatal interferer was foreign.
+  bool foreign_interferer = false;
+  // SNR at this gateway (for diagnostics and ADR input).
+  Db snr = -200.0;
+  // Index of the gateway operating channel the packet was taken on
+  // (-1 when not detected / rejected).
+  int chain_channel = -1;
+};
+
+}  // namespace alphawan

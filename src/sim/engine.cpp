@@ -1,0 +1,43 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace alphawan {
+
+void Engine::schedule_in(Seconds delay, EventQueue::Action action) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Engine::schedule_in: negative delay");
+  }
+  queue_.push(now_ + delay, std::move(action));
+}
+
+void Engine::schedule_at(Seconds when, EventQueue::Action action) {
+  if (when < now_) {
+    throw std::invalid_argument("Engine::schedule_at: time in the past");
+  }
+  queue_.push(when, std::move(action));
+}
+
+bool Engine::step(Seconds horizon) {
+  if (queue_.empty()) return false;
+  if (queue_.next_time() > horizon) return false;
+  auto action = queue_.pop(now_);
+  action();
+  return true;
+}
+
+std::size_t Engine::run(Seconds horizon) {
+  std::size_t executed = 0;
+  while (step(horizon)) ++executed;
+  if (!queue_.empty() && queue_.next_time() > horizon && now_ < horizon) {
+    now_ = horizon;
+  }
+  return executed;
+}
+
+void Engine::reset() {
+  now_ = 0.0;
+  queue_.clear();
+}
+
+}  // namespace alphawan

@@ -1,0 +1,34 @@
+// Discrete-event simulation engine: a clock plus an event queue. Used for
+// backhaul/latency simulations (Fig. 17) and time-stepped scenarios; the
+// radio itself is window-batched (see ScenarioRunner).
+#pragma once
+
+#include "sim/event_queue.hpp"
+
+namespace alphawan {
+
+class Engine {
+ public:
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  // Schedule relative to the current time.
+  void schedule_in(Seconds delay, EventQueue::Action action);
+  // Schedule at an absolute time (must not be in the past).
+  void schedule_at(Seconds when, EventQueue::Action action);
+
+  // Run until the queue drains or the horizon is reached. Returns the
+  // number of events executed.
+  std::size_t run(Seconds horizon = 1e18);
+
+  // Execute at most one event; returns false if the queue is empty or the
+  // next event is beyond the horizon.
+  bool step(Seconds horizon = 1e18);
+
+  void reset();
+
+ private:
+  Seconds now_ = 0.0;
+  EventQueue queue_;
+};
+
+}  // namespace alphawan

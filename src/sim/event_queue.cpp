@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace alphawan {
+
+void EventQueue::push(Seconds when, Action action) {
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+Seconds EventQueue::next_time() const {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::next_time on empty queue");
+  }
+  return heap_.top().when;
+}
+
+EventQueue::Action EventQueue::pop(Seconds& now) {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::pop on empty queue");
+  }
+  // priority_queue::top() is const; move is safe because we pop right away.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now = entry.when;
+  return std::move(entry.action);
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_seq_ = 0;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,47 @@
+// Discrete-event scheduling primitives: a time-ordered queue with stable
+// FIFO ordering among simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace alphawan {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedule an action at absolute time `when`.
+  void push(Seconds when, Action action);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] Seconds next_time() const;
+
+  // Pop and return the earliest event's action, advancing `now` out-param.
+  Action pop(Seconds& now);
+
+  void clear();
+
+ private:
+  struct Entry {
+    Seconds when = 0.0;
+    std::uint64_t seq = 0;  // insertion order for deterministic ties
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace alphawan

@@ -1,0 +1,133 @@
+#include "sim/metrics.hpp"
+
+namespace alphawan {
+
+std::string_view loss_cause_name(LossCause cause) {
+  switch (cause) {
+    case LossCause::kDelivered: return "delivered";
+    case LossCause::kDecoderContentionIntra: return "decoder-contention-intra";
+    case LossCause::kDecoderContentionInter: return "decoder-contention-inter";
+    case LossCause::kChannelContentionIntra: return "channel-contention-intra";
+    case LossCause::kChannelContentionInter: return "channel-contention-inter";
+    case LossCause::kOther: return "other";
+  }
+  return "?";
+}
+
+PacketFate classify_packet(const Transmission& tx,
+                           const std::vector<RxOutcome>& own_gateway_outcomes) {
+  PacketFate fate;
+  fate.packet = tx.id;
+  fate.node = tx.node;
+  fate.network = tx.network;
+  fate.payload_bytes = tx.payload_bytes;
+  fate.dr = sf_to_dr(tx.params.sf);
+
+  bool decoder_drop = false;
+  bool decoder_drop_foreign = false;
+  bool collision = false;
+  bool collision_foreign = false;
+  for (const auto& out : own_gateway_outcomes) {
+    switch (out.disposition) {
+      case RxDisposition::kDelivered:
+        fate.delivered = true;
+        fate.cause = LossCause::kDelivered;
+        return fate;
+      case RxDisposition::kDroppedDecoderBusy:
+        decoder_drop = true;
+        decoder_drop_foreign |= out.foreign_among_occupants;
+        break;
+      case RxDisposition::kDroppedCollision:
+        collision = true;
+        collision_foreign |= out.foreign_interferer;
+        break;
+      default:
+        break;
+    }
+  }
+  if (decoder_drop) {
+    fate.cause = decoder_drop_foreign ? LossCause::kDecoderContentionInter
+                                      : LossCause::kDecoderContentionIntra;
+  } else if (collision) {
+    fate.cause = collision_foreign ? LossCause::kChannelContentionInter
+                                   : LossCause::kChannelContentionIntra;
+  } else {
+    fate.cause = LossCause::kOther;
+  }
+  return fate;
+}
+
+void MetricsCollector::record(const PacketFate& fate) {
+  fates_.push_back(fate);
+  auto& net = per_network_[fate.network];
+  ++net.offered;
+  ++total_offered_;
+  if (fate.delivered) {
+    ++net.delivered;
+    ++total_delivered_;
+    net.delivered_bytes += fate.payload_bytes;
+    total_delivered_bytes_ += fate.payload_bytes;
+    ++net.served[fate.node];
+  } else {
+    net.causes.add(fate.cause);
+    total_causes_.add(fate.cause);
+  }
+}
+
+std::size_t MetricsCollector::offered(NetworkId network) const {
+  const auto it = per_network_.find(network);
+  return it == per_network_.end() ? 0 : it->second.offered;
+}
+
+std::size_t MetricsCollector::delivered(NetworkId network) const {
+  const auto it = per_network_.find(network);
+  return it == per_network_.end() ? 0 : it->second.delivered;
+}
+
+double MetricsCollector::prr(NetworkId network) const {
+  const std::size_t off = offered(network);
+  return off == 0 ? 0.0
+                  : static_cast<double>(delivered(network)) /
+                        static_cast<double>(off);
+}
+
+double MetricsCollector::total_prr() const {
+  return total_offered_ == 0 ? 0.0
+                             : static_cast<double>(total_delivered_) /
+                                   static_cast<double>(total_offered_);
+}
+
+double MetricsCollector::loss_fraction(LossCause cause) const {
+  return total_offered_ == 0
+             ? 0.0
+             : static_cast<double>(total_causes_.get(cause)) /
+                   static_cast<double>(total_offered_);
+}
+
+double MetricsCollector::loss_fraction(NetworkId network,
+                                       LossCause cause) const {
+  const auto it = per_network_.find(network);
+  if (it == per_network_.end() || it->second.offered == 0) return 0.0;
+  return static_cast<double>(it->second.causes.get(cause)) /
+         static_cast<double>(it->second.offered);
+}
+
+std::size_t MetricsCollector::delivered_bytes(NetworkId network) const {
+  const auto it = per_network_.find(network);
+  return it == per_network_.end() ? 0 : it->second.delivered_bytes;
+}
+
+std::size_t MetricsCollector::served_nodes(NetworkId network) const {
+  const auto it = per_network_.find(network);
+  return it == per_network_.end() ? 0 : it->second.served.size();
+}
+
+std::size_t MetricsCollector::total_served_nodes() const {
+  std::size_t total = 0;
+  for (const auto& [net, data] : per_network_) total += data.served.size();
+  return total;
+}
+
+void MetricsCollector::clear() { *this = MetricsCollector{}; }
+
+}  // namespace alphawan

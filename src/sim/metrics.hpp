@@ -1,0 +1,90 @@
+// Packet-fate classification and metric aggregation. Every lost packet is
+// attributed to a cause, which is what lets the Fig. 4 / Fig. 13c loss
+// breakdowns be direct queries on the simulation rather than guesses.
+#pragma once
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "radio/transmission.hpp"
+
+namespace alphawan {
+
+enum class LossCause : std::uint8_t {
+  kDelivered,
+  kDecoderContentionIntra,  // dropped at lock-on, all occupants own-network
+  kDecoderContentionInter,  // dropped at lock-on, foreign packets held decoders
+  kChannelContentionIntra,  // RF collision with an own-network packet
+  kChannelContentionInter,  // RF collision with a foreign packet
+  kOther,                   // low SNR, out of range, front-end rejected
+};
+
+[[nodiscard]] std::string_view loss_cause_name(LossCause cause);
+
+struct PacketFate {
+  PacketId packet = 0;
+  NodeId node = kInvalidNode;
+  NetworkId network = 0;
+  bool delivered = false;
+  LossCause cause = LossCause::kOther;
+  std::uint32_t payload_bytes = 0;
+  DataRate dr = DataRate::kDR0;  // data rate the packet used
+};
+
+// Classify a packet from its outcomes at the gateways OF ITS OWN NETWORK.
+// Delivery by any gateway wins; otherwise the "most actionable" cause is
+// chosen: decoder contention > channel contention > other.
+[[nodiscard]] PacketFate classify_packet(
+    const Transmission& tx, const std::vector<RxOutcome>& own_gateway_outcomes);
+
+class MetricsCollector {
+ public:
+  void record(const PacketFate& fate);
+
+  [[nodiscard]] std::size_t offered(NetworkId network) const;
+  [[nodiscard]] std::size_t delivered(NetworkId network) const;
+  [[nodiscard]] std::size_t total_offered() const { return total_offered_; }
+  [[nodiscard]] std::size_t total_delivered() const { return total_delivered_; }
+
+  [[nodiscard]] double prr(NetworkId network) const;
+  [[nodiscard]] double total_prr() const;
+
+  // Fraction of OFFERED packets lost to each cause (sums with PRR to 1).
+  [[nodiscard]] double loss_fraction(LossCause cause) const;
+  [[nodiscard]] double loss_fraction(NetworkId network, LossCause cause) const;
+
+  // Delivered application bytes (for throughput = bytes / window).
+  [[nodiscard]] std::size_t delivered_bytes(NetworkId network) const;
+  [[nodiscard]] std::size_t total_delivered_bytes() const {
+    return total_delivered_bytes_;
+  }
+
+  // Distinct nodes with >= 1 delivered packet (the paper's "concurrent
+  // users supported" when each node offers one packet).
+  [[nodiscard]] std::size_t served_nodes(NetworkId network) const;
+  [[nodiscard]] std::size_t total_served_nodes() const;
+
+  [[nodiscard]] const std::vector<PacketFate>& fates() const { return fates_; }
+
+  void clear();
+
+ private:
+  struct PerNetwork {
+    std::size_t offered = 0;
+    std::size_t delivered = 0;
+    std::size_t delivered_bytes = 0;
+    Tally<LossCause> causes;
+    std::map<NodeId, std::size_t> served;
+  };
+
+  std::map<NetworkId, PerNetwork> per_network_;
+  std::vector<PacketFate> fates_;
+  std::size_t total_offered_ = 0;
+  std::size_t total_delivered_ = 0;
+  std::size_t total_delivered_bytes_ = 0;
+  Tally<LossCause> total_causes_;
+};
+
+}  // namespace alphawan

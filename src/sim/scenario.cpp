@@ -1,0 +1,122 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+
+#include "radio/detector.hpp"
+
+namespace alphawan {
+namespace {
+constexpr std::uint64_t kGatewayKeyBase = 1ULL << 32;
+}
+
+std::size_t WindowResult::total_delivered() const {
+  std::size_t total = 0;
+  for (const auto& [net, n] : delivered) total += n;
+  return total;
+}
+
+std::size_t WindowResult::total_offered() const {
+  std::size_t total = 0;
+  for (const auto& [net, n] : offered) total += n;
+  return total;
+}
+
+ScenarioRunner::ScenarioRunner(Deployment& deployment, std::uint64_t seed)
+    : deployment_(deployment), rng_(seed) {}
+
+WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
+  WindowResult result;
+  auto& channel = deployment_.channel_model();
+  for (const auto& network : deployment_.networks()) {
+    result.offered[network.id()] = 0;
+    result.delivered[network.id()] = 0;
+    result.served_nodes[network.id()] = 0;
+  }
+
+  // Per own-network outcomes of each packet, keyed by its index in txs.
+  std::vector<std::vector<RxOutcome>> own_outcomes(txs.size());
+  std::map<PacketId, std::size_t> index_of;
+  for (std::size_t i = 0; i < txs.size(); ++i) index_of[txs[i].id] = i;
+
+  for (auto& network : deployment_.networks()) {
+    std::vector<UplinkRecord> uplinks;
+    for (auto& gw : network.gateways()) {
+      // Build this gateway's view of the air.
+      std::vector<RxEvent> events;
+      events.reserve(txs.size());
+      std::vector<std::size_t> event_tx_index;
+      event_tx_index.reserve(txs.size());
+      const Db floor =
+          noise_floor_dbm(kLoRaBandwidth125k) - prune_margin_;
+      for (std::size_t i = 0; i < txs.size(); ++i) {
+        const auto& tx = txs[i];
+        const Meters dist = distance(tx.origin, gw.position());
+        const Dbm rx_power =
+            channel.received_power(tx.node, kGatewayKeyBase + gw.id(), dist,
+                                   tx.tx_power, rng_) +
+            gw.antenna_gain_towards(tx.origin);
+        if (rx_power < floor) continue;
+        events.push_back(RxEvent{tx, rx_power});
+        event_tx_index.push_back(i);
+      }
+
+      auto outcomes = gw.receive_window(events, uplinks);
+      if (post_) {
+        post_(gw, events, outcomes);
+        // Post-processors may promote outcomes to kDelivered; forward
+        // newly delivered packets to the server like the radio would.
+        for (std::size_t e = 0; e < outcomes.size(); ++e) {
+          const auto& out = outcomes[e];
+          if (out.disposition != RxDisposition::kDelivered) continue;
+          const bool already = std::any_of(
+              uplinks.begin(), uplinks.end(), [&](const UplinkRecord& r) {
+                return r.packet == out.packet && r.gateway == gw.id();
+              });
+          if (already) continue;
+          UplinkRecord rec;
+          rec.packet = out.packet;
+          rec.node = out.node;
+          rec.gateway = gw.id();
+          rec.network = network.id();
+          rec.timestamp = events[e].tx.end();
+          rec.channel = events[e].tx.channel;
+          rec.dr = sf_to_dr(events[e].tx.params.sf);
+          rec.snr = out.snr;
+          uplinks.push_back(rec);
+        }
+      }
+      for (std::size_t e = 0; e < outcomes.size(); ++e) {
+        const auto& tx_ref = events[e].tx;
+        if (tx_ref.network != network.id()) continue;  // foreign at this GW
+        own_outcomes[event_tx_index[e]].push_back(outcomes[e]);
+      }
+    }
+    network.server().ingest(uplinks);
+  }
+
+  // Classify every offered packet against its own network's gateways.
+  std::map<NetworkId, std::set<NodeId>> served;
+  result.fates.reserve(txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    PacketFate fate = classify_packet(txs[i], own_outcomes[i]);
+    ++result.offered[fate.network];
+    if (fate.delivered) {
+      ++result.delivered[fate.network];
+      served[fate.network].insert(fate.node);
+    }
+    result.fates.push_back(std::move(fate));
+  }
+  for (const auto& [net, nodes] : served) {
+    result.served_nodes[net] = nodes.size();
+  }
+  return result;
+}
+
+WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs,
+                                        MetricsCollector& metrics) {
+  WindowResult result = run_window(txs);
+  for (const auto& fate : result.fates) metrics.record(fate);
+  return result;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,62 @@
+// ScenarioRunner: the glue that runs one window of traffic through every
+// gateway of every coexisting network, feeds the network servers, and
+// classifies packet fates. This is the top-level simulation API used by
+// benches, examples, and AlphaWAN's measurement loop.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/topology.hpp"
+
+namespace alphawan {
+
+// Optional per-gateway outcome post-processor (hook used by the CIC
+// baseline to resolve collisions a stock gateway cannot). Receives the
+// events the gateway saw and may rewrite outcome dispositions.
+using RxPostProcessor = std::function<void(
+    const Gateway& gw, const std::vector<RxEvent>& events,
+    std::vector<RxOutcome>& outcomes)>;
+
+struct WindowResult {
+  // Fate of every offered packet (across all networks).
+  std::vector<PacketFate> fates;
+  // Delivered unique packets per network in this window.
+  std::map<NetworkId, std::size_t> delivered;
+  std::map<NetworkId, std::size_t> offered;
+  // Distinct nodes served per network.
+  std::map<NetworkId, std::size_t> served_nodes;
+
+  [[nodiscard]] std::size_t total_delivered() const;
+  [[nodiscard]] std::size_t total_offered() const;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Deployment& deployment, std::uint64_t seed = 7);
+
+  // Transmissions weaker than noise_floor - margin at a gateway are
+  // dropped from that gateway's event list (they can neither be received
+  // nor meaningfully interfere).
+  void set_prune_margin(Db margin) { prune_margin_ = margin; }
+  void set_post_processor(RxPostProcessor proc) { post_ = std::move(proc); }
+
+  // Run one window. Transmissions may belong to any network in the
+  // deployment; every gateway observes every transmission in range
+  // (including foreign ones — that is the point of the paper).
+  WindowResult run_window(const std::vector<Transmission>& txs);
+
+  // Convenience: run a window and add each fate to `metrics`.
+  WindowResult run_window(const std::vector<Transmission>& txs,
+                          MetricsCollector& metrics);
+
+ private:
+  Deployment& deployment_;
+  Rng rng_;
+  Db prune_margin_ = 25.0;
+  RxPostProcessor post_;
+};
+
+}  // namespace alphawan

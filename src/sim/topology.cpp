@@ -1,0 +1,83 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+
+#include "phy/sensitivity.hpp"
+
+namespace alphawan {
+namespace {
+// Keyspace separation for the channel model's (tx, rx) link cache.
+constexpr std::uint64_t kGatewayKeyBase = 1ULL << 32;
+}  // namespace
+
+Deployment::Deployment(Region region, Spectrum spectrum,
+                       ChannelModelConfig channel_config)
+    : region_(region), spectrum_(spectrum), channel_model_(channel_config) {}
+
+Network& Deployment::add_network(const std::string& name) {
+  networks_.emplace_back(next_network_id_++, name);
+  return networks_.back();
+}
+
+Network* Deployment::find_network(NetworkId id) {
+  const auto it =
+      std::find_if(networks_.begin(), networks_.end(),
+                   [&](const Network& n) { return n.id() == id; });
+  return it == networks_.end() ? nullptr : &*it;
+}
+
+std::vector<GatewayId> Deployment::place_gateways(
+    Network& network, std::size_t count, const GatewayProfile& profile,
+    Rng& rng) {
+  const auto positions = grid_placement(region_, count, rng);
+  std::vector<GatewayId> ids;
+  ids.reserve(count);
+  const auto plan0 = standard_plan(spectrum_, 0);
+  for (const auto& pos : positions) {
+    const GatewayId id = next_gateway_id();
+    auto& gw = network.add_gateway(id, pos, profile);
+    gw.apply_channels(GatewayChannelConfig{plan0.channels});
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Db Deployment::mean_snr(const EndNode& node, const Gateway& gw) {
+  const Meters dist = distance(node.position(), gw.position());
+  return channel_model_.mean_link_snr(node.id(), kGatewayKeyBase + gw.id(),
+                                      dist, node.config().tx_power) +
+         gw.antenna_gain_towards(node.position());
+}
+
+DataRate Deployment::feasible_dr(const EndNode& node, const Network& network,
+                                 Db margin) {
+  Db best = -1e9;
+  for (const auto& gw : network.gateways()) {
+    best = std::max(best, mean_snr(node, gw));
+  }
+  const auto dr = best_data_rate_for_snr(best, margin);
+  return dr.value_or(DataRate::kDR0);
+}
+
+std::vector<NodeId> Deployment::place_nodes(Network& network,
+                                            std::size_t count, Rng& rng) {
+  const auto positions = uniform_placement(region_, count, rng);
+  const auto channels = spectrum_.grid_channels();
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId id = next_node_id();
+    NodeRadioConfig cfg;
+    cfg.channel = channels[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(channels.size()) - 1))];
+    cfg.tx_power = kDefaultTxPower;
+    cfg.dr = DataRate::kDR0;
+    auto& node = network.add_node(id, positions[i], cfg);
+    cfg.dr = feasible_dr(node, network);
+    node.apply_config(cfg);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace alphawan

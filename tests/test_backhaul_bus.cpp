@@ -1,0 +1,109 @@
+#include "backhaul/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace alphawan {
+namespace {
+
+struct BusFixture : ::testing::Test {
+  Engine engine;
+  LatencyModel latency{LatencyModelConfig{}, 3};
+  MessageBus bus{engine, latency};
+};
+
+TEST_F(BusFixture, DeliversToAttachedEndpoint) {
+  std::vector<std::uint8_t> received;
+  EndpointId from_seen;
+  bus.attach("server", [&](const EndpointId& from,
+                           std::vector<std::uint8_t> data) {
+    from_seen = from;
+    received = std::move(data);
+  });
+  bus.send("gw-1", "server", {1, 2, 3});
+  engine.run();
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(from_seen, "gw-1");
+}
+
+TEST_F(BusFixture, LanDeliveryTakesPositiveTime) {
+  bool delivered = false;
+  bus.attach("a", [&](const EndpointId&, std::vector<std::uint8_t>) {
+    delivered = true;
+  });
+  bus.send("b", "a", std::vector<std::uint8_t>(1000, 0));
+  EXPECT_FALSE(delivered);
+  engine.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(engine.now(), 0.0);
+  EXPECT_LT(engine.now(), 0.1);  // LAN: sub-100ms
+}
+
+TEST_F(BusFixture, WanSlowerThanLan) {
+  bus.attach("x", [](const EndpointId&, std::vector<std::uint8_t>) {});
+  bus.send("y", "x", {1});
+  engine.run();
+  const Seconds lan_duration = engine.now();
+  bus.send("y", "x", {1}, /*wan=*/true);
+  engine.run();
+  const Seconds wan_duration = engine.now() - lan_duration;
+  EXPECT_GT(wan_duration, 0.02);  // WAN ~55 ms one way
+  EXPECT_GT(wan_duration, 10.0 * lan_duration);
+}
+
+TEST_F(BusFixture, UnknownEndpointCountsDropped) {
+  bus.send("a", "nowhere", {1});
+  engine.run();
+  EXPECT_EQ(bus.dropped(), 1u);
+}
+
+TEST_F(BusFixture, StatsAccumulate) {
+  bus.attach("s", [](const EndpointId&, std::vector<std::uint8_t>) {});
+  bus.send("c", "s", std::vector<std::uint8_t>(10, 0));
+  bus.send("c", "s", std::vector<std::uint8_t>(20, 0));
+  EXPECT_EQ(bus.stats().messages, 2u);
+  EXPECT_EQ(bus.stats().bytes, 30u);
+}
+
+TEST_F(BusFixture, DetachStopsDelivery) {
+  int hits = 0;
+  bus.attach("s", [&](const EndpointId&, std::vector<std::uint8_t>) {
+    ++hits;
+  });
+  bus.send("c", "s", {1});
+  engine.run();
+  bus.detach("s");
+  EXPECT_FALSE(bus.attached("s"));
+  bus.send("c", "s", {1});
+  engine.run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(bus.dropped(), 1u);
+}
+
+TEST(LatencyModelTest, RebootNearPaperMean) {
+  LatencyModel latency{LatencyModelConfig{}, 11};
+  RunningStats stats;
+  for (int i = 0; i < 500; ++i) stats.add(latency.gateway_reboot());
+  EXPECT_NEAR(stats.mean(), 4.62, 0.15);  // paper: 4.62 s average
+  EXPECT_GT(stats.min(), 0.4);
+}
+
+TEST(LatencyModelTest, MasterRoundTripInPaperRange) {
+  // Paper Fig. 17: the two operator-to-Master exchanges of an upgrade add
+  // 0.17-0.28 s, i.e. ~0.1 s per round trip.
+  LatencyModel latency{LatencyModelConfig{}, 13};
+  for (int i = 0; i < 200; ++i) {
+    const Seconds rtt = latency.master_round_trip();
+    EXPECT_GT(rtt, 0.05);
+    EXPECT_LT(rtt, 0.25);
+  }
+}
+
+TEST(LatencyModelTest, LanTransferScalesWithBytes) {
+  LatencyModel latency{LatencyModelConfig{}, 15};
+  EXPECT_LT(latency.lan_transfer(100), latency.lan_transfer(100'000'000));
+}
+
+}  // namespace
+}  // namespace alphawan

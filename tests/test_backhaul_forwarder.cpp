@@ -1,0 +1,135 @@
+#include "backhaul/forwarder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "phy/band_plan.hpp"
+
+namespace alphawan {
+namespace {
+
+UplinkRecord sample_record(PacketId packet) {
+  UplinkRecord rec;
+  rec.packet = packet;
+  rec.node = 10;
+  rec.gateway = 1;
+  rec.network = 2;
+  rec.timestamp = 12.5;
+  rec.channel = Channel{923.3e6, 125e3};
+  rec.dr = DataRate::kDR3;
+  rec.snr = -4.5;
+  return rec;
+}
+
+TEST(ForwarderCodec, PushDataRoundTrip) {
+  PushDataMsg msg;
+  msg.token = 77;
+  msg.gateway = 1;
+  msg.uplinks = {sample_record(1), sample_record(2)};
+  const auto bytes = encode_forwarder(msg);
+  const auto decoded = decode_forwarder(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* push = std::get_if<PushDataMsg>(&*decoded);
+  ASSERT_NE(push, nullptr);
+  EXPECT_EQ(push->token, 77);
+  ASSERT_EQ(push->uplinks.size(), 2u);
+  EXPECT_EQ(push->uplinks[0].packet, 1u);
+  EXPECT_EQ(push->uplinks[1].packet, 2u);
+  EXPECT_DOUBLE_EQ(push->uplinks[0].snr, -4.5);
+  EXPECT_EQ(push->uplinks[0].dr, DataRate::kDR3);
+}
+
+TEST(ForwarderCodec, AllOpsRoundTrip) {
+  for (const ForwarderMessage msg :
+       {ForwarderMessage{PushAckMsg{5}}, ForwarderMessage{PullDataMsg{6, 9}},
+        ForwarderMessage{PullAckMsg{7}}}) {
+    const auto decoded = decode_forwarder(encode_forwarder(msg));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->index(), msg.index());
+  }
+  PullRespMsg resp;
+  resp.token = 8;
+  resp.gateway = 3;
+  resp.channels = {Channel{923.3e6 + 75e3, 125e3}};
+  const auto decoded = decode_forwarder(encode_forwarder(resp));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* r = std::get_if<PullRespMsg>(&*decoded);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->channels.size(), 1u);
+  EXPECT_DOUBLE_EQ(r->channels[0].center, 923.3e6 + 75e3);
+}
+
+TEST(ForwarderCodec, TruncationRejected) {
+  const auto bytes = encode_forwarder(PushDataMsg{1, 2, {sample_record(1)}});
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 3) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_FALSE(decode_forwarder(prefix).has_value()) << cut;
+  }
+}
+
+TEST(ForwarderCodec, GarbageRejected) {
+  EXPECT_FALSE(decode_forwarder({}).has_value());
+  const std::vector<std::uint8_t> junk = {0x99, 0x01};
+  EXPECT_FALSE(decode_forwarder(junk).has_value());
+}
+
+struct ForwarderFixture : ::testing::Test {
+  Engine engine;
+  LatencyModel latency{LatencyModelConfig{}, 21};
+  MessageBus bus{engine, latency};
+  Network network{2, "op"};
+  NetworkServer& server = network.server();
+
+  ForwarderFixture() {
+    auto& gw = network.add_gateway(1, {0, 0}, default_profile());
+    gw.apply_channels(
+        GatewayChannelConfig{standard_plan(spectrum_1m6(), 0).channels});
+  }
+};
+
+TEST_F(ForwarderFixture, PushDataReachesServerAndIsAcked) {
+  ForwarderServer fwd_server(server, bus);
+  GatewayForwarder agent(network.gateways()[0], bus, fwd_server.endpoint());
+  agent.push_uplinks({sample_record(1), sample_record(2)});
+  EXPECT_EQ(agent.unacked_pushes(), 1u);
+  engine.run();
+  EXPECT_EQ(agent.unacked_pushes(), 0u);
+  EXPECT_EQ(fwd_server.uplink_batches(), 1u);
+  EXPECT_EQ(server.delivered_packets(), 2u);
+}
+
+TEST_F(ForwarderFixture, ConfigPushNeedsPullPath) {
+  ForwarderServer fwd_server(server, bus);
+  GatewayForwarder agent(network.gateways()[0], bus, fwd_server.endpoint());
+  // Without a PULL_DATA, the server has no downlink path.
+  EXPECT_FALSE(fwd_server.push_config(1, {Channel{923.3e6, 125e3}}));
+  agent.pull();
+  engine.run();
+  ASSERT_TRUE(fwd_server.pull_paths().contains(1));
+  const int reboots_before = network.gateways()[0].reboot_count();
+  const std::vector<Channel> new_plan = {Channel{923.3e6 + 37.5e3, 125e3},
+                                         Channel{923.5e6 + 37.5e3, 125e3}};
+  EXPECT_TRUE(fwd_server.push_config(1, new_plan));
+  engine.run();
+  EXPECT_EQ(agent.configs_applied(), 1u);
+  EXPECT_EQ(network.gateways()[0].channels(), new_plan);
+  EXPECT_EQ(network.gateways()[0].reboot_count(), reboots_before + 1);
+}
+
+TEST_F(ForwarderFixture, ConfigForUnknownGatewayIgnored) {
+  ForwarderServer fwd_server(server, bus);
+  GatewayForwarder agent(network.gateways()[0], bus, fwd_server.endpoint());
+  agent.pull();
+  engine.run();
+  // Addressed to gateway 99: the agent for gateway 1 must not apply it.
+  PullRespMsg resp;
+  resp.token = 9;
+  resp.gateway = 99;
+  resp.channels = {Channel{923.3e6, 125e3}};
+  bus.send(fwd_server.endpoint(), agent.endpoint(), encode_forwarder(resp));
+  engine.run();
+  EXPECT_EQ(agent.configs_applied(), 0u);
+}
+
+}  // namespace
+}  // namespace alphawan

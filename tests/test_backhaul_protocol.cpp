@@ -1,0 +1,86 @@
+#include "backhaul/master_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alphawan {
+namespace {
+
+template <typename T>
+T round_trip(const T& msg) {
+  const auto bytes = encode_message(msg);
+  const auto decoded = decode_message(bytes);
+  EXPECT_TRUE(decoded.has_value());
+  const T* typed = std::get_if<T>(&*decoded);
+  EXPECT_NE(typed, nullptr);
+  return *typed;
+}
+
+TEST(MasterProtocol, RegisterRoundTrip) {
+  RegisterMsg msg{7, "operator-seven"};
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(MasterProtocol, RegisterAckRoundTrip) {
+  RegisterAckMsg msg{7, 123};
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(MasterProtocol, PlanRequestRoundTrip) {
+  PlanRequestMsg msg{3, 916.8e6, 4.8e6, 24};
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(MasterProtocol, PlanAssignRoundTrip) {
+  PlanAssignMsg msg;
+  msg.operator_id = 2;
+  msg.overlap_ratio = 0.4;
+  msg.frequency_offset = 75e3;
+  msg.channels = {Channel{923.3e6 + 75e3, 125e3}, Channel{923.5e6 + 75e3, 125e3}};
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(MasterProtocol, PlanAssignEmptyChannels) {
+  PlanAssignMsg msg;
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(MasterProtocol, ErrorRoundTrip) {
+  ErrorMsg msg{42, "nope"};
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(MasterProtocol, UnknownTagRejected) {
+  std::vector<std::uint8_t> bytes = {0xFF, 0x00};
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(MasterProtocol, EmptyRejected) {
+  EXPECT_FALSE(decode_message({}).has_value());
+}
+
+TEST(MasterProtocol, TruncationRejected) {
+  const auto bytes = encode_message(PlanRequestMsg{3, 916.8e6, 4.8e6, 24});
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_FALSE(decode_message(prefix).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(MasterProtocol, TrailingGarbageRejected) {
+  auto bytes = encode_message(RegisterMsg{1, "x"});
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(MasterProtocol, AbsurdChannelCountRejected) {
+  BufferWriter w;
+  w.u8(4);  // kPlanAssign
+  w.u16(1);
+  w.f64(0.4);
+  w.f64(0.0);
+  w.u32(1u << 30);  // claims a billion channels
+  EXPECT_FALSE(decode_message(w.data()).has_value());
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,123 @@
+#include "backhaul/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alphawan {
+namespace {
+
+TEST(Wire, PrimitiveRoundTrip) {
+  BufferWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(-2.5);
+  w.str("hello");
+  BufferReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.f64(), -2.5);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, LittleEndianLayout) {
+  BufferWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.data()[0], 0x02);
+  EXPECT_EQ(w.data()[1], 0x01);
+}
+
+TEST(Wire, TruncatedReadFails) {
+  BufferWriter w;
+  w.u16(7);
+  BufferReader r(w.data());
+  EXPECT_TRUE(r.u8().has_value());
+  EXPECT_FALSE(r.u16().has_value());  // only 1 byte left
+  EXPECT_FALSE(r.ok());
+  // Latched: even a fitting read now fails.
+  EXPECT_FALSE(r.u8().has_value());
+}
+
+TEST(Wire, StringWithBadLengthFails) {
+  BufferWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8('x');
+  BufferReader r(w.data());
+  EXPECT_FALSE(r.str().has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, EmptyString) {
+  BufferWriter w;
+  w.str("");
+  BufferReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Wire, FramingRoundTrip) {
+  BufferWriter w;
+  w.str("payload");
+  const auto framed = frame_message(w.data());
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.feed(framed));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, w.data());
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Wire, FramingHandlesPartialDelivery) {
+  BufferWriter w;
+  w.u32(0xCAFEBABE);
+  const auto framed = frame_message(w.data());
+  FrameDecoder decoder;
+  // Feed one byte at a time (TCP-style fragmentation).
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    const std::uint8_t byte = framed[i];
+    EXPECT_TRUE(decoder.feed({&byte, 1}));
+    if (i + 1 < framed.size()) {
+      EXPECT_FALSE(decoder.next().has_value());
+    }
+  }
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+TEST(Wire, FramingMultipleMessages) {
+  BufferWriter a, b;
+  a.u8(1);
+  b.u8(2);
+  auto stream = frame_message(a.data());
+  const auto second = frame_message(b.data());
+  stream.insert(stream.end(), second.begin(), second.end());
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.feed(stream));
+  EXPECT_EQ((*decoder.next())[0], 1);
+  EXPECT_EQ((*decoder.next())[0], 2);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Wire, OversizedFramePoisons) {
+  BufferWriter w;
+  w.u32(kMaxFrameBytes + 1);
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.feed(w.data()));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_FALSE(decoder.feed(w.data()));
+}
+
+TEST(Wire, EmptyPayloadFrame) {
+  const auto framed = frame_message({});
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.feed(framed));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(payload->empty());
+}
+
+}  // namespace
+}  // namespace alphawan

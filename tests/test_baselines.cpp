@@ -1,0 +1,232 @@
+#include "baselines/cic.hpp"
+#include "baselines/lmac.hpp"
+#include "baselines/random_cp.hpp"
+#include "baselines/standard_lorawan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/traffic.hpp"
+
+namespace alphawan {
+namespace {
+
+ChannelModelConfig quiet_channel() {
+  // The paper's controlled capacity experiments use stable links (fixed
+  // node placements, clear margins); heavy shadowing would conflate
+  // decoder contention with RF capture losses.
+  ChannelModelConfig cfg;
+  cfg.shadowing_sigma_db = 0.3;
+  cfg.fast_fading_sigma_db = 0.1;
+  return cfg;
+}
+
+struct BaselineFixture {
+  Deployment deployment{Region{1200.0, 1000.0}, spectrum_1m6()};
+  Network* network = nullptr;
+  Rng rng{41};
+
+  BaselineFixture() {
+    network = &deployment.add_network("op");
+    deployment.place_gateways(*network, 3, default_profile(), rng);
+    deployment.place_nodes(*network, 30, rng);
+  }
+};
+
+TEST(StandardLorawan, GatewaysHomogeneous) {
+  BaselineFixture f;
+  apply_standard_lorawan(f.deployment, *f.network, f.rng);
+  const auto& gws = f.network->gateways();
+  // 1.6 MHz holds a single standard plan: all identical.
+  for (std::size_t i = 1; i < gws.size(); ++i) {
+    EXPECT_EQ(gws[i].channels(), gws[0].channels());
+  }
+  EXPECT_EQ(gws[0].channels().size(), 8u);
+}
+
+TEST(StandardLorawan, AdrSkewsTowardsFastRates) {
+  // Fig. 6d/6e: standard ADR pushes most users to high DRs.
+  BaselineFixture f;
+  StandardLorawanOptions options;
+  options.use_adr = true;
+  apply_standard_lorawan(f.deployment, *f.network, f.rng, options);
+  int dr45 = 0;
+  for (const auto& node : f.network->nodes()) {
+    if (node.config().dr == DataRate::kDR5 ||
+        node.config().dr == DataRate::kDR4) {
+      ++dr45;
+    }
+  }
+  EXPECT_GT(dr45, static_cast<int>(f.network->nodes().size()) / 2);
+}
+
+TEST(StandardLorawan, NoAdrStaysAtDr0) {
+  BaselineFixture f;
+  StandardLorawanOptions options;
+  options.use_adr = false;
+  apply_standard_lorawan(f.deployment, *f.network, f.rng, options);
+  for (const auto& node : f.network->nodes()) {
+    EXPECT_EQ(node.config().dr, DataRate::kDR0);
+  }
+}
+
+TEST(RandomCp, ChannelsValidAndReduced) {
+  BaselineFixture f;
+  apply_random_cp(f.deployment, *f.network, f.rng);
+  for (const auto& gw : f.network->gateways()) {
+    EXPECT_GE(gw.channels().size(), 2u);
+    EXPECT_LE(gw.channels().size(), 4u);
+    EXPECT_TRUE(valid_for_profile(GatewayChannelConfig{gw.channels()},
+                                  gw.profile()));
+    // Channels sit on the standard grid.
+    for (const auto& ch : gw.channels()) {
+      const int idx = f.deployment.spectrum().nearest_grid_index(ch.center);
+      EXPECT_NEAR(ch.center, f.deployment.spectrum().grid_center(idx), 1.0);
+    }
+  }
+}
+
+TEST(Lmac, EliminatesInRangeSameChannelOverlap) {
+  BaselineFixture f;
+  std::vector<EndNode*> nodes;
+  // 6 nodes, all on the same channel and SF: guaranteed collisions
+  // without carrier sensing.
+  for (int i = 0; i < 6; ++i) {
+    NodeRadioConfig cfg;
+    cfg.channel = f.deployment.spectrum().grid_channel(0);
+    cfg.dr = DataRate::kDR5;
+    auto& node = f.network->add_node(f.deployment.next_node_id(),
+                                     Point{500.0 + i * 10.0, 500.0}, cfg);
+    nodes.push_back(&node);
+  }
+  PacketIdSource ids;
+  auto txs = concurrent_burst(nodes, 0.0, ids);
+  Rng rng(3);
+  const auto scheduled = lmac_schedule(txs, rng);
+  ASSERT_EQ(scheduled.size(), 6u);
+  // After CSMA, no two same-channel transmissions within sense range
+  // overlap in time.
+  for (std::size_t i = 0; i < scheduled.size(); ++i) {
+    for (std::size_t j = i + 1; j < scheduled.size(); ++j) {
+      EXPECT_FALSE(scheduled[i].overlaps_in_time(scheduled[j]))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Lmac, DifferentChannelsUntouched) {
+  BaselineFixture f;
+  std::vector<EndNode*> nodes;
+  for (int i = 0; i < 4; ++i) {
+    NodeRadioConfig cfg;
+    cfg.channel = f.deployment.spectrum().grid_channel(i);
+    cfg.dr = DataRate::kDR5;
+    nodes.push_back(&f.network->add_node(f.deployment.next_node_id(),
+                                         Point{500, 500}, cfg));
+  }
+  PacketIdSource ids;
+  auto txs = concurrent_burst(nodes, 0.0, ids);
+  Rng rng(5);
+  const auto scheduled = lmac_schedule(txs, rng);
+  for (const auto& tx : scheduled) EXPECT_DOUBLE_EQ(tx.start, 0.0);
+}
+
+TEST(Lmac, HiddenTerminalsStillCollide) {
+  BaselineFixture f;
+  std::vector<EndNode*> nodes;
+  NodeRadioConfig cfg;
+  cfg.channel = f.deployment.spectrum().grid_channel(0);
+  cfg.dr = DataRate::kDR5;
+  // Two nodes far apart (beyond the 1.5 km sense range).
+  nodes.push_back(&f.network->add_node(f.deployment.next_node_id(),
+                                       Point{0, 0}, cfg));
+  nodes.push_back(&f.network->add_node(f.deployment.next_node_id(),
+                                       Point{1200, 990}, cfg));
+  PacketIdSource ids;
+  auto txs = concurrent_burst(nodes, 0.0, ids);
+  LmacOptions options;
+  options.sense_range = 800.0;
+  Rng rng(7);
+  const auto scheduled = lmac_schedule(txs, rng, options);
+  EXPECT_TRUE(scheduled[0].overlaps_in_time(scheduled[1]));
+}
+
+TEST(Lmac, DeferralBounded) {
+  BaselineFixture f;
+  std::vector<EndNode*> nodes;
+  NodeRadioConfig cfg;
+  cfg.channel = f.deployment.spectrum().grid_channel(0);
+  cfg.dr = DataRate::kDR0;  // long airtime: deferrals add up
+  for (int i = 0; i < 10; ++i) {
+    nodes.push_back(&f.network->add_node(f.deployment.next_node_id(),
+                                         Point{500, 500}, cfg));
+  }
+  PacketIdSource ids;
+  auto txs = concurrent_burst(nodes, 0.0, ids);
+  LmacOptions options;
+  options.max_defer = 2.0;
+  Rng rng(9);
+  const auto scheduled = lmac_schedule(txs, rng, options);
+  for (const auto& tx : scheduled) {
+    EXPECT_LE(tx.start, 2.0 + 1e-9);
+  }
+}
+
+TEST(Cic, ResolvesSmallCollisions) {
+  // Two same-SF same-channel packets collide on a stock gateway; a CIC
+  // receiver recovers both.
+  Deployment deployment{Region{600.0, 600.0}, spectrum_1m6(), quiet_channel()};
+  auto& network = deployment.add_network("op");
+  auto& gw = network.add_gateway(1, deployment.region().center(),
+                                 default_profile());
+  gw.apply_channels(GatewayChannelConfig{
+      standard_plan(deployment.spectrum(), 0).channels});
+  NodeRadioConfig cfg;
+  cfg.channel = deployment.spectrum().grid_channel(0);
+  cfg.dr = DataRate::kDR3;
+  auto& n1 = network.add_node(1, {300, 310}, cfg);
+  auto& n2 = network.add_node(2, {310, 300}, cfg);
+
+  PacketIdSource ids;
+  ScenarioRunner runner(deployment);
+  std::vector<Transmission> txs = {n1.make_transmission(0.0, 10, ids.next()),
+                                   n2.make_transmission(0.0, 10, ids.next())};
+  const auto stock = runner.run_window(txs);
+  EXPECT_EQ(stock.total_delivered(), 0u);
+
+  ScenarioRunner cic_runner(deployment);
+  cic_runner.set_post_processor(make_cic_processor());
+  txs = {n1.make_transmission(10.0, 10, ids.next()),
+         n2.make_transmission(10.0, 10, ids.next())};
+  const auto with_cic = cic_runner.run_window(txs);
+  EXPECT_EQ(with_cic.total_delivered(), 2u);
+}
+
+TEST(Cic, BoundedResolvability) {
+  // Five overlapping same-channel packets exceed max_resolvable=3: CIC
+  // leaves them collided.
+  Deployment deployment{Region{600.0, 600.0}, spectrum_1m6(), quiet_channel()};
+  auto& network = deployment.add_network("op");
+  auto& gw = network.add_gateway(1, deployment.region().center(),
+                                 default_profile());
+  gw.apply_channels(GatewayChannelConfig{
+      standard_plan(deployment.spectrum(), 0).channels});
+  NodeRadioConfig cfg;
+  cfg.channel = deployment.spectrum().grid_channel(0);
+  cfg.dr = DataRate::kDR3;
+  std::vector<EndNode*> nodes;
+  // Equidistant ring: no capture winner, a genuine 5-way collision.
+  const Point ring[5] = {{330, 300}, {309, 329}, {276, 318}, {276, 282},
+                         {309, 271}};
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(
+        &network.add_node(static_cast<NodeId>(i + 1), ring[i], cfg));
+  }
+  PacketIdSource ids;
+  ScenarioRunner runner(deployment);
+  runner.set_post_processor(make_cic_processor());
+  const auto result = runner.run_window(concurrent_burst(nodes, 0.0, ids));
+  EXPECT_EQ(result.total_delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,93 @@
+#include "common/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace alphawan {
+namespace {
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, Bearing) {
+  EXPECT_NEAR(bearing({0, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(bearing({0, 0}, {0, 1}), std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(bearing({0, 0}, {-1, 0}), std::numbers::pi, 1e-12);
+}
+
+TEST(Geometry, RegionContains) {
+  Region r{100.0, 50.0};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({100, 50}));
+  EXPECT_FALSE(r.contains({101, 10}));
+  EXPECT_FALSE(r.contains({10, -1}));
+}
+
+TEST(Geometry, RandomPointInsideRegion) {
+  Region r{200.0, 300.0};
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(r.contains(r.random_point(rng)));
+  }
+}
+
+TEST(Geometry, GridPlacementCountAndBounds) {
+  Region r{2100.0, 1600.0};
+  Rng rng(3);
+  for (std::size_t count : {1u, 3u, 15u, 20u}) {
+    const auto pts = grid_placement(r, count, rng);
+    EXPECT_EQ(pts.size(), count);
+    for (const auto& p : pts) EXPECT_TRUE(r.contains(p));
+  }
+}
+
+TEST(Geometry, GridPlacementZero) {
+  Region r;
+  Rng rng(3);
+  EXPECT_TRUE(grid_placement(r, 0, rng).empty());
+}
+
+TEST(Geometry, GridPlacementSpreads) {
+  // With 4 gateways the pairwise minimum distance should be a sizable
+  // fraction of the region (not all clumped).
+  Region r{2000.0, 2000.0};
+  Rng rng(7);
+  const auto pts = grid_placement(r, 4, rng, 0.0);
+  double min_dist = 1e9;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      min_dist = std::min(min_dist, distance(pts[i], pts[j]));
+    }
+  }
+  EXPECT_GT(min_dist, 500.0);
+}
+
+TEST(Geometry, UniformPlacement) {
+  Region r{500.0, 500.0};
+  Rng rng(9);
+  const auto pts = uniform_placement(r, 100, rng);
+  EXPECT_EQ(pts.size(), 100u);
+  for (const auto& p : pts) EXPECT_TRUE(r.contains(p));
+}
+
+TEST(Geometry, ClusteredPlacementBoundsAndCount) {
+  Region r{1000.0, 1000.0};
+  Rng rng(11);
+  const auto pts = clustered_placement(r, 60, 3, 50.0, rng);
+  EXPECT_EQ(pts.size(), 60u);
+  for (const auto& p : pts) EXPECT_TRUE(r.contains(p));
+}
+
+TEST(Geometry, ClusteredPlacementZeroClustersStillWorks) {
+  Region r{1000.0, 1000.0};
+  Rng rng(13);
+  const auto pts = clustered_placement(r, 10, 0, 50.0, rng);
+  EXPECT_EQ(pts.size(), 10u);
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,175 @@
+#include "core/ga_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace alphawan {
+namespace {
+
+CpInstance make_instance(std::size_t num_gw, std::size_t num_nodes,
+                         int decoders = 16, int num_channels = 8) {
+  CpInstance inst;
+  inst.spectrum = Spectrum{923.2e6, num_channels * kChannelSpacing};
+  inst.num_channels = num_channels;
+  for (std::size_t j = 0; j < num_gw; ++j) {
+    inst.gateways.push_back(
+        {static_cast<GatewayId>(j + 1), decoders, 8, 8});
+  }
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    CpNode node;
+    node.id = static_cast<NodeId>(i + 1);
+    node.traffic = 1.0;
+    node.min_level.assign(num_gw, 0);
+    inst.nodes.push_back(node);
+  }
+  return inst;
+}
+
+GaConfig fast_config() {
+  GaConfig cfg;
+  cfg.population = 16;
+  cfg.generations = 30;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(GaSolver, InvalidInstanceThrows) {
+  CpInstance bad;
+  EXPECT_THROW(solve_cp(bad), std::invalid_argument);
+}
+
+TEST(GaSolver, FreezeWithoutInitialThrows) {
+  GaConfig cfg = fast_config();
+  cfg.freeze_nodes = true;
+  EXPECT_THROW(solve_cp(make_instance(1, 1), cfg), std::invalid_argument);
+}
+
+TEST(GaSolver, SolutionAlwaysFeasible) {
+  const auto inst = make_instance(3, 40);
+  const auto result = solve_cp(inst, fast_config());
+  EXPECT_TRUE(feasible(inst, result.best));
+}
+
+TEST(GaSolver, PerfectPlanForOracleScenario) {
+  // 5 GW x 16 decoders = 80 decoders for 48 users over 8 channels: the
+  // Fig. 5a setting. The solver should find a zero-risk plan.
+  const auto inst = make_instance(5, 48);
+  const auto result = solve_cp(inst, fast_config());
+  EXPECT_DOUBLE_EQ(result.best_eval.overload_risk, 0.0);
+  EXPECT_DOUBLE_EQ(result.best_eval.disconnected, 0.0);
+  EXPECT_DOUBLE_EQ(result.best_eval.pair_overload, 0.0);
+}
+
+TEST(GaSolver, NeverWorseThanGreedySeed) {
+  const auto inst = make_instance(4, 60, /*decoders=*/8);
+  const auto greedy_eval = evaluate(inst, greedy_seed(inst));
+  const auto result = solve_cp(inst, fast_config());
+  EXPECT_LE(result.best_eval.objective, greedy_eval.objective + 1e-9);
+}
+
+TEST(GaSolver, DeterministicUnderSeed) {
+  const auto inst = make_instance(3, 30);
+  const auto a = solve_cp(inst, fast_config());
+  const auto b = solve_cp(inst, fast_config());
+  EXPECT_DOUBLE_EQ(a.best_eval.objective, b.best_eval.objective);
+  EXPECT_EQ(a.best.node_channel, b.best.node_channel);
+}
+
+TEST(GaSolver, EarlyStopOnPerfectPlan) {
+  const auto inst = make_instance(5, 10);
+  GaConfig cfg = fast_config();
+  cfg.generations = 1000;
+  const auto result = solve_cp(inst, cfg);
+  EXPECT_LT(result.generations_run, 1000);
+  EXPECT_DOUBLE_EQ(result.best_eval.objective,
+                   evaluate(inst, result.best).objective);
+}
+
+TEST(GaSolver, ForcedChannelCountPropagates) {
+  const auto inst = make_instance(3, 20);
+  GaConfig cfg = fast_config();
+  cfg.forced_channel_count = 8;
+  const auto result = solve_cp(inst, cfg);
+  for (const auto& chans : result.best.gateway_channels) {
+    EXPECT_EQ(chans.size(), 8u);
+  }
+}
+
+TEST(GaSolver, FreezeNodesKeepsAssignments) {
+  const auto inst = make_instance(3, 20);
+  CpSolution initial = greedy_seed(inst);
+  GaConfig cfg = fast_config();
+  cfg.freeze_nodes = true;
+  cfg.initial = initial;
+  const auto result = solve_cp(inst, cfg);
+  EXPECT_EQ(result.best.node_channel, initial.node_channel);
+  EXPECT_EQ(result.best.node_level, initial.node_level);
+}
+
+TEST(GaSolver, OverloadedInstanceReportsResidualRisk) {
+  // 100 users, 1 gateway x 16 decoders: whatever the plan, most packets
+  // are at risk (phi ~ (k-16)/k for every connected user) or nodes are
+  // disconnected outright.
+  const auto inst = make_instance(1, 100);
+  const auto result = solve_cp(inst, fast_config());
+  EXPECT_GT(result.best_eval.objective, 10.0);
+}
+
+TEST(GaSolver, EvaluationCountTracked) {
+  const auto inst = make_instance(2, 10);
+  GaConfig cfg = fast_config();
+  cfg.early_stop = false;
+  const auto result = solve_cp(inst, cfg);
+  EXPECT_GE(result.evaluations,
+            static_cast<std::size_t>(cfg.population));
+}
+
+// Property sweep: for random instance shapes, the solver's best solution
+// is always structurally feasible and its reported evaluation is exactly
+// reproducible by re-evaluating the solution.
+class GaRandomInstances : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaRandomInstances, FeasibleAndSelfConsistent) {
+  Rng rng(GetParam());
+  CpInstance inst;
+  const int num_channels = static_cast<int>(rng.uniform_int(4, 32));
+  inst.spectrum = Spectrum{916.8e6, num_channels * kChannelSpacing};
+  inst.num_channels = num_channels;
+  const int num_gw = static_cast<int>(rng.uniform_int(1, 8));
+  for (int j = 0; j < num_gw; ++j) {
+    CpGateway gw;
+    gw.id = static_cast<GatewayId>(j + 1);
+    gw.decoders = static_cast<int>(rng.uniform_int(4, 32));
+    gw.max_channels = static_cast<int>(rng.uniform_int(1, 8));
+    gw.max_span_channels = static_cast<int>(rng.uniform_int(2, 16));
+    inst.gateways.push_back(gw);
+  }
+  const int num_nodes = static_cast<int>(rng.uniform_int(1, 120));
+  for (int i = 0; i < num_nodes; ++i) {
+    CpNode node;
+    node.id = static_cast<NodeId>(i + 1);
+    node.traffic = rng.uniform(0.2, 3.0);
+    node.min_level.resize(static_cast<std::size_t>(num_gw));
+    for (auto& level : node.min_level) {
+      const auto roll = rng.uniform_int(0, 7);
+      level = roll >= 6 ? kUnreachable : static_cast<std::uint8_t>(roll);
+    }
+    inst.nodes.push_back(std::move(node));
+  }
+  GaConfig cfg;
+  cfg.population = 12;
+  cfg.generations = 10;
+  cfg.seed = GetParam() * 3 + 1;
+  const auto result = solve_cp(inst, cfg);
+  EXPECT_TRUE(feasible(inst, result.best));
+  const auto re_eval = evaluate(inst, result.best);
+  EXPECT_DOUBLE_EQ(re_eval.objective, result.best_eval.objective);
+  EXPECT_GE(result.best_eval.disconnected, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaRandomInstances,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace alphawan

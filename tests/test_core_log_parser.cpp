@@ -1,0 +1,60 @@
+#include "core/log_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alphawan {
+namespace {
+
+UplinkRecord record(PacketId packet, NodeId node, GatewayId gw, Db snr,
+                    Seconds t = 0.0) {
+  UplinkRecord r;
+  r.packet = packet;
+  r.node = node;
+  r.gateway = gw;
+  r.snr = snr;
+  r.timestamp = t;
+  return r;
+}
+
+TEST(LogParser, BestSnrPerGateway) {
+  const std::vector<UplinkRecord> log = {
+      record(1, 10, 1, -5.0),
+      record(2, 10, 1, -2.0),
+      record(2, 10, 2, -9.0),
+  };
+  const auto links = parse_links(log);
+  const auto& node = links.nodes.at(10);
+  EXPECT_DOUBLE_EQ(node.gateway_snr.at(1), -2.0);
+  EXPECT_DOUBLE_EQ(node.gateway_snr.at(2), -9.0);
+  EXPECT_EQ(node.packets, 2u);  // packet 2 heard twice counts once
+}
+
+TEST(LogParser, EmptyLog) {
+  EXPECT_TRUE(parse_links({}).empty());
+}
+
+TEST(LogParser, TxPowerAnnotation) {
+  const std::vector<UplinkRecord> log = {record(1, 10, 1, -5.0)};
+  const auto links = parse_links(log, {{10, 8.0}});
+  EXPECT_DOUBLE_EQ(links.nodes.at(10).observed_tx_power, 8.0);
+  // Missing entries default to 14 dBm.
+  const auto defaults = parse_links(log);
+  EXPECT_DOUBLE_EQ(defaults.nodes.at(10).observed_tx_power, 14.0);
+}
+
+TEST(LogParser, PerWindowCountsBucketsByTime) {
+  const std::vector<UplinkRecord> log = {
+      record(1, 10, 1, 0.0, 5.0),    // window 0
+      record(2, 10, 1, 0.0, 15.0),   // window 1
+      record(3, 10, 1, 0.0, 16.0),   // window 1
+      record(4, 11, 1, 0.0, 25.0),   // window 2
+      record(4, 11, 2, 0.0, 25.0),   // duplicate of packet 4
+      record(5, 11, 1, 0.0, 99.0),   // beyond horizon: ignored
+  };
+  const auto series = per_window_counts(log, 10.0, 3);
+  EXPECT_EQ(series.at(10), (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(series.at(11), (std::vector<std::size_t>{0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace alphawan

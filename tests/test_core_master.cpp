@@ -1,0 +1,163 @@
+#include "core/master.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/overlap.hpp"
+
+namespace alphawan {
+namespace {
+
+MasterConfig config_for(int networks, double overlap = 0.4) {
+  MasterConfig cfg;
+  cfg.spectrum = Spectrum{923.2e6, 1.6e6};
+  cfg.desired_overlap = overlap;
+  cfg.expected_networks = networks;
+  return cfg;
+}
+
+TEST(Master, RegistrationAssignsStableSlots) {
+  MasterNode master(config_for(3));
+  (void)master.handle_register({1, "a"});
+  (void)master.handle_register({2, "b"});
+  (void)master.handle_register({1, "a-again"});
+  EXPECT_EQ(master.registered_operators(), 2u);
+  EXPECT_DOUBLE_EQ(*master.offset_of(1), 0.0);
+  EXPECT_GT(*master.offset_of(2), 0.0);
+}
+
+TEST(Master, UnregisteredOperatorHasNoOffset) {
+  MasterNode master(config_for(2));
+  EXPECT_FALSE(master.offset_of(9).has_value());
+}
+
+TEST(Master, PlanRequestBeforeRegisterIsError) {
+  MasterNode master(config_for(2));
+  const auto reply = master.handle_plan_request({5, 923.2e6, 1.6e6, 8});
+  EXPECT_NE(std::get_if<ErrorMsg>(&reply), nullptr);
+}
+
+TEST(Master, DesiredOverlapSetsOffsetStep) {
+  MasterNode master(config_for(2, /*overlap=*/0.4));
+  // delta = (1 - 0.4) * 125 kHz = 75 kHz.
+  EXPECT_NEAR(master.plan_offset_step(), 75e3, 1.0);
+  EXPECT_NEAR(master.effective_overlap(), 0.4, 1e-9);
+}
+
+TEST(Master, CompressesStepWhenManyNetworks) {
+  // 6 networks cannot fit at 40% overlap (capacity = 200/75 = 2 plans);
+  // the Master compresses to spacing/6 and reports the higher overlap.
+  MasterNode master(config_for(6, 0.4));
+  EXPECT_NEAR(master.plan_offset_step(), kChannelSpacing / 6.0, 1.0);
+  EXPECT_GT(master.effective_overlap(), 0.4);
+  EXPECT_LT(master.effective_overlap(), 0.95);
+}
+
+TEST(Master, AssignedPlansAreMisaligned) {
+  MasterNode master(config_for(2, 0.4));
+  (void)master.handle_register({1, "a"});
+  (void)master.handle_register({2, "b"});
+  const auto r1 = master.handle_plan_request({1, 923.2e6, 1.6e6, 8});
+  const auto r2 = master.handle_plan_request({2, 923.2e6, 1.6e6, 8});
+  const auto* p1 = std::get_if<PlanAssignMsg>(&r1);
+  const auto* p2 = std::get_if<PlanAssignMsg>(&r2);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  ASSERT_FALSE(p1->channels.empty());
+  ASSERT_FALSE(p2->channels.empty());
+  // Worst-case pairwise overlap must match the advertised ratio.
+  double worst = 0.0;
+  for (const auto& a : p1->channels) {
+    for (const auto& b : p2->channels) {
+      worst = std::max(worst, overlap_ratio(a, b));
+    }
+  }
+  EXPECT_NEAR(worst, p2->overlap_ratio, 0.02);
+  // And crucially: below the front-end detection threshold, so the
+  // networks are physically isolated (Strategy 8).
+  EXPECT_LT(worst, kDetectOverlapThreshold);
+}
+
+TEST(Master, ChannelsStayInsideSpectrum) {
+  MasterNode master(config_for(4, 0.2));
+  for (NetworkId op = 1; op <= 4; ++op) {
+    (void)master.handle_register({op, "op"});
+  }
+  for (NetworkId op = 1; op <= 4; ++op) {
+    const auto reply = master.handle_plan_request({op, 923.2e6, 1.6e6, 8});
+    const auto* assign = std::get_if<PlanAssignMsg>(&reply);
+    ASSERT_NE(assign, nullptr);
+    for (const auto& ch : assign->channels) {
+      EXPECT_TRUE(master.config().spectrum.contains(ch));
+    }
+  }
+}
+
+TEST(Master, BaseOffsetShiftsAllPlans) {
+  MasterConfig cfg = config_for(2, 0.4);
+  cfg.base_offset = 37.5e3;
+  MasterNode master(cfg);
+  (void)master.handle_register({1, "a"});
+  (void)master.handle_register({2, "b"});
+  EXPECT_DOUBLE_EQ(*master.offset_of(1), 37.5e3);
+  EXPECT_DOUBLE_EQ(*master.offset_of(2), 37.5e3 + master.plan_offset_step());
+  // Assigned channels sit off the standard grid by at least base_offset.
+  const auto reply = master.handle_plan_request({1, 923.2e6, 1.6e6, 8});
+  const auto* assign = std::get_if<PlanAssignMsg>(&reply);
+  ASSERT_NE(assign, nullptr);
+  const Spectrum spec{923.2e6, 1.6e6};
+  for (const auto& ch : assign->channels) {
+    const int idx = spec.nearest_grid_index(ch.center);
+    EXPECT_GT(std::abs(ch.center - spec.grid_center(idx)), 30e3);
+  }
+}
+
+TEST(MasterServiceTest, RoundTripOverBus) {
+  Engine engine;
+  LatencyModel latency{LatencyModelConfig{}, 5};
+  MessageBus bus(engine, latency);
+  MasterNode master(config_for(2));
+  MasterService service(master, bus);
+
+  std::optional<MasterMessage> reply;
+  bus.attach("operator-1", [&](const EndpointId&,
+                               std::vector<std::uint8_t> payload) {
+    reply = decode_message(payload);
+  });
+
+  bus.send("operator-1", MasterService::endpoint(),
+           encode_message(RegisterMsg{1, "op-1"}), /*wan=*/true);
+  engine.run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(std::get_if<RegisterAckMsg>(&*reply), nullptr);
+  // The exchange took two WAN legs (Fig. 17 component).
+  EXPECT_GT(engine.now(), 0.05);
+  EXPECT_LT(engine.now(), 0.3);
+
+  reply.reset();
+  bus.send("operator-1", MasterService::endpoint(),
+           encode_message(PlanRequestMsg{1, 923.2e6, 1.6e6, 8}), true);
+  engine.run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(std::get_if<PlanAssignMsg>(&*reply), nullptr);
+  EXPECT_EQ(service.requests_served(), 2u);
+}
+
+TEST(MasterServiceTest, MalformedMessageGetsError) {
+  Engine engine;
+  LatencyModel latency{LatencyModelConfig{}, 7};
+  MessageBus bus(engine, latency);
+  MasterNode master(config_for(2));
+  MasterService service(master, bus);
+
+  std::optional<MasterMessage> reply;
+  bus.attach("rogue", [&](const EndpointId&, std::vector<std::uint8_t> p) {
+    reply = decode_message(p);
+  });
+  bus.send("rogue", MasterService::endpoint(), {0xDE, 0xAD}, true);
+  engine.run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(std::get_if<ErrorMsg>(&*reply), nullptr);
+}
+
+}  // namespace
+}  // namespace alphawan

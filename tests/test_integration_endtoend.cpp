@@ -1,0 +1,247 @@
+// End-to-end reproductions (small scale) of the paper's headline
+// observations: the 16-user ceiling, the no-gain-from-extra-gateways
+// pathology, the cross-network capacity cap, and AlphaWAN lifting all
+// three.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "baselines/standard_lorawan.hpp"
+#include "core/controller.hpp"
+#include "core/traffic_estimator.hpp"
+#include "sim/scenario.hpp"
+#include "sim/traffic.hpp"
+
+namespace alphawan {
+namespace {
+
+ChannelModelConfig quiet_channel() {
+  // The paper's controlled capacity experiments use stable links (fixed
+  // node placements, clear margins); heavy shadowing would conflate
+  // decoder contention with RF capture losses.
+  ChannelModelConfig cfg;
+  cfg.shadowing_sigma_db = 0.3;
+  cfg.fast_fading_sigma_db = 0.1;
+  return cfg;
+}
+
+// Place nodes with explicitly orthogonal (channel, SF) pairs on a ring
+// around the region center, so received powers are balanced and there are
+// no RF collisions or coverage misses — the paper's controlled capacity
+// experiments do the same ("without packet collisions among the nodes").
+// The only bottleneck left is the decoder pool.
+std::vector<EndNode*> add_orthogonal_users(Deployment& deployment,
+                                           Network& network, int count,
+                                           Rng& rng, int pair_offset = 0) {
+  std::vector<EndNode*> nodes;
+  const auto channels = deployment.spectrum().grid_channels();
+  const Point center = deployment.region().center();
+  const double radius = 140.0;
+  for (int k = 0; k < count; ++k) {
+    const int i = k + pair_offset;
+    NodeRadioConfig cfg;
+    cfg.channel = channels[i % channels.size()];
+    cfg.dr = static_cast<DataRate>((i / channels.size()) % kNumDataRates);
+    cfg.tx_power = 14.0;
+    const double angle = 2.0 * std::numbers::pi *
+                         (static_cast<double>(k) + rng.uniform(0.0, 0.5)) /
+                         static_cast<double>(count);
+    const Point pos{center.x + radius * std::cos(angle),
+                    center.y + radius * std::sin(angle)};
+    nodes.push_back(
+        &network.add_node(deployment.next_node_id(), pos, cfg));
+  }
+  return nodes;
+}
+
+// Colocate gateways in a tight cluster at the region center, mirroring the
+// paper's lab-bench strategy studies (Fig. 5): every gateway sees every
+// node at a similar power, so orthogonal settings stay collision-free and
+// the decoder pool is the only bottleneck.
+void place_clustered_gateways(Deployment& deployment, Network& network,
+                              int count) {
+  const Point center = deployment.region().center();
+  const auto plan0 = standard_plan(deployment.spectrum(), 0);
+  for (int i = 0; i < count; ++i) {
+    const Point pos{center.x + 15.0 * i - 7.5 * (count - 1),
+                    center.y + 10.0 * (i % 2)};
+    auto& gw = network.add_gateway(deployment.next_gateway_id(), pos,
+                                   default_profile());
+    gw.apply_channels(GatewayChannelConfig{plan0.channels});
+  }
+}
+
+std::size_t run_concurrent(Deployment& deployment,
+                           std::vector<EndNode*> nodes, Seconds at,
+                           PacketIdSource& ids, NetworkId network_id,
+                           std::uint64_t seed = 7) {
+  ScenarioRunner runner(deployment, seed);
+  const auto txs = staggered_by_lock_on(std::move(nodes), at, 0.0004, ids);
+  const auto result = runner.run_window(txs);
+  const auto it = result.delivered.find(network_id);
+  return it == result.delivered.end() ? 0 : it->second;
+}
+
+TEST(EndToEnd, SixteenUserCeilingSingleGateway) {
+  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  auto& network = deployment.add_network("ttn");
+  Rng rng(1);
+  deployment.place_gateways(network, 1, default_profile(), rng);
+  auto nodes = add_orthogonal_users(deployment, network, 48, rng);
+  PacketIdSource ids;
+  EXPECT_EQ(run_concurrent(deployment, nodes, 0.0, ids, network.id()), 16u);
+}
+
+TEST(EndToEnd, ExtraHomogeneousGatewaysDoNotHelp) {
+  // Fig. 2a: 3 gateways on the same standard plan still deliver 16.
+  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  auto& network = deployment.add_network("ttn");
+  Rng rng(2);
+  deployment.place_gateways(network, 3, default_profile(), rng);
+  apply_standard_lorawan(deployment, network, rng);  // homogeneous plans
+  auto nodes = add_orthogonal_users(deployment, network, 48, rng);
+  PacketIdSource ids;
+  const auto delivered =
+      run_concurrent(deployment, nodes, 0.0, ids, network.id());
+  EXPECT_EQ(delivered, 16u);
+}
+
+TEST(EndToEnd, CoexistingNetworksShareTheSixteen) {
+  // Fig. 2b: two networks on the same spectrum; total received ~ 16.
+  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  auto& ttn = deployment.add_network("ttn");
+  auto& local = deployment.add_network("local");
+  Rng rng(3);
+  deployment.place_gateways(ttn, 1, default_profile(), rng);
+  deployment.place_gateways(local, 1, default_profile(), rng);
+  // The paper schedules the two networks' nodes on distinct sub-channel /
+  // data-rate combinations (no RF collisions between them).
+  auto ttn_nodes = add_orthogonal_users(deployment, ttn, 24, rng, 0);
+  auto local_nodes = add_orthogonal_users(deployment, local, 24, rng, 24);
+
+  // Interleave the two populations in lock-on time.
+  std::vector<EndNode*> all;
+  for (int i = 0; i < 24; ++i) {
+    all.push_back(ttn_nodes[static_cast<std::size_t>(i)]);
+    all.push_back(local_nodes[static_cast<std::size_t>(i)]);
+  }
+  PacketIdSource ids;
+  ScenarioRunner runner(deployment, 7);
+  const auto txs = staggered_by_lock_on(all, 0.0, 0.0004, ids);
+  const auto result = runner.run_window(txs);
+  const std::size_t total = result.total_delivered();
+  EXPECT_EQ(total, 16u);
+  // Both networks get some share, neither gets all.
+  EXPECT_GT(result.delivered.at(ttn.id()), 0u);
+  EXPECT_GT(result.delivered.at(local.id()), 0u);
+}
+
+TEST(EndToEnd, AlphaWanTriplesCapacityWithFiveGateways) {
+  // Fig. 5a / Sec. 1: same spectrum and users, AlphaWAN-planned gateways
+  // reach the 48-user oracle (3x standard LoRaWAN's 16).
+  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  auto& network = deployment.add_network("alpha");
+  Rng rng(4);
+  place_clustered_gateways(deployment, network, 5);
+  auto nodes = add_orthogonal_users(deployment, network, 48, rng);
+
+  LatencyModel latency{LatencyModelConfig{}, 5};
+  AlphaWanConfig cfg;
+  cfg.strategy8_spectrum_sharing = false;
+  cfg.planner.ga.population = 24;
+  cfg.planner.ga.generations = 40;
+  AlphaWanController controller(cfg, latency);
+  const auto links = oracle_link_estimates(deployment, network);
+  (void)controller.upgrade(network, deployment.spectrum(), links,
+                           uniform_traffic(network));
+
+  PacketIdSource ids;
+  const auto delivered =
+      run_concurrent(deployment, nodes, 0.0, ids, network.id());
+  EXPECT_GE(delivered, 44u);  // near-oracle (paper reaches the bound)
+}
+
+TEST(EndToEnd, SpectrumSharingIsolatesTwoNetworks) {
+  // Two coexisting 24-user networks, each with 3 gateways: with Master
+  // coordination both should comfortably beat the 16-packet shared
+  // ceiling of the standard setup.
+  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  auto& op1 = deployment.add_network("op1");
+  auto& op2 = deployment.add_network("op2");
+  Rng rng(5);
+  place_clustered_gateways(deployment, op1, 3);
+  place_clustered_gateways(deployment, op2, 3);
+  auto nodes1 = add_orthogonal_users(deployment, op1, 24, rng, 0);
+  auto nodes2 = add_orthogonal_users(deployment, op2, 24, rng, 24);
+
+  LatencyModel latency{LatencyModelConfig{}, 6};
+  MasterNode master(MasterConfig{deployment.spectrum(), 0.4, 2});
+  AlphaWanConfig cfg;
+  cfg.planner.ga.population = 24;
+  cfg.planner.ga.generations = 40;
+  AlphaWanController c1(cfg, latency), c2(cfg, latency);
+  const auto links1 = oracle_link_estimates(deployment, op1);
+  const auto links2 = oracle_link_estimates(deployment, op2);
+  (void)c1.upgrade(op1, deployment.spectrum(), links1, uniform_traffic(op1),
+                   &master);
+  (void)c2.upgrade(op2, deployment.spectrum(), links2, uniform_traffic(op2),
+                   &master);
+
+  std::vector<EndNode*> all;
+  for (int i = 0; i < 24; ++i) {
+    all.push_back(nodes1[static_cast<std::size_t>(i)]);
+    all.push_back(nodes2[static_cast<std::size_t>(i)]);
+  }
+  PacketIdSource ids;
+  ScenarioRunner runner(deployment, 8);
+  const auto txs = staggered_by_lock_on(all, 0.0, 0.0004, ids);
+  const auto result = runner.run_window(txs);
+  EXPECT_GT(result.delivered.at(op1.id()), 18u);
+  EXPECT_GT(result.delivered.at(op2.id()), 18u);
+  EXPECT_GT(result.total_delivered(), 36u);
+}
+
+TEST(EndToEnd, MeasurementDrivenPlanningPipeline) {
+  // The full log-driven path: run light traffic, parse server logs,
+  // estimate traffic, plan, and verify the plan applies. This exercises
+  // log_parser + traffic_estimator + planner together (no oracle data).
+  Deployment deployment{Region{800, 800}, spectrum_1m6()};
+  auto& network = deployment.add_network("op");
+  Rng rng(6);
+  deployment.place_gateways(network, 3, default_profile(), rng);
+  deployment.place_nodes(network, 20, rng);
+
+  // Measurement campaign: 5 sequential windows of sparse traffic.
+  ScenarioRunner runner(deployment, 9);
+  PacketIdSource ids;
+  std::vector<EndNode*> nodes;
+  for (auto& n : network.nodes()) nodes.push_back(&n);
+  for (int w = 0; w < 5; ++w) {
+    Rng traffic_rng(100 + static_cast<std::uint64_t>(w));
+    auto txs = poisson_traffic(nodes, 60.0, 0.01, traffic_rng, ids, 1.0);
+    for (auto& tx : txs) tx.start += w * 60.0;
+    (void)runner.run_window(txs);
+  }
+
+  const auto& log = network.server().log();
+  ASSERT_FALSE(log.empty());
+  const auto links = parse_links(log);
+  EXPECT_FALSE(links.empty());
+  const auto series = per_window_counts(log, 60.0, 5);
+  TrafficEstimator estimator;
+  const auto demand = estimator.estimate(series);
+  EXPECT_FALSE(demand.empty());
+
+  IntraPlannerConfig cfg;
+  cfg.ga.population = 12;
+  cfg.ga.generations = 15;
+  IntraPlanner planner(cfg);
+  const auto outcome =
+      planner.plan(network, deployment.spectrum(), links, demand);
+  EXPECT_NO_THROW(network.apply_config(outcome.config));
+  EXPECT_DOUBLE_EQ(outcome.eval.disconnected, 0.0);
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,104 @@
+#include "net/adr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alphawan {
+namespace {
+
+NodeRadioConfig base_config() {
+  NodeRadioConfig cfg;
+  cfg.channel = Channel{915e6, 125e3};
+  cfg.dr = DataRate::kDR0;
+  cfg.tx_power = 14.0;
+  return cfg;
+}
+
+LinkProfile profile_with_snr(Db snr) {
+  LinkProfile p;
+  p.uplinks = 5;
+  p.gateway_snr[1] = snr;
+  return p;
+}
+
+TEST(Adr, NoUplinksNoDecision) {
+  LinkProfile empty;
+  EXPECT_FALSE(standard_adr(base_config(), empty).has_value());
+}
+
+TEST(Adr, StrongLinkClimbsToDr5AndCutsPower) {
+  // SNR 15 dB vs SF12 threshold -20 and margin 8: huge headroom -> DR5 and
+  // reduced power (the Fig. 6d/6e skew).
+  const auto next = standard_adr(base_config(), profile_with_snr(15.0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->dr, DataRate::kDR5);
+  EXPECT_LT(next->tx_power, 14.0);
+}
+
+TEST(Adr, ModerateLinkPartialClimb) {
+  // SNR -10: margin over SF12 = -10 -(-20) - 8 = 2 dB -> 0 steps at 3 dB.
+  const auto none = standard_adr(base_config(), profile_with_snr(-10.0));
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(none->dr, DataRate::kDR0);
+  // SNR -3: margin = 9 -> 3 steps -> DR3.
+  const auto some = standard_adr(base_config(), profile_with_snr(-3.0));
+  ASSERT_TRUE(some.has_value());
+  EXPECT_EQ(some->dr, DataRate::kDR3);
+  EXPECT_DOUBLE_EQ(some->tx_power, 14.0);
+}
+
+TEST(Adr, PowerFloorRespected) {
+  const auto next = standard_adr(base_config(), profile_with_snr(60.0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_GE(next->tx_power, 2.0);
+  EXPECT_EQ(next->dr, DataRate::kDR5);
+}
+
+TEST(Adr, NegativeMarginBacksOff) {
+  NodeRadioConfig cfg = base_config();
+  cfg.dr = DataRate::kDR5;  // SF7 threshold -7.5
+  cfg.tx_power = 8.0;
+  // SNR -6: margin = -6 + 7.5 - 8 = -6.5 -> -3 steps: raise power to 14
+  // (2 steps), then drop DR by 1.
+  const auto next = standard_adr(cfg, profile_with_snr(-6.0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_DOUBLE_EQ(next->tx_power, 14.0);
+  EXPECT_EQ(next->dr, DataRate::kDR4);
+}
+
+TEST(Adr, KeepsChannel) {
+  const auto next = standard_adr(base_config(), profile_with_snr(15.0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->channel, base_config().channel);
+}
+
+TEST(Adr, UsesBestGatewaySnr) {
+  LinkProfile p;
+  p.uplinks = 3;
+  p.gateway_snr[1] = -15.0;
+  p.gateway_snr[2] = 10.0;  // the strong one dominates
+  const auto next = standard_adr(base_config(), p);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->dr, DataRate::kDR5);
+}
+
+TEST(Adr, AllNodesBatch) {
+  NetworkServer server(0);
+  std::vector<UplinkRecord> records;
+  UplinkRecord rec;
+  rec.packet = 1;
+  rec.node = 10;
+  rec.gateway = 1;
+  rec.snr = 20.0;
+  records.push_back(rec);
+  server.ingest(records);
+
+  std::map<NodeId, NodeRadioConfig> current;
+  current[10] = base_config();
+  current[11] = base_config();  // no uplinks: stays put
+  const auto next = standard_adr_all(current, server);
+  EXPECT_EQ(next.at(10).dr, DataRate::kDR5);
+  EXPECT_EQ(next.at(11).dr, DataRate::kDR0);
+}
+
+}  // namespace
+}  // namespace alphawan

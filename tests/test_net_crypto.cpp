@@ -1,0 +1,109 @@
+#include "net/crypto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alphawan {
+namespace {
+
+AesKey key_from(const std::uint8_t (&bytes)[16]) {
+  AesKey k;
+  std::copy(std::begin(bytes), std::end(bytes), k.begin());
+  return k;
+}
+
+TEST(Aes, Fips197Vector) {
+  const AesKey key = key_from({0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                               0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+                               0x0f});
+  AesBlock plain = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                    0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const AesBlock expected = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                             0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  EXPECT_EQ(Aes128(key).encrypt(plain), expected);
+}
+
+const AesKey kRfc4493Key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+TEST(Cmac, Rfc4493EmptyMessage) {
+  const AesBlock expected = {0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28,
+                             0x7f, 0xa3, 0x7d, 0x12, 0x9b, 0x75, 0x67, 0x46};
+  EXPECT_EQ(aes_cmac(kRfc4493Key, {}), expected);
+}
+
+TEST(Cmac, Rfc4493SixteenBytes) {
+  const std::uint8_t msg[16] = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f,
+                                0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+                                0x17, 0x2a};
+  const AesBlock expected = {0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44,
+                             0xf7, 0x9b, 0xdd, 0x9d, 0xd0, 0x4a, 0x28, 0x7c};
+  EXPECT_EQ(aes_cmac(kRfc4493Key, msg), expected);
+}
+
+TEST(Cmac, Rfc4493FortyBytes) {
+  const std::uint8_t msg[40] = {
+      0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d,
+      0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57,
+      0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf,
+      0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11};
+  const AesBlock expected = {0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30,
+                             0x30, 0xca, 0x32, 0x61, 0x14, 0x97, 0xc8, 0x27};
+  EXPECT_EQ(aes_cmac(kRfc4493Key, msg), expected);
+}
+
+TEST(LorawanCrypto, PayloadEncryptionIsInvolution) {
+  AesKey key{};
+  key.fill(0x42);
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                       11, 12, 13, 14, 15, 16, 17, 18};
+  const auto cipher = lorawan_encrypt_payload(key, 0x1234, 7, 0, payload);
+  EXPECT_NE(cipher, payload);
+  const auto plain = lorawan_encrypt_payload(key, 0x1234, 7, 0, cipher);
+  EXPECT_EQ(plain, payload);
+}
+
+TEST(LorawanCrypto, KeystreamDependsOnFcnt) {
+  AesKey key{};
+  key.fill(0x42);
+  const std::vector<std::uint8_t> payload(16, 0);
+  EXPECT_NE(lorawan_encrypt_payload(key, 1, 1, 0, payload),
+            lorawan_encrypt_payload(key, 1, 2, 0, payload));
+}
+
+TEST(LorawanCrypto, KeystreamDependsOnDirection) {
+  AesKey key{};
+  key.fill(0x42);
+  const std::vector<std::uint8_t> payload(16, 0);
+  EXPECT_NE(lorawan_encrypt_payload(key, 1, 1, 0, payload),
+            lorawan_encrypt_payload(key, 1, 1, 1, payload));
+}
+
+TEST(LorawanCrypto, EmptyPayload) {
+  AesKey key{};
+  EXPECT_TRUE(lorawan_encrypt_payload(key, 1, 1, 0, {}).empty());
+}
+
+TEST(LorawanCrypto, MicChangesWithAnyInput) {
+  AesKey key{};
+  key.fill(0x11);
+  const std::vector<std::uint8_t> msg = {1, 2, 3};
+  const auto base = lorawan_mic(key, 10, 20, 0, msg);
+  EXPECT_NE(base, lorawan_mic(key, 11, 20, 0, msg));
+  EXPECT_NE(base, lorawan_mic(key, 10, 21, 0, msg));
+  EXPECT_NE(base, lorawan_mic(key, 10, 20, 1, msg));
+  const std::vector<std::uint8_t> other = {1, 2, 4};
+  EXPECT_NE(base, lorawan_mic(key, 10, 20, 0, other));
+  AesKey key2{};
+  key2.fill(0x12);
+  EXPECT_NE(base, lorawan_mic(key2, 10, 20, 0, msg));
+}
+
+TEST(LorawanCrypto, MicDeterministic) {
+  AesKey key{};
+  key.fill(0x33);
+  const std::vector<std::uint8_t> msg = {9, 9, 9, 9};
+  EXPECT_EQ(lorawan_mic(key, 5, 6, 0, msg), lorawan_mic(key, 5, 6, 0, msg));
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,141 @@
+#include "net/mac_commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/channel_plan.hpp"
+
+namespace alphawan {
+namespace {
+
+TEST(MacCommands, LinkAdrReqRoundTrip) {
+  LinkAdrReq req;
+  req.data_rate = 5;
+  req.tx_power = 3;
+  req.ch_mask = 0b0000000010110001;
+  req.ch_mask_cntl = 2;
+  req.nb_trans = 1;
+  const auto bytes = encode_downlink_commands({{req}});
+  EXPECT_EQ(bytes.size(), 5u);  // CID + DataRate_TXPower + ChMask(2) + Redundancy
+  const auto decoded = decode_downlink_commands(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ(std::get<LinkAdrReq>((*decoded)[0]), req);
+}
+
+TEST(MacCommands, NewChannelReqRoundTripPreservesMisalignedFrequency) {
+  NewChannelReq req;
+  req.ch_index = 4;
+  req.frequency = 923.3e6 + 37.5e3;  // an AlphaWAN off-grid channel
+  req.min_dr = 0;
+  req.max_dr = 5;
+  const auto bytes = encode_downlink_commands({{req}});
+  EXPECT_EQ(bytes.size(), 6u);
+  const auto decoded = decode_downlink_commands(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<NewChannelReq>((*decoded)[0]), req);
+}
+
+TEST(MacCommands, MultipleCommandsInOneFOpts) {
+  NewChannelReq nc;
+  nc.ch_index = 1;
+  nc.frequency = 923.5e6;
+  LinkAdrReq adr;
+  adr.data_rate = 3;
+  const auto bytes = encode_downlink_commands({{nc, adr, DevStatusReq{}}});
+  EXPECT_EQ(bytes.size(), 6u + 5u + 1u);
+  EXPECT_LE(bytes.size(), 15u);  // still fits FOpts
+  const auto decoded = decode_downlink_commands(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<NewChannelReq>((*decoded)[0]));
+  EXPECT_TRUE(std::holds_alternative<LinkAdrReq>((*decoded)[1]));
+  EXPECT_TRUE(std::holds_alternative<DevStatusReq>((*decoded)[2]));
+}
+
+TEST(MacCommands, TruncatedStreamRejected) {
+  LinkAdrReq req;
+  auto bytes = encode_downlink_commands({{req}});
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_FALSE(decode_downlink_commands(prefix).has_value());
+  }
+}
+
+TEST(MacCommands, UnknownCidRejected) {
+  const std::vector<std::uint8_t> junk = {0x7F, 0x00};
+  EXPECT_FALSE(decode_downlink_commands(junk).has_value());
+  EXPECT_FALSE(decode_uplink_commands(junk).has_value());
+}
+
+TEST(MacCommands, UplinkAnswersRoundTrip) {
+  LinkAdrAns adr{true, false, true};
+  DevStatusAns status{180, -12};
+  NewChannelAns nc{true, true};
+  const auto bytes =
+      encode_uplink_commands({{adr, DutyCycleAns{}, status, nc}});
+  const auto decoded = decode_uplink_commands(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 4u);
+  EXPECT_EQ(std::get<LinkAdrAns>((*decoded)[0]), adr);
+  EXPECT_EQ(std::get<DevStatusAns>((*decoded)[2]), status);
+  EXPECT_EQ(std::get<NewChannelAns>((*decoded)[3]), nc);
+}
+
+TEST(MacCommands, DevStatusMarginSignSurvives) {
+  for (int margin : {-32, -12, -1, 0, 5, 31}) {
+    DevStatusAns ans{100, static_cast<std::int8_t>(margin)};
+    const auto bytes = encode_uplink_commands({{ans}});
+    const auto decoded = decode_uplink_commands(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(std::get<DevStatusAns>((*decoded)[0]).margin, margin);
+  }
+}
+
+TEST(MacCommands, TxPowerIndexLadder) {
+  EXPECT_EQ(tx_power_index(20.0), 0);
+  EXPECT_EQ(tx_power_index(14.0), 3);
+  EXPECT_EQ(tx_power_index(8.0), 6);
+  EXPECT_EQ(tx_power_index(2.0), 7);  // clamped to the deepest step
+  EXPECT_DOUBLE_EQ(tx_power_from_index(0), 20.0);
+  EXPECT_DOUBLE_EQ(tx_power_from_index(3), 14.0);
+  EXPECT_DOUBLE_EQ(tx_power_from_index(9), 6.0);  // out-of-range clamps
+}
+
+TEST(MacCommands, ConfigChangeEmitsChannelThenAdr) {
+  NodeRadioConfig current;
+  current.channel = Channel{923.3e6, 125e3};
+  current.dr = DataRate::kDR0;
+  current.tx_power = 14.0;
+  NodeRadioConfig next = current;
+  next.channel = Channel{923.3e6 + 75e3, 125e3};  // misaligned target
+  next.dr = DataRate::kDR4;
+  next.tx_power = 8.0;
+  const auto cmds = commands_for_config_change(current, next, 3);
+  ASSERT_EQ(cmds.commands.size(), 2u);
+  const auto& nc = std::get<NewChannelReq>(cmds.commands[0]);
+  EXPECT_EQ(nc.ch_index, 3);
+  EXPECT_NEAR(nc.frequency, next.channel.center, 100.0);
+  const auto& adr = std::get<LinkAdrReq>(cmds.commands[1]);
+  EXPECT_EQ(adr.data_rate, 4);
+  EXPECT_EQ(adr.ch_mask, 1u << 3);
+  EXPECT_EQ(cmds.bytes, 11u);
+}
+
+TEST(MacCommands, NoChangeNoCommands) {
+  NodeRadioConfig cfg;
+  const auto cmds = commands_for_config_change(cfg, cfg, 0);
+  EXPECT_TRUE(cmds.commands.empty());
+  EXPECT_EQ(cmds.bytes, 0u);
+}
+
+TEST(MacCommands, DrOnlyChangeSkipsNewChannel) {
+  NodeRadioConfig current;
+  NodeRadioConfig next = current;
+  next.dr = DataRate::kDR5;
+  const auto cmds = commands_for_config_change(current, next, 0);
+  ASSERT_EQ(cmds.commands.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<LinkAdrReq>(cmds.commands[0]));
+}
+
+}  // namespace
+}  // namespace alphawan

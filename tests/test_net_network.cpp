@@ -1,0 +1,103 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/band_plan.hpp"
+
+namespace alphawan {
+namespace {
+
+TEST(NetworkServerTest, IngestDeduplicatesAcrossGateways) {
+  NetworkServer server(0);
+  UplinkRecord a;
+  a.packet = 1;
+  a.node = 5;
+  a.gateway = 1;
+  a.snr = -3.0;
+  UplinkRecord b = a;
+  b.gateway = 2;
+  b.snr = 2.0;
+  server.ingest({a, b});
+  EXPECT_EQ(server.delivered_packets(), 1u);
+  EXPECT_TRUE(server.was_delivered(1));
+  EXPECT_FALSE(server.was_delivered(2));
+  EXPECT_EQ(server.log().size(), 2u);  // raw log keeps both receptions
+  EXPECT_EQ(server.per_node_delivered().at(5), 1u);
+}
+
+TEST(NetworkServerTest, LinkProfileTracksBestSnr) {
+  NetworkServer server(0);
+  UplinkRecord rec;
+  rec.packet = 1;
+  rec.node = 5;
+  rec.gateway = 1;
+  rec.snr = -10.0;
+  server.ingest({rec});
+  rec.packet = 2;
+  rec.snr = -4.0;
+  server.ingest({rec});
+  const auto& profile = server.link_profiles().at(5);
+  EXPECT_DOUBLE_EQ(profile.gateway_snr.at(1), -4.0);
+  EXPECT_DOUBLE_EQ(profile.best_snr(), -4.0);
+  EXPECT_EQ(profile.uplinks, 2u);
+}
+
+TEST(NetworkTest, SyncWordsDistinctPerNetwork) {
+  Network a(0, "public"), b(1, "op1"), c(2, "op2");
+  EXPECT_EQ(a.sync_word(), kPublicSyncWord);
+  EXPECT_NE(b.sync_word(), a.sync_word());
+  EXPECT_NE(b.sync_word(), c.sync_word());
+}
+
+TEST(NetworkTest, AddAndFindDevices) {
+  Network net(1, "test");
+  net.add_gateway(10, {0, 0}, default_profile());
+  net.add_node(20, {5, 5}, NodeRadioConfig{});
+  EXPECT_NE(net.find_gateway(10), nullptr);
+  EXPECT_EQ(net.find_gateway(11), nullptr);
+  EXPECT_NE(net.find_node(20), nullptr);
+  EXPECT_EQ(net.find_node(21), nullptr);
+}
+
+TEST(NetworkTest, ApplyConfigRoundTrips) {
+  Network net(1, "test");
+  const Spectrum s = spectrum_1m6();
+  net.add_gateway(10, {0, 0}, default_profile());
+  net.add_node(20, {5, 5}, NodeRadioConfig{});
+
+  NetworkChannelConfig config;
+  config.gateways[10] = GatewayChannelConfig{standard_plan(s, 0).channels};
+  NodeRadioConfig node_cfg;
+  node_cfg.channel = s.grid_channel(3);
+  node_cfg.dr = DataRate::kDR2;
+  node_cfg.tx_power = 8.0;
+  config.nodes[20] = node_cfg;
+  net.apply_config(config);
+
+  const auto current = net.current_config();
+  EXPECT_EQ(current.gateways.at(10).channels.size(), 8u);
+  EXPECT_EQ(current.nodes.at(20), node_cfg);
+  EXPECT_EQ(net.find_gateway(10)->reboot_count(), 1);
+}
+
+TEST(NetworkTest, ApplyConfigIgnoresUnknownIds) {
+  Network net(1, "test");
+  NetworkChannelConfig config;
+  config.gateways[99] = GatewayChannelConfig{{Channel{915e6, 125e3}}};
+  config.nodes[98] = NodeRadioConfig{};
+  EXPECT_NO_THROW(net.apply_config(config));
+}
+
+TEST(NetworkTest, GatewayAntennaSwap) {
+  Network net(0, "t");
+  auto& gw = net.add_gateway(1, {0, 0}, default_profile());
+  const Db omni = gw.antenna_gain_towards({100, 0});
+  gw.set_antenna(std::make_unique<DirectionalAntenna>(), 0.0);
+  const Db steered = gw.antenna_gain_towards({100, 0});
+  const Db behind = gw.antenna_gain_towards({-100, 0});
+  EXPECT_GT(steered, omni);
+  EXPECT_LT(behind, steered - 30.0);
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,78 @@
+#include "phy/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace alphawan {
+namespace {
+
+TEST(Capture, SameSfRequiresPositiveMargin) {
+  for (const auto sf : kAllSpreadingFactors) {
+    EXPECT_GT(capture_sir_threshold(sf, sf), 0.0);
+  }
+}
+
+TEST(Capture, CrossSfToleratesStrongerInterferer) {
+  for (const auto a : kAllSpreadingFactors) {
+    for (const auto b : kAllSpreadingFactors) {
+      if (a == b) continue;
+      EXPECT_LT(capture_sir_threshold(a, b), 0.0)
+          << sf_name(a) << " vs " << sf_name(b);
+    }
+  }
+}
+
+TEST(Capture, HigherSfIsMoreRobust) {
+  // SF12 tolerates stronger SF7 interference than SF8 does.
+  EXPECT_LT(capture_sir_threshold(SpreadingFactor::kSF12,
+                                  SpreadingFactor::kSF7),
+            capture_sir_threshold(SpreadingFactor::kSF8,
+                                  SpreadingFactor::kSF7));
+}
+
+TEST(Capture, SurvivesEquallyStrongOrthogonal) {
+  EXPECT_TRUE(survives_interference(SpreadingFactor::kSF9, -100.0,
+                                    SpreadingFactor::kSF7, -100.0));
+}
+
+TEST(Capture, DiesToEquallyStrongSameSf) {
+  EXPECT_FALSE(survives_interference(SpreadingFactor::kSF9, -100.0,
+                                     SpreadingFactor::kSF9, -100.0));
+}
+
+TEST(Capture, CaptureEffectWithStrongWanted) {
+  EXPECT_TRUE(survives_interference(SpreadingFactor::kSF9, -90.0,
+                                    SpreadingFactor::kSF9, -100.0));
+}
+
+TEST(Capture, CombinePowersDoublesEnergy) {
+  EXPECT_NEAR(combine_powers_dbm(-100.0, -100.0), -96.99, 0.02);
+}
+
+TEST(Capture, CombinePowersDominatedByStronger) {
+  EXPECT_NEAR(combine_powers_dbm(-80.0, -120.0), -80.0, 0.01);
+}
+
+class CaptureSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CaptureSweep, ThresholdConsistentWithSurvival) {
+  const auto [wi, ii] = GetParam();
+  const auto wanted = sf_from_index(wi);
+  const auto interferer = sf_from_index(ii);
+  const Db threshold = capture_sir_threshold(wanted, interferer);
+  const Dbm base = -100.0;
+  EXPECT_TRUE(survives_interference(wanted, base + threshold + 0.1,
+                                    interferer, base));
+  EXPECT_FALSE(survives_interference(wanted, base + threshold - 0.1,
+                                     interferer, base));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, CaptureSweep,
+    ::testing::Combine(::testing::Range(0, kNumSpreadingFactors),
+                       ::testing::Range(0, kNumSpreadingFactors)));
+
+}  // namespace
+}  // namespace alphawan

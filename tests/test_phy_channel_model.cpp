@@ -1,0 +1,94 @@
+#include "phy/channel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/sensitivity.hpp"
+
+namespace alphawan {
+namespace {
+
+TEST(ChannelModel, PathLossMonotoneInDistance) {
+  ChannelModel model;
+  double prev = model.mean_path_loss(1.0);
+  for (Meters d = 10.0; d < 5000.0; d *= 2.0) {
+    const double pl = model.mean_path_loss(d);
+    EXPECT_GT(pl, prev);
+    prev = pl;
+  }
+}
+
+TEST(ChannelModel, BelowReferenceDistanceClamped) {
+  ChannelModel model;
+  EXPECT_DOUBLE_EQ(model.mean_path_loss(0.1), model.mean_path_loss(1.0));
+}
+
+TEST(ChannelModel, ShadowingFrozenPerLink) {
+  ChannelModel model;
+  const Db a1 = model.link_path_loss(1, 2, 500.0);
+  const Db a2 = model.link_path_loss(1, 2, 500.0);
+  EXPECT_DOUBLE_EQ(a1, a2);
+}
+
+TEST(ChannelModel, ShadowingDiffersAcrossLinks) {
+  ChannelModel model;
+  const Db a = model.link_path_loss(1, 2, 500.0);
+  const Db b = model.link_path_loss(3, 2, 500.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ChannelModel, ShadowingDeterministicAcrossInstances) {
+  ChannelModelConfig cfg;
+  cfg.seed = 99;
+  ChannelModel m1(cfg), m2(cfg);
+  EXPECT_DOUBLE_EQ(m1.link_path_loss(5, 6, 800.0),
+                   m2.link_path_loss(5, 6, 800.0));
+}
+
+TEST(ChannelModel, FastFadingVariesPerPacket) {
+  ChannelModel model;
+  Rng rng(3);
+  const Dbm p1 = model.received_power(1, 2, 300.0, 14.0, rng);
+  const Dbm p2 = model.received_power(1, 2, 300.0, 14.0, rng);
+  EXPECT_NE(p1, p2);
+  EXPECT_NEAR(p1, p2, 10.0);  // but they stay close (sigma ~1 dB)
+}
+
+TEST(ChannelModel, RangeForSnrInvertsModel) {
+  ChannelModel model;
+  const Db target_snr = -10.0;
+  const Meters range = model.range_for_snr(target_snr, 14.0);
+  const Db snr_at_range =
+      14.0 - model.mean_path_loss(range) - noise_floor_dbm(kLoRaBandwidth125k);
+  EXPECT_NEAR(snr_at_range, target_snr, 0.2);
+}
+
+TEST(ChannelModel, UrbanRangesRealistic) {
+  // With defaults + 14 dBm, SF7 should reach hundreds of meters and SF12
+  // over a kilometer (the paper's testbed exercises all DRs over
+  // 2.1 x 1.6 km).
+  ChannelModel model;
+  const Meters sf7 = model.range_for_snr(
+      demod_snr_threshold(SpreadingFactor::kSF7), 14.0 + 2.0);
+  const Meters sf12 = model.range_for_snr(
+      demod_snr_threshold(SpreadingFactor::kSF12), 14.0 + 2.0);
+  EXPECT_GT(sf7, 300.0);
+  EXPECT_LT(sf7, 1500.0);
+  EXPECT_GT(sf12, 1000.0);
+  EXPECT_LT(sf12, 4000.0);
+  EXPECT_GT(sf12, sf7);
+}
+
+TEST(ChannelModel, MeanSnrDropsWithDistance) {
+  ChannelModel model;
+  EXPECT_GT(model.mean_link_snr(1, 2, 100.0, 14.0),
+            model.mean_link_snr(1, 2, 1000.0, 14.0));
+}
+
+TEST(ChannelModel, HigherPowerHigherSnr) {
+  ChannelModel model;
+  EXPECT_GT(model.mean_link_snr(1, 2, 500.0, 20.0),
+            model.mean_link_snr(1, 2, 500.0, 8.0));
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,156 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alphawan {
+namespace {
+
+Transmission tx_of(PacketId id, NetworkId network = 0) {
+  Transmission tx;
+  tx.id = id;
+  tx.node = static_cast<NodeId>(id * 10);
+  tx.network = network;
+  tx.payload_bytes = 10;
+  return tx;
+}
+
+RxOutcome outcome(RxDisposition d, bool foreign_occ = false,
+                  bool foreign_intf = false) {
+  RxOutcome o;
+  o.disposition = d;
+  o.foreign_among_occupants = foreign_occ;
+  o.foreign_interferer = foreign_intf;
+  return o;
+}
+
+TEST(Classify, DeliveredWinsOverEverything) {
+  const auto fate = classify_packet(
+      tx_of(1), {outcome(RxDisposition::kDroppedDecoderBusy),
+                 outcome(RxDisposition::kDelivered),
+                 outcome(RxDisposition::kDroppedCollision)});
+  EXPECT_TRUE(fate.delivered);
+  EXPECT_EQ(fate.cause, LossCause::kDelivered);
+}
+
+TEST(Classify, DecoderBeatsCollision) {
+  const auto fate = classify_packet(
+      tx_of(1), {outcome(RxDisposition::kDroppedCollision),
+                 outcome(RxDisposition::kDroppedDecoderBusy)});
+  EXPECT_FALSE(fate.delivered);
+  EXPECT_EQ(fate.cause, LossCause::kDecoderContentionIntra);
+}
+
+TEST(Classify, ForeignOccupantsMakeItInterNetwork) {
+  const auto fate = classify_packet(
+      tx_of(1),
+      {outcome(RxDisposition::kDroppedDecoderBusy, /*foreign=*/true)});
+  EXPECT_EQ(fate.cause, LossCause::kDecoderContentionInter);
+}
+
+TEST(Classify, CollisionInterVsIntra) {
+  EXPECT_EQ(classify_packet(tx_of(1),
+                            {outcome(RxDisposition::kDroppedCollision, false,
+                                     /*foreign_intf=*/true)})
+                .cause,
+            LossCause::kChannelContentionInter);
+  EXPECT_EQ(classify_packet(tx_of(1),
+                            {outcome(RxDisposition::kDroppedCollision)})
+                .cause,
+            LossCause::kChannelContentionIntra);
+}
+
+TEST(Classify, NoGatewaysMeansOther) {
+  const auto fate = classify_packet(tx_of(1), {});
+  EXPECT_FALSE(fate.delivered);
+  EXPECT_EQ(fate.cause, LossCause::kOther);
+}
+
+TEST(Classify, LowSnrIsOther) {
+  EXPECT_EQ(
+      classify_packet(tx_of(1), {outcome(RxDisposition::kNotDetected),
+                                 outcome(RxDisposition::kDroppedLowSnr)})
+          .cause,
+      LossCause::kOther);
+}
+
+TEST(Collector, PrrAndLossFractionsSumToOne) {
+  MetricsCollector m;
+  PacketFate delivered;
+  delivered.network = 0;
+  delivered.delivered = true;
+  delivered.cause = LossCause::kDelivered;
+  delivered.payload_bytes = 10;
+  PacketFate lost = delivered;
+  lost.delivered = false;
+  lost.cause = LossCause::kDecoderContentionIntra;
+
+  for (int i = 0; i < 7; ++i) {
+    delivered.packet = static_cast<PacketId>(i);
+    delivered.node = static_cast<NodeId>(i);
+    m.record(delivered);
+  }
+  for (int i = 0; i < 3; ++i) {
+    lost.packet = static_cast<PacketId>(100 + i);
+    m.record(lost);
+  }
+  EXPECT_DOUBLE_EQ(m.total_prr(), 0.7);
+  EXPECT_DOUBLE_EQ(m.loss_fraction(LossCause::kDecoderContentionIntra), 0.3);
+  EXPECT_DOUBLE_EQ(m.total_prr() +
+                       m.loss_fraction(LossCause::kDecoderContentionIntra),
+                   1.0);
+  EXPECT_EQ(m.total_delivered_bytes(), 70u);
+  EXPECT_EQ(m.served_nodes(0), 7u);
+}
+
+TEST(Collector, PerNetworkSeparation) {
+  MetricsCollector m;
+  PacketFate f;
+  f.delivered = true;
+  f.cause = LossCause::kDelivered;
+  f.network = 1;
+  f.packet = 1;
+  f.node = 1;
+  m.record(f);
+  f.network = 2;
+  f.delivered = false;
+  f.cause = LossCause::kChannelContentionInter;
+  f.packet = 2;
+  m.record(f);
+  EXPECT_DOUBLE_EQ(m.prr(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.prr(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.loss_fraction(2, LossCause::kChannelContentionInter),
+                   1.0);
+  EXPECT_DOUBLE_EQ(m.loss_fraction(1, LossCause::kChannelContentionInter),
+                   0.0);
+  EXPECT_EQ(m.total_offered(), 2u);
+}
+
+TEST(Collector, EmptyCollectorSafe) {
+  MetricsCollector m;
+  EXPECT_DOUBLE_EQ(m.total_prr(), 0.0);
+  EXPECT_DOUBLE_EQ(m.prr(9), 0.0);
+  EXPECT_EQ(m.total_served_nodes(), 0u);
+}
+
+TEST(Collector, ClearResets) {
+  MetricsCollector m;
+  PacketFate f;
+  f.delivered = true;
+  m.record(f);
+  m.clear();
+  EXPECT_EQ(m.total_offered(), 0u);
+}
+
+TEST(LossCauseNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (auto cause :
+       {LossCause::kDelivered, LossCause::kDecoderContentionIntra,
+        LossCause::kDecoderContentionInter, LossCause::kChannelContentionIntra,
+        LossCause::kChannelContentionInter, LossCause::kOther}) {
+    names.insert(loss_cause_name(cause));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,93 @@
+// Replay a single packet's event chain through one of the canonical
+// scenarios, or print the canonical digests (used to bless
+// tests/golden/digests.txt — see docs/testing.md).
+//
+// Usage:
+//   example_replay --digests
+//   example_replay [--scenario NAME] --replay PACKET_ID
+//   example_replay [--scenario NAME] --list
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "check/canonical.hpp"
+#include "check/replay.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: example_replay --digests\n"
+            << "       example_replay [--scenario NAME] --replay PACKET_ID\n"
+            << "       example_replay [--scenario NAME] --list\n"
+            << "scenarios:";
+  for (const auto& name : alphawan::canonical_names()) {
+    std::cerr << ' ' << name;
+  }
+  std::cerr << '\n';
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace alphawan;
+  std::string scenario_name = canonical_names().front();
+  bool list = false;
+  bool digests = false;
+  bool have_packet = false;
+  PacketId packet = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--digests") {
+      digests = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      scenario_name = argv[++i];
+    } else if (arg == "--replay" && i + 1 < argc) {
+      packet = static_cast<PacketId>(std::strtoull(argv[++i], nullptr, 10));
+      have_packet = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (digests) {
+    for (const auto& name : canonical_names()) {
+      std::cout << name << ' ' << digest_hex(canonical_digest(name)) << '\n';
+    }
+    return 0;
+  }
+  if (!list && !have_packet) return usage();
+
+  bool known = false;
+  for (const auto& name : canonical_names()) known |= (name == scenario_name);
+  if (!known) {
+    std::cerr << "unknown scenario: " << scenario_name << '\n';
+    return usage();
+  }
+  CanonicalScenario scenario = make_canonical(scenario_name);
+  if (list) {
+    ScenarioRunner runner(*scenario.deployment, scenario.seed);
+    const auto result = runner.run_window(scenario.txs);
+    std::cout << scenario.name << ": " << result.fates.size()
+              << " packets\n";
+    for (const auto& fate : result.fates) {
+      std::cout << "  packet " << fate.packet << " node " << fate.node
+                << " net " << fate.network << " -> "
+                << loss_cause_name(fate.cause)
+                << '\n';
+    }
+    return 0;
+  }
+
+  const ReplayReport report = replay_packet(
+      *scenario.deployment, scenario.seed, scenario.txs, packet);
+  std::cout << "scenario " << scenario.name << " seed " << scenario.seed
+            << '\n'
+            << report.to_string();
+  return report.found ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+#include "check/canonical.hpp"
+
+#include <stdexcept>
+
+namespace alphawan {
+namespace {
+
+ChannelModelConfig quiet_channel() {
+  ChannelModelConfig cfg;
+  cfg.shadowing_sigma_db = 0.3;
+  cfg.fast_fading_sigma_db = 0.1;
+  return cfg;
+}
+
+ChannelModelConfig urban_channel() {
+  ChannelModelConfig cfg;
+  cfg.shadowing_sigma_db = 3.0;
+  cfg.fast_fading_sigma_db = 0.8;
+  cfg.seed = 11;
+  return cfg;
+}
+
+EndNode& add_node(Deployment& deployment, Network& network, int grid_channel,
+                  DataRate dr, Point pos) {
+  NodeRadioConfig cfg;
+  cfg.channel = deployment.spectrum().grid_channel(grid_channel);
+  cfg.dr = dr;
+  cfg.tx_power = 14.0;
+  return network.add_node(deployment.next_node_id(), pos, cfg);
+}
+
+Gateway& add_gateway(Deployment& deployment, Network& network, Point pos) {
+  auto& gw = network.add_gateway(deployment.next_gateway_id(), pos,
+                                 default_profile());
+  gw.apply_channels(
+      GatewayChannelConfig{standard_plan(deployment.spectrum(), 0).channels});
+  return gw;
+}
+
+// 30 nodes bursting concurrently at one gateway: decoder contention is the
+// dominant loss (the Fig. 2 capacity-gap regime).
+CanonicalScenario burst_one_network() {
+  CanonicalScenario s;
+  s.name = "burst-1net";
+  s.seed = 7;
+  s.deployment = std::make_unique<Deployment>(Region{800.0, 800.0},
+                                              spectrum_1m6(), quiet_channel());
+  auto& network = s.deployment->add_network("op-a");
+  add_gateway(*s.deployment, network, s.deployment->region().center());
+  std::vector<EndNode*> nodes;
+  for (int i = 0; i < 30; ++i) {
+    nodes.push_back(&add_node(*s.deployment, network, i % 8,
+                              static_cast<DataRate>(i % 6),
+                              {360.0 + (i % 6) * 25.0, 370.0 + (i / 6) * 20.0}));
+  }
+  PacketIdSource ids;
+  s.txs = concurrent_burst(nodes, 0.0, ids);
+  return s;
+}
+
+// Two operators sharing the same standard plan: foreign packets claim
+// decoders, so inter-network decoder contention appears (Fig. 4 regime).
+CanonicalScenario coexist_two_networks() {
+  CanonicalScenario s;
+  s.name = "coexist-2net";
+  s.seed = 21;
+  s.deployment = std::make_unique<Deployment>(Region{900.0, 900.0},
+                                              spectrum_1m6(), quiet_channel());
+  auto& net_a = s.deployment->add_network("op-a");
+  auto& net_b = s.deployment->add_network("op-b");
+  add_gateway(*s.deployment, net_a, {430.0, 450.0});
+  add_gateway(*s.deployment, net_b, {470.0, 450.0});
+  std::vector<EndNode*> nodes;
+  for (int i = 0; i < 20; ++i) {
+    nodes.push_back(&add_node(*s.deployment, net_a, i % 8,
+                              static_cast<DataRate>(i % 6),
+                              {380.0 + (i % 5) * 22.0, 400.0 + (i / 5) * 18.0}));
+  }
+  for (int i = 0; i < 20; ++i) {
+    nodes.push_back(&add_node(*s.deployment, net_b, i % 8,
+                              static_cast<DataRate>((i + 3) % 6),
+                              {460.0 + (i % 5) * 22.0, 420.0 + (i / 5) * 18.0}));
+  }
+  PacketIdSource ids;
+  s.txs = staggered_by_lock_on(nodes, 0.0, 0.0008, ids);
+  return s;
+}
+
+// Urban fading, duplicated channels, and Poisson arrivals: channel
+// contention joins decoder contention (the Fig. 13 at-scale regime,
+// shrunk).
+CanonicalScenario contention_heavy() {
+  CanonicalScenario s;
+  s.name = "contention-heavy";
+  s.seed = 33;
+  s.deployment = std::make_unique<Deployment>(Region{1200.0, 1200.0},
+                                              spectrum_1m6(), urban_channel());
+  auto& network = s.deployment->add_network("op-a");
+  // SX1301-class gateways (8 decoders, not 16): with ~16 packets in flight
+  // on average the pool is the bottleneck, so decoder-contention losses are
+  // guaranteed alongside the channel-contention ones.
+  GatewayProfile profile = default_profile();
+  profile.decoders = 8;
+  for (const Point pos : {Point{500.0, 600.0}, Point{700.0, 600.0}}) {
+    auto& gw = network.add_gateway(s.deployment->next_gateway_id(), pos,
+                                   profile);
+    gw.apply_channels(GatewayChannelConfig{
+        standard_plan(s.deployment->spectrum(), 0).channels});
+  }
+  std::vector<EndNode*> nodes;
+  for (int i = 0; i < 48; ++i) {
+    // Only 4 distinct channels for 48 nodes: forced co-channel overlap.
+    nodes.push_back(&add_node(*s.deployment, network, i % 4,
+                              static_cast<DataRate>(i % 6),
+                              {420.0 + (i % 8) * 45.0, 480.0 + (i / 8) * 40.0}));
+  }
+  PacketIdSource ids;
+  Rng traffic_rng(5);
+  // A 1-second window at 2 pkt/s/node: ~50-80 packets crammed onto 4
+  // channels, overlapping heavily given SF9-SF12 airtimes of 0.2-1.2 s.
+  s.txs = poisson_traffic(nodes, 1.0, 2.0, traffic_rng, ids);
+  sort_by_start(s.txs);
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& canonical_names() {
+  static const std::vector<std::string> names = {
+      "burst-1net", "coexist-2net", "contention-heavy"};
+  return names;
+}
+
+CanonicalScenario make_canonical(std::string_view name) {
+  if (name == "burst-1net") return burst_one_network();
+  if (name == "coexist-2net") return coexist_two_networks();
+  if (name == "contention-heavy") return contention_heavy();
+  throw std::invalid_argument("unknown canonical scenario: " +
+                              std::string(name));
+}
+
+std::uint64_t canonical_digest(std::string_view name) {
+  CanonicalScenario s = make_canonical(name);
+  ScenarioRunner runner(*s.deployment, s.seed);
+  const WindowResult result = runner.run_window(s.txs);
+  return fate_digest(result.fates);
+}
+
+}  // namespace alphawan

@@ -1,0 +1,54 @@
+#include "check/digest.hpp"
+
+#include <cstring>
+
+namespace alphawan {
+namespace {
+
+std::uint64_t fold_u64(std::uint64_t value, std::uint64_t state) {
+  for (int i = 0; i < 8; ++i) {
+    state ^= (value >> (8 * i)) & 0xFF;
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t state) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state ^= bytes[i];
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+std::uint64_t fold_fate(const PacketFate& fate, std::uint64_t state) {
+  state = fold_u64(fate.packet, state);
+  state = fold_u64(fate.node, state);
+  state = fold_u64(fate.network, state);
+  state = fold_u64(fate.delivered ? 1 : 0, state);
+  state = fold_u64(static_cast<std::uint64_t>(fate.cause), state);
+  state = fold_u64(fate.payload_bytes, state);
+  state = fold_u64(static_cast<std::uint64_t>(fate.dr), state);
+  return state;
+}
+
+std::uint64_t fate_digest(const std::vector<PacketFate>& fates) {
+  std::uint64_t state = kFnv1aOffset;
+  for (const auto& fate : fates) state = fold_fate(fate, state);
+  return state;
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,33 @@
+// Run digests: an order-sensitive FNV-1a hash over the PacketFate stream
+// of a simulation run. Two runs with the same seed must produce the same
+// digest bit-for-bit; golden digests for the canonical scenarios (see
+// check/canonical.hpp) turn "did this refactor change simulation
+// behaviour?" into a single integer comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace alphawan {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+// Fold `len` bytes into a running FNV-1a state.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t len,
+                                  std::uint64_t state = kFnv1aOffset);
+
+// Digest of one fate (field-by-field, so struct padding never leaks in).
+[[nodiscard]] std::uint64_t fold_fate(const PacketFate& fate,
+                                      std::uint64_t state);
+
+// Digest of an ordered fate stream (a window or a whole run).
+[[nodiscard]] std::uint64_t fate_digest(const std::vector<PacketFate>& fates);
+
+// Lower-case 16-char hex rendering, as stored in golden files.
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
+
+}  // namespace alphawan

@@ -1,0 +1,41 @@
+// Observer hooks the radio pipeline exposes to the correctness harness.
+//
+// This header depends only on common/types.hpp so that radio-layer code can
+// include it without pulling in the checker itself. All callbacks default
+// to no-ops; instrumented components hold a nullable SimObserver* and skip
+// notification entirely when unset, so the hooks cost one pointer test on
+// the hot path.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace alphawan {
+
+class DecoderPool;
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  // ---- decoder pool lifecycle ----
+  virtual void on_pool_reset(const DecoderPool& /*pool*/) {}
+  virtual void on_pool_acquire(const DecoderPool& /*pool*/, Seconds /*now*/,
+                               Seconds /*until*/, NetworkId /*network*/,
+                               PacketId /*packet*/) {}
+  // `was_held` is false when the pool was asked to release a packet it does
+  // not hold (a double-free, which the checker reports).
+  virtual void on_pool_release(const DecoderPool& /*pool*/,
+                               PacketId /*packet*/, bool /*was_held*/) {}
+  virtual void on_pool_refusal(const DecoderPool& /*pool*/, Seconds /*now*/,
+                               NetworkId /*network*/, PacketId /*packet*/) {}
+
+  // ---- gateway radio dispatch ----
+  // A radio starts processing one window of events.
+  virtual void on_radio_window_begin() {}
+  // One detected packet is handed to the FCFS dispatcher. `arrival` is the
+  // transmission start, `lock_on` the end-of-preamble dispatch instant.
+  virtual void on_dispatch(Seconds /*arrival*/, Seconds /*lock_on*/,
+                           PacketId /*packet*/) {}
+};
+
+}  // namespace alphawan

@@ -1,0 +1,260 @@
+#include "check/invariants.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "radio/decoder_pool.hpp"
+
+namespace alphawan {
+namespace {
+
+std::string join(const std::vector<std::string>& parts) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out << "; ";
+    out << parts[i];
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void SimInvariants::violate(std::string message) {
+  if (fail_fast_) {
+    throw std::logic_error("SimInvariants: " + message);
+  }
+  violations_.push_back(std::move(message));
+}
+
+void SimInvariants::require_clean() const {
+  if (!ok()) {
+    throw std::logic_error("SimInvariants: " + join(violations_));
+  }
+}
+
+void SimInvariants::clear() {
+  pools_.clear();
+  violations_.clear();
+  last_lock_on_ = -1e300;
+  in_window_ = false;
+  windows_checked_ = 0;
+  events_observed_ = 0;
+}
+
+void SimInvariants::on_pool_reset(const DecoderPool& pool) {
+  pools_[&pool].held.clear();
+}
+
+void SimInvariants::on_pool_acquire(const DecoderPool& pool, Seconds now,
+                                    Seconds until, NetworkId network,
+                                    PacketId packet) {
+  (void)network;
+  ++events_observed_;
+  auto& state = pools_[&pool];
+  if (until < now) {
+    std::ostringstream msg;
+    msg << "decoder acquired for packet " << packet << " releases at "
+        << until << " before acquisition at " << now;
+    violate(msg.str());
+  }
+  if (!state.held.insert(packet).second) {
+    std::ostringstream msg;
+    msg << "packet " << packet << " acquired a decoder it already holds";
+    violate(msg.str());
+  }
+  if (state.held.size() > pool.capacity()) {
+    std::ostringstream msg;
+    msg << "decoder pool exceeded capacity " << pool.capacity() << " ("
+        << state.held.size() << " held) acquiring packet " << packet;
+    violate(msg.str());
+  }
+}
+
+void SimInvariants::on_pool_release(const DecoderPool& pool, PacketId packet,
+                                    bool was_held) {
+  ++events_observed_;
+  auto& state = pools_[&pool];
+  const bool tracked = state.held.erase(packet) > 0;
+  if (!was_held || !tracked) {
+    std::ostringstream msg;
+    msg << "packet " << packet
+        << " released a decoder it does not hold (double-free)";
+    violate(msg.str());
+  }
+}
+
+void SimInvariants::on_pool_refusal(const DecoderPool& pool, Seconds now,
+                                    NetworkId network, PacketId packet) {
+  (void)now;
+  (void)network;
+  ++events_observed_;
+  const auto& state = pools_[&pool];
+  if (state.held.size() < pool.capacity()) {
+    std::ostringstream msg;
+    msg << "packet " << packet << " was refused a decoder while only "
+        << state.held.size() << "/" << pool.capacity() << " are held";
+    violate(msg.str());
+  }
+}
+
+void SimInvariants::on_radio_window_begin() {
+  in_window_ = true;
+  last_lock_on_ = -1e300;
+}
+
+void SimInvariants::on_dispatch(Seconds arrival, Seconds lock_on,
+                                PacketId packet) {
+  ++events_observed_;
+  if (lock_on < arrival) {
+    std::ostringstream msg;
+    msg << "packet " << packet << " locked on at " << lock_on
+        << " before its arrival at " << arrival;
+    violate(msg.str());
+  }
+  if (in_window_ && lock_on < last_lock_on_) {
+    std::ostringstream msg;
+    msg << "FCFS violation: packet " << packet << " dispatched at lock-on "
+        << lock_on << " after a dispatch at " << last_lock_on_;
+    violate(msg.str());
+  }
+  last_lock_on_ = lock_on;
+}
+
+void SimInvariants::check_window(const WindowResult& result) {
+  ++windows_checked_;
+  std::map<NetworkId, std::size_t> offered;
+  std::map<NetworkId, std::size_t> delivered;
+  for (const auto& fate : result.fates) {
+    ++offered[fate.network];
+    if (fate.delivered) ++delivered[fate.network];
+    if (fate.delivered != (fate.cause == LossCause::kDelivered)) {
+      std::ostringstream msg;
+      msg << "packet " << fate.packet << " has delivered=" << fate.delivered
+          << " but cause=" << loss_cause_name(fate.cause);
+      violate(msg.str());
+    }
+  }
+  for (const auto& [network, count] : result.offered) {
+    const auto it = offered.find(network);
+    const std::size_t from_fates = it == offered.end() ? 0 : it->second;
+    if (count != from_fates) {
+      std::ostringstream msg;
+      msg << "network " << network << " offered count " << count
+          << " disagrees with fate stream (" << from_fates << ")";
+      violate(msg.str());
+    }
+  }
+  for (const auto& [network, count] : result.delivered) {
+    const auto it = delivered.find(network);
+    const std::size_t from_fates = it == delivered.end() ? 0 : it->second;
+    if (count != from_fates) {
+      std::ostringstream msg;
+      msg << "network " << network << " delivered count " << count
+          << " disagrees with fate stream (" << from_fates << ")";
+      violate(msg.str());
+    }
+  }
+  for (const auto& [network, count] : offered) {
+    if (!result.offered.contains(network)) {
+      std::ostringstream msg;
+      msg << "fate stream mentions network " << network
+          << " missing from the window's offered map";
+      violate(msg.str());
+    }
+    (void)count;
+  }
+}
+
+void SimInvariants::check_metrics(const MetricsCollector& metrics) {
+  const auto networks = metrics.networks();
+  std::size_t offered_sum = 0;
+  std::size_t delivered_sum = 0;
+  std::size_t bytes_sum = 0;
+  for (const NetworkId network : networks) {
+    const std::size_t offered = metrics.offered(network);
+    const std::size_t delivered = metrics.delivered(network);
+    offered_sum += offered;
+    delivered_sum += delivered;
+    bytes_sum += metrics.delivered_bytes(network);
+    std::size_t losses = 0;
+    for (const auto cause :
+         {LossCause::kDecoderContentionIntra, LossCause::kDecoderContentionInter,
+          LossCause::kChannelContentionIntra, LossCause::kChannelContentionInter,
+          LossCause::kOther}) {
+      losses += metrics.losses(network, cause);
+    }
+    if (offered != delivered + losses) {
+      std::ostringstream msg;
+      msg << "network " << network << " conservation broken: offered "
+          << offered << " != delivered " << delivered << " + losses "
+          << losses;
+      violate(msg.str());
+    }
+  }
+  if (offered_sum != metrics.total_offered()) {
+    std::ostringstream msg;
+    msg << "total offered " << metrics.total_offered()
+        << " != per-network sum " << offered_sum;
+    violate(msg.str());
+  }
+  if (delivered_sum != metrics.total_delivered()) {
+    std::ostringstream msg;
+    msg << "total delivered " << metrics.total_delivered()
+        << " != per-network sum " << delivered_sum;
+    violate(msg.str());
+  }
+  if (bytes_sum != metrics.total_delivered_bytes()) {
+    std::ostringstream msg;
+    msg << "total delivered bytes " << metrics.total_delivered_bytes()
+        << " != per-network sum " << bytes_sum;
+    violate(msg.str());
+  }
+  std::size_t total_losses = 0;
+  for (const auto cause :
+       {LossCause::kDecoderContentionIntra, LossCause::kDecoderContentionInter,
+        LossCause::kChannelContentionIntra, LossCause::kChannelContentionInter,
+        LossCause::kOther}) {
+    total_losses += metrics.losses(cause);
+  }
+  if (metrics.total_offered() != metrics.total_delivered() + total_losses) {
+    std::ostringstream msg;
+    msg << "total conservation broken: offered " << metrics.total_offered()
+        << " != delivered " << metrics.total_delivered() << " + losses "
+        << total_losses;
+    violate(msg.str());
+  }
+  if (metrics.fates().size() != metrics.total_offered()) {
+    std::ostringstream msg;
+    msg << "fate stream size " << metrics.fates().size()
+        << " != total offered " << metrics.total_offered();
+    violate(msg.str());
+  }
+  std::size_t delivered_fates = 0;
+  for (const auto& fate : metrics.fates()) {
+    if (fate.delivered) ++delivered_fates;
+  }
+  if (delivered_fates != metrics.total_delivered()) {
+    std::ostringstream msg;
+    msg << "delivered fates " << delivered_fates << " != total delivered "
+        << metrics.total_delivered();
+    violate(msg.str());
+  }
+}
+
+SimInvariants* invariants_from_env() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("ALPHAWAN_CHECK");
+    return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+  }();
+  if (!enabled) return nullptr;
+  static SimInvariants checker = [] {
+    SimInvariants c;
+    c.set_fail_fast(true);
+    return c;
+  }();
+  return &checker;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,90 @@
+// SimInvariants: the machine-checked guarantees behind the paper's loss
+// attribution. Every claim in Figs. 4/12/13 is a sum over per-packet fates,
+// so the harness asserts — per event and per run — that:
+//
+//   * offered == delivered + Σ(loss causes), per network and in total;
+//   * no decoder pool ever exceeds its capacity, double-acquires a packet,
+//     or releases a decoder it does not hold (double-free);
+//   * FCFS dispatch respects lock-on order, and no packet locks on before
+//     it arrived;
+//   * MetricsCollector totals match the per-network sums and the recorded
+//     fate stream.
+//
+// Attach a checker with ScenarioRunner::set_invariants (tests), or export
+// ALPHAWAN_CHECK=1 to arm a fail-fast process-wide checker in any binary
+// (benches, examples) without code changes.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/hooks.hpp"
+#include "sim/scenario.hpp"
+
+namespace alphawan {
+
+class SimInvariants final : public SimObserver {
+ public:
+  // When fail-fast, the first violation throws std::logic_error instead of
+  // being collected — the mode the env-armed bench checker uses.
+  void set_fail_fast(bool fail_fast) { fail_fast_ = fail_fast; }
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  // Throws std::logic_error listing all violations unless ok().
+  void require_clean() const;
+  void clear();
+
+  [[nodiscard]] std::size_t windows_checked() const {
+    return windows_checked_;
+  }
+  [[nodiscard]] std::size_t events_observed() const {
+    return events_observed_;
+  }
+
+  // ---- SimObserver hooks (called by instrumented components) ----
+  void on_pool_reset(const DecoderPool& pool) override;
+  void on_pool_acquire(const DecoderPool& pool, Seconds now, Seconds until,
+                       NetworkId network, PacketId packet) override;
+  void on_pool_release(const DecoderPool& pool, PacketId packet,
+                       bool was_held) override;
+  void on_pool_refusal(const DecoderPool& pool, Seconds now,
+                       NetworkId network, PacketId packet) override;
+  void on_radio_window_begin() override;
+  void on_dispatch(Seconds arrival, Seconds lock_on, PacketId packet) override;
+
+  // ---- aggregate checks ----
+  // Verify a window result: per-network offered/delivered maps agree with
+  // the fate stream, and delivered flags agree with causes.
+  void check_window(const WindowResult& result);
+  // Verify a metrics collector: totals equal per-network sums and
+  // offered == delivered + Σ(losses) at every level.
+  void check_metrics(const MetricsCollector& metrics);
+
+ private:
+  void violate(std::string message);
+
+  struct PoolState {
+    std::set<PacketId> held;
+  };
+
+  std::map<const DecoderPool*, PoolState> pools_;
+  Seconds last_lock_on_ = -1e300;
+  bool in_window_ = false;
+  std::vector<std::string> violations_;
+  bool fail_fast_ = false;
+  std::size_t windows_checked_ = 0;
+  std::size_t events_observed_ = 0;
+};
+
+// Process-wide fail-fast checker armed by the ALPHAWAN_CHECK environment
+// variable (any value except empty/"0"). Returns nullptr when disabled.
+// ScenarioRunner consults this at construction, so exporting the variable
+// turns the harness on in every bench and example at ~zero cost otherwise.
+[[nodiscard]] SimInvariants* invariants_from_env();
+
+}  // namespace alphawan

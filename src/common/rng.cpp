@@ -20,11 +20,26 @@ constexpr std::uint64_t rotl(std::uint64_t v, int k) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) { reseed(seed); }
+
+Rng::Rng(const Rng& other) : state_(other.state_), seed_(other.seed_) {}
+
+Rng& Rng::operator=(const Rng& other) {
+  state_ = other.state_;
+  seed_ = other.seed_;
+  cached_normal_ = 0.0;
+  has_cached_normal_ = false;
+  return *this;
+}
+
+void Rng::reseed(std::uint64_t seed) {
+  seed_ = seed;
   std::uint64_t s = seed;
   for (auto& word : state_) {
     word = splitmix64(s);
   }
+  cached_normal_ = 0.0;
+  has_cached_normal_ = false;
 }
 
 std::uint64_t Rng::next() {
@@ -84,5 +99,22 @@ double Rng::exponential(double rate) {
 bool Rng::chance(double p) { return uniform() < p; }
 
 Rng Rng::fork() { return Rng(next()); }
+
+Rng Rng::substream(std::string_view name) const {
+  // FNV-1a over the name, then one SplitMix64 round against the root seed.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return substream(h);
+}
+
+Rng Rng::substream(std::uint64_t a, std::uint64_t b) const {
+  std::uint64_t s = seed_;
+  std::uint64_t mixed = splitmix64(s) ^ a;
+  mixed = splitmix64(mixed) ^ b;
+  return Rng(splitmix64(mixed));
+}
 
 }  // namespace alphawan

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 
 namespace alphawan {
 
@@ -15,6 +16,20 @@ class Rng {
   using result_type = std::uint64_t;
 
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Copies reproduce the generator state but deliberately drop the cached
+  // Box-Muller half-pair: otherwise the copy and the original would both
+  // return the same stale normal() sample, silently correlating streams.
+  Rng(const Rng& other);
+  Rng& operator=(const Rng& other);
+
+  // Re-initialize in place, exactly as if freshly constructed with `seed`
+  // (also discards any cached Box-Muller sample).
+  void reseed(std::uint64_t seed);
+
+  // The seed this generator (or substream) was created from. Unaffected by
+  // draws; substreams derive from it, not from the evolving state.
+  [[nodiscard]] std::uint64_t root_seed() const { return seed_; }
 
   // UniformRandomBitGenerator interface (usable with <random> adapters).
   static constexpr result_type min() { return 0; }
@@ -38,11 +53,21 @@ class Rng {
   // Bernoulli trial.
   bool chance(double p);
 
-  // Derive an independent child stream (for per-entity generators).
+  // Derive an independent child stream (for per-entity generators). The
+  // child depends on the parent's current state, so fork order matters.
   Rng fork();
+
+  // Named substreams: independent generators derived (via SplitMix64) from
+  // the ROOT SEED only, never from the evolving state. The same root seed
+  // and name always yield the same stream, no matter how many draws the
+  // parent has made — this is what keeps simulation runs replayable when
+  // engine refactors reorder intermediate draws.
+  [[nodiscard]] Rng substream(std::string_view name) const;
+  [[nodiscard]] Rng substream(std::uint64_t a, std::uint64_t b = 0) const;
 
  private:
   std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };

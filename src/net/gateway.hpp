@@ -46,6 +46,9 @@ class Gateway {
   // model). Throws on configurations the hardware cannot realize.
   void apply_channels(const GatewayChannelConfig& config);
 
+  // Attach/detach a correctness observer on the underlying radio.
+  void set_observer(SimObserver* observer) { radio_.set_observer(observer); }
+
   // Antenna control (omni by default; directional for the Fig. 7 study).
   void set_antenna(std::unique_ptr<Antenna> antenna, double boresight_rad);
   [[nodiscard]] Db antenna_gain_towards(const Point& target) const;

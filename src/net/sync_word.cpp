@@ -4,8 +4,12 @@ namespace alphawan {
 
 std::uint16_t sync_word_for_network(NetworkId network) {
   if (network == 0) return kPublicSyncWord;
-  // Spread private networks over distinct odd words away from 0x34.
-  return static_cast<std::uint16_t>(kPrivateSyncWordBase + 2 * network);
+  // Spread private networks over distinct even words; step over 0x34 so no
+  // private network ever aliases the public word (network 17 would
+  // otherwise land exactly on it).
+  auto word = static_cast<std::uint16_t>(kPrivateSyncWordBase + 2 * network);
+  if (word >= kPublicSyncWord) word += 2;
+  return word;
 }
 
 }  // namespace alphawan

@@ -45,10 +45,16 @@ void GatewayRadio::configure_channels(std::vector<Channel> channels) {
   for (const auto& ch : channels) chains_.push_back(RxChain{ch});
 }
 
+void GatewayRadio::set_observer(SimObserver* observer) {
+  observer_ = observer;
+  pool_.set_observer(observer);
+}
+
 std::vector<RxOutcome> GatewayRadio::process(
     const std::vector<RxEvent>& events) {
   std::vector<RxOutcome> outcomes(events.size());
   pool_.reset();
+  if (observer_ != nullptr) observer_->on_radio_window_begin();
 
   // Phase 1: front-end + detection per event.
   std::vector<DispatchEntry> queue;
@@ -82,6 +88,10 @@ std::vector<RxOutcome> GatewayRadio::process(
   std::vector<std::size_t> decoding;  // event indices holding a decoder
   decoding.reserve(queue.size());
   for (const auto& entry : queue) {
+    if (observer_ != nullptr) {
+      observer_->on_dispatch(events[entry.event_index].tx.start, entry.lock_on,
+                             entry.packet);
+    }
     const DispatchResult result = dispatch(pool_, entry);
     auto& out = outcomes[entry.event_index];
     if (!result.acquired) {

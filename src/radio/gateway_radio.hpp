@@ -42,6 +42,11 @@ class GatewayRadio {
   [[nodiscard]] NetworkId network() const { return network_; }
   [[nodiscard]] std::uint16_t sync_word() const { return sync_word_; }
 
+  // Attach a correctness observer: notified of window starts, every FCFS
+  // dispatch, and (via the pool) every decoder acquire/release/refusal.
+  // Pass nullptr to detach.
+  void set_observer(SimObserver* observer);
+
   // Process one window of transmissions observed at this gateway. Events
   // may arrive unsorted. Returns one outcome per input event (same order).
   [[nodiscard]] std::vector<RxOutcome> process(
@@ -53,6 +58,7 @@ class GatewayRadio {
   std::uint16_t sync_word_;
   std::vector<RxChain> chains_;
   DecoderPool pool_;
+  SimObserver* observer_ = nullptr;
 };
 
 }  // namespace alphawan

@@ -112,6 +112,18 @@ double MetricsCollector::loss_fraction(NetworkId network,
          static_cast<double>(it->second.offered);
 }
 
+std::size_t MetricsCollector::losses(NetworkId network, LossCause cause) const {
+  const auto it = per_network_.find(network);
+  return it == per_network_.end() ? 0 : it->second.causes.get(cause);
+}
+
+std::vector<NetworkId> MetricsCollector::networks() const {
+  std::vector<NetworkId> ids;
+  ids.reserve(per_network_.size());
+  for (const auto& [network, data] : per_network_) ids.push_back(network);
+  return ids;
+}
+
 std::size_t MetricsCollector::delivered_bytes(NetworkId network) const {
   const auto it = per_network_.find(network);
   return it == per_network_.end() ? 0 : it->second.delivered_bytes;

@@ -55,6 +55,16 @@ class MetricsCollector {
   [[nodiscard]] double loss_fraction(LossCause cause) const;
   [[nodiscard]] double loss_fraction(NetworkId network, LossCause cause) const;
 
+  // Exact loss counts per cause (what the invariant checker sums against
+  // offered/delivered — fractions would hide off-by-one bugs in rounding).
+  [[nodiscard]] std::size_t losses(LossCause cause) const {
+    return total_causes_.get(cause);
+  }
+  [[nodiscard]] std::size_t losses(NetworkId network, LossCause cause) const;
+
+  // Ids of every network with at least one recorded fate.
+  [[nodiscard]] std::vector<NetworkId> networks() const;
+
   // Delivered application bytes (for throughput = bytes / window).
   [[nodiscard]] std::size_t delivered_bytes(NetworkId network) const;
   [[nodiscard]] std::size_t total_delivered_bytes() const {

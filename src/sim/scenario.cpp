@@ -2,11 +2,20 @@
 
 #include <algorithm>
 
+#include "check/invariants.hpp"
 #include "radio/detector.hpp"
 
 namespace alphawan {
 namespace {
 constexpr std::uint64_t kGatewayKeyBase = 1ULL << 32;
+// Substream domain tag separating fading draws from any future named
+// substreams derived from the same runner seed.
+constexpr std::uint64_t kFadingDomain = 0xFAD1'F0E5'7A7EULL;
+}
+
+Rng packet_link_rng(const Rng& root, GatewayId gateway, PacketId packet) {
+  return root.substream(kFadingDomain ^ (static_cast<std::uint64_t>(gateway) << 40),
+                        packet);
 }
 
 std::size_t WindowResult::total_delivered() const {
@@ -22,15 +31,20 @@ std::size_t WindowResult::total_offered() const {
 }
 
 ScenarioRunner::ScenarioRunner(Deployment& deployment, std::uint64_t seed)
-    : deployment_(deployment), rng_(seed) {}
+    : deployment_(deployment),
+      rng_(seed),
+      invariants_(invariants_from_env()) {}
 
 WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   WindowResult result;
   auto& channel = deployment_.channel_model();
-  for (const auto& network : deployment_.networks()) {
+  for (auto& network : deployment_.networks()) {
     result.offered[network.id()] = 0;
     result.delivered[network.id()] = 0;
     result.served_nodes[network.id()] = 0;
+    // (Re)attach the checker every window: gateways may have been added
+    // since the last one, and a null attach detaches a stale checker.
+    for (auto& gw : network.gateways()) gw.set_observer(invariants_);
   }
 
   // Per own-network outcomes of each packet, keyed by its index in txs.
@@ -51,9 +65,10 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
       for (std::size_t i = 0; i < txs.size(); ++i) {
         const auto& tx = txs[i];
         const Meters dist = distance(tx.origin, gw.position());
+        Rng link_rng = packet_link_rng(rng_, gw.id(), tx.id);
         const Dbm rx_power =
             channel.received_power(tx.node, kGatewayKeyBase + gw.id(), dist,
-                                   tx.tx_power, rng_) +
+                                   tx.tx_power, link_rng) +
             gw.antenna_gain_towards(tx.origin);
         if (rx_power < floor) continue;
         events.push_back(RxEvent{tx, rx_power});
@@ -109,6 +124,7 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   for (const auto& [net, nodes] : served) {
     result.served_nodes[net] = nodes.size();
   }
+  if (invariants_ != nullptr) invariants_->check_window(result);
   return result;
 }
 

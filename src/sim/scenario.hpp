@@ -13,6 +13,15 @@
 
 namespace alphawan {
 
+class SimInvariants;
+
+// Seed-stable per-(gateway, packet) generator for fast-fading draws. The
+// stream depends only on the runner's root seed and the two ids — never on
+// iteration order — so engine refactors cannot reshuffle draws and a single
+// packet's reception can be replayed in isolation (check/replay.hpp).
+[[nodiscard]] Rng packet_link_rng(const Rng& root, GatewayId gateway,
+                                  PacketId packet);
+
 // Optional per-gateway outcome post-processor (hook used by the CIC
 // baseline to resolve collisions a stock gateway cannot). Receives the
 // events the gateway saw and may rewrite outcome dispositions.
@@ -41,7 +50,16 @@ class ScenarioRunner {
   // dropped from that gateway's event list (they can neither be received
   // nor meaningfully interfere).
   void set_prune_margin(Db margin) { prune_margin_ = margin; }
+  [[nodiscard]] Db prune_margin() const { return prune_margin_; }
+  [[nodiscard]] std::uint64_t seed() const { return rng_.root_seed(); }
   void set_post_processor(RxPostProcessor proc) { post_ = std::move(proc); }
+
+  // Attach the correctness harness: every window is checked for packet
+  // conservation, FCFS ordering, and decoder-pool discipline. Enabled
+  // automatically (fail-fast) when ALPHAWAN_CHECK=1 is exported. Pass
+  // nullptr to detach.
+  void set_invariants(SimInvariants* invariants) { invariants_ = invariants; }
+  [[nodiscard]] SimInvariants* invariants() const { return invariants_; }
 
   // Run one window. Transmissions may belong to any network in the
   // deployment; every gateway observes every transmission in range
@@ -57,6 +75,7 @@ class ScenarioRunner {
   Rng rng_;
   Db prune_margin_ = 25.0;
   RxPostProcessor post_;
+  SimInvariants* invariants_ = nullptr;
 };
 
 }  // namespace alphawan

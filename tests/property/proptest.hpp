@@ -1,0 +1,173 @@
+// Minimal property-based testing harness (no external deps): random
+// topology/traffic generation from a scalar parameter vector, a
+// toward-the-minimum shrinker, and a gtest-integrated driver.
+//
+// A test case is fully described by CaseParams; the generator draws params
+// uniformly between a lo and hi bound, a property maps params to
+// std::nullopt (pass) or a failure message, and on failure the shrinker
+// walks every scalar toward its lo bound while the failure persists, then
+// reports the minimal failing case. Everything derives deterministically
+// from the seeds, so a reported case replays exactly.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "sim/traffic.hpp"
+
+namespace alphawan::prop {
+
+struct CaseParams {
+  int networks = 1;
+  int gateways_per_net = 1;
+  int nodes_per_net = 8;
+  int plan_channels = 8;  // distinct grid channels the nodes spread over
+  int decoders = 16;      // decoder pool size of every gateway
+  bool burst = false;     // concurrent burst instead of Poisson arrivals
+  std::uint64_t seed = 1;
+};
+
+inline std::string describe(const CaseParams& p) {
+  std::ostringstream out;
+  out << "{networks=" << p.networks << " gateways=" << p.gateways_per_net
+      << " nodes=" << p.nodes_per_net << " channels=" << p.plan_channels
+      << " decoders=" << p.decoders << " traffic="
+      << (p.burst ? "burst" : "poisson") << " seed=" << p.seed << "}";
+  return out.str();
+}
+
+struct World {
+  std::unique_ptr<Deployment> deployment;
+  std::vector<std::vector<EndNode*>> nodes_by_network;
+  std::vector<Transmission> txs;  // one window, network-major packet ids
+};
+
+// Deterministic world construction. Every per-network random decision uses
+// an Rng derived from (seed, network index), and packet ids are assigned
+// network-major — so building the same params with MORE networks appended
+// leaves the earlier networks' ids, placements, and traffic bit-identical.
+// The monotonicity properties depend on this.
+inline World build_world(const CaseParams& p) {
+  World world;
+  world.deployment = std::make_unique<Deployment>(
+      Region{1000.0, 1000.0}, spectrum_1m6(), ChannelModelConfig{});
+  GatewayProfile profile = default_profile();
+  profile.decoders = p.decoders;
+  const Rng root(p.seed);
+  PacketIdSource ids;
+  for (int n = 0; n < p.networks; ++n) {
+    auto& network =
+        world.deployment->add_network("net-" + std::to_string(n));
+    Rng net_rng = root.substream("net").substream(static_cast<std::uint64_t>(n));
+    const auto plan = standard_plan(world.deployment->spectrum(), 0);
+    for (int g = 0; g < p.gateways_per_net; ++g) {
+      // Spread gateways over the middle of the region deterministically.
+      const Point pos{300.0 + 400.0 * g / std::max(1, p.gateways_per_net - 1),
+                      400.0 + 120.0 * n};
+      auto& gw = network.add_gateway(world.deployment->next_gateway_id(), pos,
+                                     profile);
+      gw.apply_channels(GatewayChannelConfig{plan.channels});
+    }
+    auto& placed = world.nodes_by_network.emplace_back();
+    for (int i = 0; i < p.nodes_per_net; ++i) {
+      NodeRadioConfig cfg;
+      cfg.channel = world.deployment->spectrum().grid_channel(
+          static_cast<int>(net_rng.uniform_int(0, p.plan_channels - 1)));
+      cfg.dr = static_cast<DataRate>(net_rng.uniform_int(0, 5));
+      cfg.tx_power = 14.0;
+      const Point pos{net_rng.uniform(250.0, 750.0),
+                      net_rng.uniform(250.0, 750.0)};
+      placed.push_back(&network.add_node(world.deployment->next_node_id(),
+                                         pos, cfg));
+    }
+    // Per-network traffic: ids and draws never depend on later networks.
+    Rng traffic_rng =
+        root.substream("traffic").substream(static_cast<std::uint64_t>(n));
+    // A dense window (0.8 s at 1.5 pkt/s/node) so Poisson worlds carry
+    // real contention, not isolated packets.
+    std::vector<Transmission> txs =
+        p.burst ? concurrent_burst(placed, 0.0, ids)
+                : poisson_traffic(placed, 0.8, 1.5, traffic_rng, ids);
+    world.txs.insert(world.txs.end(), txs.begin(), txs.end());
+  }
+  return world;
+}
+
+// A property maps params to nullopt (pass) or a failure message.
+using Property = std::function<std::optional<std::string>(const CaseParams&)>;
+
+inline CaseParams random_case(Rng& rng, const CaseParams& lo,
+                              const CaseParams& hi) {
+  CaseParams p;
+  p.networks = static_cast<int>(rng.uniform_int(lo.networks, hi.networks));
+  p.gateways_per_net = static_cast<int>(
+      rng.uniform_int(lo.gateways_per_net, hi.gateways_per_net));
+  p.nodes_per_net =
+      static_cast<int>(rng.uniform_int(lo.nodes_per_net, hi.nodes_per_net));
+  p.plan_channels =
+      static_cast<int>(rng.uniform_int(lo.plan_channels, hi.plan_channels));
+  p.decoders = static_cast<int>(rng.uniform_int(lo.decoders, hi.decoders));
+  p.burst = rng.chance(0.5);
+  p.seed = rng.next();
+  return p;
+}
+
+// Walk each scalar toward its lo bound while the property keeps failing.
+inline CaseParams shrink(CaseParams failing, const CaseParams& lo,
+                         const Property& prop, int max_steps = 64) {
+  const auto fields = {&CaseParams::networks, &CaseParams::gateways_per_net,
+                       &CaseParams::nodes_per_net, &CaseParams::plan_channels,
+                       &CaseParams::decoders};
+  int steps = 0;
+  bool shrunk = true;
+  while (shrunk && steps < max_steps) {
+    shrunk = false;
+    for (const auto field : fields) {
+      const int floor_value = lo.*field;
+      while (failing.*field > floor_value && steps < max_steps) {
+        CaseParams candidate = failing;
+        // Halve the distance to the floor; final step is -1.
+        const int distance = candidate.*field - floor_value;
+        candidate.*field = floor_value + distance / 2;
+        ++steps;
+        if (prop(candidate).has_value()) {
+          failing = candidate;
+          shrunk = true;
+        } else {
+          break;
+        }
+      }
+    }
+  }
+  return failing;
+}
+
+// Generate `cases` random cases between lo and hi and check `prop` on each;
+// on the first failure, shrink and report via gtest.
+inline void check_property(const char* name, int cases, std::uint64_t seed,
+                           const CaseParams& lo, const CaseParams& hi,
+                           const Property& prop) {
+  Rng meta(seed);
+  for (int c = 0; c < cases; ++c) {
+    const CaseParams params = random_case(meta, lo, hi);
+    const auto failure = prop(params);
+    if (!failure.has_value()) continue;
+    const CaseParams minimal = shrink(params, lo, prop);
+    const auto minimal_failure = prop(minimal);
+    ADD_FAILURE() << name << " (case " << c << "/" << cases
+                  << "): " << *failure << "\n  failing: " << describe(params)
+                  << "\n  shrunk:  " << describe(minimal) << " -> "
+                  << minimal_failure.value_or("(no longer fails)");
+    return;
+  }
+}
+
+}  // namespace alphawan::prop

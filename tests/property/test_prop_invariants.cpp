@@ -1,0 +1,115 @@
+// Property: for ANY random topology, channel plan, and traffic mix, the
+// invariant checker stays clean and packet conservation holds exactly.
+#include <numeric>
+
+#include "check/digest.hpp"
+#include "proptest.hpp"
+
+namespace alphawan {
+namespace {
+
+using prop::CaseParams;
+
+std::optional<std::string> join_violations(const SimInvariants& inv) {
+  if (inv.ok()) return std::nullopt;
+  std::string joined;
+  for (const auto& v : inv.violations()) {
+    if (!joined.empty()) joined += "; ";
+    joined += v;
+  }
+  return joined;
+}
+
+// Invariants + conservation on a random world.
+std::optional<std::string> invariants_hold(const CaseParams& p) {
+  auto world = prop::build_world(p);
+  SimInvariants checker;
+  ScenarioRunner runner(*world.deployment, p.seed ^ 0xBEEF);
+  runner.set_invariants(&checker);
+  MetricsCollector metrics;
+  const auto result = runner.run_window(world.txs, metrics);
+  checker.check_metrics(metrics);
+  if (result.total_offered() != world.txs.size()) {
+    return "offered != generated transmissions";
+  }
+  // Conservation down to exact counts.
+  std::size_t losses = 0;
+  for (const auto cause :
+       {LossCause::kDecoderContentionIntra, LossCause::kDecoderContentionInter,
+        LossCause::kChannelContentionIntra, LossCause::kChannelContentionInter,
+        LossCause::kOther}) {
+    losses += metrics.losses(cause);
+  }
+  if (metrics.total_offered() != metrics.total_delivered() + losses) {
+    return "offered != delivered + sum(loss causes)";
+  }
+  return join_violations(checker);
+}
+
+// Bit-identical reruns: same params -> same fate digest.
+std::optional<std::string> deterministic_digest(const CaseParams& p) {
+  std::uint64_t digests[2] = {0, 0};
+  for (auto& digest : digests) {
+    auto world = prop::build_world(p);
+    ScenarioRunner runner(*world.deployment, p.seed);
+    digest = fate_digest(runner.run_window(world.txs).fates);
+  }
+  if (digests[0] != digests[1]) {
+    return "same params produced different digests: " +
+           digest_hex(digests[0]) + " vs " + digest_hex(digests[1]);
+  }
+  return std::nullopt;
+}
+
+const CaseParams kLo{1, 1, 1, 1, 1, false, 0};
+const CaseParams kHi{3, 2, 28, 8, 16, false, 0};
+
+TEST(PropertyInvariants, HoldOnRandomTopologies) {
+  prop::check_property("invariants-hold", 120, 0xA11CE, kLo, kHi,
+                       invariants_hold);
+}
+
+TEST(PropertyInvariants, RunsAreBitReproducible) {
+  prop::check_property("deterministic-digest", 60, 0xD15E5, kLo, kHi,
+                       deterministic_digest);
+}
+
+// The negative control demanded by the acceptance criteria: an injected
+// double-release in the decoder pool MUST be caught.
+TEST(PropertyInvariants, InjectedDoubleReleaseIsCaught) {
+  SimInvariants checker;
+  DecoderPool pool(4);
+  pool.set_observer(&checker);
+  ASSERT_TRUE(pool.try_acquire(0.0, 1.0, 0, 42));
+  pool.release(42);
+  EXPECT_TRUE(checker.ok());
+  pool.release(42);  // the injected double-free
+  EXPECT_FALSE(checker.ok());
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_NE(checker.violations()[0].find("double-free"), std::string::npos);
+  EXPECT_THROW(checker.require_clean(), std::logic_error);
+}
+
+// Duplicate acquisition of the same packet is equally fatal.
+TEST(PropertyInvariants, DuplicateAcquireIsCaught) {
+  SimInvariants checker;
+  DecoderPool pool(4);
+  pool.set_observer(&checker);
+  ASSERT_TRUE(pool.try_acquire(0.0, 1.0, 0, 7));
+  ASSERT_TRUE(pool.try_acquire(0.0, 1.0, 0, 7));
+  EXPECT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations()[0].find("already holds"), std::string::npos);
+}
+
+// A fail-fast checker throws at the violation site instead of collecting.
+TEST(PropertyInvariants, FailFastThrowsImmediately) {
+  SimInvariants checker;
+  checker.set_fail_fast(true);
+  DecoderPool pool(2);
+  pool.set_observer(&checker);
+  ASSERT_TRUE(pool.try_acquire(0.0, 1.0, 0, 1));
+  EXPECT_THROW(pool.release(99), std::logic_error);
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,71 @@
+// Monotonicity properties of the radio pipeline. Both are exact (not
+// statistical): fading draws are keyed by (seed, gateway, packet), so a
+// modified world replays the unmodified packets bit-identically, and FCFS
+// admission into a finite pool is sample-path monotone in capacity.
+#include "proptest.hpp"
+
+namespace alphawan {
+namespace {
+
+using prop::CaseParams;
+
+std::size_t own_network_delivered(const CaseParams& p, NetworkId network) {
+  auto world = prop::build_world(p);
+  ScenarioRunner runner(*world.deployment, p.seed ^ 0xF00D);
+  const auto result = runner.run_window(world.txs);
+  const auto it = result.delivered.find(network);
+  return it == result.delivered.end() ? 0 : it->second;
+}
+
+// Adding a foreign network (more interference, more decoder competition)
+// can never INCREASE the first network's delivery.
+std::optional<std::string> foreign_network_never_helps(const CaseParams& p) {
+  CaseParams alone = p;
+  alone.networks = 1;
+  CaseParams coexisting = p;
+  coexisting.networks = p.networks + 1;
+  const std::size_t before = own_network_delivered(alone, 0);
+  const std::size_t after = own_network_delivered(coexisting, 0);
+  if (after > before) {
+    return "own-network delivery rose from " + std::to_string(before) +
+           " to " + std::to_string(after) + " when a foreign network joined";
+  }
+  return std::nullopt;
+}
+
+std::size_t total_delivered(const CaseParams& p) {
+  auto world = prop::build_world(p);
+  ScenarioRunner runner(*world.deployment, p.seed ^ 0xF00D);
+  return runner.run_window(world.txs).total_delivered();
+}
+
+// Growing every gateway's decoder pool can never decrease delivery.
+std::optional<std::string> more_decoders_never_hurt(const CaseParams& p) {
+  CaseParams larger = p;
+  larger.decoders = p.decoders + 1 + static_cast<int>(p.seed % 8);
+  const std::size_t small_pool = total_delivered(p);
+  const std::size_t large_pool = total_delivered(larger);
+  if (large_pool < small_pool) {
+    return "delivery fell from " + std::to_string(small_pool) + " to " +
+           std::to_string(large_pool) + " when decoders grew from " +
+           std::to_string(p.decoders) + " to " +
+           std::to_string(larger.decoders);
+  }
+  return std::nullopt;
+}
+
+const CaseParams kLo{1, 1, 1, 1, 1, false, 0};
+const CaseParams kHi{2, 2, 24, 8, 12, false, 0};
+
+TEST(PropertyMonotonicity, ForeignNetworkNeverIncreasesOwnDelivery) {
+  prop::check_property("foreign-never-helps", 60, 0xC0FFEE, kLo, kHi,
+                       foreign_network_never_helps);
+}
+
+TEST(PropertyMonotonicity, MoreDecodersNeverDecreaseDelivery) {
+  prop::check_property("more-decoders-never-hurt", 60, 0x5EED, kLo, kHi,
+                       more_decoders_never_hurt);
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,71 @@
+#include "backhaul/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alphawan {
+namespace {
+
+TEST(LatencyModel, LanTransferIsRttPlusSerialization) {
+  LatencyModel model;
+  const auto& cfg = model.config();
+  EXPECT_DOUBLE_EQ(model.lan_transfer(0), cfg.lan_rtt);
+  const std::size_t mb = 1'000'000;
+  EXPECT_DOUBLE_EQ(model.lan_transfer(mb),
+                   cfg.lan_rtt + static_cast<double>(mb) / cfg.lan_bytes_per_second);
+  EXPECT_GT(model.lan_transfer(2 * mb), model.lan_transfer(mb));
+}
+
+TEST(LatencyModel, WanLatencyIsPositiveAndNearMean) {
+  LatencyModel model;
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const Seconds s = model.wan_one_way();
+    ASSERT_GE(s, 1e-3);  // clamped floor
+    sum += s;
+  }
+  // Fig. 17: operator <-> Master one-way ~55 ms.
+  EXPECT_NEAR(sum / n, model.config().wan_one_way_mean, 0.002);
+}
+
+TEST(LatencyModel, MasterRoundTripCoversTwoLegs) {
+  LatencyModel model;
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Seconds rtt = model.master_round_trip();
+    ASSERT_GT(rtt, 0.0);
+    sum += rtt;
+  }
+  EXPECT_NEAR(sum / n, 2.0 * model.config().wan_one_way_mean, 0.004);
+}
+
+TEST(LatencyModel, RebootMatchesFig17Measurement) {
+  LatencyModel model;
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Seconds reboot = model.gateway_reboot();
+    ASSERT_GE(reboot, 0.5);  // clamped floor
+    sum += reboot;
+  }
+  EXPECT_NEAR(sum / n, model.config().reboot_mean, 0.05);
+}
+
+TEST(LatencyModel, ConfigPushAddsBaseCost) {
+  LatencyModel model;
+  EXPECT_DOUBLE_EQ(model.config_push(512),
+                   model.config().config_push_base + model.lan_transfer(512));
+}
+
+TEST(LatencyModel, SameSeedReproducesSequence) {
+  LatencyModel a(LatencyModelConfig{}, 99);
+  LatencyModel b(LatencyModelConfig{}, 99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.wan_one_way(), b.wan_one_way());
+    EXPECT_DOUBLE_EQ(a.gateway_reboot(), b.gateway_reboot());
+  }
+}
+
+}  // namespace
+}  // namespace alphawan

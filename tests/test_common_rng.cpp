@@ -131,5 +131,86 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(equal, 2);
 }
 
+// Regression: copying an Rng mid-Box-Muller-pair used to duplicate the
+// cached second sample into the copy, silently correlating the streams.
+TEST(Rng, CopyDropsCachedNormalSample) {
+  Rng original(41);
+  (void)original.normal();  // generates a pair, caches the second half
+  Rng copied(original);
+  const double cached = original.normal();  // the cached second half
+  // The copy must draw a FRESH pair from the shared state, not replay the
+  // original's cached half.
+  const double copy_fresh = copied.normal();
+  EXPECT_NE(copy_fresh, cached);
+  // Both sides continue from the same xoshiro state, so the copy's first
+  // fresh normal equals the original's next fresh pair.
+  EXPECT_DOUBLE_EQ(copy_fresh, original.normal());
+}
+
+TEST(Rng, CopyAssignmentDropsCachedNormalSample) {
+  Rng original(43);
+  (void)original.normal();
+  Rng assigned(1);
+  assigned = original;
+  const double cached = original.normal();
+  EXPECT_NE(assigned.normal(), cached);
+}
+
+TEST(Rng, CopyPreservesUniformStream) {
+  Rng original(45);
+  (void)original.next();
+  Rng copied(original);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(copied.next(), original.next());
+}
+
+TEST(Rng, ReseedMatchesFreshInstance) {
+  Rng reused(47);
+  // Pollute all state, including the normal cache.
+  for (int i = 0; i < 10; ++i) (void)reused.next();
+  (void)reused.normal();
+  reused.reseed(99);
+  Rng fresh(99);
+  EXPECT_EQ(reused.root_seed(), fresh.root_seed());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(reused.next(), fresh.next());
+    EXPECT_DOUBLE_EQ(reused.normal(), fresh.normal());
+  }
+}
+
+TEST(Rng, SubstreamIndependentOfParentDraws) {
+  // Substreams derive from the root SEED, not the evolving state — the
+  // anchor of deterministic replay.
+  Rng parent(51);
+  Rng before = parent.substream("fading");
+  for (int i = 0; i < 100; ++i) (void)parent.next();
+  Rng after = parent.substream("fading");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(before.next(), after.next());
+}
+
+TEST(Rng, SubstreamsAreDistinct) {
+  Rng parent(53);
+  Rng a = parent.substream("alpha");
+  Rng b = parent.substream("beta");
+  Rng c = parent.substream(1, 0);
+  Rng d = parent.substream(0, 1);
+  int ab = 0, cd = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++ab;
+    if (c.next() == d.next()) ++cd;
+  }
+  EXPECT_LT(ab, 2);
+  EXPECT_LT(cd, 2);
+}
+
+TEST(Rng, SubstreamDependsOnRootSeed) {
+  Rng x = Rng(1).substream("s");
+  Rng y = Rng(2).substream("s");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (x.next() == y.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
 }  // namespace
 }  // namespace alphawan

@@ -1,0 +1,35 @@
+#include "net/sync_word.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace alphawan {
+namespace {
+
+TEST(SyncWord, NetworkZeroIsPublic) {
+  EXPECT_EQ(sync_word_for_network(0), kPublicSyncWord);
+}
+
+TEST(SyncWord, PrivateNetworksNeverCollideWithPublic) {
+  for (NetworkId n = 1; n <= 32; ++n) {
+    EXPECT_NE(sync_word_for_network(n), kPublicSyncWord) << "network " << n;
+  }
+}
+
+TEST(SyncWord, DistinctAcrossNetworks) {
+  std::set<std::uint16_t> words;
+  for (NetworkId n = 0; n <= 32; ++n) {
+    EXPECT_TRUE(words.insert(sync_word_for_network(n)).second)
+        << "duplicate sync word for network " << n;
+  }
+}
+
+TEST(SyncWord, Deterministic) {
+  for (NetworkId n = 0; n < 8; ++n) {
+    EXPECT_EQ(sync_word_for_network(n), sync_word_for_network(n));
+  }
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,75 @@
+#include "phy/lora_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace alphawan {
+namespace {
+
+TEST(LoraParams, DrToSfLadderMatchesPaper) {
+  // DR0=SF12 ... DR5=SF7 (regional ladder used throughout the paper).
+  EXPECT_EQ(dr_to_sf(DataRate::kDR0), SpreadingFactor::kSF12);
+  EXPECT_EQ(dr_to_sf(DataRate::kDR3), SpreadingFactor::kSF9);
+  EXPECT_EQ(dr_to_sf(DataRate::kDR5), SpreadingFactor::kSF7);
+}
+
+TEST(LoraParams, DrSfRoundTrip) {
+  for (const DataRate dr : kAllDataRates) {
+    EXPECT_EQ(sf_to_dr(dr_to_sf(dr)), dr);
+  }
+  for (const SpreadingFactor sf : kAllSpreadingFactors) {
+    EXPECT_EQ(dr_to_sf(sf_to_dr(sf)), sf);
+  }
+}
+
+TEST(LoraParams, SfIndexRoundTrip) {
+  for (int i = 0; i < kNumSpreadingFactors; ++i) {
+    EXPECT_EQ(sf_index(sf_from_index(i)), i);
+  }
+  EXPECT_EQ(sf_index(SpreadingFactor::kSF7), 0);
+  EXPECT_EQ(sf_index(SpreadingFactor::kSF12), 5);
+  EXPECT_EQ(sf_value(SpreadingFactor::kSF10), 10);
+}
+
+TEST(LoraParams, NamesAreDistinctAndNonEmpty) {
+  std::set<std::string> names;
+  for (const SpreadingFactor sf : kAllSpreadingFactors) {
+    ASSERT_FALSE(sf_name(sf).empty());
+    EXPECT_TRUE(names.insert(std::string(sf_name(sf))).second);
+  }
+  names.clear();
+  for (const DataRate dr : kAllDataRates) {
+    ASSERT_FALSE(dr_name(dr).empty());
+    EXPECT_TRUE(names.insert(std::string(dr_name(dr))).second);
+  }
+}
+
+TEST(LoraParams, OrthogonalityIsSfInequality) {
+  // Quasi-orthogonality underlies the "6 users per channel" capacity figure.
+  for (const SpreadingFactor a : kAllSpreadingFactors) {
+    for (const SpreadingFactor b : kAllSpreadingFactors) {
+      EXPECT_EQ(orthogonal(a, b), a != b);
+    }
+  }
+}
+
+TEST(LoraParams, TxParamsDefaultsAreLorawanUplink) {
+  const TxParams params;
+  EXPECT_EQ(params.coding_rate, CodingRate::kCR45);
+  EXPECT_EQ(params.preamble_symbols, 8);
+  EXPECT_TRUE(params.explicit_header);
+  EXPECT_TRUE(params.crc_enabled);
+  EXPECT_DOUBLE_EQ(params.bandwidth, kLoRaBandwidth125k);
+}
+
+TEST(LoraParams, TxParamsEquality) {
+  TxParams a, b;
+  EXPECT_EQ(a, b);
+  b.sf = SpreadingFactor::kSF11;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace alphawan

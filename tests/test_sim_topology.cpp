@@ -1,0 +1,98 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace alphawan {
+namespace {
+
+TEST(Topology, NetworksGetSequentialIdsAndStableReferences) {
+  Deployment deployment{Region{1000, 1000}, spectrum_1m6()};
+  Network& first = deployment.add_network("a");
+  Network& second = deployment.add_network("b");
+  EXPECT_EQ(first.id(), 0u);
+  EXPECT_EQ(second.id(), 1u);
+  // Deque storage: growing the deployment must not invalidate references.
+  for (int i = 0; i < 16; ++i) {
+    deployment.add_network("extra-" + std::to_string(i));
+  }
+  EXPECT_EQ(first.name(), "a");
+  EXPECT_EQ(deployment.find_network(1), &second);
+  EXPECT_EQ(deployment.find_network(999), nullptr);
+}
+
+TEST(Topology, IdAllocationIsGloballyUnique) {
+  Deployment deployment{Region{1000, 1000}, spectrum_1m6()};
+  std::set<NodeId> nodes;
+  std::set<GatewayId> gateways;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(nodes.insert(deployment.next_node_id()).second);
+    EXPECT_TRUE(gateways.insert(deployment.next_gateway_id()).second);
+  }
+}
+
+TEST(Topology, PlaceGatewaysCoversRegionWithConfiguredRadios) {
+  Deployment deployment{Region{2000, 1500}, spectrum_1m6()};
+  Network& network = deployment.add_network("op");
+  Rng rng(42);
+  const auto ids = deployment.place_gateways(network, 4, default_profile(), rng);
+  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_EQ(network.gateways().size(), 4u);
+  for (const auto& gw : network.gateways()) {
+    EXPECT_TRUE(deployment.region().contains(gw.position()));
+    // place_gateways applies standard plan #0.
+    ASSERT_FALSE(gw.channels().empty());
+    for (const auto& channel : gw.channels()) {
+      EXPECT_TRUE(deployment.spectrum().contains(channel));
+    }
+  }
+}
+
+TEST(Topology, PlaceNodesStayInRegionOnSpectrumChannels) {
+  Deployment deployment{Region{1200, 1200}, spectrum_1m6()};
+  Network& network = deployment.add_network("op");
+  Rng rng(7);
+  deployment.place_gateways(network, 1, default_profile(), rng);
+  const auto ids = deployment.place_nodes(network, 25, rng);
+  EXPECT_EQ(ids.size(), 25u);
+  EXPECT_EQ(network.nodes().size(), 25u);
+  for (const auto& node : network.nodes()) {
+    EXPECT_TRUE(deployment.region().contains(node.position()));
+    EXPECT_TRUE(deployment.spectrum().contains(node.config().channel));
+  }
+}
+
+TEST(Topology, MeanSnrDecreasesWithDistance) {
+  Deployment deployment{Region{4000, 4000}, spectrum_1m6()};
+  Network& network = deployment.add_network("op");
+  auto& gw = network.add_gateway(deployment.next_gateway_id(), {2000, 2000},
+                                 default_profile());
+  NodeRadioConfig cfg;
+  cfg.channel = deployment.spectrum().grid_channel(0);
+  cfg.tx_power = 14.0;
+  auto& near = network.add_node(deployment.next_node_id(), {2100, 2000}, cfg);
+  auto& far = network.add_node(deployment.next_node_id(), {3900, 3900}, cfg);
+  EXPECT_GT(deployment.mean_snr(near, gw), deployment.mean_snr(far, gw));
+}
+
+TEST(Topology, FeasibleDrDegradesToDr0OnWeakLinks) {
+  // A huge region: the corner node cannot clear any fast-DR threshold.
+  Deployment deployment{Region{60000, 60000}, spectrum_1m6()};
+  Network& network = deployment.add_network("op");
+  network.add_gateway(deployment.next_gateway_id(), {30000, 30000},
+                      default_profile());
+  NodeRadioConfig cfg;
+  cfg.channel = deployment.spectrum().grid_channel(0);
+  cfg.tx_power = 14.0;
+  auto& near =
+      network.add_node(deployment.next_node_id(), {30050, 30000}, cfg);
+  auto& far = network.add_node(deployment.next_node_id(), {100, 100}, cfg);
+  EXPECT_EQ(deployment.feasible_dr(far, network), DataRate::kDR0);
+  // Adjacent to the gateway, a faster DR must be feasible.
+  EXPECT_GT(dr_value(deployment.feasible_dr(near, network)),
+            dr_value(DataRate::kDR0));
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -1,0 +1,115 @@
+// Tiny end-to-end golden scenario: 2 networks x 2 gateways x 8 nodes on a
+// shared channel plan, one burst window, exact per-cause loss counts
+// checked against tests/golden/tiny_scenario.txt. On mismatch the test
+// prints the full bless block to paste into the golden file (see
+// docs/testing.md).
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+#include "sim/traffic.hpp"
+
+namespace alphawan {
+namespace {
+
+constexpr std::uint64_t kSeed = 2025;
+
+struct TinyWorld {
+  std::unique_ptr<Deployment> deployment;
+  std::vector<Transmission> txs;
+};
+
+TinyWorld build_tiny_world() {
+  ChannelModelConfig channel;
+  channel.shadowing_sigma_db = 0.3;
+  channel.fast_fading_sigma_db = 0.1;
+  TinyWorld world;
+  world.deployment = std::make_unique<Deployment>(
+      Region{900.0, 900.0}, spectrum_1m6(), channel);
+  PacketIdSource ids;
+  std::vector<EndNode*> nodes;
+  const auto plan = standard_plan(world.deployment->spectrum(), 0);
+  for (int n = 0; n < 2; ++n) {
+    auto& network =
+        world.deployment->add_network("tiny-" + std::to_string(n));
+    for (int g = 0; g < 2; ++g) {
+      auto& gw = network.add_gateway(
+          world.deployment->next_gateway_id(),
+          Point{380.0 + 140.0 * g, 420.0 + 60.0 * n}, default_profile());
+      gw.apply_channels(GatewayChannelConfig{plan.channels});
+    }
+    for (int i = 0; i < 8; ++i) {
+      NodeRadioConfig cfg;
+      // Only 4 distinct channels across 16 nodes: guaranteed contention.
+      cfg.channel = world.deployment->spectrum().grid_channel(i % 4);
+      cfg.dr = static_cast<DataRate>(i % 3);
+      cfg.tx_power = 14.0;
+      nodes.push_back(&network.add_node(
+          world.deployment->next_node_id(),
+          Point{360.0 + 30.0 * i, 390.0 + 40.0 * n + 8.0 * i}, cfg));
+    }
+  }
+  world.txs = concurrent_burst(nodes, 0.0, ids);
+  return world;
+}
+
+std::map<std::string, std::size_t> run_tiny_scenario() {
+  TinyWorld world = build_tiny_world();
+  ScenarioRunner runner(*world.deployment, kSeed);
+  MetricsCollector metrics;
+  const auto result = runner.run_window(world.txs, metrics);
+  std::map<std::string, std::size_t> counts;
+  counts["offered"] = result.total_offered();
+  counts["delivered"] = result.total_delivered();
+  counts["decoder_intra"] = metrics.losses(LossCause::kDecoderContentionIntra);
+  counts["decoder_inter"] = metrics.losses(LossCause::kDecoderContentionInter);
+  counts["channel_intra"] = metrics.losses(LossCause::kChannelContentionIntra);
+  counts["channel_inter"] = metrics.losses(LossCause::kChannelContentionInter);
+  counts["other"] = metrics.losses(LossCause::kOther);
+  for (const auto& [network, delivered] : result.delivered) {
+    counts["net" + std::to_string(network) + "_delivered"] = delivered;
+  }
+  return counts;
+}
+
+std::string bless_block(const std::map<std::string, std::size_t>& counts) {
+  std::ostringstream out;
+  for (const auto& [key, value] : counts) out << key << ' ' << value << '\n';
+  return out.str();
+}
+
+TEST(TinyGolden, ExactPerCauseLossCountsMatchGoldenFile) {
+  const auto actual = run_tiny_scenario();
+  std::ifstream in(std::string(ALPHAWAN_GOLDEN_DIR) + "/tiny_scenario.txt");
+  ASSERT_TRUE(in.good())
+      << "missing tests/golden/tiny_scenario.txt — bless it with:\n"
+      << bless_block(actual);
+  std::map<std::string, std::size_t> expected;
+  std::string key;
+  std::size_t value = 0;
+  while (in >> key >> value) expected[key] = value;
+  EXPECT_EQ(actual, expected)
+      << "tiny scenario drifted from golden counts; if intentional, "
+         "re-bless tests/golden/tiny_scenario.txt with:\n"
+      << bless_block(actual);
+}
+
+TEST(TinyGolden, CountsAreInternallyConsistent) {
+  const auto counts = run_tiny_scenario();
+  EXPECT_EQ(counts.at("offered"), 16u);  // 2 networks x 8 nodes, one burst
+  EXPECT_EQ(counts.at("offered"),
+            counts.at("delivered") + counts.at("decoder_intra") +
+                counts.at("decoder_inter") + counts.at("channel_intra") +
+                counts.at("channel_inter") + counts.at("other"));
+}
+
+TEST(TinyGolden, RerunIsBitIdentical) {
+  EXPECT_EQ(run_tiny_scenario(), run_tiny_scenario());
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -26,7 +26,7 @@ void figure_2a() {
     std::size_t delivered[2] = {0, 0};
     int variant = 0;
     for (int gw_count : {1, 3}) {
-      Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+      Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
       auto& network = deployment.add_network("ttn");
       place_clustered_gateways(deployment, network, gw_count);
       Rng rng(11);
@@ -42,7 +42,7 @@ void figure_2a() {
         nodes.insert(nodes.end(), extra.begin(), extra.end());
       }
       PacketIdSource ids;
-      delivered[variant++] = run_burst(deployment, nodes, 0.0, ids)
+      delivered[variant++] = run_burst(deployment, nodes, Seconds{0.0}, ids)
                                  .total_delivered();
     }
     const int oracle = std::min(n, oracle_capacity(spectrum_1m6()));
@@ -66,7 +66,7 @@ void figure_2b() {
                               {"setting-2", 32, 16},
                               {"setting-3", 12, 36}};
   for (const auto& s : settings) {
-    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
     auto& ttn = deployment.add_network("ttn");
     auto& local = deployment.add_network("local");
     place_clustered_gateways(deployment, ttn, 1);
@@ -91,7 +91,7 @@ void figure_2b() {
       }
     }
     PacketIdSource ids;
-    const auto result = run_burst(deployment, all, 0.0, ids);
+    const auto result = run_burst(deployment, all, Seconds{0.0}, ids);
     const std::size_t total = result.total_delivered();
     std::printf("  %-12s %-12zu %-12zu %-12zu %-12zu\n", s.name,
                 result.delivered.at(ttn.id()), result.delivered.at(local.id()),

@@ -59,7 +59,7 @@ void run_scheme(const char* name, SchemeFn&& scheme) {
   std::printf("\n");
 }
 
-std::vector<RxEvent> base_events(Rng& rng, Dbm power = -80.0,
+std::vector<RxEvent> base_events(Rng& rng, Dbm power = Dbm{-80.0},
                                  std::uint32_t payload = 10) {
   std::vector<RxEvent> events;
   for (int i = 0; i < 20; ++i) {
@@ -67,7 +67,7 @@ std::vector<RxEvent> base_events(Rng& rng, Dbm power = -80.0,
     const auto sf = sf_from_index((i / 8) % kNumSpreadingFactors);
     Transmission tx = make_tx(static_cast<PacketId>(i + 1), channel, sf);
     tx.payload_bytes = payload;
-    events.push_back(RxEvent{tx, power + rng.uniform(-0.5, 0.5)});
+    events.push_back(RxEvent{tx, power + Db{rng.uniform(-0.5, 0.5)}});
   }
   return events;
 }
@@ -95,8 +95,8 @@ int main() {
       Transmission tx = make_tx(static_cast<PacketId>(i + 1), i % 8,
                                 sf_from_index(sf_idx));
       tx.payload_bytes = 64;
-      tx.start = 0.001 * (i + 1) + trial * 50.0;
-      events.push_back(RxEvent{tx, -80.0 + rng.uniform(-0.5, 0.5)});
+      tx.start = Seconds{0.001 * (i + 1) + trial * 50.0};
+      events.push_back(RxEvent{tx, Dbm{-80.0 + rng.uniform(-0.5, 0.5)}});
     }
     return events;
   });
@@ -105,8 +105,8 @@ int main() {
   run_scheme("(b) last-preamble-symbol ordered", [&](int trial) {
     auto events = base_events(rng);
     for (std::size_t i = 0; i < events.size(); ++i) {
-      events[i].tx.start = 0.001 * (static_cast<double>(i) + 1.0) +
-                           trial * 50.0 -
+      events[i].tx.start = Seconds{0.001 * (static_cast<double>(i) + 1.0) +
+                                   trial * 50.0} -
                            preamble_duration(events[i].tx.params);
     }
     return events;
@@ -116,10 +116,10 @@ int main() {
   run_scheme("(c) nodes 1-10 at -10 dB lower SNR", [&](int trial) {
     auto events = base_events(rng);
     for (std::size_t i = 0; i < events.size(); ++i) {
-      events[i].tx.start = 0.001 * (static_cast<double>(i) + 1.0) +
-                           trial * 50.0 -
+      events[i].tx.start = Seconds{0.001 * (static_cast<double>(i) + 1.0) +
+                                   trial * 50.0} -
                            preamble_duration(events[i].tx.params);
-      if (i < 10) events[i].rx_power -= 6.0;  // weaker but decodable
+      if (i < 10) events[i].rx_power -= Db{6.0};  // weaker but decodable
     }
     return events;
   });
@@ -134,9 +134,9 @@ int main() {
       const int sf_idx = i < 15 ? (i / 3) % 6 : i % 6;
       Transmission tx = make_tx(static_cast<PacketId>(i + 1), channel,
                                 sf_from_index(sf_idx));
-      tx.start = 0.001 * (i + 1) + trial * 50.0 -
+      tx.start = Seconds{0.001 * (i + 1) + trial * 50.0} -
                  preamble_duration(tx.params);
-      events.push_back(RxEvent{tx, -80.0});
+      events.push_back(RxEvent{tx, Dbm{-80.0}});
     }
     return events;
   });
@@ -156,9 +156,9 @@ int main() {
         const auto sf = sf_from_index((i / 8) % kNumSpreadingFactors);
         Transmission tx =
             make_tx(static_cast<PacketId>(i + 1), channel, sf, network);
-        tx.start = 0.001 * (i + 1) + trial * 50.0 -
+        tx.start = Seconds{0.001 * (i + 1) + trial * 50.0} -
                    preamble_duration(tx.params);
-        events.push_back(RxEvent{tx, -80.0});
+        events.push_back(RxEvent{tx, Dbm{-80.0}});
       }
       const auto outcomes = radio.process(events);
       for (std::size_t i = 0; i < outcomes.size(); ++i) {

@@ -10,7 +10,7 @@ using namespace alphawan::bench;
 
 namespace {
 
-constexpr Seconds kWindow = 90.0;
+constexpr Seconds kWindow{90.0};
 
 // Offered traffic of fully active duty-cycled users: each user pushes up
 // to its 1% regulatory airtime budget (the paper's capacity-stress
@@ -20,7 +20,7 @@ std::vector<Transmission> offered_traffic(Network& network, Rng& rng,
   std::vector<Transmission> txs;
   for (auto& node : network.nodes()) {
     const Seconds airtime = time_on_air(node.tx_params(), 10);
-    const double rate = 0.0095 / airtime;
+    const double rate = 0.0095 / airtime.value();
     std::vector<EndNode*> one = {&node};
     auto node_txs = poisson_traffic(one, kWindow, rate, rng, ids, 0.01);
     txs.insert(txs.end(), node_txs.begin(), node_txs.end());
@@ -41,7 +41,7 @@ Breakdown run(std::size_t networks_count, std::size_t users_per_network,
   // Dense mutual coverage (every gateway hears every user): the regime of
   // the paper's operational deployments, where decoder contention — not
   // spatial reuse — governs capacity.
-  Deployment deployment{Region{500, 400}, spectrum_4m8(),
+  Deployment deployment{Region{Meters{500}, Meters{400}}, spectrum_4m8(),
                         urban_channel(seed)};
   Rng rng(seed);
   std::vector<Network*> nets;

@@ -37,7 +37,8 @@ std::size_t burst_capacity(Deployment& deployment, Network& network,
   auto nodesCopy = std::vector<EndNode*>();
   for (auto& n : network.nodes()) nodesCopy.push_back(&n);
   PacketIdSource ids;
-  return run_burst(deployment, nodesCopy, 0.0, ids).total_delivered();
+  return run_burst(deployment, nodesCopy, Seconds{0.0}, ids)
+      .total_delivered();
 }
 
 }  // namespace
@@ -50,7 +51,7 @@ int main() {
               "measured");
   const int paper_5a[3][2] = {{8, 16}, {4, 32}, {2, 48}};
   for (const auto& row : paper_5a) {
-    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
     auto& network = deployment.add_network("op");
     place_clustered_gateways(deployment, network, 5);
     Rng rng(7);
@@ -66,7 +67,7 @@ int main() {
   std::printf("  %-16s %-10s\n", "setting", "measured");
   {
     // Standard: all three gateways identical.
-    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
     auto& network = deployment.add_network("op");
     place_clustered_gateways(deployment, network, 3);
     Rng rng(9);
@@ -76,7 +77,7 @@ int main() {
   }
   {
     // Setting 1: gw1 keeps 8 channels; gw2/gw3 take disjoint halves.
-    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
     auto& network = deployment.add_network("op");
     place_clustered_gateways(deployment, network, 3);
     Rng rng(9);
@@ -92,7 +93,7 @@ int main() {
   }
   {
     // Setting 2: staggered 4-channel windows.
-    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
     auto& network = deployment.add_network("op");
     place_clustered_gateways(deployment, network, 3);
     Rng rng(9);

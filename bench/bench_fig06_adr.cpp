@@ -40,7 +40,7 @@ std::array<double, kNumDataRates> dr_distribution(const Network& network) {
 }  // namespace
 
 int main() {
-  Deployment deployment{Region{2100, 1600}, spectrum_4m8(), urban_channel(5)};
+  Deployment deployment{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(), urban_channel(5)};
   auto& network = deployment.add_network("local");
   Rng rng(31);
   deployment.place_gateways(network, 15, default_profile(), rng);

@@ -11,7 +11,7 @@ using namespace alphawan;
 using namespace alphawan::bench;
 
 int main() {
-  Deployment deployment{Region{1200, 1200}, spectrum_1m6(), quiet_channel()};
+  Deployment deployment{Region{Meters{1200}, Meters{1200}}, spectrum_1m6(), quiet_channel()};
   auto& network = deployment.add_network("op");
   auto& gw = network.add_gateway(deployment.next_gateway_id(),
                                  deployment.region().center(),
@@ -37,22 +37,22 @@ int main() {
     NodeRadioConfig cfg;
     cfg.channel = deployment.spectrum().grid_channel(deg / 30 % 8);
     cfg.dr = DataRate::kDR0;
-    cfg.tx_power = 14.0;
-    const Point pos{center.x + 400.0 * std::cos(rad),
-                    center.y + 400.0 * std::sin(rad)};
+    cfg.tx_power = Dbm{14.0};
+    const Point pos{Meters{center.x.value() + 400.0 * std::cos(rad)},
+                    Meters{center.y.value() + 400.0 * std::sin(rad)}};
     auto& node = network.add_node(deployment.next_node_id(), pos, cfg);
     const Db gain = gw.antenna_gain_towards(pos);
-    const Db attenuation = 12.0 - gain;
+    const Db attenuation = Db{12.0} - gain;
     const Db snr = deployment.mean_snr(node, gw);
     const auto result = runner.run_window(
-        {node.make_transmission(deg * 10.0, 10, ids.next())});
+        {node.make_transmission(Seconds{deg * 10.0}, 10, ids.next())});
     const bool ok = result.total_delivered() == 1;
     if (deg >= 30) {
       ++off_axis_count;
       received_off_axis += ok ? 1 : 0;
     }
-    std::printf("  %-12d %-16.1f %-12.1f %-10s\n", deg, attenuation, snr,
-                ok ? "yes" : "no");
+    std::printf("  %-12d %-16.1f %-12.1f %-10s\n", deg, attenuation.value(),
+                snr.value(), ok ? "yes" : "no");
   }
   print_note("");
   print_row("off-axis attenuation range (dB)", 14.0, 14.0, "to");

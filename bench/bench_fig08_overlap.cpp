@@ -31,10 +31,10 @@ double prr_at_overlap(double overlap, Db interferer_delta, bool orthogonal,
     wanted.node = 1;
     wanted.channel = spec.grid_channel(0);
     wanted.params.sf = SpreadingFactor::kSF8;
-    wanted.start = 0.0;
+    wanted.start = Seconds{0.0};
     const Dbm noise = noise_floor_dbm(kLoRaBandwidth125k);
     const Dbm wanted_power = noise + demod_snr_threshold(wanted.params.sf) +
-                             5.0 + rng.uniform(-0.5, 0.5);
+                             Db{5.0 + rng.uniform(-0.5, 0.5)};
 
     Transmission interferer = wanted;
     interferer.id = 2;
@@ -43,10 +43,9 @@ double prr_at_overlap(double overlap, Db interferer_delta, bool orthogonal,
     interferer.sync_word = sync_word_for_network(1);
     interferer.params.sf =
         orthogonal ? SpreadingFactor::kSF10 : SpreadingFactor::kSF8;
-    interferer.channel.center +=
-        (1.0 - overlap) * kLoRaBandwidth125k;
+    interferer.channel.center += (1.0 - overlap) * kLoRaBandwidth125k;
     const Dbm interferer_power =
-        wanted_power + interferer_delta + rng.uniform(-0.5, 0.5);
+        wanted_power + interferer_delta + Db{rng.uniform(-0.5, 0.5)};
 
     const auto outcomes = radio.process(
         {RxEvent{wanted, wanted_power}, RxEvent{interferer, interferer_power}});
@@ -66,10 +65,10 @@ int main() {
               "strong/orth", "weak/non-orth", "strong/non-orth");
   Rng rng(8);
   for (double overlap = 0.0; overlap <= 1.001; overlap += 0.1) {
-    const double weak_orth = prr_at_overlap(overlap, 8.0, true, rng);
-    const double strong_orth = prr_at_overlap(overlap, 20.0, true, rng);
-    const double weak_non = prr_at_overlap(overlap, 8.0, false, rng);
-    const double strong_non = prr_at_overlap(overlap, 20.0, false, rng);
+    const double weak_orth = prr_at_overlap(overlap, Db{8.0}, true, rng);
+    const double strong_orth = prr_at_overlap(overlap, Db{20.0}, true, rng);
+    const double weak_non = prr_at_overlap(overlap, Db{8.0}, false, rng);
+    const double strong_non = prr_at_overlap(overlap, Db{20.0}, false, rng);
     std::printf("  %-9.1f %-16.2f %-16.2f %-16.2f %-16.2f\n", overlap,
                 weak_orth, strong_orth, weak_non, strong_non);
   }

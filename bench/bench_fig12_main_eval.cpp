@@ -28,14 +28,15 @@ AlphaWanConfig fast_alphawan(bool strategy1, bool node_side = true) {
 template <typename ConfigureFn>
 std::size_t capacity_of(const Spectrum& spectrum, int gateways, int users,
                         ConfigureFn&& configure, std::uint64_t seed = 7) {
-  Deployment deployment{Region{600, 600}, spectrum, quiet_channel()};
+  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum, quiet_channel()};
   auto& network = deployment.add_network("op");
   place_clustered_gateways(deployment, network, gateways);
   Rng rng(seed);
   auto nodes = add_orthogonal_users(deployment, network, users, rng);
   configure(deployment, network);
   PacketIdSource ids;
-  return run_burst(deployment, nodes, 0.0, ids, seed).total_delivered();
+  return run_burst(deployment, nodes, Seconds{0.0}, ids, seed)
+      .total_delivered();
 }
 
 void homogeneous_standard(Deployment& deployment, Network& network) {
@@ -111,7 +112,7 @@ void figure_12b() {
               "oracle", "standard", "alpha-full", "random-CP", "std/MHz",
               "alpha/MHz");
   for (double mhz : {1.6, 3.2, 4.8, 6.4}) {
-    const Spectrum spec{916.8e6, mhz * 1e6};
+    const Spectrum spec{Hz{916.8e6}, Hz{mhz * 1e6}};
     const int users = oracle_capacity(spec);
     const std::size_t std_cap = capacity_of(
         spec, 15, users,
@@ -139,7 +140,7 @@ void figure_12c() {
   RunningStats std_stats, gw_only_stats, full_stats;
   for (std::uint64_t trial = 0; trial < 8; ++trial) {
     for (int variant = 0; variant < 3; ++variant) {
-      Deployment deployment{Region{2100, 1600}, spectrum_4m8(),
+      Deployment deployment{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(),
                             urban_channel(trial + 40)};
       auto& network = deployment.add_network("op");
       Rng rng(trial * 13 + 1);
@@ -156,7 +157,7 @@ void figure_12c() {
       for (auto& n : network.nodes()) nodes.push_back(&n);
       PacketIdSource ids;
       const auto delivered =
-          run_burst(deployment, nodes, 0.0, ids, trial).total_delivered();
+          run_burst(deployment, nodes, Seconds{0.0}, ids, trial).total_delivered();
       (variant == 0   ? std_stats
        : variant == 1 ? gw_only_stats
                       : full_stats)
@@ -185,7 +186,7 @@ void figure_12de() {
     std::size_t std_total = 0, alpha_total = 0;
     std::size_t std_min = 1e9, std_max = 0, alpha_min = 1e9, alpha_max = 0;
     for (int mode = 0; mode < 2; ++mode) {
-      Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+      Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
       Rng rng(61 + count);
       std::vector<Network*> nets;
       std::vector<std::vector<EndNode*>> net_nodes;
@@ -219,7 +220,7 @@ void figure_12de() {
         for (auto& nodes : net_nodes) all.push_back(nodes[i]);
       }
       PacketIdSource ids;
-      const auto result = run_burst(deployment, all, 0.0, ids, 9);
+      const auto result = run_burst(deployment, all, Seconds{0.0}, ids, 9);
       for (auto* net : nets) {
         const std::size_t d = result.delivered.at(net->id());
         if (mode == 0) {

@@ -16,7 +16,7 @@ using namespace alphawan::bench;
 
 namespace {
 
-constexpr Seconds kWindow = 30.0;
+constexpr Seconds kWindow{30.0};
 // Per-user airtime utilization (half the regulatory 1% duty budget).
 constexpr double kUserUtilization = 0.005;
 constexpr std::size_t kPhysicalNodes = 144;
@@ -50,7 +50,7 @@ struct Result {
 };
 
 Result run(Strategy strategy, std::size_t users, std::uint64_t seed) {
-  Deployment deployment{Region{2100, 1600}, spectrum_4m8(),
+  Deployment deployment{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(),
                         urban_channel(seed)};
   auto& network = deployment.add_network("op");
   Rng rng(seed);
@@ -62,8 +62,8 @@ Result run(Strategy strategy, std::size_t users, std::uint64_t seed) {
   // Commercial operators run homogeneous plans (paper Sec. 3.2); only the
   // channel-planning strategies diversify them.
   std_options.spread_gateways_across_plans = false;
-  std_options.adr.installation_margin = 10.0;  // keep links robust
-  std_options.adr.min_tx_power = 8.0;
+  std_options.adr.installation_margin = Db{10.0};  // keep links robust
+  std_options.adr.min_tx_power = Dbm{8.0};
   apply_standard_lorawan(deployment, network, rng, std_options);
   if (strategy == Strategy::kRandomCp) {
     apply_random_cp(deployment, network, rng);
@@ -99,7 +99,7 @@ Result run(Strategy strategy, std::size_t users, std::uint64_t seed) {
   NodeId virtual_base = 1'000'000;
   for (auto& node : network.nodes()) {
     const Seconds airtime = time_on_air(node.tx_params(), 10);
-    const double rate = kUserUtilization / airtime;
+    const double rate = kUserUtilization / airtime.value();
     std::vector<EndNode*> one = {&node};
     auto node_txs = emulated_user_traffic(one, users_per_node, kWindow, rate,
                                           traffic_rng, ids, virtual_base);
@@ -122,7 +122,8 @@ Result run(Strategy strategy, std::size_t users, std::uint64_t seed) {
   Result result;
   result.prr = metrics.total_prr();
   result.throughput_bps =
-      8.0 * static_cast<double>(metrics.total_delivered_bytes()) / kWindow;
+      8.0 * static_cast<double>(metrics.total_delivered_bytes()) /
+      kWindow.value();
   result.dec = metrics.loss_fraction(LossCause::kDecoderContentionIntra) +
                metrics.loss_fraction(LossCause::kDecoderContentionInter);
   result.chan = metrics.loss_fraction(LossCause::kChannelContentionIntra) +

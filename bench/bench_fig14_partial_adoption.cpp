@@ -16,7 +16,7 @@ int main() {
               "net2", "net3", "net4", "(net3/net4 adopt first)");
 
   for (int adopters = 0; adopters <= 4; ++adopters) {
-    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
     Rng rng(71);
     std::vector<Network*> nets;
     std::vector<std::vector<EndNode*>> net_nodes;
@@ -41,7 +41,7 @@ int main() {
     // adopt first).
     // base_offset keeps adopters misaligned from the legacy standard grid.
     MasterNode master(MasterConfig{deployment.spectrum(), 0.4,
-                                   std::max(adopters, 1), 37.5e3});
+                                   std::max(adopters, 1), Hz{37.5e3}});
     LatencyModel latency{LatencyModelConfig{}, 3};
     for (int n = 4 - adopters; n < 4; ++n) {
       AlphaWanConfig cfg;

@@ -16,7 +16,7 @@ int main() {
               "net2 ratio", "Jain");
 
   for (int net2_users : {16, 32, 48, 64, 80}) {
-    Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+    Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
     auto& op1 = deployment.add_network("op1");
     auto& op2 = deployment.add_network("op2");
     Rng rng(91);

@@ -30,7 +30,7 @@ double prr(Db link_snr, bool coexist, Db interferer_above_noise,
     wanted.channel = spec.grid_channel(0);
     wanted.params.sf = SpreadingFactor::kSF8;  // DR4
     std::vector<RxEvent> events = {
-        RxEvent{wanted, noise + link_snr + rng.uniform(-0.3, 0.3)}};
+        RxEvent{wanted, noise + link_snr + Db{rng.uniform(-0.3, 0.3)}}};
     if (coexist) {
       Transmission interferer = wanted;
       interferer.id = 2;
@@ -40,8 +40,9 @@ double prr(Db link_snr, bool coexist, Db interferer_above_noise,
       interferer.params.sf =
           orthogonal ? SpreadingFactor::kSF11 : SpreadingFactor::kSF8;
       interferer.channel.center += 0.8 * kLoRaBandwidth125k;  // 20% overlap
-      events.push_back(RxEvent{
-          interferer, noise + interferer_above_noise + rng.uniform(-0.3, 0.3)});
+      events.push_back(
+          RxEvent{interferer, noise + interferer_above_noise +
+                                  Db{rng.uniform(-0.3, 0.3)}});
     }
     const auto outcomes = radio.process(events);
     if (outcomes[0].disposition == RxDisposition::kDelivered) ++ok;
@@ -52,12 +53,12 @@ double prr(Db link_snr, bool coexist, Db interferer_above_noise,
 Db threshold_of(bool coexist, Db interferer_above_noise, bool orthogonal,
                 Rng& rng) {
   // Smallest SNR achieving PRR >= 0.5.
-  for (Db snr = -20.0; snr <= 5.0; snr += 0.25) {
+  for (Db snr{-20.0}; snr <= Db{5.0}; snr += Db{0.25}) {
     if (prr(snr, coexist, interferer_above_noise, orthogonal, rng) >= 0.5) {
       return snr;
     }
   }
-  return 99.0;
+  return Db{99.0};
 }
 
 }  // namespace
@@ -72,25 +73,26 @@ int main() {
   // PRR curves.
   std::printf("  %-9s %-10s %-14s %-14s %-14s %-14s\n", "SNR(dB)", "alone",
               "4dBm/orth", "20dBm/orth", "4dBm/non-o", "20dBm/non-o");
-  for (Db snr = -16.0; snr <= -2.0; snr += 2.0) {
-    std::printf("  %-9.0f %-10.2f %-14.2f %-14.2f %-14.2f %-14.2f\n", snr,
-                prr(snr, false, 0, true, rng), prr(snr, true, 19.0, true, rng),
-                prr(snr, true, 35.0, true, rng),
-                prr(snr, true, 19.0, false, rng),
-                prr(snr, true, 35.0, false, rng));
+  for (Db snr{-16.0}; snr <= Db{-2.0}; snr += Db{2.0}) {
+    std::printf("  %-9.0f %-10.2f %-14.2f %-14.2f %-14.2f %-14.2f\n",
+                snr.value(), prr(snr, false, Db{0.0}, true, rng),
+                prr(snr, true, Db{19.0}, true, rng),
+                prr(snr, true, Db{35.0}, true, rng),
+                prr(snr, true, Db{19.0}, false, rng),
+                prr(snr, true, Db{35.0}, false, rng));
   }
 
   // Threshold table.
-  const Db alone = threshold_of(false, 0, true, rng);
-  const Db orth_weak = threshold_of(true, 19.0, true, rng);
-  const Db orth_strong = threshold_of(true, 35.0, true, rng);
-  const Db non_weak = threshold_of(true, 19.0, false, rng);
-  const Db non_strong = threshold_of(true, 35.0, false, rng);
+  const Db alone = threshold_of(false, Db{0.0}, true, rng);
+  const Db orth_weak = threshold_of(true, Db{19.0}, true, rng);
+  const Db orth_strong = threshold_of(true, Db{35.0}, true, rng);
+  const Db non_weak = threshold_of(true, Db{19.0}, false, rng);
+  const Db non_strong = threshold_of(true, Db{35.0}, false, rng);
   print_note("");
-  print_row("threshold alone (dB)", -13.0, alone);
-  print_row("shift, orth weak (dB)", 0.3, orth_weak - alone);
-  print_row("shift, orth strong (dB)", 0.5, orth_strong - alone);
-  print_row("shift, non-orth weak (dB)", 3.3, non_weak - alone);
-  print_row("shift, non-orth strong (dB)", 3.7, non_strong - alone);
+  print_row("threshold alone (dB)", -13.0, alone.value());
+  print_row("shift, orth weak (dB)", 0.3, (orth_weak - alone).value());
+  print_row("shift, orth strong (dB)", 0.5, (orth_strong - alone).value());
+  print_row("shift, non-orth weak (dB)", 3.3, (non_weak - alone).value());
+  print_row("shift, non-orth strong (dB)", 3.7, (non_strong - alone).value());
   return 0;
 }

@@ -13,7 +13,7 @@ namespace {
 
 UpgradeReport upgrade_once(std::size_t users, int gateways,
                            MasterNode* master, std::uint64_t seed) {
-  Deployment deployment{Region{2100, 1600}, spectrum_4m8(),
+  Deployment deployment{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(),
                         urban_channel(seed)};
   auto& network = deployment.add_network("op");
   Rng rng(seed);
@@ -34,9 +34,9 @@ UpgradeReport upgrade_once(std::size_t users, int gateways,
 
 void print_report(const char* label, const UpgradeReport& report) {
   std::printf("  %-14s %-10.2f %-12.2f %-12.2f %-10.2f %-8.2f\n", label,
-              report.cp_solve, report.master_communication,
-              report.config_distribution, report.gateway_reboot,
-              report.total());
+              report.cp_solve.value(), report.master_communication.value(),
+              report.config_distribution.value(), report.gateway_reboot.value(),
+              report.total().value());
 }
 
 }  // namespace
@@ -61,7 +61,7 @@ int main() {
   for (int networks = 2; networks <= 4; ++networks) {
     MasterNode master(MasterConfig{spectrum_4m8(), 0.4, networks});
     UpgradeReport worst;
-    double worst_total = 0.0;
+    Seconds worst_total{0.0};
     for (int n = 0; n < networks; ++n) {
       const auto report =
           upgrade_once(3000, 4, &master, 10 + networks * 4 + n);

@@ -14,18 +14,18 @@ using namespace alphawan::bench;
 
 namespace {
 
-constexpr Seconds kWindow = 30.0;
+constexpr Seconds kWindow{30.0};
 // One packet per ~36 s per user: a busy metering fleet.
 constexpr double kPacketRate = 1.0 / 36.0;
 
 struct World {
   bool alphawan;
-  Deployment deployment{Region{2100, 1600}, spectrum_4m8(), urban_channel(3)};
+  Deployment deployment{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(), urban_channel(3)};
   Network* op1 = nullptr;
   Network* op2 = nullptr;
   Rng rng;
   PacketIdSource ids;
-  Seconds now = 0.0;
+  Seconds now{0.0};
 
   explicit World(bool use_alphawan, std::uint64_t seed)
       : alphawan(use_alphawan), rng(seed) {
@@ -80,7 +80,7 @@ struct World {
         std::map<NodeId, double> traffic;
         for (const auto& node : net->nodes()) {
           traffic[node.id()] =
-              kPacketRate * time_on_air(node.tx_params(), 10);
+              kPacketRate * time_on_air(node.tx_params(), 10).value();
         }
         (void)controller.upgrade(*net, active_spectrum, links, traffic,
                                  sharing ? master.get() : nullptr);
@@ -106,7 +106,7 @@ struct World {
     auto txs = poisson_traffic(nodes, kWindow, kPacketRate, traffic_rng, ids,
                                0.01);
     for (auto& tx : txs) tx.start += now;
-    now += kWindow + 10.0;
+    now += kWindow + Seconds{10.0};
     ScenarioRunner runner(deployment, 5);
     MetricsCollector metrics;
     (void)runner.run_window(txs, metrics);
@@ -125,7 +125,7 @@ int main() {
 
   World alpha(true, 101);
   World standard(false, 101);
-  Spectrum active{916.8e6, 4.8e6};
+  Spectrum active{Hz{916.8e6}, Hz{4.8e6}};
 
   std::size_t users = 1180;
   alpha.grow(*alpha.op1, users);
@@ -150,7 +150,7 @@ int main() {
     if (week == 27) {
       // Regulator grants 1.6 MHz of additional spectrum: AlphaWAN replans
       // over the wider band (standard plans stay within the legacy band).
-      active = Spectrum{916.8e6, 6.4e6};
+      active = Spectrum{Hz{916.8e6}, Hz{6.4e6}};
       alpha.apply_strategy(active, 1);
       standard.apply_strategy(active, 1);
     }

@@ -24,11 +24,11 @@ BENCHMARK(BM_Airtime);
 
 void BM_DecoderPoolChurn(benchmark::State& state) {
   DecoderPool pool(16);
-  Seconds t = 0.0;
+  Seconds t{0.0};
   PacketId id = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pool.try_acquire(t, t + 0.05, 0, id++));
-    t += 0.001;
+    benchmark::DoNotOptimize(pool.try_acquire(t, t + Seconds{0.05}, 0, id++));
+    t += Seconds{0.001};
   }
 }
 BENCHMARK(BM_DecoderPoolChurn);
@@ -42,8 +42,8 @@ std::vector<RxEvent> burst_events(int count) {
     tx.node = static_cast<NodeId>(i + 1);
     tx.channel = spec.grid_channel(i % 8);
     tx.params.sf = sf_from_index((i / 8) % 6);
-    tx.start = 0.0005 * i;
-    events.push_back(RxEvent{tx, -85.0});
+    tx.start = Seconds{0.0005 * i};
+    events.push_back(RxEvent{tx, Dbm{-85.0}});
   }
   return events;
 }

@@ -13,7 +13,7 @@ namespace {
 
 std::size_t practical_capacity(const GatewayProfile& profile) {
   // Spectrum sized to the radio (grid channels across its Rx bandwidth).
-  const Spectrum spec{923.0e6, profile.rx_spectrum};
+  const Spectrum spec{Hz{923.0e6}, profile.rx_spectrum};
   GatewayRadio radio(profile, 0, kPublicSyncWord);
   std::vector<Channel> channels;
   for (int i = 0; i < std::min(profile.data_rx_chains, spec.grid_size());
@@ -34,8 +34,8 @@ std::size_t practical_capacity(const GatewayProfile& profile) {
     tx.channel = channels[static_cast<std::size_t>(i) % channels.size()];
     tx.params.sf =
         sf_from_index((i / static_cast<int>(channels.size())) % 6);
-    tx.start = 0.0002 * (i + 1) - preamble_duration(tx.params);
-    events.push_back(RxEvent{tx, -80.0});
+    tx.start = Seconds{0.0002 * (i + 1)} - preamble_duration(tx.params);
+    events.push_back(RxEvent{tx, Dbm{-80.0}});
   }
   const auto outcomes = radio.process(events);
   std::size_t delivered = 0;
@@ -58,7 +58,7 @@ int main() {
     std::printf("  %-24s %-8s %-10.1f %d+%-6d %-8d %-8d %-10zu\n",
                 std::string(profile.product).c_str(),
                 std::string(chipset_name(profile.chipset)).c_str(),
-                profile.rx_spectrum / 1e6, profile.data_rx_chains,
+                profile.rx_spectrum.value() / 1e6, profile.data_rx_chains,
                 profile.service_rx_chains, profile.theory_capacity(),
                 profile.practical_capacity(), measured);
   }

@@ -24,16 +24,16 @@ namespace alphawan::bench {
 // with clear margins, so decoder contention is not confounded by fading.
 inline ChannelModelConfig quiet_channel() {
   ChannelModelConfig cfg;
-  cfg.shadowing_sigma_db = 0.3;
-  cfg.fast_fading_sigma_db = 0.1;
+  cfg.shadowing_sigma_db = Db{0.3};
+  cfg.fast_fading_sigma_db = Db{0.1};
   return cfg;
 }
 
 // Urban channel for the at-scale studies (Figs. 4, 13, 21).
 inline ChannelModelConfig urban_channel(std::uint64_t seed = 1) {
   ChannelModelConfig cfg;
-  cfg.shadowing_sigma_db = 3.0;
-  cfg.fast_fading_sigma_db = 0.8;
+  cfg.shadowing_sigma_db = Db{3.0};
+  cfg.fast_fading_sigma_db = Db{0.8};
   cfg.seed = seed;
   return cfg;
 }
@@ -46,8 +46,8 @@ inline void place_clustered_gateways(Deployment& deployment, Network& network,
   const Point center = deployment.region().center();
   const auto plan0 = standard_plan(deployment.spectrum(), 0);
   for (int i = 0; i < count; ++i) {
-    const Point pos{center.x + 15.0 * i - 7.5 * (count - 1),
-                    center.y + 10.0 * (i % 2)};
+    const Point pos{Meters{center.x.value() + 15.0 * i - 7.5 * (count - 1)},
+                    Meters{center.y.value() + 10.0 * (i % 2)}};
     auto& gw = network.add_gateway(deployment.next_gateway_id(), pos, profile);
     gw.apply_channels(GatewayChannelConfig{plan0.channels});
   }
@@ -69,12 +69,12 @@ inline std::vector<EndNode*> add_orthogonal_users(Deployment& deployment,
     cfg.channel = channels[static_cast<std::size_t>(i) % channels.size()];
     cfg.dr = static_cast<DataRate>(
         (i / static_cast<int>(channels.size())) % kNumDataRates);
-    cfg.tx_power = 14.0;
+    cfg.tx_power = Dbm{14.0};
     const double angle = 2.0 * std::numbers::pi *
                          (static_cast<double>(k) + rng.uniform(0.0, 0.5)) /
                          static_cast<double>(count);
-    const Point pos{center.x + radius * std::cos(angle),
-                    center.y + radius * std::sin(angle)};
+    const Point pos{Meters{center.x.value() + radius * std::cos(angle)},
+                    Meters{center.y.value() + radius * std::sin(angle)}};
     nodes.push_back(&network.add_node(deployment.next_node_id(), pos, cfg));
   }
   return nodes;
@@ -86,7 +86,7 @@ inline WindowResult run_burst(Deployment& deployment,
                               std::vector<EndNode*> nodes, Seconds at,
                               PacketIdSource& ids, std::uint64_t seed = 7) {
   ScenarioRunner runner(deployment, seed);
-  const auto txs = staggered_by_lock_on(std::move(nodes), at, 0.0004, ids);
+  const auto txs = staggered_by_lock_on(std::move(nodes), at, Seconds{0.0004}, ids);
   return runner.run_window(txs);
 }
 
@@ -98,12 +98,12 @@ inline std::size_t max_concurrent_users(Deployment& deployment,
                                         PacketIdSource& ids,
                                         double threshold = 0.95) {
   std::size_t best = 0;
-  Seconds at = 0.0;
+  Seconds at{0.0};
   for (std::size_t n = 1; n <= nodes.size(); ++n) {
     std::vector<EndNode*> subset(nodes.begin(),
                                  nodes.begin() + static_cast<std::ptrdiff_t>(n));
     const auto result = run_burst(deployment, subset, at, ids);
-    at += 100.0;  // separate bursts in time
+    at += Seconds{100.0};  // separate bursts in time
     if (static_cast<double>(result.total_delivered()) >=
         threshold * static_cast<double>(n)) {
       best = result.total_delivered();
@@ -124,7 +124,7 @@ inline std::map<NetworkId, std::set<NodeId>> run_service_session(
   PacketIdSource ids;
   Rng rng(seed);
   ScenarioRunner runner(deployment, seed);
-  Seconds at = 0.0;
+  Seconds at{0.0};
   for (int round = 0; round < bursts; ++round) {
     // Fisher-Yates shuffle of the lock-on order.
     for (std::size_t i = all.size(); i > 1; --i) {
@@ -132,12 +132,12 @@ inline std::map<NetworkId, std::set<NodeId>> run_service_session(
           rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
       std::swap(all[i - 1], all[j]);
     }
-    const auto txs = staggered_by_lock_on(all, at, 0.0004, ids);
+    const auto txs = staggered_by_lock_on(all, at, Seconds{0.0004}, ids);
     const auto result = runner.run_window(txs);
     for (const auto& fate : result.fates) {
       if (fate.delivered) served[fate.network].insert(fate.node);
     }
-    at += 120.0;
+    at += Seconds{120.0};
   }
   return served;
 }

@@ -18,7 +18,7 @@ using namespace alphawan;
 
 namespace {
 
-constexpr Seconds kWindow = 120.0;
+constexpr Seconds kWindow{120.0};
 constexpr int kMeasurementWindows = 4;
 
 double run_epoch(Deployment& deployment, Network& network,
@@ -37,9 +37,9 @@ double run_epoch(Deployment& deployment, Network& network,
 
 int main() {
   ChannelModelConfig urban;
-  urban.shadowing_sigma_db = 3.0;
-  urban.fast_fading_sigma_db = 0.8;
-  Deployment deployment{Region{2100, 1600}, spectrum_4m8(), urban};
+  urban.shadowing_sigma_db = Db{3.0};
+  urban.fast_fading_sigma_db = Db{0.8};
+  Deployment deployment{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(), urban};
   auto& network = deployment.add_network("city-op");
   Rng rng(42);
   deployment.place_gateways(network, 15, default_profile(), rng);
@@ -54,11 +54,11 @@ int main() {
   // --- phase 1: operate + measure ---------------------------------------
   ScenarioRunner runner(deployment, 3);
   PacketIdSource ids;
-  Seconds clock = 0.0;
+  Seconds clock{0.0};
   double before = 0.0;
   for (int w = 0; w < kMeasurementWindows; ++w) {
     before = run_epoch(deployment, network, runner, ids, rng, clock);
-    clock += kWindow + 10.0;
+    clock += kWindow + Seconds{10.0};
   }
   std::printf("status quo PRR (last window): %.3f\n", before);
   std::printf("server log: %zu receptions of %zu delivered packets\n\n",
@@ -71,7 +71,7 @@ int main() {
               links.nodes.size());
 
   const auto series = per_window_counts(network.server().log(),
-                                        kWindow + 10.0,
+                                        kWindow + Seconds{10.0},
                                         kMeasurementWindows);
   TrafficEstimator estimator;
   const auto demand = estimator.estimate(series);
@@ -90,14 +90,14 @@ int main() {
   std::printf(
       "CP solve %.2f s; %zu gateway configs pushed; reboot %.1f s; total "
       "upgrade %.1f s\n\n",
-      report.cp_solve, report.delta.gateways_changed, report.gateway_reboot,
-      report.total());
+      report.cp_solve.value(), report.delta.gateways_changed,
+      report.gateway_reboot.value(), report.total().value());
 
   // --- phase 3: operate under the new plan -------------------------------
   double after = 0.0;
   for (int w = 0; w < 2; ++w) {
     after = run_epoch(deployment, network, runner, ids, rng, clock);
-    clock += kWindow + 10.0;
+    clock += kWindow + Seconds{10.0};
   }
   std::printf("PRR after AlphaWAN planning: %.3f (was %.3f)\n", after,
               before);

@@ -30,8 +30,8 @@ std::vector<EndNode*> ring_users(Deployment& deployment, Network& network,
     const double angle = 2 * 3.14159265 * k / count;
     nodes.push_back(&network.add_node(
         deployment.next_node_id(),
-        {center.x + radius * std::cos(angle),
-         center.y + radius * std::sin(angle)},
+        Point{Meters{center.x.value() + radius * std::cos(angle)},
+              Meters{center.y.value() + radius * std::sin(angle)}},
         cfg));
   }
   return nodes;
@@ -42,7 +42,8 @@ void add_gateways(Deployment& deployment, Network& network, int count) {
   const auto plan0 = standard_plan(deployment.spectrum(), 0);
   for (int i = 0; i < count; ++i) {
     auto& gw = network.add_gateway(deployment.next_gateway_id(),
-                                   {center.x + 20.0 * i, center.y + 10.0 * i},
+                                   Point{Meters{center.x.value() + 20.0 * i},
+                                         Meters{center.y.value() + 10.0 * i}},
                                    default_profile());
     gw.apply_channels(GatewayChannelConfig{plan0.channels});
   }
@@ -52,9 +53,9 @@ void add_gateways(Deployment& deployment, Network& network, int count) {
 
 int main() {
   ChannelModelConfig quiet;
-  quiet.shadowing_sigma_db = 0.3;
-  quiet.fast_fading_sigma_db = 0.1;
-  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet};
+  quiet.shadowing_sigma_db = Db{0.3};
+  quiet.fast_fading_sigma_db = Db{0.1};
+  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet};
   auto& op1 = deployment.add_network("metro-utility");
   auto& op2 = deployment.add_network("parking-iot");
   add_gateways(deployment, op1, 3);
@@ -85,7 +86,7 @@ int main() {
             "  [%s] plan assigned: %zu channels, offset %+.1f kHz, "
             "overlap %.0f%%\n",
             name.c_str(), assign->channels.size(),
-            assign->frequency_offset / 1e3, 100.0 * assign->overlap_ratio);
+            assign->frequency_offset.value() / 1e3, 100.0 * assign->overlap_ratio);
       }
     });
     bus.send(endpoint, MasterService::endpoint(),
@@ -98,7 +99,7 @@ int main() {
   }
   engine.run();
   std::printf("  backhaul: %zu messages, %zu bytes, %.0f ms elapsed\n\n",
-              bus.stats().messages, bus.stats().bytes, engine.now() * 1e3);
+              bus.stats().messages, bus.stats().bytes, engine.now().value() * 1e3);
 
   // --- apply AlphaWAN on both operators ---------------------------------
   for (Network* op : {&op1, &op2}) {
@@ -109,8 +110,8 @@ int main() {
     const auto report = controller.upgrade(
         *op, deployment.spectrum(), links, uniform_traffic(*op), &master);
     std::printf("  [%s] upgraded: offset %+.1f kHz, total latency %.1f s\n",
-                op->name().c_str(), report.frequency_offset / 1e3,
-                report.total());
+                op->name().c_str(), report.frequency_offset.value() / 1e3,
+                report.total().value());
   }
 
   // --- measure the shared-spectrum burst --------------------------------
@@ -121,7 +122,7 @@ int main() {
   }
   PacketIdSource ids;
   ScenarioRunner runner(deployment, 5);
-  const auto txs = staggered_by_lock_on(all, 0.0, 0.0004, ids);
+  const auto txs = staggered_by_lock_on(all, Seconds{0.0}, Seconds{0.0004}, ids);
   const auto result = runner.run_window(txs);
   std::printf(
       "\n48 concurrent packets (24 per operator) in the shared band:\n");

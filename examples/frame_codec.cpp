@@ -22,9 +22,9 @@ void hexdump(const char* label, std::span<const std::uint8_t> bytes) {
 
 int main() {
   NodeRadioConfig cfg;
-  cfg.channel = Channel{923.3e6, 125e3};
+  cfg.channel = Channel{Hz{923.3e6}, Hz{125e3}};
   cfg.dr = DataRate::kDR3;
-  EndNode sensor(/*id=*/42, /*network=*/3, Point{100, 50}, cfg);
+  EndNode sensor(/*id=*/42, /*network=*/3, Point{Meters{100}, Meters{50}}, cfg);
 
   const std::vector<std::uint8_t> reading = {0x17, 0x03, 0x42, 0x01,
                                              0x99, 0xEE, 0x10, 0x00,

@@ -22,7 +22,7 @@ std::size_t concurrent_capacity(Deployment& deployment,
                                 std::vector<EndNode*> nodes, Seconds at,
                                 PacketIdSource& ids) {
   ScenarioRunner runner(deployment, 7);
-  const auto txs = staggered_by_lock_on(std::move(nodes), at, 0.0004, ids);
+  const auto txs = staggered_by_lock_on(std::move(nodes), at, Seconds{0.0004}, ids);
   return runner.run_window(txs).total_delivered();
 }
 
@@ -31,9 +31,9 @@ std::size_t concurrent_capacity(Deployment& deployment,
 int main() {
   // --- a 600 x 600 m site with quiet links (a controlled experiment) ----
   ChannelModelConfig quiet;
-  quiet.shadowing_sigma_db = 0.3;
-  quiet.fast_fading_sigma_db = 0.1;
-  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet};
+  quiet.shadowing_sigma_db = Db{0.3};
+  quiet.fast_fading_sigma_db = Db{0.1};
+  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet};
   auto& network = deployment.add_network("quickstart-op");
 
   // Five colocated COTS gateways (WisGate-class: 8 channels, 16 decoders),
@@ -42,7 +42,7 @@ int main() {
   const auto plan0 = standard_plan(deployment.spectrum(), 0);
   for (int i = 0; i < 5; ++i) {
     auto& gw = network.add_gateway(deployment.next_gateway_id(),
-                                   {center.x + 15.0 * i, center.y},
+                                   Point{Meters{center.x.value() + 15.0 * i}, center.y},
                                    default_profile());
     gw.apply_channels(GatewayChannelConfig{plan0.channels});
   }
@@ -59,13 +59,14 @@ int main() {
     const double angle = 2 * 3.14159265 * i / 48.0;
     nodes.push_back(&network.add_node(
         deployment.next_node_id(),
-        {center.x + 140 * std::cos(angle), center.y + 140 * std::sin(angle)},
+        Point{Meters{center.x.value() + 140 * std::cos(angle)},
+              Meters{center.y.value() + 140 * std::sin(angle)}},
         cfg));
   }
 
   PacketIdSource ids;
   std::printf("AlphaWAN quickstart — 5 gateways, 48 users, 1.6 MHz\n\n");
-  const auto before = concurrent_capacity(deployment, nodes, 0.0, ids);
+  const auto before = concurrent_capacity(deployment, nodes, Seconds{0.0}, ids);
   std::printf("standard LoRaWAN (homogeneous plans): %zu / 48 concurrent "
               "packets received\n",
               before);
@@ -81,9 +82,9 @@ int main() {
   const auto report = controller.upgrade(
       network, deployment.spectrum(), links, uniform_traffic(network));
   std::printf("AlphaWAN capacity upgrade applied:\n");
-  std::printf("  CP solve            %6.2f s (measured)\n", report.cp_solve);
-  std::printf("  config distribution %6.2f s\n", report.config_distribution);
-  std::printf("  gateway reboot      %6.2f s\n", report.gateway_reboot);
+  std::printf("  CP solve            %6.2f s (measured)\n", report.cp_solve.value());
+  std::printf("  config distribution %6.2f s\n", report.config_distribution.value());
+  std::printf("  gateway reboot      %6.2f s\n", report.gateway_reboot.value());
   std::printf("  gateways reconfigured: %zu, nodes steered: %zu\n\n",
               report.delta.gateways_changed, report.delta.nodes_changed);
 
@@ -91,12 +92,12 @@ int main() {
     std::printf("  gateway %u now operates %zu channel(s):", gw.id(),
                 gw.channels().size());
     for (const auto& ch : gw.channels()) {
-      std::printf(" %.1f", ch.center / 1e6);
+      std::printf(" %.1f", ch.center.value() / 1e6);
     }
     std::printf(" MHz\n");
   }
 
-  const auto after = concurrent_capacity(deployment, nodes, 100.0, ids);
+  const auto after = concurrent_capacity(deployment, nodes, Seconds{100.0}, ids);
   std::printf("\nAlphaWAN channel planning: %zu / 48 concurrent packets "
               "received (%.1fx)\n",
               after, static_cast<double>(after) / before);

@@ -8,11 +8,11 @@ void encode_uplink(BufferWriter& w, const UplinkRecord& rec) {
   w.u32(rec.node);
   w.u32(rec.gateway);
   w.u16(rec.network);
-  w.f64(rec.timestamp);
-  w.f64(rec.channel.center);
-  w.f64(rec.channel.bandwidth);
+  w.f64(rec.timestamp.value());
+  w.f64(rec.channel.center.value());
+  w.f64(rec.channel.bandwidth.value());
   w.u8(static_cast<std::uint8_t>(dr_value(rec.dr)));
-  w.f64(rec.snr);
+  w.f64(rec.snr.value());
 }
 
 std::optional<UplinkRecord> decode_uplink(BufferReader& r) {
@@ -31,10 +31,10 @@ std::optional<UplinkRecord> decode_uplink(BufferReader& r) {
   rec.node = *node;
   rec.gateway = *gateway;
   rec.network = static_cast<NetworkId>(*network);
-  rec.timestamp = *timestamp;
-  rec.channel = Channel{*center, *bandwidth};
+  rec.timestamp = Seconds{*timestamp};
+  rec.channel = Channel{Hz{*center}, Hz{*bandwidth}};
   rec.dr = static_cast<DataRate>(*dr);
-  rec.snr = *snr;
+  rec.snr = Db{*snr};
   return rec;
 }
 
@@ -64,8 +64,8 @@ std::vector<std::uint8_t> encode_forwarder(const ForwarderMessage& msg) {
           w.u32(m.gateway);
           w.u32(static_cast<std::uint32_t>(m.channels.size()));
           for (const auto& ch : m.channels) {
-            w.f64(ch.center);
-            w.f64(ch.bandwidth);
+            w.f64(ch.center.value());
+            w.f64(ch.bandwidth.value());
           }
         } else if constexpr (std::is_same_v<T, PullAckMsg>) {
           w.u8(static_cast<std::uint8_t>(ForwarderOp::kPullAck));
@@ -122,7 +122,7 @@ std::optional<ForwarderMessage> decode_forwarder(
         const auto center = r.f64();
         const auto bandwidth = r.f64();
         if (!center || !bandwidth) return std::nullopt;
-        m.channels.push_back(Channel{*center, *bandwidth});
+        m.channels.push_back(Channel{Hz{*center}, Hz{*bandwidth}});
       }
       if (r.remaining() != 0) return std::nullopt;
       return m;

@@ -9,12 +9,12 @@ LatencyModel::LatencyModel(LatencyModelConfig config, std::uint64_t seed)
 
 Seconds LatencyModel::lan_transfer(std::size_t bytes) {
   return config_.lan_rtt +
-         static_cast<double>(bytes) / config_.lan_bytes_per_second;
+         Seconds{static_cast<double>(bytes) / config_.lan_bytes_per_second};
 }
 
 Seconds LatencyModel::wan_one_way() {
-  return std::max(1e-3, rng_.normal(config_.wan_one_way_mean,
-                                    config_.wan_one_way_sigma));
+  return Seconds{std::max(1e-3, rng_.normal(config_.wan_one_way_mean.value(),
+                                            config_.wan_one_way_sigma.value()))};
 }
 
 Seconds LatencyModel::master_round_trip() {
@@ -22,7 +22,8 @@ Seconds LatencyModel::master_round_trip() {
 }
 
 Seconds LatencyModel::gateway_reboot() {
-  return std::max(0.5, rng_.normal(config_.reboot_mean, config_.reboot_sigma));
+  return Seconds{std::max(
+      0.5, rng_.normal(config_.reboot_mean.value(), config_.reboot_sigma.value()))};
 }
 
 Seconds LatencyModel::config_push(std::size_t bytes) {

@@ -11,16 +11,16 @@ namespace alphawan {
 
 struct LatencyModelConfig {
   // LAN between gateways and the network server (2.5 Gbps Ethernet).
-  Seconds lan_rtt = 0.8e-3;
+  Seconds lan_rtt{0.8e-3};
   double lan_bytes_per_second = 2.5e9 / 8.0;
   // WAN between an operator's server and the cloud Master node (one way).
-  Seconds wan_one_way_mean = 0.055;
-  Seconds wan_one_way_sigma = 0.012;
+  Seconds wan_one_way_mean{0.055};
+  Seconds wan_one_way_sigma{0.012};
   // Gateway reboot after a channel reconfiguration.
-  Seconds reboot_mean = 4.62;
-  Seconds reboot_sigma = 0.35;
+  Seconds reboot_mean{4.62};
+  Seconds reboot_sigma{0.35};
   // Per-gateway configuration push (serialize + apply).
-  Seconds config_push_base = 12e-3;
+  Seconds config_push_base{12e-3};
 };
 
 class LatencyModel {

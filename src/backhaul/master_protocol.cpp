@@ -12,15 +12,15 @@ enum class Tag : std::uint8_t {
 };
 
 void encode_channel(BufferWriter& w, const Channel& ch) {
-  w.f64(ch.center);
-  w.f64(ch.bandwidth);
+  w.f64(ch.center.value());
+  w.f64(ch.bandwidth.value());
 }
 
 std::optional<Channel> decode_channel(BufferReader& r) {
   const auto center = r.f64();
   const auto bw = r.f64();
   if (!center || !bw) return std::nullopt;
-  return Channel{*center, *bw};
+  return Channel{Hz{*center}, Hz{*bw}};
 }
 
 }  // namespace
@@ -41,14 +41,14 @@ std::vector<std::uint8_t> encode_message(const MasterMessage& msg) {
         } else if constexpr (std::is_same_v<T, PlanRequestMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kPlanRequest));
           w.u16(m.operator_id);
-          w.f64(m.spectrum_base);
-          w.f64(m.spectrum_width);
+          w.f64(m.spectrum_base.value());
+          w.f64(m.spectrum_width.value());
           w.u16(m.requested_channels);
         } else if constexpr (std::is_same_v<T, PlanAssignMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kPlanAssign));
           w.u16(m.operator_id);
           w.f64(m.overlap_ratio);
-          w.f64(m.frequency_offset);
+          w.f64(m.frequency_offset.value());
           w.u32(static_cast<std::uint32_t>(m.channels.size()));
           for (const auto& ch : m.channels) encode_channel(w, ch);
         } else if constexpr (std::is_same_v<T, ErrorMsg>) {
@@ -95,8 +95,8 @@ std::optional<MasterMessage> decode_message(
         return std::nullopt;
       }
       m.operator_id = *id;
-      m.spectrum_base = *base;
-      m.spectrum_width = *width;
+      m.spectrum_base = Hz{*base};
+      m.spectrum_width = Hz{*width};
       m.requested_channels = *want;
       return m;
     }
@@ -110,7 +110,7 @@ std::optional<MasterMessage> decode_message(
       if (*count > 4096) return std::nullopt;
       m.operator_id = *id;
       m.overlap_ratio = *overlap;
-      m.frequency_offset = *offset;
+      m.frequency_offset = Hz{*offset};
       m.channels.reserve(*count);
       for (std::uint32_t i = 0; i < *count; ++i) {
         const auto ch = decode_channel(r);

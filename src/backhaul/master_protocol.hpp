@@ -32,8 +32,8 @@ struct RegisterAckMsg {
 
 struct PlanRequestMsg {
   NetworkId operator_id = 0;
-  Hz spectrum_base = 0.0;
-  Hz spectrum_width = 0.0;
+  Hz spectrum_base{0.0};
+  Hz spectrum_width{0.0};
   std::uint16_t requested_channels = 8;
 
   friend bool operator==(const PlanRequestMsg&,
@@ -43,7 +43,7 @@ struct PlanRequestMsg {
 struct PlanAssignMsg {
   NetworkId operator_id = 0;
   double overlap_ratio = 0.0;  // with the nearest coexisting plan
-  Hz frequency_offset = 0.0;   // applied to the standard grid
+  Hz frequency_offset{0.0};   // applied to the standard grid
   std::vector<Channel> channels;
 
   friend bool operator==(const PlanAssignMsg&, const PlanAssignMsg&) = default;

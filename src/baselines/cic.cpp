@@ -31,7 +31,7 @@ RxPostProcessor make_cic_processor(CicOptions options) {
                 [&](std::size_t a, std::size_t b) {
                   return events[a].tx.start < events[b].tx.start;
                 });
-      Seconds max_dur = 0.0;
+      Seconds max_dur{0.0};
       for (const auto idx : indices) {
         max_dur =
             std::max(max_dur, events[idx].tx.end() - events[idx].tx.start);

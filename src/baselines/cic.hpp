@@ -16,7 +16,7 @@ struct CicOptions {
   int max_resolvable = 3;
   // Minimum SNR headroom above the demod threshold CIC needs to separate
   // sub-band spectra reliably.
-  Db snr_headroom = 1.0;
+  Db snr_headroom{1.0};
 };
 
 // Post-processor for ScenarioRunner: promotes collision drops back to

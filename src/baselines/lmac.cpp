@@ -55,7 +55,8 @@ std::vector<Transmission> lmac_schedule(std::vector<Transmission> txs,
             continue;  // hidden terminal: cannot be sensed
           }
           const Seconds candidate =
-              other.end() + rng.uniform(options.min_gap, options.max_gap);
+              other.end() +
+              Seconds{rng.uniform(options.min_gap.value(), options.max_gap.value())};
           if (candidate > start) {
             start = candidate;
             moved = true;

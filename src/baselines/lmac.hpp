@@ -15,13 +15,13 @@ namespace alphawan {
 struct LmacOptions {
   // Maximum total deferral before a node gives up waiting and transmits
   // anyway (regulatory/application latency bound).
-  Seconds max_defer = 5.0;
+  Seconds max_defer{5.0};
   // Random inter-frame gap inserted after a busy channel clears.
-  Seconds min_gap = 5e-3;
-  Seconds max_gap = 30e-3;
+  Seconds min_gap{5e-3};
+  Seconds max_gap{30e-3};
   // Carrier sensing range: transmitters farther apart than this cannot
   // hear each other (hidden terminals persist, as in real LMAC).
-  Meters sense_range = 1500.0;
+  Meters sense_range{1500.0};
 };
 
 // Reschedule transmissions according to carrier-sense rules. Returns a new

@@ -37,7 +37,7 @@ void apply_standard_lorawan(Deployment& deployment, Network& network,
     if (options.use_adr) {
       // Emulate converged standard ADR: best mean SNR across gateways,
       // then step DR up / power down with the installation margin.
-      Db best = -1e9;
+      Db best{-1e9};
       for (const auto& gw : network.gateways()) {
         best = std::max(best, deployment.mean_snr(node, gw));
       }

@@ -7,15 +7,15 @@ namespace {
 
 ChannelModelConfig quiet_channel() {
   ChannelModelConfig cfg;
-  cfg.shadowing_sigma_db = 0.3;
-  cfg.fast_fading_sigma_db = 0.1;
+  cfg.shadowing_sigma_db = Db{0.3};
+  cfg.fast_fading_sigma_db = Db{0.1};
   return cfg;
 }
 
 ChannelModelConfig urban_channel() {
   ChannelModelConfig cfg;
-  cfg.shadowing_sigma_db = 3.0;
-  cfg.fast_fading_sigma_db = 0.8;
+  cfg.shadowing_sigma_db = Db{3.0};
+  cfg.fast_fading_sigma_db = Db{0.8};
   cfg.seed = 11;
   return cfg;
 }
@@ -25,7 +25,7 @@ EndNode& add_node(Deployment& deployment, Network& network, int grid_channel,
   NodeRadioConfig cfg;
   cfg.channel = deployment.spectrum().grid_channel(grid_channel);
   cfg.dr = dr;
-  cfg.tx_power = 14.0;
+  cfg.tx_power = Dbm{14.0};
   return network.add_node(deployment.next_node_id(), pos, cfg);
 }
 
@@ -43,7 +43,7 @@ CanonicalScenario burst_one_network() {
   CanonicalScenario s;
   s.name = "burst-1net";
   s.seed = 7;
-  s.deployment = std::make_unique<Deployment>(Region{800.0, 800.0},
+  s.deployment = std::make_unique<Deployment>(Region{Meters{800.0}, Meters{800.0}},
                                               spectrum_1m6(), quiet_channel());
   auto& network = s.deployment->add_network("op-a");
   add_gateway(*s.deployment, network, s.deployment->region().center());
@@ -51,10 +51,10 @@ CanonicalScenario burst_one_network() {
   for (int i = 0; i < 30; ++i) {
     nodes.push_back(&add_node(*s.deployment, network, i % 8,
                               static_cast<DataRate>(i % 6),
-                              {360.0 + (i % 6) * 25.0, 370.0 + (i / 6) * 20.0}));
+                              Point{Meters{360.0 + (i % 6) * 25.0}, Meters{370.0 + (i / 6) * 20.0}}));
   }
   PacketIdSource ids;
-  s.txs = concurrent_burst(nodes, 0.0, ids);
+  s.txs = concurrent_burst(nodes, Seconds{0.0}, ids);
   return s;
 }
 
@@ -64,25 +64,25 @@ CanonicalScenario coexist_two_networks() {
   CanonicalScenario s;
   s.name = "coexist-2net";
   s.seed = 21;
-  s.deployment = std::make_unique<Deployment>(Region{900.0, 900.0},
+  s.deployment = std::make_unique<Deployment>(Region{Meters{900.0}, Meters{900.0}},
                                               spectrum_1m6(), quiet_channel());
   auto& net_a = s.deployment->add_network("op-a");
   auto& net_b = s.deployment->add_network("op-b");
-  add_gateway(*s.deployment, net_a, {430.0, 450.0});
-  add_gateway(*s.deployment, net_b, {470.0, 450.0});
+  add_gateway(*s.deployment, net_a, Point{Meters{430.0}, Meters{450.0}});
+  add_gateway(*s.deployment, net_b, Point{Meters{470.0}, Meters{450.0}});
   std::vector<EndNode*> nodes;
   for (int i = 0; i < 20; ++i) {
     nodes.push_back(&add_node(*s.deployment, net_a, i % 8,
                               static_cast<DataRate>(i % 6),
-                              {380.0 + (i % 5) * 22.0, 400.0 + (i / 5) * 18.0}));
+                              Point{Meters{380.0 + (i % 5) * 22.0}, Meters{400.0 + (i / 5) * 18.0}}));
   }
   for (int i = 0; i < 20; ++i) {
     nodes.push_back(&add_node(*s.deployment, net_b, i % 8,
                               static_cast<DataRate>((i + 3) % 6),
-                              {460.0 + (i % 5) * 22.0, 420.0 + (i / 5) * 18.0}));
+                              Point{Meters{460.0 + (i % 5) * 22.0}, Meters{420.0 + (i / 5) * 18.0}}));
   }
   PacketIdSource ids;
-  s.txs = staggered_by_lock_on(nodes, 0.0, 0.0008, ids);
+  s.txs = staggered_by_lock_on(nodes, Seconds{0.0}, Seconds{0.0008}, ids);
   return s;
 }
 
@@ -93,7 +93,7 @@ CanonicalScenario contention_heavy() {
   CanonicalScenario s;
   s.name = "contention-heavy";
   s.seed = 33;
-  s.deployment = std::make_unique<Deployment>(Region{1200.0, 1200.0},
+  s.deployment = std::make_unique<Deployment>(Region{Meters{1200.0}, Meters{1200.0}},
                                               spectrum_1m6(), urban_channel());
   auto& network = s.deployment->add_network("op-a");
   // SX1301-class gateways (8 decoders, not 16): with ~16 packets in flight
@@ -101,7 +101,7 @@ CanonicalScenario contention_heavy() {
   // guaranteed alongside the channel-contention ones.
   GatewayProfile profile = default_profile();
   profile.decoders = 8;
-  for (const Point pos : {Point{500.0, 600.0}, Point{700.0, 600.0}}) {
+  for (const Point pos : {Point{Meters{500.0}, Meters{600.0}}, Point{Meters{700.0}, Meters{600.0}}}) {
     auto& gw = network.add_gateway(s.deployment->next_gateway_id(), pos,
                                    profile);
     gw.apply_channels(GatewayChannelConfig{
@@ -112,13 +112,13 @@ CanonicalScenario contention_heavy() {
     // Only 4 distinct channels for 48 nodes: forced co-channel overlap.
     nodes.push_back(&add_node(*s.deployment, network, i % 4,
                               static_cast<DataRate>(i % 6),
-                              {420.0 + (i % 8) * 45.0, 480.0 + (i / 8) * 40.0}));
+                              Point{Meters{420.0 + (i % 8) * 45.0}, Meters{480.0 + (i / 8) * 40.0}}));
   }
   PacketIdSource ids;
   Rng traffic_rng(5);
   // A 1-second window at 2 pkt/s/node: ~50-80 packets crammed onto 4
   // channels, overlapping heavily given SF9-SF12 airtimes of 0.2-1.2 s.
-  s.txs = poisson_traffic(nodes, 1.0, 2.0, traffic_rng, ids);
+  s.txs = poisson_traffic(nodes, Seconds{1.0}, 2.0, traffic_rng, ids);
   sort_by_start(s.txs);
   return s;
 }

@@ -36,7 +36,7 @@ void SimInvariants::require_clean() const {
 void SimInvariants::clear() {
   pools_.clear();
   violations_.clear();
-  last_lock_on_ = -1e300;
+  last_lock_on_ = Seconds{-1e300};
   in_window_ = false;
   windows_checked_ = 0;
   events_observed_ = 0;
@@ -100,7 +100,7 @@ void SimInvariants::on_pool_refusal(const DecoderPool& pool, Seconds now,
 
 void SimInvariants::on_radio_window_begin() {
   in_window_ = true;
-  last_lock_on_ = -1e300;
+  last_lock_on_ = Seconds{-1e300};
 }
 
 void SimInvariants::on_dispatch(Seconds arrival, Seconds lock_on,

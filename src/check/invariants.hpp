@@ -48,6 +48,8 @@ class SimInvariants final : public SimObserver {
 
   // ---- SimObserver hooks (called by instrumented components) ----
   void on_pool_reset(const DecoderPool& pool) override;
+  // (now, until) mirrors DecoderPool::try_acquire's interval order.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   void on_pool_acquire(const DecoderPool& pool, Seconds now, Seconds until,
                        NetworkId network, PacketId packet) override;
   void on_pool_release(const DecoderPool& pool, PacketId packet,
@@ -55,6 +57,8 @@ class SimInvariants final : public SimObserver {
   void on_pool_refusal(const DecoderPool& pool, Seconds now,
                        NetworkId network, PacketId packet) override;
   void on_radio_window_begin() override;
+  // arrival precedes lock_on chronologically (preamble detection).
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   void on_dispatch(Seconds arrival, Seconds lock_on, PacketId packet) override;
 
   // ---- aggregate checks ----
@@ -73,7 +77,7 @@ class SimInvariants final : public SimObserver {
   };
 
   std::map<const DecoderPool*, PoolState> pools_;
-  Seconds last_lock_on_ = -1e300;
+  Seconds last_lock_on_{-1e300};
   bool in_window_ = false;
   std::vector<std::string> violations_;
   bool fail_fast_ = false;

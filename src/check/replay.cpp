@@ -31,7 +31,7 @@ std::string ReplayReport::to_string() const {
   }
   out << "packet " << tx.id << " node " << tx.node << " network " << tx.network
       << " sf " << sf_value(tx.params.sf) << " channel "
-      << tx.channel.center / 1e6 << " MHz start " << tx.start << " s lock-on "
+      << tx.channel.center.value() / 1e6 << " MHz start " << tx.start << " s lock-on "
       << tx.lock_on() << " s end " << tx.end() << " s\n";
   for (const auto& obs : observations) {
     out << "  gw " << obs.gateway << " (net " << obs.network
@@ -68,7 +68,7 @@ ReplayReport replay_packet(Deployment& deployment, std::uint64_t seed,
 
   const Rng root(seed);
   auto& channel = deployment.channel_model();
-  const Db floor = noise_floor_dbm(kLoRaBandwidth125k) - prune_margin;
+  const Dbm floor = noise_floor_dbm(kLoRaBandwidth125k) - prune_margin;
   std::vector<RxOutcome> own_outcomes;
 
   for (auto& network : deployment.networks()) {
@@ -78,7 +78,7 @@ ReplayReport replay_packet(Deployment& deployment, std::uint64_t seed,
       std::vector<RxEvent> events;
       events.reserve(txs.size());
       std::size_t target_event = txs.size();
-      Dbm target_power = -400.0;
+      Dbm target_power{-400.0};
       bool target_seen = false;
       for (const auto& tx : txs) {
         const Meters dist = distance(tx.origin, gw.position());
@@ -100,7 +100,7 @@ ReplayReport replay_packet(Deployment& deployment, std::uint64_t seed,
       obs.gateway = gw.id();
       obs.network = network.id();
       obs.own_network = network.id() == target->network;
-      obs.rx_power = target_seen ? target_power : -400.0;
+      obs.rx_power = target_seen ? target_power : Dbm{-400.0};
       if (target_event == txs.size()) {
         obs.pruned = true;
         report.observations.push_back(obs);

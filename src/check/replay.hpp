@@ -24,8 +24,8 @@ struct GatewayObservation {
   NetworkId network = 0;
   bool own_network = false;  // gateway belongs to the packet's network
   bool pruned = false;       // below the runner's prune floor at this gateway
-  Dbm rx_power = -400.0;
-  Db snr = -400.0;
+  Dbm rx_power{-400.0};
+  Db snr{-400.0};
   RxDisposition disposition = RxDisposition::kNotDetected;
   int chain_channel = -1;
 };
@@ -48,6 +48,6 @@ struct ReplayReport {
                                          std::uint64_t seed,
                                          const std::vector<Transmission>& txs,
                                          PacketId packet,
-                                         Db prune_margin = 25.0);
+                                         Db prune_margin = Db{25.0});
 
 }  // namespace alphawan

@@ -6,21 +6,23 @@
 namespace alphawan {
 
 Meters distance(const Point& a, const Point& b) {
-  const double dx = a.x - b.x;
-  const double dy = a.y - b.y;
-  return std::sqrt(dx * dx + dy * dy);
+  const double dx = a.x.value() - b.x.value();
+  const double dy = a.y.value() - b.y.value();
+  return Meters{std::sqrt(dx * dx + dy * dy)};
 }
 
 double bearing(const Point& from, const Point& to) {
-  return std::atan2(to.y - from.y, to.x - from.x);
+  return std::atan2(to.y.value() - from.y.value(), to.x.value() - from.x.value());
 }
 
 Point Region::random_point(Rng& rng) const {
-  return {rng.uniform(0.0, width), rng.uniform(0.0, height)};
+  return {Meters{rng.uniform(0.0, width.value())},
+          Meters{rng.uniform(0.0, height.value())}};
 }
 
 bool Region::contains(const Point& p) const {
-  return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  return p.x >= Meters{0.0} && p.x <= width && p.y >= Meters{0.0} &&
+         p.y <= height;
 }
 
 std::vector<Point> grid_placement(const Region& region, std::size_t count,
@@ -30,10 +32,10 @@ std::vector<Point> grid_placement(const Region& region, std::size_t count,
   if (count == 0) return points;
   // Pick the most-square grid that holds `count` cells.
   const auto cols = static_cast<std::size_t>(std::ceil(std::sqrt(
-      static_cast<double>(count) * region.width / region.height)));
+      static_cast<double>(count) * region.width.value() / region.height.value())));
   const std::size_t rows = (count + cols - 1) / cols;
-  const double cell_w = region.width / static_cast<double>(cols);
-  const double cell_h = region.height / static_cast<double>(rows);
+  const double cell_w = region.width.value() / static_cast<double>(cols);
+  const double cell_h = region.height.value() / static_cast<double>(rows);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t r = i / cols;
     const std::size_t c = i % cols;
@@ -41,10 +43,10 @@ std::vector<Point> grid_placement(const Region& region, std::size_t count,
         rng.uniform(-jitter_fraction, jitter_fraction) * cell_w;
     const double jitter_y =
         rng.uniform(-jitter_fraction, jitter_fraction) * cell_h;
-    Point p{(static_cast<double>(c) + 0.5) * cell_w + jitter_x,
-            (static_cast<double>(r) + 0.5) * cell_h + jitter_y};
-    p.x = std::clamp(p.x, 0.0, region.width);
-    p.y = std::clamp(p.y, 0.0, region.height);
+    Point p{Meters{(static_cast<double>(c) + 0.5) * cell_w + jitter_x},
+            Meters{(static_cast<double>(r) + 0.5) * cell_h + jitter_y}};
+    p.x = std::clamp(p.x, Meters{0.0}, region.width);
+    p.y = std::clamp(p.y, Meters{0.0}, region.height);
     points.push_back(p);
   }
   return points;
@@ -68,10 +70,10 @@ std::vector<Point> clustered_placement(const Region& region, std::size_t count,
   points.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const auto& c = centers[i % centers.size()];
-    Point p{c.x + rng.normal(0.0, cluster_sigma),
-            c.y + rng.normal(0.0, cluster_sigma)};
-    p.x = std::clamp(p.x, 0.0, region.width);
-    p.y = std::clamp(p.y, 0.0, region.height);
+    Point p{Meters{c.x.value() + rng.normal(0.0, cluster_sigma.value())},
+            Meters{c.y.value() + rng.normal(0.0, cluster_sigma.value())}};
+    p.x = std::clamp(p.x, Meters{0.0}, region.width);
+    p.y = std::clamp(p.y, Meters{0.0}, region.height);
     points.push_back(p);
   }
   return points;

@@ -11,8 +11,8 @@
 namespace alphawan {
 
 struct Point {
-  Meters x = 0.0;
-  Meters y = 0.0;
+  Meters x{};
+  Meters y{};
 
   friend bool operator==(const Point&, const Point&) = default;
 };
@@ -24,8 +24,8 @@ struct Point {
 
 // A rectangular deployment region.
 struct Region {
-  Meters width = 2100.0;   // paper testbed: 2.1 km
-  Meters height = 1600.0;  // paper testbed: 1.6 km
+  Meters width{2100.0};   // paper testbed: 2.1 km
+  Meters height{1600.0};  // paper testbed: 1.6 km
 
   [[nodiscard]] Point center() const { return {width / 2, height / 2}; }
   [[nodiscard]] Point random_point(Rng& rng) const;

@@ -40,13 +40,18 @@ class Rng {
 
   // Uniform double in [0, 1).
   double uniform();
-  // Uniform double in [lo, hi).
+  // Uniform double in [lo, hi). Interval order (lo then hi) is the
+  // universal convention; swapping the bounds is caught by an assert.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   double uniform(double lo, double hi);
   // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   // Standard normal via Box-Muller (cached second sample).
   double normal();
-  // Normal with given mean / standard deviation.
+  // Normal with given mean / standard deviation — the (mean, sigma)
+  // order every math library uses.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   double normal(double mean, double stddev);
   // Exponential with given rate (lambda > 0).
   double exponential(double rate);

@@ -42,6 +42,8 @@ class RunningStats {
 // Simple fixed-bin histogram over [lo, hi).
 class Histogram {
  public:
+  // (lo, hi) interval order, as in Rng::uniform.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   Histogram(double lo, double hi, std::size_t bins);
   void add(double x);
   [[nodiscard]] const std::vector<std::size_t>& bins() const { return bins_; }

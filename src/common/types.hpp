@@ -3,7 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
+
+#include "common/units.hpp"
 
 namespace alphawan {
 
@@ -20,36 +23,42 @@ inline constexpr GatewayId kInvalidGateway =
 inline constexpr ChannelIndex kInvalidChannel = -1;
 
 // ---- physical units ------------------------------------------------------
-// Plain double aliases with unit-bearing names. All frequencies in Hz, all
+// Strong quantity types (see common/units.hpp). All frequencies in Hz, all
 // powers in dBm (or dB for ratios), all times in seconds unless a name says
-// otherwise.
-using Hz = double;
-using Dbm = double;
-using Db = double;
-using Seconds = double;
-using Meters = double;
+// otherwise. Construction from a raw double is explicit: `Dbm{-120.0}` or
+// `-120.0_dBm`; `.value()` unwraps for transcendental math and I/O.
 
-inline constexpr Hz kLoRaBandwidth125k = 125e3;
-inline constexpr Hz kLoRaBandwidth250k = 250e3;
-inline constexpr Hz kLoRaBandwidth500k = 500e3;
+inline constexpr Hz kLoRaBandwidth125k{125e3};
+inline constexpr Hz kLoRaBandwidth250k{250e3};
+inline constexpr Hz kLoRaBandwidth500k{500e3};
 
 // Standard LoRaWAN channel spacing used throughout the paper's testbed
 // (8 channels per 1.6 MHz of spectrum).
-inline constexpr Hz kChannelSpacing = 200e3;
+inline constexpr Hz kChannelSpacing{200e3};
 
-// Thermal noise floor for a 125 kHz LoRa channel: -174 dBm/Hz + 10log10(BW)
-// + typical 6 dB receiver noise figure.
+namespace detail {
+// Not constexpr on purpose: reaching this in a constant expression is a
+// compile error, which is how noise_floor_dbm rejects unknown bandwidths
+// at compile time. At runtime an unknown bandwidth is a hard model error.
+[[noreturn]] inline void unknown_noise_floor_bandwidth() { std::abort(); }
+}  // namespace detail
+
+// Thermal noise floor of a LoRa channel: -174 dBm/Hz + 10log10(BW) + a
+// typical 6 dB receiver noise figure. Keyed exactly off the three named
+// kLoRaBandwidth* constants; any other bandwidth is a compile-time error
+// in constexpr context (and aborts at runtime).
 [[nodiscard]] constexpr Dbm noise_floor_dbm(Hz bandwidth) {
-  // constexpr-friendly log10 for the three bandwidths we use.
-  double log_bw = 0.0;
-  if (bandwidth >= 499e3) {
-    log_bw = 56.99;  // 10*log10(500e3)
-  } else if (bandwidth >= 249e3) {
-    log_bw = 53.98;  // 10*log10(250e3)
-  } else {
-    log_bw = 50.97;  // 10*log10(125e3)
+  // 10*log10(BW) precomputed for the three LoRa bandwidths.
+  if (bandwidth == kLoRaBandwidth125k) {
+    return Dbm{-174.0 + 50.97 + 6.0};
   }
-  return -174.0 + log_bw + 6.0;
+  if (bandwidth == kLoRaBandwidth250k) {
+    return Dbm{-174.0 + 53.98 + 6.0};
+  }
+  if (bandwidth == kLoRaBandwidth500k) {
+    return Dbm{-174.0 + 56.99 + 6.0};
+  }
+  detail::unknown_noise_floor_bandwidth();
 }
 
 }  // namespace alphawan

@@ -1,0 +1,264 @@
+// Compile-time unit safety: zero-overhead strong types for the physical
+// quantities AlphaWAN's link-budget arithmetic lives on.
+//
+// Every quantity is a `Quantity<Tag>` wrapping exactly one double — same
+// size, same alignment, same codegen as the bare double it replaces — but
+// the algebra below only admits the physically meaningful operations:
+//
+//   linear units (Hz, Seconds, Meters, Db):
+//     q + q -> q          q - q -> q          q / q -> double (ratio)
+//     q * scalar -> q     scalar * q -> q     q / scalar -> q
+//   log-domain absolute power (Dbm):
+//     Dbm + Db -> Dbm     Db + Dbm -> Dbm     (apply a gain/loss)
+//     Dbm - Db -> Dbm                          (remove a gain/loss)
+//     Dbm - Dbm -> Db                          (SNR / SIR / link margin)
+//   everything:
+//     unary minus, defaulted comparisons (same tag only)
+//
+// Deliberately rejected at compile time:
+//   Dbm + Dbm            (adding absolute log-powers is meaningless; use
+//                         combine_powers_dbm for linear-domain summation)
+//   Hz + Dbm, Meters + Seconds, ...   (cross-unit mixing)
+//   Meters / Seconds, Hz * Seconds    (derived dimensions are not modeled;
+//                                      unwrap with .value() and say what
+//                                      you mean at the call site)
+//   Dbm * scalar, Dbm / Dbm           (scaling an absolute log-power is a
+//                                      unit error ~100% of the time)
+//   implicit construction from double (every raw number entering the unit
+//                                      system is an explicit, visible act)
+//
+// Escape hatch: `.value()` returns the raw double for transcendental math
+// (std::pow, std::log10) and I/O. Wrap the result back explicitly.
+//
+// Everything here is constexpr so band-plan constants and noise floors
+// stay compile-time. See docs/units.md for the full operation table and
+// how to add a new unit.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+
+namespace alphawan {
+
+// Unit tags. `linear` opts the tag into the vector-space operations
+// (addition, subtraction, scalar scaling, same-unit ratios); log-domain
+// absolute units like dBm keep it false and define their own algebra.
+struct HzTag {
+  static constexpr bool linear = true;
+};
+struct DbTag {
+  static constexpr bool linear = true;
+};
+struct DbmTag {
+  static constexpr bool linear = false;
+};
+struct SecondsTag {
+  static constexpr bool linear = true;
+};
+struct MetersTag {
+  static constexpr bool linear = true;
+};
+
+template <class Tag>
+concept LinearUnitTag = Tag::linear;
+
+template <class Tag>
+class Quantity {
+ public:
+  using tag_type = Tag;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  // The raw double, for transcendental math and I/O. Unwrapping is the
+  // explicit, grep-able boundary of the unit system.
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  [[nodiscard]] constexpr Quantity operator-() const {
+    return Quantity{-value_};
+  }
+  [[nodiscard]] constexpr Quantity operator+() const { return *this; }
+
+  friend constexpr bool operator==(Quantity, Quantity) = default;
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+  // Vector-space operations for linear units only.
+  constexpr Quantity& operator+=(Quantity rhs)
+    requires LinearUnitTag<Tag>
+  {
+    value_ += rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity rhs)
+    requires LinearUnitTag<Tag>
+  {
+    value_ -= rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s)
+    requires LinearUnitTag<Tag>
+  {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s)
+    requires LinearUnitTag<Tag>
+  {
+    value_ /= s;
+    return *this;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+// ---- linear-unit algebra -------------------------------------------------
+
+template <LinearUnitTag Tag>
+[[nodiscard]] constexpr Quantity<Tag> operator+(Quantity<Tag> a,
+                                                Quantity<Tag> b) {
+  return Quantity<Tag>{a.value() + b.value()};
+}
+
+template <LinearUnitTag Tag>
+[[nodiscard]] constexpr Quantity<Tag> operator-(Quantity<Tag> a,
+                                                Quantity<Tag> b) {
+  return Quantity<Tag>{a.value() - b.value()};
+}
+
+template <LinearUnitTag Tag>
+[[nodiscard]] constexpr Quantity<Tag> operator*(Quantity<Tag> q, double s) {
+  return Quantity<Tag>{q.value() * s};
+}
+
+template <LinearUnitTag Tag>
+[[nodiscard]] constexpr Quantity<Tag> operator*(double s, Quantity<Tag> q) {
+  return Quantity<Tag>{s * q.value()};
+}
+
+template <LinearUnitTag Tag>
+[[nodiscard]] constexpr Quantity<Tag> operator/(Quantity<Tag> q, double s) {
+  return Quantity<Tag>{q.value() / s};
+}
+
+// Ratio of two like quantities is a dimensionless double.
+template <LinearUnitTag Tag>
+[[nodiscard]] constexpr double operator/(Quantity<Tag> a, Quantity<Tag> b) {
+  return a.value() / b.value();
+}
+
+template <LinearUnitTag Tag>
+[[nodiscard]] constexpr Quantity<Tag> abs(Quantity<Tag> q) {
+  return Quantity<Tag>{q.value() < 0.0 ? -q.value() : q.value()};
+}
+
+// Stream insertion prints the raw value (diagnostics/logging only — the
+// caller's format string is expected to name the unit).
+template <class CharT, class Traits, class Tag>
+std::basic_ostream<CharT, Traits>& operator<<(
+    std::basic_ostream<CharT, Traits>& os, Quantity<Tag> q) {
+  return os << q.value();
+}
+
+// ---- the unit aliases ----------------------------------------------------
+
+using Hz = Quantity<HzTag>;
+using Db = Quantity<DbTag>;
+using Dbm = Quantity<DbmTag>;
+using Seconds = Quantity<SecondsTag>;
+using Meters = Quantity<MetersTag>;
+
+// ---- log-domain power algebra --------------------------------------------
+// dBm is an absolute power on a log scale: offsetting by a dB ratio is the
+// only meaningful additive operation, and the difference of two absolute
+// powers is a ratio. Summing powers requires the linear domain — see
+// combine_powers_dbm in phy/capture.hpp.
+
+[[nodiscard]] constexpr Dbm operator+(Dbm power, Db gain) {
+  return Dbm{power.value() + gain.value()};
+}
+[[nodiscard]] constexpr Dbm operator+(Db gain, Dbm power) {
+  return Dbm{gain.value() + power.value()};
+}
+[[nodiscard]] constexpr Dbm operator-(Dbm power, Db loss) {
+  return Dbm{power.value() - loss.value()};
+}
+[[nodiscard]] constexpr Db operator-(Dbm a, Dbm b) {
+  return Db{a.value() - b.value()};
+}
+constexpr Dbm& operator+=(Dbm& power, Db gain) {
+  power = power + gain;
+  return power;
+}
+constexpr Dbm& operator-=(Dbm& power, Db loss) {
+  power = power - loss;
+  return power;
+}
+
+// ---- user-defined literals -----------------------------------------------
+// `using namespace alphawan::literals;` (implicit inside namespace
+// alphawan) enables -120.0_dBm, 868.1_MHz, 50.0_ms, ...
+
+inline namespace literals {
+
+[[nodiscard]] constexpr Hz operator""_Hz(long double v) {
+  return Hz{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Hz operator""_Hz(unsigned long long v) {
+  return Hz{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Hz operator""_kHz(long double v) {
+  return Hz{static_cast<double>(v) * 1e3};
+}
+[[nodiscard]] constexpr Hz operator""_kHz(unsigned long long v) {
+  return Hz{static_cast<double>(v) * 1e3};
+}
+[[nodiscard]] constexpr Hz operator""_MHz(long double v) {
+  return Hz{static_cast<double>(v) * 1e6};
+}
+[[nodiscard]] constexpr Hz operator""_MHz(unsigned long long v) {
+  return Hz{static_cast<double>(v) * 1e6};
+}
+[[nodiscard]] constexpr Db operator""_dB(long double v) {
+  return Db{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Db operator""_dB(unsigned long long v) {
+  return Db{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Dbm operator""_dBm(long double v) {
+  return Dbm{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Dbm operator""_dBm(unsigned long long v) {
+  return Dbm{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Seconds operator""_ms(long double v) {
+  return Seconds{static_cast<double>(v) * 1e-3};
+}
+[[nodiscard]] constexpr Seconds operator""_ms(unsigned long long v) {
+  return Seconds{static_cast<double>(v) * 1e-3};
+}
+[[nodiscard]] constexpr Meters operator""_m(long double v) {
+  return Meters{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Meters operator""_m(unsigned long long v) {
+  return Meters{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Meters operator""_km(long double v) {
+  return Meters{static_cast<double>(v) * 1e3};
+}
+[[nodiscard]] constexpr Meters operator""_km(unsigned long long v) {
+  return Meters{static_cast<double>(v) * 1e3};
+}
+
+}  // namespace literals
+
+static_assert(sizeof(Dbm) == sizeof(double) && sizeof(Hz) == sizeof(double),
+              "Quantity must stay a zero-overhead double wrapper");
+
+}  // namespace alphawan

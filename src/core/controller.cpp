@@ -11,7 +11,7 @@ UpgradeReport AlphaWanController::upgrade(
   UpgradeReport report;
 
   // ---- inter-network channel planning (Strategy 8) --------------------
-  Hz offset = 0.0;
+  Hz offset{0.0};
   if (config_.strategy8_spectrum_sharing) {
     if (master == nullptr) {
       throw std::invalid_argument(
@@ -45,7 +45,7 @@ UpgradeReport AlphaWanController::upgrade(
   // Config pushes to gateways happen sequentially over the backhaul; the
   // per-gateway payload is small (a channel list). Reboots run in
   // parallel, so the reboot component is the slowest gateway.
-  Seconds max_reboot = 0.0;
+  Seconds max_reboot{0.0};
   for (const auto& [gw_id, gw_cfg] : outcome.config.gateways) {
     const Gateway* gw = network.find_gateway(gw_id);
     if (gw == nullptr) continue;
@@ -61,7 +61,7 @@ UpgradeReport AlphaWanController::upgrade(
   // downlink windows; they do not suspend the network, so Fig. 17 does not
   // count them. We still account a negligible serialization cost.
   report.config_distribution +=
-      1e-6 * static_cast<double>(outcome.config.nodes.size());
+      Seconds{1e-6 * static_cast<double>(outcome.config.nodes.size())};
 
   network.apply_config(outcome.config);
   return report;

@@ -22,17 +22,17 @@ struct AlphaWanConfig {
 
 // Latency breakdown of one capacity-upgrade operation (Fig. 17).
 struct UpgradeReport {
-  Seconds cp_solve = 0.0;
-  Seconds master_communication = 0.0;
-  Seconds config_distribution = 0.0;
-  Seconds gateway_reboot = 0.0;  // max across gateways (they reboot in parallel)
+  Seconds cp_solve{0.0};
+  Seconds master_communication{0.0};
+  Seconds config_distribution{0.0};
+  Seconds gateway_reboot{0.0};  // max across gateways (they reboot in parallel)
   [[nodiscard]] Seconds total() const {
     return cp_solve + master_communication + config_distribution +
            gateway_reboot;
   }
   CpEvaluation eval{};
   ConfigDelta delta{};
-  Hz frequency_offset = 0.0;
+  Hz frequency_offset{0.0};
   double overlap_ratio = 0.0;
 };
 

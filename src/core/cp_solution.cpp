@@ -7,7 +7,8 @@ namespace alphawan {
 Dbm level_tx_power(int level) {
   // Shorter levels can afford lower power; longer levels use the ladder's
   // upper rungs. Level 0 (DR5, short) -> 8 dBm ... level 5 (DR0) -> 14 dBm.
-  static constexpr Dbm kPower[kNumLevels] = {8.0, 8.0, 11.0, 11.0, 14.0, 14.0};
+  static constexpr Dbm kPower[kNumLevels] = {Dbm{8.0},  Dbm{8.0},  Dbm{11.0},
+                                             Dbm{11.0}, Dbm{14.0}, Dbm{14.0}};
   if (level < 0 || level >= kNumLevels) return kDefaultTxPower;
   return kPower[level];
 }

@@ -16,7 +16,7 @@ namespace alphawan {
 // `frequency_offset` displaces all channels from the standard grid.
 [[nodiscard]] NetworkChannelConfig to_network_config(
     const CpInstance& instance, const CpSolution& solution,
-    Hz frequency_offset = 0.0);
+    Hz frequency_offset = Hz{0.0});
 
 // Transmit power for a distance level (paper: derived from the required
 // transmission distance via a mapping table).

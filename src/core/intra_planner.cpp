@@ -109,7 +109,7 @@ PlanOutcome IntraPlanner::plan(const Network& network, const Spectrum& spectrum,
   GaResult result = solve_cp(outcome.instance, ga);
   const auto end = std::chrono::steady_clock::now();
   outcome.solve_seconds =
-      std::chrono::duration<double>(end - start).count();
+      Seconds{std::chrono::duration<double>(end - start).count()};
   outcome.eval = result.best_eval;
   outcome.ga_generations = result.generations_run;
   outcome.config =
@@ -131,7 +131,7 @@ LinkEstimates oracle_link_estimates(Deployment& deployment,
       const Db snr = deployment.mean_snr(node, gw);
       // Only links that could ever be heard (SF12 threshold, generous
       // margin) enter the estimate — matching what logs can contain.
-      if (snr >= demod_snr_threshold(SpreadingFactor::kSF12) - 3.0) {
+      if (snr >= demod_snr_threshold(SpreadingFactor::kSF12) - Db{3.0}) {
         entry.gateway_snr[gw.id()] = snr;
       }
     }

@@ -22,7 +22,7 @@ struct IntraPlannerConfig {
   bool strategy7_node_side = true;
   // SNR headroom required when declaring a (node, gateway, level)
   // combination reachable.
-  Db reach_margin = 3.0;
+  Db reach_margin{3.0};
   // Capacity of a (channel, DR) pair in packets per window (1.0 for pure
   // concurrency planning).
   double pair_capacity = 1.0;
@@ -34,7 +34,7 @@ struct PlanOutcome {
   CpEvaluation eval;
   CpInstance instance;
   int ga_generations = 0;
-  Seconds solve_seconds = 0.0;  // measured wall-clock of the CP solve
+  Seconds solve_seconds{0.0};  // measured wall-clock of the CP solve
 };
 
 class IntraPlanner {
@@ -54,7 +54,7 @@ class IntraPlanner {
                                  const Spectrum& spectrum,
                                  const LinkEstimates& links,
                                  const std::map<NodeId, double>& traffic,
-                                 Hz frequency_offset = 0.0) const;
+                                 Hz frequency_offset = Hz{0.0}) const;
 
   [[nodiscard]] const IntraPlannerConfig& config() const { return config_; }
 

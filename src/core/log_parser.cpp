@@ -29,7 +29,7 @@ std::map<NodeId, std::vector<std::size_t>> per_window_counts(
   std::set<PacketId> counted;
   for (const auto& rec : log) {
     if (!counted.insert(rec.packet).second) continue;  // dedup gateways
-    if (rec.timestamp < 0.0) continue;
+    if (rec.timestamp < Seconds{0.0}) continue;
     const auto w = static_cast<std::size_t>(rec.timestamp / window_len);
     if (w >= num_windows) continue;
     auto& counts = series[rec.node];

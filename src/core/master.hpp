@@ -31,7 +31,7 @@ struct MasterConfig {
   // Extra offset applied to every plan — used to keep AlphaWAN adopters
   // misaligned from legacy networks that squat on the standard grid
   // (partial-adoption deployments, Fig. 14).
-  Hz base_offset = 0.0;
+  Hz base_offset{0.0};
 };
 
 class MasterNode {

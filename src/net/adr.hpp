@@ -21,9 +21,9 @@ struct AdrConfig {
   // Safety margin subtracted from the measured SNR before stepping
   // (device margin / fading allowance). TTN default: 10 dB... the paper's
   // local deployment behaves closer to 7.
-  Db installation_margin = 8.0;
-  Db step_db = 3.0;  // one DR step is worth ~2.5-3 dB of threshold
-  Dbm min_tx_power = 2.0;
+  Db installation_margin{8.0};
+  Db step_db{3.0};  // one DR step is worth ~2.5-3 dB of threshold
+  Dbm min_tx_power{2.0};
   Dbm max_tx_power = kDefaultTxPower;
 };
 

@@ -31,7 +31,7 @@ bool valid_for_profile(const GatewayChannelConfig& config,
   auto [lo, hi] = std::minmax_element(
       config.channels.begin(), config.channels.end(),
       [](const Channel& a, const Channel& b) { return a.center < b.center; });
-  return hi->high() - lo->low() <= profile.rx_spectrum + 1.0;
+  return hi->high() - lo->low() <= profile.rx_spectrum + Hz{1.0};
 }
 
 NetworkChannelConfig homogeneous_standard_config(

@@ -60,7 +60,9 @@ std::vector<std::uint8_t> EndNode::encode_uplink(
 }
 
 Seconds EndNode::next_allowed_start(double duty_cycle_limit) const {
-  if (last_tx_end_ < 0.0 || duty_cycle_limit >= 1.0) return 0.0;
+  if (last_tx_end_ < Seconds{0.0} || duty_cycle_limit >= 1.0) {
+    return Seconds{0.0};
+  }
   // Classic per-subband off-time rule: T_off = T_air/duty - T_air.
   const Seconds off_time =
       last_tx_airtime_ / duty_cycle_limit - last_tx_airtime_;

@@ -54,8 +54,8 @@ class EndNode {
   std::uint32_t dev_addr_;
   SessionKeys keys_{};
   std::uint16_t fcnt_ = 0;
-  Seconds last_tx_end_ = -1e18;
-  Seconds last_tx_airtime_ = 0.0;
+  Seconds last_tx_end_{-1e18};
+  Seconds last_tx_airtime_{0.0};
 };
 
 }  // namespace alphawan

@@ -20,10 +20,10 @@ struct UplinkRecord {
   NodeId node = kInvalidNode;
   GatewayId gateway = kInvalidGateway;
   NetworkId network = 0;
-  Seconds timestamp = 0.0;
+  Seconds timestamp{0.0};
   Channel channel{};
   DataRate dr = DataRate::kDR0;
-  Db snr = 0.0;
+  Db snr{0.0};
 };
 
 class Gateway {

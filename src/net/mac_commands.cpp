@@ -8,7 +8,7 @@ namespace alphawan {
 namespace {
 
 void put_u24_freq(std::vector<std::uint8_t>& out, Hz freq) {
-  const auto units = static_cast<std::uint32_t>(std::llround(freq / 100.0));
+  const auto units = static_cast<std::uint32_t>(std::llround(freq.value() / 100.0));
   out.push_back(static_cast<std::uint8_t>(units));
   out.push_back(static_cast<std::uint8_t>(units >> 8));
   out.push_back(static_cast<std::uint8_t>(units >> 16));
@@ -19,7 +19,7 @@ Hz get_u24_freq(std::span<const std::uint8_t> bytes, std::size_t offset) {
       static_cast<std::uint32_t>(bytes[offset]) |
       (static_cast<std::uint32_t>(bytes[offset + 1]) << 8) |
       (static_cast<std::uint32_t>(bytes[offset + 2]) << 16);
-  return 100.0 * static_cast<double>(units);
+  return Hz{100.0 * static_cast<double>(units)};
 }
 
 }  // namespace
@@ -187,13 +187,13 @@ std::optional<std::vector<UplinkMacCommand>> decode_uplink_commands(
 
 std::uint8_t tx_power_index(Dbm dbm) {
   // LoRaWAN TXPower: index 0 = MaxEIRP (20 dBm here), each step -2 dB.
-  const double steps = (20.0 - dbm) / 2.0;
+  const double steps = (20.0 - dbm.value()) / 2.0;
   const auto idx = static_cast<int>(std::lround(steps));
   return static_cast<std::uint8_t>(std::clamp(idx, 0, 7));
 }
 
 Dbm tx_power_from_index(std::uint8_t index) {
-  return 20.0 - 2.0 * static_cast<double>(std::min<int>(index, 7));
+  return Dbm{20.0 - 2.0 * static_cast<double>(std::min<int>(index, 7))};
 }
 
 NodeConfigCommands commands_for_config_change(const NodeRadioConfig& current,

@@ -57,7 +57,7 @@ struct DevStatusReq {
 
 struct NewChannelReq {
   std::uint8_t ch_index = 0;
-  Hz frequency = 0.0;          // encoded as 24-bit freq / 100 Hz
+  Hz frequency{0.0};          // encoded as 24-bit freq / 100 Hz
   std::uint8_t min_dr = 0;
   std::uint8_t max_dr = 5;
 
@@ -65,7 +65,7 @@ struct NewChannelReq {
     // Frequency survives the 100 Hz wire granularity.
     return a.ch_index == b.ch_index && a.min_dr == b.min_dr &&
            a.max_dr == b.max_dr &&
-           std::abs(a.frequency - b.frequency) < 100.0;
+           abs(a.frequency - b.frequency) < Hz{100.0};
   }
 };
 

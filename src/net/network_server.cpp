@@ -5,7 +5,7 @@
 namespace alphawan {
 
 Db LinkProfile::best_snr() const {
-  Db best = -1e9;
+  Db best{-1e9};
   for (const auto& [gw, snr] : gateway_snr) best = std::max(best, snr);
   return best;
 }

@@ -6,7 +6,7 @@
 namespace alphawan {
 
 Seconds symbol_duration(SpreadingFactor sf, Hz bandwidth) {
-  return static_cast<double>(1u << sf_value(sf)) / bandwidth;
+  return Seconds{static_cast<double>(1u << sf_value(sf)) / bandwidth.value()};
 }
 
 Seconds preamble_duration(const TxParams& params) {
@@ -15,7 +15,7 @@ Seconds preamble_duration(const TxParams& params) {
 }
 
 bool low_data_rate_optimize(SpreadingFactor sf, Hz bandwidth) {
-  return symbol_duration(sf, bandwidth) > 16e-3;
+  return symbol_duration(sf, bandwidth) > Seconds{16e-3};
 }
 
 std::size_t payload_symbols(const TxParams& params,
@@ -44,8 +44,8 @@ Seconds time_on_air(const TxParams& params, std::size_t payload_bytes) {
 
 double effective_bitrate(const TxParams& params, std::size_t payload_bytes) {
   const Seconds toa = time_on_air(params, payload_bytes);
-  if (toa <= 0.0) return 0.0;
-  return 8.0 * static_cast<double>(payload_bytes) / toa;
+  if (toa <= Seconds{0.0}) return 0.0;
+  return 8.0 * static_cast<double>(payload_bytes) / toa.value();
 }
 
 }  // namespace alphawan

@@ -14,7 +14,7 @@ Db DirectionalAntenna::gain(double angle) const {
   if (a <= half_beam) {
     // Parabolic main lobe: -3 dB at the half-power beamwidth edge.
     const double frac = a / half_beam;
-    return config_.peak_gain_dbi - 3.0 * frac * frac;
+    return config_.peak_gain_dbi - Db{3.0 * frac * frac};
   }
   // Outside the main lobe: interpolate attenuation from first sidelobe
   // level to the front-to-back floor as the angle approaches pi.

@@ -18,7 +18,7 @@ class Antenna {
 
 class OmniAntenna final : public Antenna {
  public:
-  explicit OmniAntenna(Db gain_dbi = 2.0) : gain_dbi_(gain_dbi) {}
+  explicit OmniAntenna(Db gain_dbi = Db{2.0}) : gain_dbi_(gain_dbi) {}
   [[nodiscard]] Db gain(double /*angle*/) const override { return gain_dbi_; }
 
  private:
@@ -31,10 +31,10 @@ class OmniAntenna final : public Antenna {
 class DirectionalAntenna final : public Antenna {
  public:
   struct Config {
-    Db peak_gain_dbi = 12.0;
+    Db peak_gain_dbi{12.0};
     double beamwidth_rad = 0.52;    // ~30 degrees half-power beamwidth
-    Db front_to_back_db = 40.0;     // max attenuation directly behind
-    Db first_sidelobe_db = 14.0;    // attenuation just outside main lobe
+    Db front_to_back_db{40.0};     // max attenuation directly behind
+    Db first_sidelobe_db{14.0};    // attenuation just outside main lobe
   };
 
   DirectionalAntenna() : config_{} {}

@@ -15,7 +15,7 @@ std::vector<Channel> Spectrum::grid_channels() const {
 }
 
 bool Spectrum::contains(const Channel& ch) const {
-  return ch.low() >= base - 1.0 && ch.high() <= high() + 1.0;
+  return ch.low() >= base - Hz{1.0} && ch.high() <= high() + Hz{1.0};
 }
 
 int Spectrum::nearest_grid_index(Hz center) const {
@@ -24,7 +24,7 @@ int Spectrum::nearest_grid_index(Hz center) const {
 }
 
 Hz ChannelPlan::span() const {
-  if (channels.empty()) return 0.0;
+  if (channels.empty()) return Hz{0.0};
   auto [lo, hi] = std::minmax_element(
       channels.begin(), channels.end(),
       [](const Channel& a, const Channel& b) { return a.center < b.center; });
@@ -55,8 +55,8 @@ int oracle_capacity(const Spectrum& spectrum) {
   return spectrum.grid_size() * kNumSpreadingFactors;
 }
 
-Spectrum spectrum_1m6() { return Spectrum{923.2e6, 1.6e6}; }
-Spectrum spectrum_4m8() { return Spectrum{916.8e6, 4.8e6}; }
-Spectrum spectrum_6m4() { return Spectrum{916.0e6, 6.4e6}; }
+Spectrum spectrum_1m6() { return Spectrum{Hz{923.2e6}, Hz{1.6e6}}; }
+Spectrum spectrum_4m8() { return Spectrum{Hz{916.8e6}, Hz{4.8e6}}; }
+Spectrum spectrum_6m4() { return Spectrum{Hz{916.0e6}, Hz{6.4e6}}; }
 
 }  // namespace alphawan

@@ -15,7 +15,7 @@
 namespace alphawan {
 
 struct Channel {
-  Hz center = 0.0;
+  Hz center{};
   Hz bandwidth = kLoRaBandwidth125k;
 
   [[nodiscard]] Hz low() const { return center - bandwidth / 2; }
@@ -26,8 +26,8 @@ struct Channel {
 
 // A contiguous block of ISM spectrum available to the deployment.
 struct Spectrum {
-  Hz base = 916.8e6;  // paper Sec 5.1.1: 916.8-921.6 MHz
-  Hz width = 4.8e6;
+  Hz base{916.8e6};  // paper Sec 5.1.1: 916.8-921.6 MHz
+  Hz width{4.8e6};
 
   [[nodiscard]] Hz high() const { return base + width; }
   // Number of standard grid channels that fit.

@@ -9,7 +9,7 @@ Db capture_sir_threshold(SpreadingFactor wanted, SpreadingFactor interferer) {
   // wanted packet needs ~+1 dB (we use +6 dB to model non-ideal timing /
   // imperfect capture on COTS gateways). Off-diagonal: the interferer may
   // be stronger by the listed magnitude before the wanted packet is lost.
-  static constexpr Db kMatrix[6][6] = {
+  static constexpr double kMatrix[6][6] = {
       // interferer:  SF7     SF8     SF9     SF10    SF11    SF12
       /* SF7  */ {6.0, -8.0, -9.0, -9.0, -9.0, -9.0},
       /* SF8  */ {-11.0, 6.0, -11.0, -12.0, -13.0, -13.0},
@@ -18,7 +18,7 @@ Db capture_sir_threshold(SpreadingFactor wanted, SpreadingFactor interferer) {
       /* SF11 */ {-22.0, -22.0, -21.0, -20.0, 6.0, -20.0},
       /* SF12 */ {-25.0, -25.0, -25.0, -24.0, -23.0, 6.0},
   };
-  return kMatrix[sf_index(wanted)][sf_index(interferer)];
+  return Db{kMatrix[sf_index(wanted)][sf_index(interferer)]};
 }
 
 bool survives_interference(SpreadingFactor wanted_sf, Dbm wanted_dbm,
@@ -28,8 +28,9 @@ bool survives_interference(SpreadingFactor wanted_sf, Dbm wanted_dbm,
 }
 
 Dbm combine_powers_dbm(Dbm a, Dbm b) {
-  const double lin = std::pow(10.0, a / 10.0) + std::pow(10.0, b / 10.0);
-  return 10.0 * std::log10(lin);
+  const double lin =
+      std::pow(10.0, a.value() / 10.0) + std::pow(10.0, b.value() / 10.0);
+  return Dbm{10.0 * std::log10(lin)};
 }
 
 }  // namespace alphawan

@@ -27,6 +27,8 @@ namespace alphawan {
                                          Dbm interferer_dbm);
 
 // Aggregate interference: combine interferer powers (linear sum, in dBm).
+// Commutative, so the (a, b) order genuinely does not matter.
+// NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
 [[nodiscard]] Dbm combine_powers_dbm(Dbm a, Dbm b);
 
 }  // namespace alphawan

@@ -10,8 +10,8 @@ ChannelModel::ChannelModel(ChannelModelConfig config)
 Db ChannelModel::mean_path_loss(Meters dist) const {
   const Meters d = std::max(dist, config_.reference_distance);
   return config_.reference_loss_db +
-         10.0 * config_.path_loss_exponent *
-             std::log10(d / config_.reference_distance);
+         Db{10.0 * config_.path_loss_exponent *
+            std::log10(d / config_.reference_distance)};
 }
 
 Db ChannelModel::shadowing(std::uint64_t tx_id, std::uint64_t rx_id) {
@@ -19,7 +19,7 @@ Db ChannelModel::shadowing(std::uint64_t tx_id, std::uint64_t rx_id) {
   auto it = shadow_cache_.find(key);
   if (it != shadow_cache_.end()) return it->second;
   Rng link_rng(shadow_seed_ ^ (key * 0x9E3779B97F4A7C15ULL));
-  const Db value = link_rng.normal(0.0, config_.shadowing_sigma_db);
+  const Db value{link_rng.normal(0.0, config_.shadowing_sigma_db.value())};
   shadow_cache_.emplace(key, value);
   return value;
 }
@@ -31,7 +31,7 @@ Db ChannelModel::link_path_loss(std::uint64_t tx_id, std::uint64_t rx_id,
 
 Dbm ChannelModel::received_power(std::uint64_t tx_id, std::uint64_t rx_id,
                                  Meters dist, Dbm tx_power, Rng& packet_rng) {
-  const Db fading = packet_rng.normal(0.0, config_.fast_fading_sigma_db);
+  const Db fading{packet_rng.normal(0.0, config_.fast_fading_sigma_db.value())};
   return tx_power - link_path_loss(tx_id, rx_id, dist) + fading;
 }
 
@@ -44,9 +44,9 @@ Db ChannelModel::mean_link_snr(std::uint64_t tx_id, std::uint64_t rx_id,
 Meters ChannelModel::range_for_snr(Db snr, Dbm tx_power, Hz bandwidth) const {
   const Db allowed_loss = tx_power - (snr + noise_floor_dbm(bandwidth));
   const Db excess = allowed_loss - config_.reference_loss_db;
-  if (excess <= 0.0) return config_.reference_distance;
+  if (excess <= Db{0.0}) return config_.reference_distance;
   return config_.reference_distance *
-         std::pow(10.0, excess / (10.0 * config_.path_loss_exponent));
+         std::pow(10.0, excess.value() / (10.0 * config_.path_loss_exponent));
 }
 
 }  // namespace alphawan

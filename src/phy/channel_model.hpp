@@ -22,10 +22,10 @@ struct ChannelModelConfig {
   // consistent with the paper's 2.1 km x 1.6 km urban testbed where all
   // six data rates are exercised (Fig. 11).
   double path_loss_exponent = 3.5;
-  Db reference_loss_db = 38.0;  // at 1 m
-  Meters reference_distance = 1.0;
-  Db shadowing_sigma_db = 4.0;  // per-link, frozen
-  Db fast_fading_sigma_db = 1.0;  // per-packet
+  Db reference_loss_db{38.0};  // at 1 m
+  Meters reference_distance{1.0};
+  Db shadowing_sigma_db{4.0};  // per-link, frozen
+  Db fast_fading_sigma_db{1.0};  // per-packet
   std::uint64_t seed = 1;
 };
 

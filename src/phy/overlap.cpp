@@ -8,9 +8,9 @@ namespace alphawan {
 double overlap_ratio(const Channel& a, const Channel& b) {
   const Hz lo = std::max(a.low(), b.low());
   const Hz hi = std::min(a.high(), b.high());
-  const Hz width = std::max(0.0, hi - lo);
+  const Hz width = std::max(Hz{0.0}, hi - lo);
   const Hz denom = std::min(a.bandwidth, b.bandwidth);
-  if (denom <= 0.0) return 0.0;
+  if (denom <= Hz{0.0}) return 0.0;
   return std::clamp(width / denom, 0.0, 1.0);
 }
 
@@ -20,14 +20,14 @@ bool detectable(const Channel& packet_channel, const Channel& rx_channel) {
 
 Db coupling_db(const Channel& src, const Channel& dst) {
   const double rho = overlap_ratio(src, dst);
-  if (rho <= 0.0) return -400.0;
-  return 10.0 * std::log10(rho) - (1.0 - rho) * kSelectivitySlope;
+  if (rho <= 0.0) return Db{-400.0};
+  return Db{10.0 * std::log10(rho) - (1.0 - rho) * kSelectivitySlope.value()};
 }
 
 Dbm effective_interference_dbm(Dbm power, const Channel& src,
                                const Channel& dst) {
   const Db coupling = coupling_db(src, dst);
-  if (coupling <= -399.0) return -400.0;
+  if (coupling <= Db{-399.0}) return Dbm{-400.0};
   return power + coupling;
 }
 

@@ -37,7 +37,7 @@ inline constexpr double kDetectOverlapThreshold = 0.95;
 // non-orthogonal DRs, reception survives up to ~60-70% overlap; with a
 // strong (+15 dB) non-orthogonal interferer the cliff moves to ~45%;
 // orthogonal DRs survive essentially all overlaps — matching Fig. 8.
-inline constexpr Db kSelectivitySlope = 35.0;
+inline constexpr Db kSelectivitySlope{35.0};
 
 [[nodiscard]] Db coupling_db(const Channel& src, const Channel& dst);
 

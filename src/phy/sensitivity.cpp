@@ -4,14 +4,14 @@ namespace alphawan {
 
 Db demod_snr_threshold(SpreadingFactor sf) {
   switch (sf) {
-    case SpreadingFactor::kSF7: return -7.5;
-    case SpreadingFactor::kSF8: return -10.0;
-    case SpreadingFactor::kSF9: return -12.5;
-    case SpreadingFactor::kSF10: return -15.0;
-    case SpreadingFactor::kSF11: return -17.5;
-    case SpreadingFactor::kSF12: return -20.0;
+    case SpreadingFactor::kSF7: return Db{-7.5};
+    case SpreadingFactor::kSF8: return Db{-10.0};
+    case SpreadingFactor::kSF9: return Db{-12.5};
+    case SpreadingFactor::kSF10: return Db{-15.0};
+    case SpreadingFactor::kSF11: return Db{-17.5};
+    case SpreadingFactor::kSF12: return Db{-20.0};
   }
-  return 0.0;
+  return Db{0.0};
 }
 
 Dbm sensitivity_dbm(SpreadingFactor sf, Hz bandwidth) {
@@ -35,12 +35,12 @@ const std::array<RangeLevel, kNumDataRates>& range_levels() {
   // margin. These anchor the CP problem's discrete DR set; they are not
   // used for reception decisions.
   static const std::array<RangeLevel, kNumDataRates> kLevels = {{
-      {DataRate::kDR5, 610.0, 14.0},   // SF7
-      {DataRate::kDR4, 720.0, 14.0},   // SF8
-      {DataRate::kDR3, 850.0, 14.0},   // SF9
-      {DataRate::kDR2, 1000.0, 14.0},  // SF10
-      {DataRate::kDR1, 1180.0, 14.0},  // SF11
-      {DataRate::kDR0, 1390.0, 14.0},  // SF12
+      {DataRate::kDR5, Meters{610.0}, Dbm{14.0}},   // SF7
+      {DataRate::kDR4, Meters{720.0}, Dbm{14.0}},   // SF8
+      {DataRate::kDR3, Meters{850.0}, Dbm{14.0}},   // SF9
+      {DataRate::kDR2, Meters{1000.0}, Dbm{14.0}},  // SF10
+      {DataRate::kDR1, Meters{1180.0}, Dbm{14.0}},  // SF11
+      {DataRate::kDR0, Meters{1390.0}, Dbm{14.0}},  // SF12
   }};
   return kLevels;
 }

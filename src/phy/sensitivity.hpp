@@ -20,12 +20,12 @@ namespace alphawan {
 
 // Extra SNR (dB) above the bare demodulation limit that the packet
 // detector needs to lock onto a preamble reliably.
-inline constexpr Db kDetectionMargin = 0.0;
+inline constexpr Db kDetectionMargin{0.0};
 
 // Best (fastest) data rate whose threshold the given SNR satisfies with
 // `margin` dB to spare; nullopt if even SF12 cannot be demodulated.
-[[nodiscard]] std::optional<DataRate> best_data_rate_for_snr(Db snr,
-                                                             Db margin = 0.0);
+[[nodiscard]] std::optional<DataRate> best_data_rate_for_snr(
+    Db snr, Db margin = Db{0.0});
 
 // The CP formulation discretizes node communication ranges into |DR|
 // levels: level l corresponds to using DataRate l at some transmit power.
@@ -41,9 +41,9 @@ struct RangeLevel {
 [[nodiscard]] const std::array<RangeLevel, kNumDataRates>& range_levels();
 
 // Transmit power ladder available to end nodes (LoRaWAN TXPower steps).
-inline constexpr std::array<Dbm, 6> kTxPowerLadder = {2.0,  5.0,  8.0,
-                                                      11.0, 14.0, 20.0};
-inline constexpr Dbm kDefaultTxPower = 14.0;
-inline constexpr Dbm kMaxTxPower = 20.0;
+inline constexpr std::array<Dbm, 6> kTxPowerLadder = {
+    Dbm{2.0}, Dbm{5.0}, Dbm{8.0}, Dbm{11.0}, Dbm{14.0}, Dbm{20.0}};
+inline constexpr Dbm kDefaultTxPower{14.0};
+inline constexpr Dbm kMaxTxPower{20.0};
 
 }  // namespace alphawan

@@ -38,6 +38,8 @@ class DecoderPool {
 
   // Claim a decoder at `now`, holding it until `until`, for a packet of
   // `network`. Returns true on success; false if the pool is exhausted.
+  // (now, until) is a time interval: chronological order, never swapped.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   bool try_acquire(Seconds now, Seconds until, NetworkId network,
                    PacketId packet);
 
@@ -52,7 +54,7 @@ class DecoderPool {
 
  private:
   struct Slot {
-    Seconds release_at = 0.0;
+    Seconds release_at{};
     NetworkId network = 0;
     PacketId packet = 0;
   };

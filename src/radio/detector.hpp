@@ -12,8 +12,8 @@
 namespace alphawan {
 
 struct Detection {
-  Seconds lock_on = 0.0;   // dispatch instant (end of preamble)
-  Db snr = 0.0;            // packet SNR at this gateway
+  Seconds lock_on{0.0};   // dispatch instant (end of preamble)
+  Db snr{0.0};            // packet SNR at this gateway
 };
 
 // Returns the detection if the packet is lockable at the given SNR.

@@ -13,8 +13,8 @@ namespace alphawan {
 struct DispatchEntry {
   // Index into the caller's RxEvent array.
   std::size_t event_index = 0;
-  Seconds lock_on = 0.0;
-  Seconds end = 0.0;
+  Seconds lock_on{0.0};
+  Seconds end{0.0};
   NetworkId network = 0;
   PacketId packet = 0;
 };

@@ -13,8 +13,8 @@
 namespace alphawan {
 namespace {
 
-double dbm_to_lin(Dbm p) { return std::pow(10.0, p / 10.0); }
-Dbm lin_to_dbm(double lin) { return 10.0 * std::log10(lin); }
+double dbm_to_lin(Dbm p) { return std::pow(10.0, p.value() / 10.0); }
+Dbm lin_to_dbm(double lin) { return Dbm{10.0 * std::log10(lin)}; }
 
 }  // namespace
 
@@ -36,7 +36,7 @@ void GatewayRadio::configure_channels(std::vector<Channel> channels) {
   auto [lo, hi] = std::minmax_element(
       channels.begin(), channels.end(),
       [](const Channel& a, const Channel& b) { return a.center < b.center; });
-  if (hi->high() - lo->low() > profile_.rx_spectrum + 1.0) {
+  if (hi->high() - lo->low() > profile_.rx_spectrum + Hz{1.0}) {
     throw std::invalid_argument(
         "GatewayRadio: channel span exceeds radio bandwidth (B_j violated)");
   }
@@ -121,7 +121,7 @@ std::vector<RxOutcome> GatewayRadio::process(
               [&](std::size_t a, std::size_t b) {
                 return events[a].tx.start < events[b].tx.start;
               });
-    Seconds longest = 0.0;
+    Seconds longest{0.0};
     for (const auto idx : indices) {
       longest = std::max(longest, events[idx].tx.end() - events[idx].tx.start);
     }
@@ -139,7 +139,7 @@ std::vector<RxOutcome> GatewayRadio::process(
     double aligned_same_sf_lin = 0.0;
     bool collided = false;
     bool foreign_fatal = false;
-    Dbm strongest_same_sf = -400.0;
+    Dbm strongest_same_sf{-400.0};
 
     // Candidates: same or adjacent frequency bucket, starting within
     // [ev.start - bucket_longest, ev.end).
@@ -188,7 +188,7 @@ std::vector<RxOutcome> GatewayRadio::process(
         Dbm eff = effective_interference_dbm(other.rx_power, other.tx.channel,
                                              rx_ch);
         if (!same_sf) eff -= kCrossSfMisalignedRejection;
-        if (eff > -250.0) misaligned_intf_lin += dbm_to_lin(eff);
+        if (eff > Dbm{-250.0}) misaligned_intf_lin += dbm_to_lin(eff);
       }
     }
     }

@@ -25,7 +25,7 @@ namespace alphawan {
 // chirp structure and is only suppressed by the channel filter. This split
 // is what makes non-orthogonal DRs on overlapping channels measurably worse
 // (paper Figs. 8 and 16).
-inline constexpr Db kCrossSfMisalignedRejection = 12.0;
+inline constexpr Db kCrossSfMisalignedRejection{12.0};
 
 class GatewayRadio {
  public:

@@ -13,24 +13,24 @@ std::string_view chipset_name(Chipset chipset) {
 }
 
 GatewayProfile profile_dragino_lps8n() {
-  return {"Dragino LPS8N", Chipset::kSX1302, 1.6e6, 8, 1, 16};
+  return {"Dragino LPS8N", Chipset::kSX1302, Hz{1.6e6}, 8, 1, 16};
 }
 
 GatewayProfile profile_rak7246g() {
-  return {"RAK7246G", Chipset::kSX1308, 1.6e6, 8, 1, 8};
+  return {"RAK7246G", Chipset::kSX1308, Hz{1.6e6}, 8, 1, 8};
 }
 
 GatewayProfile profile_rak7268cv2() {
-  return {"RAK7268CV2 (WisGate)", Chipset::kSX1302, 1.6e6, 8, 1, 16};
+  return {"RAK7268CV2 (WisGate)", Chipset::kSX1302, Hz{1.6e6}, 8, 1, 16};
 }
 
 GatewayProfile profile_rak7289cv2() {
   // Dual SX1303: doubled chains, decoders and monitored spectrum.
-  return {"RAK7289CV2", Chipset::kSX1303, 3.2e6, 16, 2, 32};
+  return {"RAK7289CV2", Chipset::kSX1303, Hz{3.2e6}, 16, 2, 32};
 }
 
 GatewayProfile profile_kerlink_ibts() {
-  return {"Kerlink Wirnet iBTS", Chipset::kSX1301, 1.6e6, 8, 1, 8};
+  return {"Kerlink Wirnet iBTS", Chipset::kSX1301, Hz{1.6e6}, 8, 1, 8};
 }
 
 GatewayProfile default_profile() { return profile_rak7268cv2(); }

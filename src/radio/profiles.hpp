@@ -17,7 +17,7 @@ enum class Chipset : std::uint8_t { kSX1301, kSX1302, kSX1303, kSX1308 };
 struct GatewayProfile {
   std::string_view product;
   Chipset chipset = Chipset::kSX1302;
-  Hz rx_spectrum = 1.6e6;       // maximal radio bandwidth B_j
+  Hz rx_spectrum{1.6e6};       // maximal radio bandwidth B_j
   int data_rx_chains = 8;       // multi-SF channels (P_j)
   int service_rx_chains = 1;    // LoRa service / FSK chains
   int decoders = 16;            // decoder pool size C_j

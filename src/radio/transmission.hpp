@@ -21,9 +21,9 @@ struct Transmission {
   Channel channel{};
   TxParams params{};
   std::uint32_t payload_bytes = 10;  // paper uses 10-byte payloads
-  Dbm tx_power = 14.0;
+  Dbm tx_power{14.0};
   Point origin{};  // transmitter position (for propagation)
-  Seconds start = 0.0;
+  Seconds start{0.0};
 
   // End of preamble: the instant a gateway locks on and a decoder is
   // claimed (paper Sec. 3.1).
@@ -71,7 +71,7 @@ enum class RxDisposition : std::uint8_t {
 // A transmission as seen by one gateway's front-end.
 struct RxEvent {
   Transmission tx{};
-  Dbm rx_power = -200.0;  // received signal power at this gateway
+  Dbm rx_power{-200.0};  // received signal power at this gateway
 };
 
 struct RxOutcome {
@@ -85,7 +85,7 @@ struct RxOutcome {
   // For kDroppedCollision: true if the fatal interferer was foreign.
   bool foreign_interferer = false;
   // SNR at this gateway (for diagnostics and ADR input).
-  Db snr = -200.0;
+  Db snr{-200.0};
   // Index of the gateway operating channel the packet was taken on
   // (-1 when not detected / rejected).
   int chain_channel = -1;

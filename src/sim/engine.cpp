@@ -5,7 +5,7 @@
 namespace alphawan {
 
 void Engine::schedule_in(Seconds delay, EventQueue::Action action) {
-  if (delay < 0.0) {
+  if (delay < Seconds{0.0}) {
     throw std::invalid_argument("Engine::schedule_in: negative delay");
   }
   queue_.push(now_ + delay, std::move(action));
@@ -36,7 +36,7 @@ std::size_t Engine::run(Seconds horizon) {
 }
 
 void Engine::reset() {
-  now_ = 0.0;
+  now_ = Seconds{0.0};
   queue_.clear();
 }
 

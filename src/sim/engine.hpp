@@ -18,16 +18,16 @@ class Engine {
 
   // Run until the queue drains or the horizon is reached. Returns the
   // number of events executed.
-  std::size_t run(Seconds horizon = 1e18);
+  std::size_t run(Seconds horizon = Seconds{1e18});
 
   // Execute at most one event; returns false if the queue is empty or the
   // next event is beyond the horizon.
-  bool step(Seconds horizon = 1e18);
+  bool step(Seconds horizon = Seconds{1e18});
 
   void reset();
 
  private:
-  Seconds now_ = 0.0;
+  Seconds now_{0.0};
   EventQueue queue_;
 };
 

@@ -29,7 +29,7 @@ class EventQueue {
 
  private:
   struct Entry {
-    Seconds when = 0.0;
+    Seconds when{0.0};
     std::uint64_t seq = 0;  // insertion order for deterministic ties
     Action action;
   };

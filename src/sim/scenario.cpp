@@ -60,7 +60,7 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
       events.reserve(txs.size());
       std::vector<std::size_t> event_tx_index;
       event_tx_index.reserve(txs.size());
-      const Db floor =
+      const Dbm floor =
           noise_floor_dbm(kLoRaBandwidth125k) - prune_margin_;
       for (std::size_t i = 0; i < txs.size(); ++i) {
         const auto& tx = txs[i];

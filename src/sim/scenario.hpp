@@ -73,7 +73,7 @@ class ScenarioRunner {
  private:
   Deployment& deployment_;
   Rng rng_;
-  Db prune_margin_ = 25.0;
+  Db prune_margin_{25.0};
   RxPostProcessor post_;
   SimInvariants* invariants_ = nullptr;
 };

@@ -51,7 +51,7 @@ Db Deployment::mean_snr(const EndNode& node, const Gateway& gw) {
 
 DataRate Deployment::feasible_dr(const EndNode& node, const Network& network,
                                  Db margin) {
-  Db best = -1e9;
+  Db best{-1e9};
   for (const auto& gw : network.gateways()) {
     best = std::max(best, mean_snr(node, gw));
   }

@@ -51,7 +51,7 @@ class Deployment {
   // Lowest data rate is always feasible; pick the fastest DR whose demod
   // threshold the node's best mean gateway SNR clears with `margin` dB.
   [[nodiscard]] DataRate feasible_dr(const EndNode& node,
-                                     const Network& network, Db margin = 5.0);
+                                     const Network& network, Db margin = Db{5.0});
 
   // Mean link SNR between a node position and a gateway (deterministic
   // part + frozen shadowing; no fast fading).

@@ -55,13 +55,13 @@ std::vector<Transmission> poisson_traffic(std::vector<EndNode*> nodes,
                                           std::uint32_t payload_bytes) {
   std::vector<Transmission> txs;
   for (EndNode* node : nodes) {
-    Seconds t = rng.exponential(rate_per_node);
+    Seconds t{rng.exponential(rate_per_node)};
     while (t < window) {
       const Seconds allowed = node->next_allowed_start(duty_cycle_limit);
       const Seconds start = std::max(t, allowed);
       if (start >= window) break;
       txs.push_back(node->make_transmission(start, payload_bytes, ids.next()));
-      t = start + rng.exponential(rate_per_node);
+      t = start + Seconds{rng.exponential(rate_per_node)};
     }
   }
   sort_by_start(txs);
@@ -77,14 +77,14 @@ std::vector<Transmission> emulated_user_traffic(
   for (EndNode* node : nodes) {
     for (std::size_t u = 0; u < users_per_node; ++u) {
       const NodeId virtual_id = next_virtual++;
-      Seconds t = rng.exponential(rate_per_user);
-      Seconds last_end = -1e18;
-      Seconds last_airtime = 0.0;
+      Seconds t{rng.exponential(rate_per_user)};
+      Seconds last_end{-1e18};
+      Seconds last_airtime{0.0};
       while (t < window) {
         // Per-virtual-user duty-cycle pacing (each emulated user obeys the
         // regulatory limit independently, as in the paper's methodology).
-        Seconds allowed = 0.0;
-        if (last_end > 0.0) {
+        Seconds allowed{0.0};
+        if (last_end > Seconds{0.0}) {
           allowed = last_end + last_airtime / 0.01 - last_airtime;
         }
         const Seconds start = std::max(t, allowed);
@@ -95,7 +95,7 @@ std::vector<Transmission> emulated_user_traffic(
         txs.push_back(tx);
         last_end = tx.end();
         last_airtime = time_on_air(tx.params, payload_bytes);
-        t = start + rng.exponential(rate_per_user);
+        t = start + Seconds{rng.exponential(rate_per_user)};
       }
     }
   }

@@ -1,0 +1,15 @@
+// Compile-fail case: comparing quantities of different units
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+constexpr bool ok = Hz{125e3} < Hz{250e3};
+#ifdef CF_MISUSE
+constexpr bool bad = Hz{125e3} < Seconds{1.0};  // comparison across units
+#endif
+
+int main() { return 0; }

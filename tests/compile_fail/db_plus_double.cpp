@@ -1,0 +1,15 @@
+// Compile-fail case: adding a bare double to a quantity
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+constexpr Db ok = Db{3.0} + Db{1.0};
+#ifdef CF_MISUSE
+constexpr Db bad = Db{3.0} + 1.0;  // the 1.0 must be wrapped explicitly
+#endif
+
+int main() { return 0; }

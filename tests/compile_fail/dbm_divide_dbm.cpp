@@ -1,0 +1,15 @@
+// Compile-fail case: dividing absolute log-powers
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+constexpr double ok = Db{6.0} / Db{3.0};  // ratio of ratios is dimensionless
+#ifdef CF_MISUSE
+constexpr double bad = Dbm{-80.0} / Dbm{-40.0};  // log-power ratio is meaningless
+#endif
+
+int main() { return 0; }

@@ -1,0 +1,18 @@
+// Compile-fail case: adding two absolute log-powers
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+// Summing absolute powers needs the linear domain (combine_powers_dbm).
+constexpr Dbm a{-80.0};
+constexpr Dbm b{-90.0};
+constexpr Db ok = a - b;  // SIR: the meaningful difference
+#ifdef CF_MISUSE
+constexpr Dbm bad = a + b;  // dBm + dBm is physically meaningless
+#endif
+
+int main() { return 0; }

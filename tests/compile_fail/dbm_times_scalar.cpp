@@ -1,0 +1,16 @@
+// Compile-fail case: scaling an absolute log-power
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+constexpr Db gain{3.0};
+constexpr Db ok = gain * 2.0;  // scaling a ratio is fine
+#ifdef CF_MISUSE
+constexpr Dbm bad = Dbm{-80.0} * 2.0;  // doubling a dBm value is a unit error
+#endif
+
+int main() { return 0; }

@@ -1,0 +1,16 @@
+// Compile-fail case: passing a frequency where a power is expected
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+constexpr Dbm floor_for(Dbm sensitivity) { return sensitivity; }
+constexpr Dbm ok = floor_for(Dbm{-120.0});
+#ifdef CF_MISUSE
+constexpr Dbm bad = floor_for(Hz{868.1e6});  // wrong physical quantity
+#endif
+
+int main() { return 0; }

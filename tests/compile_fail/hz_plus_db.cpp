@@ -1,0 +1,15 @@
+// Compile-fail case: mixing frequency with a power ratio
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+constexpr Hz ok = Hz{868.1e6} + Hz{200e3};
+#ifdef CF_MISUSE
+constexpr Hz bad = Hz{868.1e6} + Db{3.0};  // cross-unit addition
+#endif
+
+int main() { return 0; }

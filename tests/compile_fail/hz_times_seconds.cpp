@@ -1,0 +1,15 @@
+// Compile-fail case: multiplying two quantities (derived dimension)
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+constexpr Hz ok = Hz{125e3} * 2.0;  // scalar scaling is the only product
+#ifdef CF_MISUSE
+constexpr double bad = (Hz{125e3} * Seconds{1.0}).value();  // cycles not modeled
+#endif
+
+int main() { return 0; }

@@ -1,0 +1,15 @@
+// Compile-fail case: implicit construction from a bare double
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+constexpr Hz ok{868.1e6};  // explicit construction is the visible act
+#ifdef CF_MISUSE
+constexpr Hz bad = 868.1e6;  // raw numbers must not silently become units
+#endif
+
+int main() { return 0; }

@@ -1,0 +1,15 @@
+// Compile-fail case: mixing distance with time
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/units.hpp"
+
+using namespace alphawan;
+
+constexpr Meters ok = Meters{100.0} + Meters{50.0};
+#ifdef CF_MISUSE
+constexpr Meters bad = Meters{100.0} + Seconds{1.0};  // cross-unit addition
+#endif
+
+int main() { return 0; }

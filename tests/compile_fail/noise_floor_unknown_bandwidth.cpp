@@ -1,0 +1,18 @@
+// Compile-fail case: noise floor for a bandwidth that is not one of the
+// three named kLoRaBandwidth* constants.
+//
+// Without CF_MISUSE this file must compile (positive control proving the
+// harness sees a working translation unit). With -DCF_MISUSE it must NOT
+// compile — ctest runs both variants (see CMakeLists.txt).
+#include "common/types.hpp"
+
+using namespace alphawan;
+
+constexpr Dbm ok = noise_floor_dbm(kLoRaBandwidth250k);
+#ifdef CF_MISUSE
+// 300 kHz is not a LoRa bandwidth: the constexpr evaluation reaches the
+// non-constexpr abort() helper and the initializer is ill-formed.
+constexpr Dbm bad = noise_floor_dbm(Hz{300e3});
+#endif
+
+int main() { return 0; }

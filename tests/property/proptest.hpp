@@ -58,7 +58,7 @@ struct World {
 inline World build_world(const CaseParams& p) {
   World world;
   world.deployment = std::make_unique<Deployment>(
-      Region{1000.0, 1000.0}, spectrum_1m6(), ChannelModelConfig{});
+      Region{Meters{1000.0}, Meters{1000.0}}, spectrum_1m6(), ChannelModelConfig{});
   GatewayProfile profile = default_profile();
   profile.decoders = p.decoders;
   const Rng root(p.seed);
@@ -70,8 +70,9 @@ inline World build_world(const CaseParams& p) {
     const auto plan = standard_plan(world.deployment->spectrum(), 0);
     for (int g = 0; g < p.gateways_per_net; ++g) {
       // Spread gateways over the middle of the region deterministically.
-      const Point pos{300.0 + 400.0 * g / std::max(1, p.gateways_per_net - 1),
-                      400.0 + 120.0 * n};
+      const Point pos{
+          Meters{300.0 + 400.0 * g / std::max(1, p.gateways_per_net - 1)},
+          Meters{400.0 + 120.0 * n}};
       auto& gw = network.add_gateway(world.deployment->next_gateway_id(), pos,
                                      profile);
       gw.apply_channels(GatewayChannelConfig{plan.channels});
@@ -82,9 +83,9 @@ inline World build_world(const CaseParams& p) {
       cfg.channel = world.deployment->spectrum().grid_channel(
           static_cast<int>(net_rng.uniform_int(0, p.plan_channels - 1)));
       cfg.dr = static_cast<DataRate>(net_rng.uniform_int(0, 5));
-      cfg.tx_power = 14.0;
-      const Point pos{net_rng.uniform(250.0, 750.0),
-                      net_rng.uniform(250.0, 750.0)};
+      cfg.tx_power = Dbm{14.0};
+      const Point pos{Meters{net_rng.uniform(250.0, 750.0)},
+                      Meters{net_rng.uniform(250.0, 750.0)}};
       placed.push_back(&network.add_node(world.deployment->next_node_id(),
                                          pos, cfg));
     }
@@ -94,8 +95,8 @@ inline World build_world(const CaseParams& p) {
     // A dense window (0.8 s at 1.5 pkt/s/node) so Poisson worlds carry
     // real contention, not isolated packets.
     std::vector<Transmission> txs =
-        p.burst ? concurrent_burst(placed, 0.0, ids)
-                : poisson_traffic(placed, 0.8, 1.5, traffic_rng, ids);
+        p.burst ? concurrent_burst(placed, Seconds{0.0}, ids)
+                : poisson_traffic(placed, Seconds{0.8}, 1.5, traffic_rng, ids);
     world.txs.insert(world.txs.end(), txs.begin(), txs.end());
   }
   return world;

@@ -80,7 +80,7 @@ TEST(PropertyInvariants, InjectedDoubleReleaseIsCaught) {
   SimInvariants checker;
   DecoderPool pool(4);
   pool.set_observer(&checker);
-  ASSERT_TRUE(pool.try_acquire(0.0, 1.0, 0, 42));
+  ASSERT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 42));
   pool.release(42);
   EXPECT_TRUE(checker.ok());
   pool.release(42);  // the injected double-free
@@ -95,8 +95,8 @@ TEST(PropertyInvariants, DuplicateAcquireIsCaught) {
   SimInvariants checker;
   DecoderPool pool(4);
   pool.set_observer(&checker);
-  ASSERT_TRUE(pool.try_acquire(0.0, 1.0, 0, 7));
-  ASSERT_TRUE(pool.try_acquire(0.0, 1.0, 0, 7));
+  ASSERT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 7));
+  ASSERT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 7));
   EXPECT_FALSE(checker.ok());
   EXPECT_NE(checker.violations()[0].find("already holds"), std::string::npos);
 }
@@ -107,7 +107,7 @@ TEST(PropertyInvariants, FailFastThrowsImmediately) {
   checker.set_fail_fast(true);
   DecoderPool pool(2);
   pool.set_observer(&checker);
-  ASSERT_TRUE(pool.try_acquire(0.0, 1.0, 0, 1));
+  ASSERT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 1));
   EXPECT_THROW(pool.release(99), std::logic_error);
 }
 

@@ -36,8 +36,8 @@ TEST_F(BusFixture, LanDeliveryTakesPositiveTime) {
   EXPECT_FALSE(delivered);
   engine.run();
   EXPECT_TRUE(delivered);
-  EXPECT_GT(engine.now(), 0.0);
-  EXPECT_LT(engine.now(), 0.1);  // LAN: sub-100ms
+  EXPECT_GT(engine.now(), Seconds{0.0});
+  EXPECT_LT(engine.now(), Seconds{0.1});  // LAN: sub-100ms
 }
 
 TEST_F(BusFixture, WanSlowerThanLan) {
@@ -48,7 +48,7 @@ TEST_F(BusFixture, WanSlowerThanLan) {
   bus.send("y", "x", {1}, /*wan=*/true);
   engine.run();
   const Seconds wan_duration = engine.now() - lan_duration;
-  EXPECT_GT(wan_duration, 0.02);  // WAN ~55 ms one way
+  EXPECT_GT(wan_duration, Seconds{0.02});  // WAN ~55 ms one way
   EXPECT_GT(wan_duration, 10.0 * lan_duration);
 }
 
@@ -84,7 +84,7 @@ TEST_F(BusFixture, DetachStopsDelivery) {
 TEST(LatencyModelTest, RebootNearPaperMean) {
   LatencyModel latency{LatencyModelConfig{}, 11};
   RunningStats stats;
-  for (int i = 0; i < 500; ++i) stats.add(latency.gateway_reboot());
+  for (int i = 0; i < 500; ++i) stats.add(latency.gateway_reboot().value());
   EXPECT_NEAR(stats.mean(), 4.62, 0.15);  // paper: 4.62 s average
   EXPECT_GT(stats.min(), 0.4);
 }
@@ -95,8 +95,8 @@ TEST(LatencyModelTest, MasterRoundTripInPaperRange) {
   LatencyModel latency{LatencyModelConfig{}, 13};
   for (int i = 0; i < 200; ++i) {
     const Seconds rtt = latency.master_round_trip();
-    EXPECT_GT(rtt, 0.05);
-    EXPECT_LT(rtt, 0.25);
+    EXPECT_GT(rtt, Seconds{0.05});
+    EXPECT_LT(rtt, Seconds{0.25});
   }
 }
 

@@ -14,10 +14,10 @@ UplinkRecord sample_record(PacketId packet) {
   rec.node = 10;
   rec.gateway = 1;
   rec.network = 2;
-  rec.timestamp = 12.5;
-  rec.channel = Channel{923.3e6, 125e3};
+  rec.timestamp = Seconds{12.5};
+  rec.channel = Channel{Hz{923.3e6}, Hz{125e3}};
   rec.dr = DataRate::kDR3;
-  rec.snr = -4.5;
+  rec.snr = Db{-4.5};
   return rec;
 }
 
@@ -35,7 +35,7 @@ TEST(ForwarderCodec, PushDataRoundTrip) {
   ASSERT_EQ(push->uplinks.size(), 2u);
   EXPECT_EQ(push->uplinks[0].packet, 1u);
   EXPECT_EQ(push->uplinks[1].packet, 2u);
-  EXPECT_DOUBLE_EQ(push->uplinks[0].snr, -4.5);
+  EXPECT_DOUBLE_EQ(push->uplinks[0].snr.value(), -4.5);
   EXPECT_EQ(push->uplinks[0].dr, DataRate::kDR3);
 }
 
@@ -50,13 +50,13 @@ TEST(ForwarderCodec, AllOpsRoundTrip) {
   PullRespMsg resp;
   resp.token = 8;
   resp.gateway = 3;
-  resp.channels = {Channel{923.3e6 + 75e3, 125e3}};
+  resp.channels = {Channel{Hz{923.3e6 + 75e3}, Hz{125e3}}};
   const auto decoded = decode_forwarder(encode_forwarder(resp));
   ASSERT_TRUE(decoded.has_value());
   const auto* r = std::get_if<PullRespMsg>(&*decoded);
   ASSERT_NE(r, nullptr);
   EXPECT_EQ(r->channels.size(), 1u);
-  EXPECT_DOUBLE_EQ(r->channels[0].center, 923.3e6 + 75e3);
+  EXPECT_DOUBLE_EQ(r->channels[0].center.value(), 923.3e6 + 75e3);
 }
 
 TEST(ForwarderCodec, TruncationRejected) {
@@ -81,7 +81,7 @@ struct ForwarderFixture : ::testing::Test {
   NetworkServer& server = network.server();
 
   ForwarderFixture() {
-    auto& gw = network.add_gateway(1, {0, 0}, default_profile());
+    auto& gw = network.add_gateway(1, Point{Meters{0}, Meters{0}}, default_profile());
     gw.apply_channels(
         GatewayChannelConfig{standard_plan(spectrum_1m6(), 0).channels});
   }
@@ -102,13 +102,13 @@ TEST_F(ForwarderFixture, ConfigPushNeedsPullPath) {
   ForwarderServer fwd_server(server, bus);
   GatewayForwarder agent(network.gateways()[0], bus, fwd_server.endpoint());
   // Without a PULL_DATA, the server has no downlink path.
-  EXPECT_FALSE(fwd_server.push_config(1, {Channel{923.3e6, 125e3}}));
+  EXPECT_FALSE(fwd_server.push_config(1, {Channel{Hz{923.3e6}, Hz{125e3}}}));
   agent.pull();
   engine.run();
   ASSERT_TRUE(fwd_server.pull_paths().contains(1));
   const int reboots_before = network.gateways()[0].reboot_count();
-  const std::vector<Channel> new_plan = {Channel{923.3e6 + 37.5e3, 125e3},
-                                         Channel{923.5e6 + 37.5e3, 125e3}};
+  const std::vector<Channel> new_plan = {Channel{Hz{923.3e6 + 37.5e3}, Hz{125e3}},
+                                         Channel{Hz{923.5e6 + 37.5e3}, Hz{125e3}}};
   EXPECT_TRUE(fwd_server.push_config(1, new_plan));
   engine.run();
   EXPECT_EQ(agent.configs_applied(), 1u);
@@ -125,7 +125,7 @@ TEST_F(ForwarderFixture, ConfigForUnknownGatewayIgnored) {
   PullRespMsg resp;
   resp.token = 9;
   resp.gateway = 99;
-  resp.channels = {Channel{923.3e6, 125e3}};
+  resp.channels = {Channel{Hz{923.3e6}, Hz{125e3}}};
   bus.send(fwd_server.endpoint(), agent.endpoint(), encode_forwarder(resp));
   engine.run();
   EXPECT_EQ(agent.configs_applied(), 0u);

@@ -8,10 +8,11 @@ namespace {
 TEST(LatencyModel, LanTransferIsRttPlusSerialization) {
   LatencyModel model;
   const auto& cfg = model.config();
-  EXPECT_DOUBLE_EQ(model.lan_transfer(0), cfg.lan_rtt);
+  EXPECT_DOUBLE_EQ(model.lan_transfer(0).value(), cfg.lan_rtt.value());
   const std::size_t mb = 1'000'000;
-  EXPECT_DOUBLE_EQ(model.lan_transfer(mb),
-                   cfg.lan_rtt + static_cast<double>(mb) / cfg.lan_bytes_per_second);
+  EXPECT_DOUBLE_EQ(
+      model.lan_transfer(mb).value(),
+      cfg.lan_rtt.value() + static_cast<double>(mb) / cfg.lan_bytes_per_second);
   EXPECT_GT(model.lan_transfer(2 * mb), model.lan_transfer(mb));
 }
 
@@ -21,11 +22,11 @@ TEST(LatencyModel, WanLatencyIsPositiveAndNearMean) {
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
     const Seconds s = model.wan_one_way();
-    ASSERT_GE(s, 1e-3);  // clamped floor
-    sum += s;
+    ASSERT_GE(s, Seconds{1e-3});  // clamped floor
+    sum += s.value();
   }
   // Fig. 17: operator <-> Master one-way ~55 ms.
-  EXPECT_NEAR(sum / n, model.config().wan_one_way_mean, 0.002);
+  EXPECT_NEAR(sum / n, model.config().wan_one_way_mean.value(), 0.002);
 }
 
 TEST(LatencyModel, MasterRoundTripCoversTwoLegs) {
@@ -34,10 +35,10 @@ TEST(LatencyModel, MasterRoundTripCoversTwoLegs) {
   const int n = 2000;
   for (int i = 0; i < n; ++i) {
     const Seconds rtt = model.master_round_trip();
-    ASSERT_GT(rtt, 0.0);
-    sum += rtt;
+    ASSERT_GT(rtt, Seconds{0.0});
+    sum += rtt.value();
   }
-  EXPECT_NEAR(sum / n, 2.0 * model.config().wan_one_way_mean, 0.004);
+  EXPECT_NEAR(sum / n, 2.0 * model.config().wan_one_way_mean.value(), 0.004);
 }
 
 TEST(LatencyModel, RebootMatchesFig17Measurement) {
@@ -46,24 +47,25 @@ TEST(LatencyModel, RebootMatchesFig17Measurement) {
   const int n = 2000;
   for (int i = 0; i < n; ++i) {
     const Seconds reboot = model.gateway_reboot();
-    ASSERT_GE(reboot, 0.5);  // clamped floor
-    sum += reboot;
+    ASSERT_GE(reboot, Seconds{0.5});  // clamped floor
+    sum += reboot.value();
   }
-  EXPECT_NEAR(sum / n, model.config().reboot_mean, 0.05);
+  EXPECT_NEAR(sum / n, model.config().reboot_mean.value(), 0.05);
 }
 
 TEST(LatencyModel, ConfigPushAddsBaseCost) {
   LatencyModel model;
-  EXPECT_DOUBLE_EQ(model.config_push(512),
-                   model.config().config_push_base + model.lan_transfer(512));
+  EXPECT_DOUBLE_EQ(
+      model.config_push(512).value(),
+      (model.config().config_push_base + model.lan_transfer(512)).value());
 }
 
 TEST(LatencyModel, SameSeedReproducesSequence) {
   LatencyModel a(LatencyModelConfig{}, 99);
   LatencyModel b(LatencyModelConfig{}, 99);
   for (int i = 0; i < 50; ++i) {
-    EXPECT_DOUBLE_EQ(a.wan_one_way(), b.wan_one_way());
-    EXPECT_DOUBLE_EQ(a.gateway_reboot(), b.gateway_reboot());
+    EXPECT_DOUBLE_EQ(a.wan_one_way().value(), b.wan_one_way().value());
+    EXPECT_DOUBLE_EQ(a.gateway_reboot().value(), b.gateway_reboot().value());
   }
 }
 

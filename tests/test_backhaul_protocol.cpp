@@ -26,7 +26,7 @@ TEST(MasterProtocol, RegisterAckRoundTrip) {
 }
 
 TEST(MasterProtocol, PlanRequestRoundTrip) {
-  PlanRequestMsg msg{3, 916.8e6, 4.8e6, 24};
+  PlanRequestMsg msg{3, Hz{916.8e6}, Hz{4.8e6}, 24};
   EXPECT_EQ(round_trip(msg), msg);
 }
 
@@ -34,8 +34,9 @@ TEST(MasterProtocol, PlanAssignRoundTrip) {
   PlanAssignMsg msg;
   msg.operator_id = 2;
   msg.overlap_ratio = 0.4;
-  msg.frequency_offset = 75e3;
-  msg.channels = {Channel{923.3e6 + 75e3, 125e3}, Channel{923.5e6 + 75e3, 125e3}};
+  msg.frequency_offset = Hz{75e3};
+  msg.channels = {Channel{Hz{923.3e6 + 75e3}, Hz{125e3}},
+                  Channel{Hz{923.5e6 + 75e3}, Hz{125e3}}};
   EXPECT_EQ(round_trip(msg), msg);
 }
 
@@ -59,7 +60,7 @@ TEST(MasterProtocol, EmptyRejected) {
 }
 
 TEST(MasterProtocol, TruncationRejected) {
-  const auto bytes = encode_message(PlanRequestMsg{3, 916.8e6, 4.8e6, 24});
+  const auto bytes = encode_message(PlanRequestMsg{3, Hz{916.8e6}, Hz{4.8e6}, 24});
   for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
     const std::span<const std::uint8_t> prefix(bytes.data(), cut);
     EXPECT_FALSE(decode_message(prefix).has_value()) << "cut at " << cut;

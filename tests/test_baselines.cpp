@@ -15,13 +15,13 @@ ChannelModelConfig quiet_channel() {
   // node placements, clear margins); heavy shadowing would conflate
   // decoder contention with RF capture losses.
   ChannelModelConfig cfg;
-  cfg.shadowing_sigma_db = 0.3;
-  cfg.fast_fading_sigma_db = 0.1;
+  cfg.shadowing_sigma_db = Db{0.3};
+  cfg.fast_fading_sigma_db = Db{0.1};
   return cfg;
 }
 
 struct BaselineFixture {
-  Deployment deployment{Region{1200.0, 1000.0}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{1200.0}, Meters{1000.0}}, spectrum_1m6()};
   Network* network = nullptr;
   Rng rng{41};
 
@@ -80,7 +80,8 @@ TEST(RandomCp, ChannelsValidAndReduced) {
     // Channels sit on the standard grid.
     for (const auto& ch : gw.channels()) {
       const int idx = f.deployment.spectrum().nearest_grid_index(ch.center);
-      EXPECT_NEAR(ch.center, f.deployment.spectrum().grid_center(idx), 1.0);
+      EXPECT_NEAR(ch.center.value(),
+                  f.deployment.spectrum().grid_center(idx).value(), 1.0);
     }
   }
 }
@@ -95,11 +96,11 @@ TEST(Lmac, EliminatesInRangeSameChannelOverlap) {
     cfg.channel = f.deployment.spectrum().grid_channel(0);
     cfg.dr = DataRate::kDR5;
     auto& node = f.network->add_node(f.deployment.next_node_id(),
-                                     Point{500.0 + i * 10.0, 500.0}, cfg);
+                                     Point{Meters{500.0 + i * 10.0}, Meters{500.0}}, cfg);
     nodes.push_back(&node);
   }
   PacketIdSource ids;
-  auto txs = concurrent_burst(nodes, 0.0, ids);
+  auto txs = concurrent_burst(nodes, Seconds{0.0}, ids);
   Rng rng(3);
   const auto scheduled = lmac_schedule(txs, rng);
   ASSERT_EQ(scheduled.size(), 6u);
@@ -121,13 +122,13 @@ TEST(Lmac, DifferentChannelsUntouched) {
     cfg.channel = f.deployment.spectrum().grid_channel(i);
     cfg.dr = DataRate::kDR5;
     nodes.push_back(&f.network->add_node(f.deployment.next_node_id(),
-                                         Point{500, 500}, cfg));
+                                         Point{Meters{500}, Meters{500}}, cfg));
   }
   PacketIdSource ids;
-  auto txs = concurrent_burst(nodes, 0.0, ids);
+  auto txs = concurrent_burst(nodes, Seconds{0.0}, ids);
   Rng rng(5);
   const auto scheduled = lmac_schedule(txs, rng);
-  for (const auto& tx : scheduled) EXPECT_DOUBLE_EQ(tx.start, 0.0);
+  for (const auto& tx : scheduled) EXPECT_DOUBLE_EQ(tx.start.value(), 0.0);
 }
 
 TEST(Lmac, HiddenTerminalsStillCollide) {
@@ -138,13 +139,13 @@ TEST(Lmac, HiddenTerminalsStillCollide) {
   cfg.dr = DataRate::kDR5;
   // Two nodes far apart (beyond the 1.5 km sense range).
   nodes.push_back(&f.network->add_node(f.deployment.next_node_id(),
-                                       Point{0, 0}, cfg));
+                                       Point{Meters{0}, Meters{0}}, cfg));
   nodes.push_back(&f.network->add_node(f.deployment.next_node_id(),
-                                       Point{1200, 990}, cfg));
+                                       Point{Meters{1200}, Meters{990}}, cfg));
   PacketIdSource ids;
-  auto txs = concurrent_burst(nodes, 0.0, ids);
+  auto txs = concurrent_burst(nodes, Seconds{0.0}, ids);
   LmacOptions options;
-  options.sense_range = 800.0;
+  options.sense_range = Meters{800.0};
   Rng rng(7);
   const auto scheduled = lmac_schedule(txs, rng, options);
   EXPECT_TRUE(scheduled[0].overlaps_in_time(scheduled[1]));
@@ -158,23 +159,23 @@ TEST(Lmac, DeferralBounded) {
   cfg.dr = DataRate::kDR0;  // long airtime: deferrals add up
   for (int i = 0; i < 10; ++i) {
     nodes.push_back(&f.network->add_node(f.deployment.next_node_id(),
-                                         Point{500, 500}, cfg));
+                                         Point{Meters{500}, Meters{500}}, cfg));
   }
   PacketIdSource ids;
-  auto txs = concurrent_burst(nodes, 0.0, ids);
+  auto txs = concurrent_burst(nodes, Seconds{0.0}, ids);
   LmacOptions options;
-  options.max_defer = 2.0;
+  options.max_defer = Seconds{2.0};
   Rng rng(9);
   const auto scheduled = lmac_schedule(txs, rng, options);
   for (const auto& tx : scheduled) {
-    EXPECT_LE(tx.start, 2.0 + 1e-9);
+    EXPECT_LE(tx.start, Seconds{2.0 + 1e-9});
   }
 }
 
 TEST(Cic, ResolvesSmallCollisions) {
   // Two same-SF same-channel packets collide on a stock gateway; a CIC
   // receiver recovers both.
-  Deployment deployment{Region{600.0, 600.0}, spectrum_1m6(), quiet_channel()};
+  Deployment deployment{Region{Meters{600.0}, Meters{600.0}}, spectrum_1m6(), quiet_channel()};
   auto& network = deployment.add_network("op");
   auto& gw = network.add_gateway(1, deployment.region().center(),
                                  default_profile());
@@ -183,20 +184,20 @@ TEST(Cic, ResolvesSmallCollisions) {
   NodeRadioConfig cfg;
   cfg.channel = deployment.spectrum().grid_channel(0);
   cfg.dr = DataRate::kDR3;
-  auto& n1 = network.add_node(1, {300, 310}, cfg);
-  auto& n2 = network.add_node(2, {310, 300}, cfg);
+  auto& n1 = network.add_node(1, Point{Meters{300}, Meters{310}}, cfg);
+  auto& n2 = network.add_node(2, Point{Meters{310}, Meters{300}}, cfg);
 
   PacketIdSource ids;
   ScenarioRunner runner(deployment);
-  std::vector<Transmission> txs = {n1.make_transmission(0.0, 10, ids.next()),
-                                   n2.make_transmission(0.0, 10, ids.next())};
+  std::vector<Transmission> txs = {n1.make_transmission(Seconds{0.0}, 10, ids.next()),
+                                   n2.make_transmission(Seconds{0.0}, 10, ids.next())};
   const auto stock = runner.run_window(txs);
   EXPECT_EQ(stock.total_delivered(), 0u);
 
   ScenarioRunner cic_runner(deployment);
   cic_runner.set_post_processor(make_cic_processor());
-  txs = {n1.make_transmission(10.0, 10, ids.next()),
-         n2.make_transmission(10.0, 10, ids.next())};
+  txs = {n1.make_transmission(Seconds{10.0}, 10, ids.next()),
+         n2.make_transmission(Seconds{10.0}, 10, ids.next())};
   const auto with_cic = cic_runner.run_window(txs);
   EXPECT_EQ(with_cic.total_delivered(), 2u);
 }
@@ -204,7 +205,7 @@ TEST(Cic, ResolvesSmallCollisions) {
 TEST(Cic, BoundedResolvability) {
   // Five overlapping same-channel packets exceed max_resolvable=3: CIC
   // leaves them collided.
-  Deployment deployment{Region{600.0, 600.0}, spectrum_1m6(), quiet_channel()};
+  Deployment deployment{Region{Meters{600.0}, Meters{600.0}}, spectrum_1m6(), quiet_channel()};
   auto& network = deployment.add_network("op");
   auto& gw = network.add_gateway(1, deployment.region().center(),
                                  default_profile());
@@ -215,8 +216,11 @@ TEST(Cic, BoundedResolvability) {
   cfg.dr = DataRate::kDR3;
   std::vector<EndNode*> nodes;
   // Equidistant ring: no capture winner, a genuine 5-way collision.
-  const Point ring[5] = {{330, 300}, {309, 329}, {276, 318}, {276, 282},
-                         {309, 271}};
+  const Point ring[5] = {Point{Meters{330}, Meters{300}},
+                         Point{Meters{309}, Meters{329}},
+                         Point{Meters{276}, Meters{318}},
+                         Point{Meters{276}, Meters{282}},
+                         Point{Meters{309}, Meters{271}}};
   for (int i = 0; i < 5; ++i) {
     nodes.push_back(
         &network.add_node(static_cast<NodeId>(i + 1), ring[i], cfg));
@@ -224,7 +228,7 @@ TEST(Cic, BoundedResolvability) {
   PacketIdSource ids;
   ScenarioRunner runner(deployment);
   runner.set_post_processor(make_cic_processor());
-  const auto result = runner.run_window(concurrent_burst(nodes, 0.0, ids));
+  const auto result = runner.run_window(concurrent_burst(nodes, Seconds{0.0}, ids));
   EXPECT_EQ(result.total_delivered(), 0u);
 }
 

@@ -8,27 +8,29 @@
 namespace alphawan {
 namespace {
 
+Point pt(double x, double y) { return Point{Meters{x}, Meters{y}}; }
+
 TEST(Geometry, Distance) {
-  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
-  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance(pt(0, 0), pt(3, 4)).value(), 5.0);
+  EXPECT_DOUBLE_EQ(distance(pt(1, 1), pt(1, 1)).value(), 0.0);
 }
 
 TEST(Geometry, Bearing) {
-  EXPECT_NEAR(bearing({0, 0}, {1, 0}), 0.0, 1e-12);
-  EXPECT_NEAR(bearing({0, 0}, {0, 1}), std::numbers::pi / 2, 1e-12);
-  EXPECT_NEAR(bearing({0, 0}, {-1, 0}), std::numbers::pi, 1e-12);
+  EXPECT_NEAR(bearing(pt(0, 0), pt(1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(bearing(pt(0, 0), pt(0, 1)), std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(bearing(pt(0, 0), pt(-1, 0)), std::numbers::pi, 1e-12);
 }
 
 TEST(Geometry, RegionContains) {
-  Region r{100.0, 50.0};
-  EXPECT_TRUE(r.contains({0, 0}));
-  EXPECT_TRUE(r.contains({100, 50}));
-  EXPECT_FALSE(r.contains({101, 10}));
-  EXPECT_FALSE(r.contains({10, -1}));
+  Region r{Meters{100.0}, Meters{50.0}};
+  EXPECT_TRUE(r.contains(pt(0, 0)));
+  EXPECT_TRUE(r.contains(pt(100, 50)));
+  EXPECT_FALSE(r.contains(pt(101, 10)));
+  EXPECT_FALSE(r.contains(pt(10, -1)));
 }
 
 TEST(Geometry, RandomPointInsideRegion) {
-  Region r{200.0, 300.0};
+  Region r{Meters{200.0}, Meters{300.0}};
   Rng rng(5);
   for (int i = 0; i < 500; ++i) {
     EXPECT_TRUE(r.contains(r.random_point(rng)));
@@ -36,7 +38,7 @@ TEST(Geometry, RandomPointInsideRegion) {
 }
 
 TEST(Geometry, GridPlacementCountAndBounds) {
-  Region r{2100.0, 1600.0};
+  Region r{Meters{2100.0}, Meters{1600.0}};
   Rng rng(3);
   for (std::size_t count : {1u, 3u, 15u, 20u}) {
     const auto pts = grid_placement(r, count, rng);
@@ -54,20 +56,20 @@ TEST(Geometry, GridPlacementZero) {
 TEST(Geometry, GridPlacementSpreads) {
   // With 4 gateways the pairwise minimum distance should be a sizable
   // fraction of the region (not all clumped).
-  Region r{2000.0, 2000.0};
+  Region r{Meters{2000.0}, Meters{2000.0}};
   Rng rng(7);
   const auto pts = grid_placement(r, 4, rng, 0.0);
-  double min_dist = 1e9;
+  Meters min_dist{1e9};
   for (std::size_t i = 0; i < pts.size(); ++i) {
     for (std::size_t j = i + 1; j < pts.size(); ++j) {
       min_dist = std::min(min_dist, distance(pts[i], pts[j]));
     }
   }
-  EXPECT_GT(min_dist, 500.0);
+  EXPECT_GT(min_dist, Meters{500.0});
 }
 
 TEST(Geometry, UniformPlacement) {
-  Region r{500.0, 500.0};
+  Region r{Meters{500.0}, Meters{500.0}};
   Rng rng(9);
   const auto pts = uniform_placement(r, 100, rng);
   EXPECT_EQ(pts.size(), 100u);
@@ -75,17 +77,17 @@ TEST(Geometry, UniformPlacement) {
 }
 
 TEST(Geometry, ClusteredPlacementBoundsAndCount) {
-  Region r{1000.0, 1000.0};
+  Region r{Meters{1000.0}, Meters{1000.0}};
   Rng rng(11);
-  const auto pts = clustered_placement(r, 60, 3, 50.0, rng);
+  const auto pts = clustered_placement(r, 60, 3, Meters{50.0}, rng);
   EXPECT_EQ(pts.size(), 60u);
   for (const auto& p : pts) EXPECT_TRUE(r.contains(p));
 }
 
 TEST(Geometry, ClusteredPlacementZeroClustersStillWorks) {
-  Region r{1000.0, 1000.0};
+  Region r{Meters{1000.0}, Meters{1000.0}};
   Rng rng(13);
-  const auto pts = clustered_placement(r, 10, 0, 50.0, rng);
+  const auto pts = clustered_placement(r, 10, 0, Meters{50.0}, rng);
   EXPECT_EQ(pts.size(), 10u);
 }
 

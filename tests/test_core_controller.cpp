@@ -6,7 +6,7 @@ namespace alphawan {
 namespace {
 
 struct ControllerFixture {
-  Deployment deployment{Region{1000.0, 1000.0}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{1000.0}, Meters{1000.0}}, spectrum_1m6()};
   Network* network = nullptr;
   LatencyModel latency{LatencyModelConfig{}, 9};
   Rng rng{33};
@@ -32,12 +32,12 @@ TEST(Controller, UpgradeWithoutSharing) {
   const auto links = oracle_link_estimates(f.deployment, *f.network);
   const auto report = controller.upgrade(*f.network, f.deployment.spectrum(),
                                          links, uniform_traffic(*f.network));
-  EXPECT_GT(report.cp_solve, 0.0);
-  EXPECT_DOUBLE_EQ(report.master_communication, 0.0);
-  EXPECT_DOUBLE_EQ(report.frequency_offset, 0.0);
+  EXPECT_GT(report.cp_solve, Seconds{0.0});
+  EXPECT_DOUBLE_EQ(report.master_communication.value(), 0.0);
+  EXPECT_DOUBLE_EQ(report.frequency_offset.value(), 0.0);
   EXPECT_GT(report.delta.gateways_changed, 0u);
   // Total upgrade latency stays under the paper's ~10 s bound.
-  EXPECT_LT(report.total(), 10.0);
+  EXPECT_LT(report.total(), Seconds{10.0});
 }
 
 TEST(Controller, SharingRequiresMaster) {
@@ -60,14 +60,14 @@ TEST(Controller, SharingUsesMasterOffset) {
   const auto report =
       controller.upgrade(*f.network, f.deployment.spectrum(), links,
                          uniform_traffic(*f.network), &master);
-  EXPECT_GT(report.master_communication, 0.15);  // two round trips
-  EXPECT_GT(report.frequency_offset, 0.0);      // slot 1 is misaligned
+  EXPECT_GT(report.master_communication, Seconds{0.15});  // two round trips
+  EXPECT_GT(report.frequency_offset, Hz{0.0});      // slot 1 is misaligned
   EXPECT_NEAR(report.overlap_ratio, 0.4, 1e-9);
   // The applied gateway channels actually sit off-grid.
   const Spectrum& s = f.deployment.spectrum();
   const auto& ch = f.network->gateways()[0].channels()[0];
   const int idx = s.nearest_grid_index(ch.center);
-  EXPECT_GT(std::abs(ch.center - s.grid_center(idx)), 10e3);
+  EXPECT_GT(abs(ch.center - s.grid_center(idx)), Hz{10e3});
 }
 
 TEST(Controller, RebootOnlyWhenGatewaysChange) {
@@ -77,12 +77,12 @@ TEST(Controller, RebootOnlyWhenGatewaysChange) {
   const auto traffic = uniform_traffic(*f.network);
   const auto first =
       controller.upgrade(*f.network, f.deployment.spectrum(), links, traffic);
-  EXPECT_GT(first.gateway_reboot, 0.0);
+  EXPECT_GT(first.gateway_reboot, Seconds{0.0});
   // Re-running with identical inputs converges: nothing to change.
   const auto second =
       controller.upgrade(*f.network, f.deployment.spectrum(), links, traffic);
   EXPECT_EQ(second.delta.gateways_changed, 0u);
-  EXPECT_DOUBLE_EQ(second.gateway_reboot, 0.0);
+  EXPECT_DOUBLE_EQ(second.gateway_reboot.value(), 0.0);
 }
 
 TEST(Controller, RebootDominatesLatency) {
@@ -93,7 +93,7 @@ TEST(Controller, RebootDominatesLatency) {
   const auto report = controller.upgrade(*f.network, f.deployment.spectrum(),
                                          links, uniform_traffic(*f.network));
   EXPECT_GT(report.gateway_reboot, report.config_distribution);
-  EXPECT_GT(report.gateway_reboot, 3.0);
+  EXPECT_GT(report.gateway_reboot, Seconds{3.0});
 }
 
 }  // namespace

@@ -10,7 +10,7 @@ namespace {
 // Instance: 2 gateways (4 decoders each), 8 channels, 6 nodes.
 CpInstance small_instance() {
   CpInstance inst;
-  inst.spectrum = Spectrum{923.2e6, 1.6e6};
+  inst.spectrum = Spectrum{Hz{923.2e6}, Hz{1.6e6}};
   inst.num_channels = 8;
   inst.gateways = {{1, 4, 8, 8}, {2, 4, 8, 8}};
   for (int i = 0; i < 6; ++i) {

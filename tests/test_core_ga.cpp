@@ -10,7 +10,7 @@ namespace {
 CpInstance make_instance(std::size_t num_gw, std::size_t num_nodes,
                          int decoders = 16, int num_channels = 8) {
   CpInstance inst;
-  inst.spectrum = Spectrum{923.2e6, num_channels * kChannelSpacing};
+  inst.spectrum = Spectrum{Hz{923.2e6}, num_channels * kChannelSpacing};
   inst.num_channels = num_channels;
   for (std::size_t j = 0; j < num_gw; ++j) {
     inst.gateways.push_back(
@@ -134,7 +134,7 @@ TEST_P(GaRandomInstances, FeasibleAndSelfConsistent) {
   Rng rng(GetParam());
   CpInstance inst;
   const int num_channels = static_cast<int>(rng.uniform_int(4, 32));
-  inst.spectrum = Spectrum{916.8e6, num_channels * kChannelSpacing};
+  inst.spectrum = Spectrum{Hz{916.8e6}, num_channels * kChannelSpacing};
   inst.num_channels = num_channels;
   const int num_gw = static_cast<int>(rng.uniform_int(1, 8));
   for (int j = 0; j < num_gw; ++j) {

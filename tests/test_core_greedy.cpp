@@ -11,7 +11,7 @@ namespace {
 // Fig. 12a setting (ample decoders for the oracle capacity).
 CpInstance fig12_instance(std::size_t num_gw = 15, std::size_t num_nodes = 144) {
   CpInstance inst;
-  inst.spectrum = Spectrum{916.8e6, 4.8e6};
+  inst.spectrum = Spectrum{Hz{916.8e6}, Hz{4.8e6}};
   inst.num_channels = 24;
   for (std::size_t j = 0; j < num_gw; ++j) {
     inst.gateways.push_back(

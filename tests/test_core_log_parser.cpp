@@ -6,7 +6,7 @@ namespace alphawan {
 namespace {
 
 UplinkRecord record(PacketId packet, NodeId node, GatewayId gw, Db snr,
-                    Seconds t = 0.0) {
+                    Seconds t = Seconds{0.0}) {
   UplinkRecord r;
   r.packet = packet;
   r.node = node;
@@ -18,14 +18,14 @@ UplinkRecord record(PacketId packet, NodeId node, GatewayId gw, Db snr,
 
 TEST(LogParser, BestSnrPerGateway) {
   const std::vector<UplinkRecord> log = {
-      record(1, 10, 1, -5.0),
-      record(2, 10, 1, -2.0),
-      record(2, 10, 2, -9.0),
+      record(1, 10, 1, Db{-5.0}),
+      record(2, 10, 1, Db{-2.0}),
+      record(2, 10, 2, Db{-9.0}),
   };
   const auto links = parse_links(log);
   const auto& node = links.nodes.at(10);
-  EXPECT_DOUBLE_EQ(node.gateway_snr.at(1), -2.0);
-  EXPECT_DOUBLE_EQ(node.gateway_snr.at(2), -9.0);
+  EXPECT_DOUBLE_EQ(node.gateway_snr.at(1).value(), -2.0);
+  EXPECT_DOUBLE_EQ(node.gateway_snr.at(2).value(), -9.0);
   EXPECT_EQ(node.packets, 2u);  // packet 2 heard twice counts once
 }
 
@@ -34,24 +34,24 @@ TEST(LogParser, EmptyLog) {
 }
 
 TEST(LogParser, TxPowerAnnotation) {
-  const std::vector<UplinkRecord> log = {record(1, 10, 1, -5.0)};
-  const auto links = parse_links(log, {{10, 8.0}});
-  EXPECT_DOUBLE_EQ(links.nodes.at(10).observed_tx_power, 8.0);
+  const std::vector<UplinkRecord> log = {record(1, 10, 1, Db{-5.0})};
+  const auto links = parse_links(log, {{10, Dbm{8.0}}});
+  EXPECT_DOUBLE_EQ(links.nodes.at(10).observed_tx_power.value(), 8.0);
   // Missing entries default to 14 dBm.
   const auto defaults = parse_links(log);
-  EXPECT_DOUBLE_EQ(defaults.nodes.at(10).observed_tx_power, 14.0);
+  EXPECT_DOUBLE_EQ(defaults.nodes.at(10).observed_tx_power.value(), 14.0);
 }
 
 TEST(LogParser, PerWindowCountsBucketsByTime) {
   const std::vector<UplinkRecord> log = {
-      record(1, 10, 1, 0.0, 5.0),    // window 0
-      record(2, 10, 1, 0.0, 15.0),   // window 1
-      record(3, 10, 1, 0.0, 16.0),   // window 1
-      record(4, 11, 1, 0.0, 25.0),   // window 2
-      record(4, 11, 2, 0.0, 25.0),   // duplicate of packet 4
-      record(5, 11, 1, 0.0, 99.0),   // beyond horizon: ignored
+      record(1, 10, 1, Db{0.0}, Seconds{5.0}),    // window 0
+      record(2, 10, 1, Db{0.0}, Seconds{15.0}),   // window 1
+      record(3, 10, 1, Db{0.0}, Seconds{16.0}),   // window 1
+      record(4, 11, 1, Db{0.0}, Seconds{25.0}),   // window 2
+      record(4, 11, 2, Db{0.0}, Seconds{25.0}),   // duplicate of packet 4
+      record(5, 11, 1, Db{0.0}, Seconds{99.0}),   // beyond horizon: ignored
   };
-  const auto series = per_window_counts(log, 10.0, 3);
+  const auto series = per_window_counts(log, Seconds{10.0}, 3);
   EXPECT_EQ(series.at(10), (std::vector<std::size_t>{1, 2, 0}));
   EXPECT_EQ(series.at(11), (std::vector<std::size_t>{0, 0, 1}));
 }

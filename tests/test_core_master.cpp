@@ -9,7 +9,7 @@ namespace {
 
 MasterConfig config_for(int networks, double overlap = 0.4) {
   MasterConfig cfg;
-  cfg.spectrum = Spectrum{923.2e6, 1.6e6};
+  cfg.spectrum = Spectrum{Hz{923.2e6}, Hz{1.6e6}};
   cfg.desired_overlap = overlap;
   cfg.expected_networks = networks;
   return cfg;
@@ -21,8 +21,8 @@ TEST(Master, RegistrationAssignsStableSlots) {
   (void)master.handle_register({2, "b"});
   (void)master.handle_register({1, "a-again"});
   EXPECT_EQ(master.registered_operators(), 2u);
-  EXPECT_DOUBLE_EQ(*master.offset_of(1), 0.0);
-  EXPECT_GT(*master.offset_of(2), 0.0);
+  EXPECT_DOUBLE_EQ(master.offset_of(1)->value(), 0.0);
+  EXPECT_GT(master.offset_of(2)->value(), 0.0);
 }
 
 TEST(Master, UnregisteredOperatorHasNoOffset) {
@@ -32,14 +32,14 @@ TEST(Master, UnregisteredOperatorHasNoOffset) {
 
 TEST(Master, PlanRequestBeforeRegisterIsError) {
   MasterNode master(config_for(2));
-  const auto reply = master.handle_plan_request({5, 923.2e6, 1.6e6, 8});
+  const auto reply = master.handle_plan_request({5, Hz{923.2e6}, Hz{1.6e6}, 8});
   EXPECT_NE(std::get_if<ErrorMsg>(&reply), nullptr);
 }
 
 TEST(Master, DesiredOverlapSetsOffsetStep) {
   MasterNode master(config_for(2, /*overlap=*/0.4));
   // delta = (1 - 0.4) * 125 kHz = 75 kHz.
-  EXPECT_NEAR(master.plan_offset_step(), 75e3, 1.0);
+  EXPECT_NEAR(master.plan_offset_step().value(), 75e3, 1.0);
   EXPECT_NEAR(master.effective_overlap(), 0.4, 1e-9);
 }
 
@@ -47,7 +47,8 @@ TEST(Master, CompressesStepWhenManyNetworks) {
   // 6 networks cannot fit at 40% overlap (capacity = 200/75 = 2 plans);
   // the Master compresses to spacing/6 and reports the higher overlap.
   MasterNode master(config_for(6, 0.4));
-  EXPECT_NEAR(master.plan_offset_step(), kChannelSpacing / 6.0, 1.0);
+  EXPECT_NEAR(master.plan_offset_step().value(), kChannelSpacing.value() / 6.0,
+              1.0);
   EXPECT_GT(master.effective_overlap(), 0.4);
   EXPECT_LT(master.effective_overlap(), 0.95);
 }
@@ -56,8 +57,8 @@ TEST(Master, AssignedPlansAreMisaligned) {
   MasterNode master(config_for(2, 0.4));
   (void)master.handle_register({1, "a"});
   (void)master.handle_register({2, "b"});
-  const auto r1 = master.handle_plan_request({1, 923.2e6, 1.6e6, 8});
-  const auto r2 = master.handle_plan_request({2, 923.2e6, 1.6e6, 8});
+  const auto r1 = master.handle_plan_request({1, Hz{923.2e6}, Hz{1.6e6}, 8});
+  const auto r2 = master.handle_plan_request({2, Hz{923.2e6}, Hz{1.6e6}, 8});
   const auto* p1 = std::get_if<PlanAssignMsg>(&r1);
   const auto* p2 = std::get_if<PlanAssignMsg>(&r2);
   ASSERT_NE(p1, nullptr);
@@ -83,7 +84,7 @@ TEST(Master, ChannelsStayInsideSpectrum) {
     (void)master.handle_register({op, "op"});
   }
   for (NetworkId op = 1; op <= 4; ++op) {
-    const auto reply = master.handle_plan_request({op, 923.2e6, 1.6e6, 8});
+    const auto reply = master.handle_plan_request({op, Hz{923.2e6}, Hz{1.6e6}, 8});
     const auto* assign = std::get_if<PlanAssignMsg>(&reply);
     ASSERT_NE(assign, nullptr);
     for (const auto& ch : assign->channels) {
@@ -94,20 +95,21 @@ TEST(Master, ChannelsStayInsideSpectrum) {
 
 TEST(Master, BaseOffsetShiftsAllPlans) {
   MasterConfig cfg = config_for(2, 0.4);
-  cfg.base_offset = 37.5e3;
+  cfg.base_offset = Hz{37.5e3};
   MasterNode master(cfg);
   (void)master.handle_register({1, "a"});
   (void)master.handle_register({2, "b"});
-  EXPECT_DOUBLE_EQ(*master.offset_of(1), 37.5e3);
-  EXPECT_DOUBLE_EQ(*master.offset_of(2), 37.5e3 + master.plan_offset_step());
+  EXPECT_DOUBLE_EQ(master.offset_of(1)->value(), 37.5e3);
+  EXPECT_DOUBLE_EQ(master.offset_of(2)->value(),
+                   37.5e3 + master.plan_offset_step().value());
   // Assigned channels sit off the standard grid by at least base_offset.
-  const auto reply = master.handle_plan_request({1, 923.2e6, 1.6e6, 8});
+  const auto reply = master.handle_plan_request({1, Hz{923.2e6}, Hz{1.6e6}, 8});
   const auto* assign = std::get_if<PlanAssignMsg>(&reply);
   ASSERT_NE(assign, nullptr);
-  const Spectrum spec{923.2e6, 1.6e6};
+  const Spectrum spec{Hz{923.2e6}, Hz{1.6e6}};
   for (const auto& ch : assign->channels) {
     const int idx = spec.nearest_grid_index(ch.center);
-    EXPECT_GT(std::abs(ch.center - spec.grid_center(idx)), 30e3);
+    EXPECT_GT(abs(ch.center - spec.grid_center(idx)), Hz{30e3});
   }
 }
 
@@ -130,12 +132,12 @@ TEST(MasterServiceTest, RoundTripOverBus) {
   ASSERT_TRUE(reply.has_value());
   EXPECT_NE(std::get_if<RegisterAckMsg>(&*reply), nullptr);
   // The exchange took two WAN legs (Fig. 17 component).
-  EXPECT_GT(engine.now(), 0.05);
-  EXPECT_LT(engine.now(), 0.3);
+  EXPECT_GT(engine.now(), Seconds{0.05});
+  EXPECT_LT(engine.now(), Seconds{0.3});
 
   reply.reset();
   bus.send("operator-1", MasterService::endpoint(),
-           encode_message(PlanRequestMsg{1, 923.2e6, 1.6e6, 8}), true);
+           encode_message(PlanRequestMsg{1, Hz{923.2e6}, Hz{1.6e6}, 8}), true);
   engine.run();
   ASSERT_TRUE(reply.has_value());
   EXPECT_NE(std::get_if<PlanAssignMsg>(&*reply), nullptr);

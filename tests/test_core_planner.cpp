@@ -9,7 +9,7 @@ namespace alphawan {
 namespace {
 
 struct PlannerFixture {
-  Deployment deployment{Region{1200.0, 1000.0}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{1200.0}, Meters{1000.0}}, spectrum_1m6()};
   Network* network = nullptr;
   Rng rng{21};
 
@@ -51,13 +51,13 @@ TEST(IntraPlanner, MinLevelsMonotoneWithSnr) {
   // Hand-build links: strong node and weak node.
   NodeRadioConfig cfg;
   cfg.channel = f.deployment.spectrum().grid_channel(0);
-  f.network->add_node(501, {10, 10}, cfg);
-  f.network->add_node(502, {20, 20}, cfg);
+  f.network->add_node(501, Point{Meters{10}, Meters{10}}, cfg);
+  f.network->add_node(502, Point{Meters{20}, Meters{20}}, cfg);
   LinkEstimates links;
-  links.nodes[501].gateway_snr[f.network->gateways()[0].id()] = 10.0;
-  links.nodes[501].observed_tx_power = 14.0;
-  links.nodes[502].gateway_snr[f.network->gateways()[0].id()] = -14.0;
-  links.nodes[502].observed_tx_power = 14.0;
+  links.nodes[501].gateway_snr[f.network->gateways()[0].id()] = Db{10.0};
+  links.nodes[501].observed_tx_power = Dbm{14.0};
+  links.nodes[502].gateway_snr[f.network->gateways()[0].id()] = Db{-14.0};
+  links.nodes[502].observed_tx_power = Dbm{14.0};
   const auto inst = planner.build_instance(
       *f.network, f.deployment.spectrum(), links, {});
   ASSERT_EQ(inst.nodes.size(), 2u);
@@ -80,7 +80,7 @@ TEST(IntraPlanner, PlanAppliesCleanly) {
   const auto links = oracle_link_estimates(f.deployment, *f.network);
   const auto outcome = planner.plan(*f.network, f.deployment.spectrum(),
                                     links, uniform_traffic(*f.network));
-  EXPECT_GT(outcome.solve_seconds, 0.0);
+  EXPECT_GT(outcome.solve_seconds, Seconds{0.0});
   EXPECT_NO_THROW(f.network->apply_config(outcome.config));
   // Every gateway got a valid hardware config.
   for (const auto& gw : f.network->gateways()) {
@@ -94,7 +94,7 @@ TEST(IntraPlanner, FrequencyOffsetShiftsEverything) {
   PlannerFixture f(2, 6);
   IntraPlanner planner(fast_planner());
   const auto links = oracle_link_estimates(f.deployment, *f.network);
-  const Hz offset = 75e3;
+  const Hz offset{75e3};
   const auto outcome =
       planner.plan(*f.network, f.deployment.spectrum(), links,
                    uniform_traffic(*f.network), offset);
@@ -102,12 +102,13 @@ TEST(IntraPlanner, FrequencyOffsetShiftsEverything) {
   for (const auto& [gw, cfg] : outcome.config.gateways) {
     for (const auto& ch : cfg.channels) {
       const int idx = s.nearest_grid_index(ch.center - offset);
-      EXPECT_NEAR(ch.center, s.grid_center(idx) + offset, 1.0);
+      EXPECT_NEAR(ch.center.value(), (s.grid_center(idx) + offset).value(), 1.0);
     }
   }
   for (const auto& [node, cfg] : outcome.config.nodes) {
     const int idx = s.nearest_grid_index(cfg.channel.center - offset);
-    EXPECT_NEAR(cfg.channel.center, s.grid_center(idx) + offset, 1.0);
+    EXPECT_NEAR(cfg.channel.center.value(), (s.grid_center(idx) + offset).value(),
+                1.0);
   }
 }
 
@@ -152,7 +153,7 @@ TEST(IntraPlanner, PlannedNetworkBeatsStandardCapacity) {
   for (auto& n : f.network->nodes()) nodes.push_back(&n);
   PacketIdSource ids;
   ScenarioRunner runner(f.deployment);
-  const auto txs = staggered_by_lock_on(nodes, 0.0, 0.0004, ids);
+  const auto txs = staggered_by_lock_on(nodes, Seconds{0.0}, Seconds{0.0004}, ids);
   const auto result = runner.run_window(txs);
   EXPECT_GE(result.total_delivered(), 28u);  // well above the standard 16
 }

@@ -21,8 +21,8 @@ ChannelModelConfig quiet_channel() {
   // node placements, clear margins); heavy shadowing would conflate
   // decoder contention with RF capture losses.
   ChannelModelConfig cfg;
-  cfg.shadowing_sigma_db = 0.3;
-  cfg.fast_fading_sigma_db = 0.1;
+  cfg.shadowing_sigma_db = Db{0.3};
+  cfg.fast_fading_sigma_db = Db{0.1};
   return cfg;
 }
 
@@ -43,12 +43,12 @@ std::vector<EndNode*> add_orthogonal_users(Deployment& deployment,
     NodeRadioConfig cfg;
     cfg.channel = channels[i % channels.size()];
     cfg.dr = static_cast<DataRate>((i / channels.size()) % kNumDataRates);
-    cfg.tx_power = 14.0;
+    cfg.tx_power = Dbm{14.0};
     const double angle = 2.0 * std::numbers::pi *
                          (static_cast<double>(k) + rng.uniform(0.0, 0.5)) /
                          static_cast<double>(count);
-    const Point pos{center.x + radius * std::cos(angle),
-                    center.y + radius * std::sin(angle)};
+    const Point pos{Meters{center.x.value() + radius * std::cos(angle)},
+                    Meters{center.y.value() + radius * std::sin(angle)}};
     nodes.push_back(
         &network.add_node(deployment.next_node_id(), pos, cfg));
   }
@@ -64,8 +64,8 @@ void place_clustered_gateways(Deployment& deployment, Network& network,
   const Point center = deployment.region().center();
   const auto plan0 = standard_plan(deployment.spectrum(), 0);
   for (int i = 0; i < count; ++i) {
-    const Point pos{center.x + 15.0 * i - 7.5 * (count - 1),
-                    center.y + 10.0 * (i % 2)};
+    const Point pos{Meters{center.x.value() + 15.0 * i - 7.5 * (count - 1)},
+                    Meters{center.y.value() + 10.0 * (i % 2)}};
     auto& gw = network.add_gateway(deployment.next_gateway_id(), pos,
                                    default_profile());
     gw.apply_channels(GatewayChannelConfig{plan0.channels});
@@ -77,25 +77,25 @@ std::size_t run_concurrent(Deployment& deployment,
                            PacketIdSource& ids, NetworkId network_id,
                            std::uint64_t seed = 7) {
   ScenarioRunner runner(deployment, seed);
-  const auto txs = staggered_by_lock_on(std::move(nodes), at, 0.0004, ids);
+  const auto txs = staggered_by_lock_on(std::move(nodes), at, Seconds{0.0004}, ids);
   const auto result = runner.run_window(txs);
   const auto it = result.delivered.find(network_id);
   return it == result.delivered.end() ? 0 : it->second;
 }
 
 TEST(EndToEnd, SixteenUserCeilingSingleGateway) {
-  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
   auto& network = deployment.add_network("ttn");
   Rng rng(1);
   deployment.place_gateways(network, 1, default_profile(), rng);
   auto nodes = add_orthogonal_users(deployment, network, 48, rng);
   PacketIdSource ids;
-  EXPECT_EQ(run_concurrent(deployment, nodes, 0.0, ids, network.id()), 16u);
+  EXPECT_EQ(run_concurrent(deployment, nodes, Seconds{0.0}, ids, network.id()), 16u);
 }
 
 TEST(EndToEnd, ExtraHomogeneousGatewaysDoNotHelp) {
   // Fig. 2a: 3 gateways on the same standard plan still deliver 16.
-  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
   auto& network = deployment.add_network("ttn");
   Rng rng(2);
   deployment.place_gateways(network, 3, default_profile(), rng);
@@ -103,13 +103,13 @@ TEST(EndToEnd, ExtraHomogeneousGatewaysDoNotHelp) {
   auto nodes = add_orthogonal_users(deployment, network, 48, rng);
   PacketIdSource ids;
   const auto delivered =
-      run_concurrent(deployment, nodes, 0.0, ids, network.id());
+      run_concurrent(deployment, nodes, Seconds{0.0}, ids, network.id());
   EXPECT_EQ(delivered, 16u);
 }
 
 TEST(EndToEnd, CoexistingNetworksShareTheSixteen) {
   // Fig. 2b: two networks on the same spectrum; total received ~ 16.
-  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
   auto& ttn = deployment.add_network("ttn");
   auto& local = deployment.add_network("local");
   Rng rng(3);
@@ -128,7 +128,7 @@ TEST(EndToEnd, CoexistingNetworksShareTheSixteen) {
   }
   PacketIdSource ids;
   ScenarioRunner runner(deployment, 7);
-  const auto txs = staggered_by_lock_on(all, 0.0, 0.0004, ids);
+  const auto txs = staggered_by_lock_on(all, Seconds{0.0}, Seconds{0.0004}, ids);
   const auto result = runner.run_window(txs);
   const std::size_t total = result.total_delivered();
   EXPECT_EQ(total, 16u);
@@ -140,7 +140,7 @@ TEST(EndToEnd, CoexistingNetworksShareTheSixteen) {
 TEST(EndToEnd, AlphaWanTriplesCapacityWithFiveGateways) {
   // Fig. 5a / Sec. 1: same spectrum and users, AlphaWAN-planned gateways
   // reach the 48-user oracle (3x standard LoRaWAN's 16).
-  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
   auto& network = deployment.add_network("alpha");
   Rng rng(4);
   place_clustered_gateways(deployment, network, 5);
@@ -158,7 +158,7 @@ TEST(EndToEnd, AlphaWanTriplesCapacityWithFiveGateways) {
 
   PacketIdSource ids;
   const auto delivered =
-      run_concurrent(deployment, nodes, 0.0, ids, network.id());
+      run_concurrent(deployment, nodes, Seconds{0.0}, ids, network.id());
   EXPECT_GE(delivered, 44u);  // near-oracle (paper reaches the bound)
 }
 
@@ -166,7 +166,7 @@ TEST(EndToEnd, SpectrumSharingIsolatesTwoNetworks) {
   // Two coexisting 24-user networks, each with 3 gateways: with Master
   // coordination both should comfortably beat the 16-packet shared
   // ceiling of the standard setup.
-  Deployment deployment{Region{600, 600}, spectrum_1m6(), quiet_channel()};
+  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum_1m6(), quiet_channel()};
   auto& op1 = deployment.add_network("op1");
   auto& op2 = deployment.add_network("op2");
   Rng rng(5);
@@ -195,7 +195,7 @@ TEST(EndToEnd, SpectrumSharingIsolatesTwoNetworks) {
   }
   PacketIdSource ids;
   ScenarioRunner runner(deployment, 8);
-  const auto txs = staggered_by_lock_on(all, 0.0, 0.0004, ids);
+  const auto txs = staggered_by_lock_on(all, Seconds{0.0}, Seconds{0.0004}, ids);
   const auto result = runner.run_window(txs);
   EXPECT_GT(result.delivered.at(op1.id()), 18u);
   EXPECT_GT(result.delivered.at(op2.id()), 18u);
@@ -206,7 +206,7 @@ TEST(EndToEnd, MeasurementDrivenPlanningPipeline) {
   // The full log-driven path: run light traffic, parse server logs,
   // estimate traffic, plan, and verify the plan applies. This exercises
   // log_parser + traffic_estimator + planner together (no oracle data).
-  Deployment deployment{Region{800, 800}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{800}, Meters{800}}, spectrum_1m6()};
   auto& network = deployment.add_network("op");
   Rng rng(6);
   deployment.place_gateways(network, 3, default_profile(), rng);
@@ -219,8 +219,8 @@ TEST(EndToEnd, MeasurementDrivenPlanningPipeline) {
   for (auto& n : network.nodes()) nodes.push_back(&n);
   for (int w = 0; w < 5; ++w) {
     Rng traffic_rng(100 + static_cast<std::uint64_t>(w));
-    auto txs = poisson_traffic(nodes, 60.0, 0.01, traffic_rng, ids, 1.0);
-    for (auto& tx : txs) tx.start += w * 60.0;
+    auto txs = poisson_traffic(nodes, Seconds{60.0}, 0.01, traffic_rng, ids, 1.0);
+    for (auto& tx : txs) tx.start += Seconds{w * 60.0};
     (void)runner.run_window(txs);
   }
 
@@ -228,7 +228,7 @@ TEST(EndToEnd, MeasurementDrivenPlanningPipeline) {
   ASSERT_FALSE(log.empty());
   const auto links = parse_links(log);
   EXPECT_FALSE(links.empty());
-  const auto series = per_window_counts(log, 60.0, 5);
+  const auto series = per_window_counts(log, Seconds{60.0}, 5);
   TrafficEstimator estimator;
   const auto demand = estimator.estimate(series);
   EXPECT_FALSE(demand.empty());

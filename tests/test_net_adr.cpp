@@ -7,9 +7,9 @@ namespace {
 
 NodeRadioConfig base_config() {
   NodeRadioConfig cfg;
-  cfg.channel = Channel{915e6, 125e3};
+  cfg.channel = Channel{Hz{915e6}, Hz{125e3}};
   cfg.dr = DataRate::kDR0;
-  cfg.tx_power = 14.0;
+  cfg.tx_power = Dbm{14.0};
   return cfg;
 }
 
@@ -28,45 +28,45 @@ TEST(Adr, NoUplinksNoDecision) {
 TEST(Adr, StrongLinkClimbsToDr5AndCutsPower) {
   // SNR 15 dB vs SF12 threshold -20 and margin 8: huge headroom -> DR5 and
   // reduced power (the Fig. 6d/6e skew).
-  const auto next = standard_adr(base_config(), profile_with_snr(15.0));
+  const auto next = standard_adr(base_config(), profile_with_snr(Db{15.0}));
   ASSERT_TRUE(next.has_value());
   EXPECT_EQ(next->dr, DataRate::kDR5);
-  EXPECT_LT(next->tx_power, 14.0);
+  EXPECT_LT(next->tx_power, Dbm{14.0});
 }
 
 TEST(Adr, ModerateLinkPartialClimb) {
   // SNR -10: margin over SF12 = -10 -(-20) - 8 = 2 dB -> 0 steps at 3 dB.
-  const auto none = standard_adr(base_config(), profile_with_snr(-10.0));
+  const auto none = standard_adr(base_config(), profile_with_snr(Db{-10.0}));
   ASSERT_TRUE(none.has_value());
   EXPECT_EQ(none->dr, DataRate::kDR0);
   // SNR -3: margin = 9 -> 3 steps -> DR3.
-  const auto some = standard_adr(base_config(), profile_with_snr(-3.0));
+  const auto some = standard_adr(base_config(), profile_with_snr(Db{-3.0}));
   ASSERT_TRUE(some.has_value());
   EXPECT_EQ(some->dr, DataRate::kDR3);
-  EXPECT_DOUBLE_EQ(some->tx_power, 14.0);
+  EXPECT_DOUBLE_EQ(some->tx_power.value(), 14.0);
 }
 
 TEST(Adr, PowerFloorRespected) {
-  const auto next = standard_adr(base_config(), profile_with_snr(60.0));
+  const auto next = standard_adr(base_config(), profile_with_snr(Db{60.0}));
   ASSERT_TRUE(next.has_value());
-  EXPECT_GE(next->tx_power, 2.0);
+  EXPECT_GE(next->tx_power, Dbm{2.0});
   EXPECT_EQ(next->dr, DataRate::kDR5);
 }
 
 TEST(Adr, NegativeMarginBacksOff) {
   NodeRadioConfig cfg = base_config();
   cfg.dr = DataRate::kDR5;  // SF7 threshold -7.5
-  cfg.tx_power = 8.0;
+  cfg.tx_power = Dbm{8.0};
   // SNR -6: margin = -6 + 7.5 - 8 = -6.5 -> -3 steps: raise power to 14
   // (2 steps), then drop DR by 1.
-  const auto next = standard_adr(cfg, profile_with_snr(-6.0));
+  const auto next = standard_adr(cfg, profile_with_snr(Db{-6.0}));
   ASSERT_TRUE(next.has_value());
-  EXPECT_DOUBLE_EQ(next->tx_power, 14.0);
+  EXPECT_DOUBLE_EQ(next->tx_power.value(), 14.0);
   EXPECT_EQ(next->dr, DataRate::kDR4);
 }
 
 TEST(Adr, KeepsChannel) {
-  const auto next = standard_adr(base_config(), profile_with_snr(15.0));
+  const auto next = standard_adr(base_config(), profile_with_snr(Db{15.0}));
   ASSERT_TRUE(next.has_value());
   EXPECT_EQ(next->channel, base_config().channel);
 }
@@ -74,8 +74,8 @@ TEST(Adr, KeepsChannel) {
 TEST(Adr, UsesBestGatewaySnr) {
   LinkProfile p;
   p.uplinks = 3;
-  p.gateway_snr[1] = -15.0;
-  p.gateway_snr[2] = 10.0;  // the strong one dominates
+  p.gateway_snr[1] = Db{-15.0};
+  p.gateway_snr[2] = Db{10.0};  // the strong one dominates
   const auto next = standard_adr(base_config(), p);
   ASSERT_TRUE(next.has_value());
   EXPECT_EQ(next->dr, DataRate::kDR5);
@@ -88,7 +88,7 @@ TEST(Adr, AllNodesBatch) {
   rec.packet = 1;
   rec.node = 10;
   rec.gateway = 1;
-  rec.snr = 20.0;
+  rec.snr = Db{20.0};
   records.push_back(rec);
   server.ingest(records);
 

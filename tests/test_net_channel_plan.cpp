@@ -7,14 +7,14 @@ namespace {
 
 TEST(ChannelPlanConfig, DiffCountsChanges) {
   NetworkChannelConfig current;
-  current.gateways[1] = {{Channel{915e6, 125e3}}};
-  current.nodes[10] = NodeRadioConfig{Channel{915e6, 125e3}, DataRate::kDR3,
-                                      14.0};
+  current.gateways[1] = {{Channel{Hz{915e6}, Hz{125e3}}}};
+  current.nodes[10] = NodeRadioConfig{Channel{Hz{915e6}, Hz{125e3}},
+                                      DataRate::kDR3, Dbm{14.0}};
   NetworkChannelConfig proposed = current;
   EXPECT_EQ(diff_config(current, proposed).gateways_changed, 0u);
   EXPECT_EQ(diff_config(current, proposed).nodes_changed, 0u);
 
-  proposed.gateways[1] = {{Channel{915.2e6, 125e3}}};
+  proposed.gateways[1] = {{Channel{Hz{915.2e6}, Hz{125e3}}}};
   proposed.nodes[10].dr = DataRate::kDR5;
   proposed.nodes[11] = NodeRadioConfig{};  // new node
   const auto delta = diff_config(current, proposed);
@@ -25,7 +25,7 @@ TEST(ChannelPlanConfig, DiffCountsChanges) {
 TEST(ChannelPlanConfig, DiffNewGatewayCounts) {
   NetworkChannelConfig current;
   NetworkChannelConfig proposed;
-  proposed.gateways[5] = {{Channel{915e6, 125e3}}};
+  proposed.gateways[5] = {{Channel{Hz{915e6}, Hz{125e3}}}};
   EXPECT_EQ(diff_config(current, proposed).gateways_changed, 1u);
 }
 
@@ -33,7 +33,7 @@ TEST(ChannelPlanConfig, ValidForProfile) {
   const auto profile = default_profile();  // 8 chains, 1.6 MHz
   GatewayChannelConfig ok;
   for (int i = 0; i < 8; ++i) {
-    ok.channels.push_back(Channel{915e6 + 200e3 * i, 125e3});
+    ok.channels.push_back(Channel{Hz{915e6 + 200e3 * i}, Hz{125e3}});
   }
   EXPECT_TRUE(valid_for_profile(ok, profile));
 
@@ -41,11 +41,11 @@ TEST(ChannelPlanConfig, ValidForProfile) {
   EXPECT_FALSE(valid_for_profile(empty, profile));
 
   GatewayChannelConfig too_many = ok;
-  too_many.channels.push_back(Channel{915e6 + 50e3, 125e3});
+  too_many.channels.push_back(Channel{Hz{915e6 + 50e3}, Hz{125e3}});
   EXPECT_FALSE(valid_for_profile(too_many, profile));
 
   GatewayChannelConfig too_wide;
-  too_wide.channels = {Channel{915e6, 125e3}, Channel{917e6, 125e3}};
+  too_wide.channels = {Channel{Hz{915e6}, Hz{125e3}}, Channel{Hz{917e6}, Hz{125e3}}};
   EXPECT_FALSE(valid_for_profile(too_wide, profile));
 }
 

@@ -25,7 +25,7 @@ TEST(MacCommands, LinkAdrReqRoundTrip) {
 TEST(MacCommands, NewChannelReqRoundTripPreservesMisalignedFrequency) {
   NewChannelReq req;
   req.ch_index = 4;
-  req.frequency = 923.3e6 + 37.5e3;  // an AlphaWAN off-grid channel
+  req.frequency = Hz{923.3e6 + 37.5e3};  // an AlphaWAN off-grid channel
   req.min_dr = 0;
   req.max_dr = 5;
   const auto bytes = encode_downlink_commands({{req}});
@@ -38,7 +38,7 @@ TEST(MacCommands, NewChannelReqRoundTripPreservesMisalignedFrequency) {
 TEST(MacCommands, MultipleCommandsInOneFOpts) {
   NewChannelReq nc;
   nc.ch_index = 1;
-  nc.frequency = 923.5e6;
+  nc.frequency = Hz{923.5e6};
   LinkAdrReq adr;
   adr.data_rate = 3;
   const auto bytes = encode_downlink_commands({{nc, adr, DevStatusReq{}}});
@@ -92,29 +92,29 @@ TEST(MacCommands, DevStatusMarginSignSurvives) {
 }
 
 TEST(MacCommands, TxPowerIndexLadder) {
-  EXPECT_EQ(tx_power_index(20.0), 0);
-  EXPECT_EQ(tx_power_index(14.0), 3);
-  EXPECT_EQ(tx_power_index(8.0), 6);
-  EXPECT_EQ(tx_power_index(2.0), 7);  // clamped to the deepest step
-  EXPECT_DOUBLE_EQ(tx_power_from_index(0), 20.0);
-  EXPECT_DOUBLE_EQ(tx_power_from_index(3), 14.0);
-  EXPECT_DOUBLE_EQ(tx_power_from_index(9), 6.0);  // out-of-range clamps
+  EXPECT_EQ(tx_power_index(Dbm{20.0}), 0);
+  EXPECT_EQ(tx_power_index(Dbm{14.0}), 3);
+  EXPECT_EQ(tx_power_index(Dbm{8.0}), 6);
+  EXPECT_EQ(tx_power_index(Dbm{2.0}), 7);  // clamped to the deepest step
+  EXPECT_DOUBLE_EQ(tx_power_from_index(0).value(), 20.0);
+  EXPECT_DOUBLE_EQ(tx_power_from_index(3).value(), 14.0);
+  EXPECT_DOUBLE_EQ(tx_power_from_index(9).value(), 6.0);  // out-of-range clamps
 }
 
 TEST(MacCommands, ConfigChangeEmitsChannelThenAdr) {
   NodeRadioConfig current;
-  current.channel = Channel{923.3e6, 125e3};
+  current.channel = Channel{Hz{923.3e6}, Hz{125e3}};
   current.dr = DataRate::kDR0;
-  current.tx_power = 14.0;
+  current.tx_power = Dbm{14.0};
   NodeRadioConfig next = current;
-  next.channel = Channel{923.3e6 + 75e3, 125e3};  // misaligned target
+  next.channel = Channel{Hz{923.3e6 + 75e3}, Hz{125e3}};  // misaligned target
   next.dr = DataRate::kDR4;
-  next.tx_power = 8.0;
+  next.tx_power = Dbm{8.0};
   const auto cmds = commands_for_config_change(current, next, 3);
   ASSERT_EQ(cmds.commands.size(), 2u);
   const auto& nc = std::get<NewChannelReq>(cmds.commands[0]);
   EXPECT_EQ(nc.ch_index, 3);
-  EXPECT_NEAR(nc.frequency, next.channel.center, 100.0);
+  EXPECT_NEAR(nc.frequency.value(), next.channel.center.value(), 100.0);
   const auto& adr = std::get<LinkAdrReq>(cmds.commands[1]);
   EXPECT_EQ(adr.data_rate, 4);
   EXPECT_EQ(adr.ch_mask, 1u << 3);

@@ -13,10 +13,10 @@ TEST(NetworkServerTest, IngestDeduplicatesAcrossGateways) {
   a.packet = 1;
   a.node = 5;
   a.gateway = 1;
-  a.snr = -3.0;
+  a.snr = Db{-3.0};
   UplinkRecord b = a;
   b.gateway = 2;
-  b.snr = 2.0;
+  b.snr = Db{2.0};
   server.ingest({a, b});
   EXPECT_EQ(server.delivered_packets(), 1u);
   EXPECT_TRUE(server.was_delivered(1));
@@ -31,14 +31,14 @@ TEST(NetworkServerTest, LinkProfileTracksBestSnr) {
   rec.packet = 1;
   rec.node = 5;
   rec.gateway = 1;
-  rec.snr = -10.0;
+  rec.snr = Db{-10.0};
   server.ingest({rec});
   rec.packet = 2;
-  rec.snr = -4.0;
+  rec.snr = Db{-4.0};
   server.ingest({rec});
   const auto& profile = server.link_profiles().at(5);
-  EXPECT_DOUBLE_EQ(profile.gateway_snr.at(1), -4.0);
-  EXPECT_DOUBLE_EQ(profile.best_snr(), -4.0);
+  EXPECT_DOUBLE_EQ(profile.gateway_snr.at(1).value(), -4.0);
+  EXPECT_DOUBLE_EQ(profile.best_snr().value(), -4.0);
   EXPECT_EQ(profile.uplinks, 2u);
 }
 
@@ -51,8 +51,8 @@ TEST(NetworkTest, SyncWordsDistinctPerNetwork) {
 
 TEST(NetworkTest, AddAndFindDevices) {
   Network net(1, "test");
-  net.add_gateway(10, {0, 0}, default_profile());
-  net.add_node(20, {5, 5}, NodeRadioConfig{});
+  net.add_gateway(10, Point{Meters{0}, Meters{0}}, default_profile());
+  net.add_node(20, Point{Meters{5}, Meters{5}}, NodeRadioConfig{});
   EXPECT_NE(net.find_gateway(10), nullptr);
   EXPECT_EQ(net.find_gateway(11), nullptr);
   EXPECT_NE(net.find_node(20), nullptr);
@@ -62,15 +62,15 @@ TEST(NetworkTest, AddAndFindDevices) {
 TEST(NetworkTest, ApplyConfigRoundTrips) {
   Network net(1, "test");
   const Spectrum s = spectrum_1m6();
-  net.add_gateway(10, {0, 0}, default_profile());
-  net.add_node(20, {5, 5}, NodeRadioConfig{});
+  net.add_gateway(10, Point{Meters{0}, Meters{0}}, default_profile());
+  net.add_node(20, Point{Meters{5}, Meters{5}}, NodeRadioConfig{});
 
   NetworkChannelConfig config;
   config.gateways[10] = GatewayChannelConfig{standard_plan(s, 0).channels};
   NodeRadioConfig node_cfg;
   node_cfg.channel = s.grid_channel(3);
   node_cfg.dr = DataRate::kDR2;
-  node_cfg.tx_power = 8.0;
+  node_cfg.tx_power = Dbm{8.0};
   config.nodes[20] = node_cfg;
   net.apply_config(config);
 
@@ -83,20 +83,20 @@ TEST(NetworkTest, ApplyConfigRoundTrips) {
 TEST(NetworkTest, ApplyConfigIgnoresUnknownIds) {
   Network net(1, "test");
   NetworkChannelConfig config;
-  config.gateways[99] = GatewayChannelConfig{{Channel{915e6, 125e3}}};
+  config.gateways[99] = GatewayChannelConfig{{Channel{Hz{915e6}, Hz{125e3}}}};
   config.nodes[98] = NodeRadioConfig{};
   EXPECT_NO_THROW(net.apply_config(config));
 }
 
 TEST(NetworkTest, GatewayAntennaSwap) {
   Network net(0, "t");
-  auto& gw = net.add_gateway(1, {0, 0}, default_profile());
-  const Db omni = gw.antenna_gain_towards({100, 0});
+  auto& gw = net.add_gateway(1, Point{Meters{0}, Meters{0}}, default_profile());
+  const Db omni = gw.antenna_gain_towards(Point{Meters{100}, Meters{0}});
   gw.set_antenna(std::make_unique<DirectionalAntenna>(), 0.0);
-  const Db steered = gw.antenna_gain_towards({100, 0});
-  const Db behind = gw.antenna_gain_towards({-100, 0});
+  const Db steered = gw.antenna_gain_towards(Point{Meters{100}, Meters{0}});
+  const Db behind = gw.antenna_gain_towards(Point{Meters{-100}, Meters{0}});
   EXPECT_GT(steered, omni);
-  EXPECT_LT(behind, steered - 30.0);
+  EXPECT_LT(behind, steered - Db{30.0});
 }
 
 }  // namespace

@@ -18,8 +18,8 @@ UplinkRecord record(PacketId packet, NodeId node, GatewayId gateway, Db snr) {
 TEST(NetworkServer, DeduplicatesMultiGatewayReceptions) {
   NetworkServer server(3);
   // Packet 10 heard by two gateways; packet 11 by one.
-  server.ingest({record(10, 1, 100, 5.0), record(10, 1, 101, -2.0),
-                 record(11, 1, 100, 1.0)});
+  server.ingest({record(10, 1, 100, Db{5.0}), record(10, 1, 101, Db{-2.0}),
+                 record(11, 1, 100, Db{1.0})});
   EXPECT_EQ(server.delivered_packets(), 2u);
   EXPECT_TRUE(server.was_delivered(10));
   EXPECT_TRUE(server.was_delivered(11));
@@ -30,37 +30,37 @@ TEST(NetworkServer, DeduplicatesMultiGatewayReceptions) {
 
 TEST(NetworkServer, DeduplicatesAcrossWindows) {
   NetworkServer server(3);
-  server.ingest({record(10, 1, 100, 5.0)});
-  server.ingest({record(10, 1, 101, 6.0)});
+  server.ingest({record(10, 1, 100, Db{5.0})});
+  server.ingest({record(10, 1, 101, Db{6.0})});
   EXPECT_EQ(server.delivered_packets(), 1u);
   EXPECT_EQ(server.per_node_delivered().at(1), 1u);
 }
 
 TEST(NetworkServer, LinkProfileTracksBestSnrPerGateway) {
   NetworkServer server(3);
-  server.ingest({record(10, 7, 100, -3.0), record(11, 7, 100, 4.0),
-                 record(12, 7, 101, 1.0)});
+  server.ingest({record(10, 7, 100, Db{-3.0}), record(11, 7, 100, Db{4.0}),
+                 record(12, 7, 101, Db{1.0})});
   const auto& profiles = server.link_profiles();
   ASSERT_TRUE(profiles.contains(7));
   const LinkProfile& profile = profiles.at(7);
   EXPECT_EQ(profile.gateway_count(), 2u);
   EXPECT_EQ(profile.uplinks, 3u);
-  EXPECT_DOUBLE_EQ(profile.gateway_snr.at(100), 4.0);  // best of -3 and 4
-  EXPECT_DOUBLE_EQ(profile.gateway_snr.at(101), 1.0);
-  EXPECT_DOUBLE_EQ(profile.best_snr(), 4.0);
+  EXPECT_DOUBLE_EQ(profile.gateway_snr.at(100).value(), 4.0);  // best of -3 and 4
+  EXPECT_DOUBLE_EQ(profile.gateway_snr.at(101).value(), 1.0);
+  EXPECT_DOUBLE_EQ(profile.best_snr().value(), 4.0);
 }
 
 TEST(NetworkServer, PerNodeDeliveredCountsUniquePackets) {
   NetworkServer server(3);
-  server.ingest({record(10, 1, 100, 0.0), record(10, 1, 101, 0.0),
-                 record(11, 2, 100, 0.0), record(12, 2, 100, 0.0)});
+  server.ingest({record(10, 1, 100, Db{0.0}), record(10, 1, 101, Db{0.0}),
+                 record(11, 2, 100, Db{0.0}), record(12, 2, 100, Db{0.0})});
   EXPECT_EQ(server.per_node_delivered().at(1), 1u);
   EXPECT_EQ(server.per_node_delivered().at(2), 2u);
 }
 
 TEST(NetworkServer, ClearResetsAllState) {
   NetworkServer server(3);
-  server.ingest({record(10, 1, 100, 0.0)});
+  server.ingest({record(10, 1, 100, Db{0.0})});
   server.clear();
   EXPECT_EQ(server.delivered_packets(), 0u);
   EXPECT_TRUE(server.log().empty());

@@ -8,24 +8,26 @@ namespace alphawan {
 namespace {
 
 TEST(Airtime, SymbolDuration) {
-  EXPECT_NEAR(symbol_duration(SpreadingFactor::kSF7, 125e3), 1.024e-3, 1e-9);
-  EXPECT_NEAR(symbol_duration(SpreadingFactor::kSF12, 125e3), 32.768e-3,
-              1e-9);
-  EXPECT_NEAR(symbol_duration(SpreadingFactor::kSF7, 250e3), 0.512e-3, 1e-9);
+  EXPECT_NEAR(symbol_duration(SpreadingFactor::kSF7, Hz{125e3}).value(),
+              1.024e-3, 1e-9);
+  EXPECT_NEAR(symbol_duration(SpreadingFactor::kSF12, Hz{125e3}).value(),
+              32.768e-3, 1e-9);
+  EXPECT_NEAR(symbol_duration(SpreadingFactor::kSF7, Hz{250e3}).value(),
+              0.512e-3, 1e-9);
 }
 
 TEST(Airtime, PreambleDuration) {
   TxParams p;
   p.sf = SpreadingFactor::kSF7;
   // (8 + 4.25) * 1.024 ms = 12.544 ms
-  EXPECT_NEAR(preamble_duration(p), 12.544e-3, 1e-7);
+  EXPECT_NEAR(preamble_duration(p).value(), 12.544e-3, 1e-7);
 }
 
 TEST(Airtime, LowDataRateOptimizeOnlyForSlowSymbols) {
-  EXPECT_FALSE(low_data_rate_optimize(SpreadingFactor::kSF10, 125e3));
-  EXPECT_TRUE(low_data_rate_optimize(SpreadingFactor::kSF11, 125e3));
-  EXPECT_TRUE(low_data_rate_optimize(SpreadingFactor::kSF12, 125e3));
-  EXPECT_FALSE(low_data_rate_optimize(SpreadingFactor::kSF12, 500e3));
+  EXPECT_FALSE(low_data_rate_optimize(SpreadingFactor::kSF10, Hz{125e3}));
+  EXPECT_TRUE(low_data_rate_optimize(SpreadingFactor::kSF11, Hz{125e3}));
+  EXPECT_TRUE(low_data_rate_optimize(SpreadingFactor::kSF12, Hz{125e3}));
+  EXPECT_FALSE(low_data_rate_optimize(SpreadingFactor::kSF12, Hz{500e3}));
 }
 
 TEST(Airtime, KnownReferenceValueSf7) {
@@ -88,8 +90,8 @@ TEST_P(AirtimeMonotone, PreamblePlusPayloadEqualsTotal) {
   const auto [sf_idx, payload] = GetParam();
   TxParams p;
   p.sf = sf_from_index(sf_idx);
-  EXPECT_DOUBLE_EQ(time_on_air(p, payload),
-                   preamble_duration(p) + payload_duration(p, payload));
+  EXPECT_DOUBLE_EQ(time_on_air(p, payload).value(),
+                   (preamble_duration(p) + payload_duration(p, payload)).value());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -8,21 +8,21 @@ namespace alphawan {
 namespace {
 
 TEST(Antenna, OmniIsFlat) {
-  OmniAntenna omni(2.0);
-  EXPECT_DOUBLE_EQ(omni.gain(0.0), 2.0);
-  EXPECT_DOUBLE_EQ(omni.gain(1.5), 2.0);
-  EXPECT_DOUBLE_EQ(omni.gain(-3.0), 2.0);
+  OmniAntenna omni(Db{2.0});
+  EXPECT_DOUBLE_EQ(omni.gain(0.0).value(), 2.0);
+  EXPECT_DOUBLE_EQ(omni.gain(1.5).value(), 2.0);
+  EXPECT_DOUBLE_EQ(omni.gain(-3.0).value(), 2.0);
 }
 
 TEST(Antenna, DirectionalPeakAtBoresight) {
   DirectionalAntenna dir;
-  EXPECT_DOUBLE_EQ(dir.gain(0.0), 12.0);
+  EXPECT_DOUBLE_EQ(dir.gain(0.0).value(), 12.0);
 }
 
 TEST(Antenna, DirectionalThreeDbAtBeamEdge) {
   DirectionalAntenna dir;
   const double half = dir.config().beamwidth_rad / 2.0;
-  EXPECT_NEAR(dir.gain(half), 12.0 - 3.0, 1e-9);
+  EXPECT_NEAR(dir.gain(half).value(), 12.0 - 3.0, 1e-9);
 }
 
 TEST(Antenna, DirectionalAttenuationWithinPaperRange) {
@@ -31,29 +31,30 @@ TEST(Antenna, DirectionalAttenuationWithinPaperRange) {
   DirectionalAntenna dir;
   const double half = dir.config().beamwidth_rad / 2.0;
   for (double a = half + 0.05; a <= std::numbers::pi; a += 0.1) {
-    const Db attenuation = 12.0 - dir.gain(a);
-    EXPECT_GE(attenuation, 14.0 - 1e-6) << "angle " << a;
-    EXPECT_LE(attenuation, 40.0 + 1e-6) << "angle " << a;
+    const Db attenuation = Db{12.0} - dir.gain(a);
+    EXPECT_GE(attenuation, Db{14.0 - 1e-6}) << "angle " << a;
+    EXPECT_LE(attenuation, Db{40.0 + 1e-6}) << "angle " << a;
   }
 }
 
 TEST(Antenna, DirectionalBackLobeDeepest) {
   DirectionalAntenna dir;
-  EXPECT_NEAR(dir.gain(std::numbers::pi), 12.0 - 40.0, 1e-6);
+  EXPECT_NEAR(dir.gain(std::numbers::pi).value(), 12.0 - 40.0, 1e-6);
 }
 
 TEST(Antenna, DirectionalSymmetricAndPeriodic) {
   DirectionalAntenna dir;
-  EXPECT_DOUBLE_EQ(dir.gain(0.7), dir.gain(-0.7));
-  EXPECT_NEAR(dir.gain(0.5), dir.gain(0.5 + 2 * std::numbers::pi), 1e-9);
+  EXPECT_DOUBLE_EQ(dir.gain(0.7).value(), dir.gain(-0.7).value());
+  EXPECT_NEAR(dir.gain(0.5).value(),
+              dir.gain(0.5 + 2 * std::numbers::pi).value(), 1e-9);
 }
 
 TEST(Antenna, DirectionalMonotoneRollOff) {
   DirectionalAntenna dir;
-  double prev = dir.gain(0.0);
+  Db prev = dir.gain(0.0);
   for (double a = 0.05; a <= std::numbers::pi; a += 0.05) {
-    const double g = dir.gain(a);
-    EXPECT_LE(g, prev + 1e-9);
+    const Db g = dir.gain(a);
+    EXPECT_LE(g, prev + Db{1e-9});
     prev = g;
   }
 }

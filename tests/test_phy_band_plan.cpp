@@ -13,8 +13,9 @@ TEST(BandPlan, GridSizeMatchesSpectrum) {
 
 TEST(BandPlan, GridCentersSpacedCorrectly) {
   const Spectrum s = spectrum_4m8();
-  EXPECT_DOUBLE_EQ(s.grid_center(0), s.base + 100e3);
-  EXPECT_DOUBLE_EQ(s.grid_center(1) - s.grid_center(0), kChannelSpacing);
+  EXPECT_DOUBLE_EQ(s.grid_center(0).value(), s.base.value() + 100e3);
+  EXPECT_DOUBLE_EQ((s.grid_center(1) - s.grid_center(0)).value(),
+                   kChannelSpacing.value());
 }
 
 TEST(BandPlan, GridChannelsInsideSpectrum) {
@@ -29,7 +30,7 @@ TEST(BandPlan, NearestGridIndexRoundTrips) {
   for (int i = 0; i < s.grid_size(); ++i) {
     EXPECT_EQ(s.nearest_grid_index(s.grid_center(i)), i);
     // Slightly offset (misaligned) channels still map to the grid index.
-    EXPECT_EQ(s.nearest_grid_index(s.grid_center(i) + 40e3), i);
+    EXPECT_EQ(s.nearest_grid_index(s.grid_center(i) + Hz{40e3}), i);
   }
 }
 
@@ -38,7 +39,7 @@ TEST(BandPlan, StandardPlanHasEightChannels) {
   for (int p = 0; p < num_standard_plans(s); ++p) {
     const auto plan = standard_plan(s, p);
     EXPECT_EQ(plan.size(), 8u);
-    EXPECT_LE(plan.span(), 1.6e6 + 1.0);
+    EXPECT_LE(plan.span(), Hz{1.6e6 + 1.0});
   }
 }
 
@@ -65,20 +66,21 @@ TEST(BandPlan, OracleCapacity) {
 }
 
 TEST(BandPlan, ChannelEdges) {
-  Channel ch{915e6, 125e3};
-  EXPECT_DOUBLE_EQ(ch.low(), 915e6 - 62.5e3);
-  EXPECT_DOUBLE_EQ(ch.high(), 915e6 + 62.5e3);
+  Channel ch{Hz{915e6}, Hz{125e3}};
+  EXPECT_DOUBLE_EQ(ch.low().value(), 915e6 - 62.5e3);
+  EXPECT_DOUBLE_EQ(ch.high().value(), 915e6 + 62.5e3);
 }
 
 TEST(BandPlan, EmptyPlanSpanZero) {
   ChannelPlan plan;
-  EXPECT_DOUBLE_EQ(plan.span(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.span().value(), 0.0);
 }
 
 TEST(BandPlan, PlanSpanCoversOuterEdges) {
   ChannelPlan plan;
-  plan.channels = {Channel{915.0e6, 125e3}, Channel{915.4e6, 125e3}};
-  EXPECT_DOUBLE_EQ(plan.span(), 0.4e6 + 125e3);
+  plan.channels = {Channel{Hz{915.0e6}, Hz{125e3}},
+                   Channel{Hz{915.4e6}, Hz{125e3}}};
+  EXPECT_DOUBLE_EQ(plan.span().value(), 0.4e6 + 125e3);
 }
 
 }  // namespace

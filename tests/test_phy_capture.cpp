@@ -9,7 +9,7 @@ namespace {
 
 TEST(Capture, SameSfRequiresPositiveMargin) {
   for (const auto sf : kAllSpreadingFactors) {
-    EXPECT_GT(capture_sir_threshold(sf, sf), 0.0);
+    EXPECT_GT(capture_sir_threshold(sf, sf), Db{0.0});
   }
 }
 
@@ -17,7 +17,7 @@ TEST(Capture, CrossSfToleratesStrongerInterferer) {
   for (const auto a : kAllSpreadingFactors) {
     for (const auto b : kAllSpreadingFactors) {
       if (a == b) continue;
-      EXPECT_LT(capture_sir_threshold(a, b), 0.0)
+      EXPECT_LT(capture_sir_threshold(a, b), Db{0.0})
           << sf_name(a) << " vs " << sf_name(b);
     }
   }
@@ -32,26 +32,28 @@ TEST(Capture, HigherSfIsMoreRobust) {
 }
 
 TEST(Capture, SurvivesEquallyStrongOrthogonal) {
-  EXPECT_TRUE(survives_interference(SpreadingFactor::kSF9, -100.0,
-                                    SpreadingFactor::kSF7, -100.0));
+  EXPECT_TRUE(survives_interference(SpreadingFactor::kSF9, Dbm{-100.0},
+                                    SpreadingFactor::kSF7, Dbm{-100.0}));
 }
 
 TEST(Capture, DiesToEquallyStrongSameSf) {
-  EXPECT_FALSE(survives_interference(SpreadingFactor::kSF9, -100.0,
-                                     SpreadingFactor::kSF9, -100.0));
+  EXPECT_FALSE(survives_interference(SpreadingFactor::kSF9, Dbm{-100.0},
+                                     SpreadingFactor::kSF9, Dbm{-100.0}));
 }
 
 TEST(Capture, CaptureEffectWithStrongWanted) {
-  EXPECT_TRUE(survives_interference(SpreadingFactor::kSF9, -90.0,
-                                    SpreadingFactor::kSF9, -100.0));
+  EXPECT_TRUE(survives_interference(SpreadingFactor::kSF9, Dbm{-90.0},
+                                    SpreadingFactor::kSF9, Dbm{-100.0}));
 }
 
 TEST(Capture, CombinePowersDoublesEnergy) {
-  EXPECT_NEAR(combine_powers_dbm(-100.0, -100.0), -96.99, 0.02);
+  EXPECT_NEAR(combine_powers_dbm(Dbm{-100.0}, Dbm{-100.0}).value(), -96.99,
+              0.02);
 }
 
 TEST(Capture, CombinePowersDominatedByStronger) {
-  EXPECT_NEAR(combine_powers_dbm(-80.0, -120.0), -80.0, 0.01);
+  EXPECT_NEAR(combine_powers_dbm(Dbm{-80.0}, Dbm{-120.0}).value(), -80.0,
+              0.01);
 }
 
 class CaptureSweep
@@ -62,10 +64,10 @@ TEST_P(CaptureSweep, ThresholdConsistentWithSurvival) {
   const auto wanted = sf_from_index(wi);
   const auto interferer = sf_from_index(ii);
   const Db threshold = capture_sir_threshold(wanted, interferer);
-  const Dbm base = -100.0;
-  EXPECT_TRUE(survives_interference(wanted, base + threshold + 0.1,
+  const Dbm base{-100.0};
+  EXPECT_TRUE(survives_interference(wanted, base + threshold + Db{0.1},
                                     interferer, base));
-  EXPECT_FALSE(survives_interference(wanted, base + threshold - 0.1,
+  EXPECT_FALSE(survives_interference(wanted, base + threshold - Db{0.1},
                                      interferer, base));
 }
 

@@ -9,9 +9,9 @@ namespace {
 
 TEST(ChannelModel, PathLossMonotoneInDistance) {
   ChannelModel model;
-  double prev = model.mean_path_loss(1.0);
-  for (Meters d = 10.0; d < 5000.0; d *= 2.0) {
-    const double pl = model.mean_path_loss(d);
+  Db prev = model.mean_path_loss(Meters{1.0});
+  for (Meters d{10.0}; d < Meters{5000.0}; d *= 2.0) {
+    const Db pl = model.mean_path_loss(d);
     EXPECT_GT(pl, prev);
     prev = pl;
   }
@@ -19,20 +19,21 @@ TEST(ChannelModel, PathLossMonotoneInDistance) {
 
 TEST(ChannelModel, BelowReferenceDistanceClamped) {
   ChannelModel model;
-  EXPECT_DOUBLE_EQ(model.mean_path_loss(0.1), model.mean_path_loss(1.0));
+  EXPECT_DOUBLE_EQ(model.mean_path_loss(Meters{0.1}).value(),
+                   model.mean_path_loss(Meters{1.0}).value());
 }
 
 TEST(ChannelModel, ShadowingFrozenPerLink) {
   ChannelModel model;
-  const Db a1 = model.link_path_loss(1, 2, 500.0);
-  const Db a2 = model.link_path_loss(1, 2, 500.0);
-  EXPECT_DOUBLE_EQ(a1, a2);
+  const Db a1 = model.link_path_loss(1, 2, Meters{500.0});
+  const Db a2 = model.link_path_loss(1, 2, Meters{500.0});
+  EXPECT_DOUBLE_EQ(a1.value(), a2.value());
 }
 
 TEST(ChannelModel, ShadowingDiffersAcrossLinks) {
   ChannelModel model;
-  const Db a = model.link_path_loss(1, 2, 500.0);
-  const Db b = model.link_path_loss(3, 2, 500.0);
+  const Db a = model.link_path_loss(1, 2, Meters{500.0});
+  const Db b = model.link_path_loss(3, 2, Meters{500.0});
   EXPECT_NE(a, b);
 }
 
@@ -40,26 +41,27 @@ TEST(ChannelModel, ShadowingDeterministicAcrossInstances) {
   ChannelModelConfig cfg;
   cfg.seed = 99;
   ChannelModel m1(cfg), m2(cfg);
-  EXPECT_DOUBLE_EQ(m1.link_path_loss(5, 6, 800.0),
-                   m2.link_path_loss(5, 6, 800.0));
+  EXPECT_DOUBLE_EQ(m1.link_path_loss(5, 6, Meters{800.0}).value(),
+                   m2.link_path_loss(5, 6, Meters{800.0}).value());
 }
 
 TEST(ChannelModel, FastFadingVariesPerPacket) {
   ChannelModel model;
   Rng rng(3);
-  const Dbm p1 = model.received_power(1, 2, 300.0, 14.0, rng);
-  const Dbm p2 = model.received_power(1, 2, 300.0, 14.0, rng);
+  const Dbm p1 = model.received_power(1, 2, Meters{300.0}, Dbm{14.0}, rng);
+  const Dbm p2 = model.received_power(1, 2, Meters{300.0}, Dbm{14.0}, rng);
   EXPECT_NE(p1, p2);
-  EXPECT_NEAR(p1, p2, 10.0);  // but they stay close (sigma ~1 dB)
+  EXPECT_NEAR(p1.value(), p2.value(), 10.0);  // but they stay close (sigma ~1 dB)
 }
 
 TEST(ChannelModel, RangeForSnrInvertsModel) {
   ChannelModel model;
-  const Db target_snr = -10.0;
-  const Meters range = model.range_for_snr(target_snr, 14.0);
+  const Db target_snr{-10.0};
+  const Meters range = model.range_for_snr(target_snr, Dbm{14.0});
   const Db snr_at_range =
-      14.0 - model.mean_path_loss(range) - noise_floor_dbm(kLoRaBandwidth125k);
-  EXPECT_NEAR(snr_at_range, target_snr, 0.2);
+      (Dbm{14.0} - model.mean_path_loss(range)) -
+      noise_floor_dbm(kLoRaBandwidth125k);
+  EXPECT_NEAR(snr_at_range.value(), target_snr.value(), 0.2);
 }
 
 TEST(ChannelModel, UrbanRangesRealistic) {
@@ -68,26 +70,26 @@ TEST(ChannelModel, UrbanRangesRealistic) {
   // 2.1 x 1.6 km).
   ChannelModel model;
   const Meters sf7 = model.range_for_snr(
-      demod_snr_threshold(SpreadingFactor::kSF7), 14.0 + 2.0);
+      demod_snr_threshold(SpreadingFactor::kSF7), Dbm{14.0 + 2.0});
   const Meters sf12 = model.range_for_snr(
-      demod_snr_threshold(SpreadingFactor::kSF12), 14.0 + 2.0);
-  EXPECT_GT(sf7, 300.0);
-  EXPECT_LT(sf7, 1500.0);
-  EXPECT_GT(sf12, 1000.0);
-  EXPECT_LT(sf12, 4000.0);
+      demod_snr_threshold(SpreadingFactor::kSF12), Dbm{14.0 + 2.0});
+  EXPECT_GT(sf7, Meters{300.0});
+  EXPECT_LT(sf7, Meters{1500.0});
+  EXPECT_GT(sf12, Meters{1000.0});
+  EXPECT_LT(sf12, Meters{4000.0});
   EXPECT_GT(sf12, sf7);
 }
 
 TEST(ChannelModel, MeanSnrDropsWithDistance) {
   ChannelModel model;
-  EXPECT_GT(model.mean_link_snr(1, 2, 100.0, 14.0),
-            model.mean_link_snr(1, 2, 1000.0, 14.0));
+  EXPECT_GT(model.mean_link_snr(1, 2, Meters{100.0}, Dbm{14.0}),
+            model.mean_link_snr(1, 2, Meters{1000.0}, Dbm{14.0}));
 }
 
 TEST(ChannelModel, HigherPowerHigherSnr) {
   ChannelModel model;
-  EXPECT_GT(model.mean_link_snr(1, 2, 500.0, 20.0),
-            model.mean_link_snr(1, 2, 500.0, 8.0));
+  EXPECT_GT(model.mean_link_snr(1, 2, Meters{500.0}, Dbm{20.0}),
+            model.mean_link_snr(1, 2, Meters{500.0}, Dbm{8.0}));
 }
 
 }  // namespace

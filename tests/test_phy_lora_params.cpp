@@ -61,7 +61,7 @@ TEST(LoraParams, TxParamsDefaultsAreLorawanUplink) {
   EXPECT_EQ(params.preamble_symbols, 8);
   EXPECT_TRUE(params.explicit_header);
   EXPECT_TRUE(params.crc_enabled);
-  EXPECT_DOUBLE_EQ(params.bandwidth, kLoRaBandwidth125k);
+  EXPECT_DOUBLE_EQ(params.bandwidth.value(), kLoRaBandwidth125k.value());
 }
 
 TEST(LoraParams, TxParamsEquality) {

@@ -8,73 +8,74 @@ namespace {
 Channel ch(Hz center) { return Channel{center, kLoRaBandwidth125k}; }
 
 TEST(Overlap, IdenticalChannelsFullOverlap) {
-  EXPECT_DOUBLE_EQ(overlap_ratio(ch(915e6), ch(915e6)), 1.0);
+  EXPECT_DOUBLE_EQ(overlap_ratio(ch(Hz{915e6}), ch(Hz{915e6})), 1.0);
 }
 
 TEST(Overlap, DisjointChannelsZero) {
-  EXPECT_DOUBLE_EQ(overlap_ratio(ch(915e6), ch(915.2e6)), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_ratio(ch(Hz{915e6}), ch(Hz{915.2e6})), 0.0);
 }
 
 TEST(Overlap, HalfOverlap) {
-  EXPECT_NEAR(overlap_ratio(ch(915e6), ch(915e6 + 62.5e3)), 0.5, 1e-9);
+  EXPECT_NEAR(overlap_ratio(ch(Hz{915e6}), ch(Hz{915e6 + 62.5e3})), 0.5, 1e-9);
 }
 
 TEST(Overlap, Symmetric) {
-  const auto a = ch(915e6);
-  const auto b = ch(915.05e6);
+  const auto a = ch(Hz{915e6});
+  const auto b = ch(Hz{915.05e6});
   EXPECT_DOUBLE_EQ(overlap_ratio(a, b), overlap_ratio(b, a));
 }
 
 TEST(Overlap, MixedBandwidthsUseNarrower) {
-  Channel wide{915e6, 500e3};
-  Channel narrow{915e6, 125e3};
+  Channel wide{Hz{915e6}, Hz{500e3}};
+  Channel narrow{Hz{915e6}, Hz{125e3}};
   EXPECT_DOUBLE_EQ(overlap_ratio(wide, narrow), 1.0);
 }
 
 TEST(Overlap, DetectableOnlyWhenNearlyAligned) {
-  EXPECT_TRUE(detectable(ch(915e6), ch(915e6)));
-  EXPECT_TRUE(detectable(ch(915e6), ch(915e6 + 3e3)));
+  EXPECT_TRUE(detectable(ch(Hz{915e6}), ch(Hz{915e6})));
+  EXPECT_TRUE(detectable(ch(Hz{915e6}), ch(Hz{915e6 + 3e3})));
   // 40% misalignment (Strategy 8) must be rejected by the front-end.
-  EXPECT_FALSE(detectable(ch(915e6), ch(915e6 + 50e3)));
-  EXPECT_FALSE(detectable(ch(915e6), ch(915.2e6)));
+  EXPECT_FALSE(detectable(ch(Hz{915e6}), ch(Hz{915e6 + 50e3})));
+  EXPECT_FALSE(detectable(ch(Hz{915e6}), ch(Hz{915.2e6})));
 }
 
 TEST(Overlap, CouplingZeroAtFullOverlap) {
-  EXPECT_NEAR(coupling_db(ch(915e6), ch(915e6)), 0.0, 1e-9);
+  EXPECT_NEAR(coupling_db(ch(Hz{915e6}), ch(Hz{915e6})).value(), 0.0, 1e-9);
 }
 
 TEST(Overlap, CouplingMonotoneInOverlap) {
-  double prev = -1e9;
-  for (Hz offset = 120e3; offset >= 0.0; offset -= 10e3) {
-    const Db c = coupling_db(ch(915e6 + offset), ch(915e6));
+  Db prev{-1e9};
+  for (Hz offset{120e3}; offset >= Hz{0.0}; offset -= Hz{10e3}) {
+    const Db c = coupling_db(ch(Hz{915e6 + offset.value()}), ch(Hz{915e6}));
     EXPECT_GT(c, prev) << "offset " << offset;
     prev = c;
   }
 }
 
 TEST(Overlap, CouplingFloorForDisjoint) {
-  EXPECT_LE(coupling_db(ch(915e6), ch(916e6)), -399.0);
-  EXPECT_LE(effective_interference_dbm(0.0, ch(915e6), ch(916e6)), -399.0);
+  EXPECT_LE(coupling_db(ch(Hz{915e6}), ch(Hz{916e6})), Db{-399.0});
+  EXPECT_LE(effective_interference_dbm(Dbm{0.0}, ch(Hz{915e6}), ch(Hz{916e6})),
+            Dbm{-399.0});
 }
 
 TEST(Overlap, EffectiveInterferenceAppliesCoupling) {
-  const Channel src = ch(915e6 + 62.5e3);  // 50% overlap
-  const Channel dst = ch(915e6);
-  const Dbm eff = effective_interference_dbm(-80.0, src, dst);
+  const Channel src = ch(Hz{915e6 + 62.5e3});  // 50% overlap
+  const Channel dst = ch(Hz{915e6});
+  const Dbm eff = effective_interference_dbm(Dbm{-80.0}, src, dst);
   // 10log10(0.5) - 0.5*35 = -3.01 - 17.5 = -20.5 dB below source power.
-  EXPECT_NEAR(eff, -80.0 - 20.5, 0.1);
+  EXPECT_NEAR(eff.value(), -80.0 - 20.5, 0.1);
 }
 
 TEST(Overlap, StrategyEightIsolationWindow) {
   // Paper Sec. 4.3.2: <70% overlap (>30% misalignment) gives satisfactory
   // isolation. At 60% overlap the coupling should already exceed 15 dB of
   // suppression.
-  const Channel dst = ch(915e6);
-  const Channel src60 = ch(915e6 + 0.4 * kLoRaBandwidth125k);
-  EXPECT_LT(coupling_db(src60, dst), -15.0);
+  const Channel dst = ch(Hz{915e6});
+  const Channel src60 = ch(Hz{915e6 + 0.4 * kLoRaBandwidth125k.value()});
+  EXPECT_LT(coupling_db(src60, dst), Db{-15.0});
   // And at 20% overlap, more than 30 dB.
-  const Channel src20 = ch(915e6 + 0.8 * kLoRaBandwidth125k);
-  EXPECT_LT(coupling_db(src20, dst), -30.0);
+  const Channel src20 = ch(Hz{915e6 + 0.8 * kLoRaBandwidth125k.value()});
+  EXPECT_LT(coupling_db(src20, dst), Db{-30.0});
 }
 
 }  // namespace

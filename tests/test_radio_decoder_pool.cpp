@@ -11,67 +11,67 @@ TEST(DecoderPool, ZeroCapacityThrows) {
 
 TEST(DecoderPool, AcquireUpToCapacity) {
   DecoderPool pool(3);
-  EXPECT_TRUE(pool.try_acquire(0.0, 1.0, 0, 1));
-  EXPECT_TRUE(pool.try_acquire(0.0, 1.0, 0, 2));
-  EXPECT_TRUE(pool.try_acquire(0.0, 1.0, 0, 3));
-  EXPECT_FALSE(pool.try_acquire(0.0, 1.0, 0, 4));
-  EXPECT_EQ(pool.busy(0.5), 3u);
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 1));
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 2));
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 3));
+  EXPECT_FALSE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 4));
+  EXPECT_EQ(pool.busy(Seconds{0.5}), 3u);
 }
 
 TEST(DecoderPool, ReleaseFreesSlots) {
   DecoderPool pool(2);
-  EXPECT_TRUE(pool.try_acquire(0.0, 1.0, 0, 1));
-  EXPECT_TRUE(pool.try_acquire(0.0, 2.0, 0, 2));
-  EXPECT_FALSE(pool.try_acquire(0.5, 3.0, 0, 3));
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 1));
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{2.0}, 0, 2));
+  EXPECT_FALSE(pool.try_acquire(Seconds{0.5}, Seconds{3.0}, 0, 3));
   // Packet 1 ends at 1.0; a new acquire at t=1.0 must succeed.
-  EXPECT_TRUE(pool.try_acquire(1.0, 3.0, 0, 4));
-  EXPECT_EQ(pool.busy(1.5), 2u);
-  EXPECT_EQ(pool.busy(2.5), 1u);
-  EXPECT_EQ(pool.busy(3.5), 0u);
+  EXPECT_TRUE(pool.try_acquire(Seconds{1.0}, Seconds{3.0}, 0, 4));
+  EXPECT_EQ(pool.busy(Seconds{1.5}), 2u);
+  EXPECT_EQ(pool.busy(Seconds{2.5}), 1u);
+  EXPECT_EQ(pool.busy(Seconds{3.5}), 0u);
 }
 
 TEST(DecoderPool, BusyNeverExceedsCapacity) {
   DecoderPool pool(16);
   for (int i = 0; i < 100; ++i) {
-    (void)pool.try_acquire(static_cast<double>(i) * 0.01, 10.0, 0,
-                           static_cast<PacketId>(i));
-    ASSERT_LE(pool.busy(static_cast<double>(i) * 0.01), 16u);
+    (void)pool.try_acquire(Seconds{static_cast<double>(i) * 0.01},
+                           Seconds{10.0}, 0, static_cast<PacketId>(i));
+    ASSERT_LE(pool.busy(Seconds{static_cast<double>(i) * 0.01}), 16u);
   }
 }
 
 TEST(DecoderPool, ForeignOccupantDetection) {
   DecoderPool pool(2);
-  EXPECT_TRUE(pool.try_acquire(0.0, 1.0, /*network=*/0, 1));
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, /*network=*/0, 1));
   EXPECT_FALSE(pool.any_foreign_occupant(0));
   EXPECT_TRUE(pool.any_foreign_occupant(1));
-  EXPECT_TRUE(pool.try_acquire(0.0, 1.0, /*network=*/1, 2));
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, /*network=*/1, 2));
   EXPECT_TRUE(pool.any_foreign_occupant(0));
   EXPECT_TRUE(pool.any_foreign_occupant(1));
 }
 
 TEST(DecoderPool, OccupantsListed) {
   DecoderPool pool(4);
-  (void)pool.try_acquire(0.0, 2.0, 0, 11);
-  (void)pool.try_acquire(0.0, 1.0, 0, 22);
+  (void)pool.try_acquire(Seconds{0.0}, Seconds{2.0}, 0, 11);
+  (void)pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 22);
   const auto occupants = pool.occupants();
   EXPECT_EQ(occupants.size(), 2u);
 }
 
 TEST(DecoderPool, ResetClears) {
   DecoderPool pool(1);
-  (void)pool.try_acquire(0.0, 100.0, 0, 1);
+  (void)pool.try_acquire(Seconds{0.0}, Seconds{100.0}, 0, 1);
   pool.reset();
-  EXPECT_TRUE(pool.try_acquire(0.0, 1.0, 0, 2));
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, 2));
 }
 
 TEST(DecoderPool, InterleavedReleaseOrder) {
   DecoderPool pool(2);
   // Later-acquired packet releases first.
-  EXPECT_TRUE(pool.try_acquire(0.0, 5.0, 0, 1));
-  EXPECT_TRUE(pool.try_acquire(0.1, 1.0, 0, 2));
-  EXPECT_FALSE(pool.try_acquire(0.2, 1.0, 0, 3));
-  EXPECT_TRUE(pool.try_acquire(1.5, 2.0, 0, 4));  // slot from packet 2
-  EXPECT_FALSE(pool.try_acquire(1.6, 2.0, 0, 5));
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.0}, Seconds{5.0}, 0, 1));
+  EXPECT_TRUE(pool.try_acquire(Seconds{0.1}, Seconds{1.0}, 0, 2));
+  EXPECT_FALSE(pool.try_acquire(Seconds{0.2}, Seconds{1.0}, 0, 3));
+  EXPECT_TRUE(pool.try_acquire(Seconds{1.5}, Seconds{2.0}, 0, 4));  // slot from packet 2
+  EXPECT_FALSE(pool.try_acquire(Seconds{1.6}, Seconds{2.0}, 0, 5));
 }
 
 class PoolCapacitySweep : public ::testing::TestWithParam<int> {};
@@ -81,13 +81,13 @@ TEST_P(PoolCapacitySweep, ExactlyCapacityConcurrent) {
   DecoderPool pool(static_cast<std::size_t>(capacity));
   int granted = 0;
   for (int i = 0; i < capacity + 10; ++i) {
-    if (pool.try_acquire(0.0, 1.0, 0, static_cast<PacketId>(i))) ++granted;
+    if (pool.try_acquire(Seconds{0.0}, Seconds{1.0}, 0, static_cast<PacketId>(i))) ++granted;
   }
   EXPECT_EQ(granted, capacity);
   // After release, the pool refills to exactly `capacity` again.
   granted = 0;
   for (int i = 0; i < capacity + 10; ++i) {
-    if (pool.try_acquire(2.0, 3.0, 0, static_cast<PacketId>(100 + i))) {
+    if (pool.try_acquire(Seconds{2.0}, Seconds{3.0}, 0, static_cast<PacketId>(100 + i))) {
       ++granted;
     }
   }

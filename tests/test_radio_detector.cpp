@@ -9,7 +9,7 @@ Transmission make_tx(SpreadingFactor sf) {
   Transmission tx;
   tx.id = 1;
   tx.params.sf = sf;
-  tx.start = 2.5;
+  tx.start = Seconds{2.5};
   return tx;
 }
 
@@ -17,17 +17,17 @@ TEST(Detector, LocksOnAboveThreshold) {
   const Transmission tx = make_tx(SpreadingFactor::kSF9);
   const Db threshold =
       demod_snr_threshold(SpreadingFactor::kSF9) + kDetectionMargin;
-  const auto detection = detect(tx, threshold + 0.1);
+  const auto detection = detect(tx, threshold + Db{0.1});
   ASSERT_TRUE(detection.has_value());
-  EXPECT_DOUBLE_EQ(detection->lock_on, tx.lock_on());
-  EXPECT_DOUBLE_EQ(detection->snr, threshold + 0.1);
+  EXPECT_DOUBLE_EQ(detection->lock_on.value(), tx.lock_on().value());
+  EXPECT_DOUBLE_EQ(detection->snr.value(), (threshold + Db{0.1}).value());
 }
 
 TEST(Detector, RejectsBelowThreshold) {
   const Transmission tx = make_tx(SpreadingFactor::kSF9);
   const Db threshold =
       demod_snr_threshold(SpreadingFactor::kSF9) + kDetectionMargin;
-  EXPECT_FALSE(detect(tx, threshold - 0.1).has_value());
+  EXPECT_FALSE(detect(tx, threshold - Db{0.1}).has_value());
 }
 
 TEST(Detector, ThresholdAtExactBoundaryLocks) {
@@ -41,7 +41,7 @@ TEST(Detector, SlowerSpreadingFactorsLockDeeperInNoise) {
   // SF12 demodulates far below SF7's floor — the range/rate trade-off.
   EXPECT_LT(demod_snr_threshold(SpreadingFactor::kSF12),
             demod_snr_threshold(SpreadingFactor::kSF7));
-  const Db deep = demod_snr_threshold(SpreadingFactor::kSF12) + 0.5;
+  const Db deep = demod_snr_threshold(SpreadingFactor::kSF12) + Db{0.5};
   EXPECT_TRUE(detect(make_tx(SpreadingFactor::kSF12), deep).has_value());
   EXPECT_FALSE(detect(make_tx(SpreadingFactor::kSF7), deep).has_value());
 }
@@ -49,7 +49,7 @@ TEST(Detector, SlowerSpreadingFactorsLockDeeperInNoise) {
 TEST(Detector, LockOnIsPreambleEndNotPacketStart) {
   const Transmission tx = make_tx(SpreadingFactor::kSF7);
   const auto detection =
-      detect(tx, demod_snr_threshold(SpreadingFactor::kSF7) + 10.0);
+      detect(tx, demod_snr_threshold(SpreadingFactor::kSF7) + Db{10.0});
   ASSERT_TRUE(detection.has_value());
   EXPECT_GT(detection->lock_on, tx.start);
   EXPECT_LT(detection->lock_on, tx.end());
@@ -64,8 +64,9 @@ TEST(Detector, HigherSfLocksLater) {
 
 TEST(Detector, PacketSnrIsRelativeToNoiseFloor) {
   const Hz bw = kLoRaBandwidth125k;
-  EXPECT_DOUBLE_EQ(packet_snr(noise_floor_dbm(bw), bw), 0.0);
-  EXPECT_DOUBLE_EQ(packet_snr(noise_floor_dbm(bw) + 12.5, bw), 12.5);
+  EXPECT_DOUBLE_EQ(packet_snr(noise_floor_dbm(bw), bw).value(), 0.0);
+  EXPECT_DOUBLE_EQ(packet_snr(noise_floor_dbm(bw) + Db{12.5}, bw).value(),
+                   12.5);
 }
 
 }  // namespace

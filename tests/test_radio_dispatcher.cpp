@@ -7,9 +7,9 @@ namespace {
 
 TEST(Dispatcher, SortsByLockOn) {
   std::vector<DispatchEntry> entries = {
-      {0, 3.0, 4.0, 0, 10},
-      {1, 1.0, 2.0, 0, 11},
-      {2, 2.0, 3.0, 0, 12},
+      {0, Seconds{3.0}, Seconds{4.0}, 0, 10},
+      {1, Seconds{1.0}, Seconds{2.0}, 0, 11},
+      {2, Seconds{2.0}, Seconds{3.0}, 0, 12},
   };
   sort_fcfs(entries);
   EXPECT_EQ(entries[0].packet, 11u);
@@ -19,8 +19,8 @@ TEST(Dispatcher, SortsByLockOn) {
 
 TEST(Dispatcher, TiesBrokenByPacketId) {
   std::vector<DispatchEntry> entries = {
-      {0, 1.0, 2.0, 0, 20},
-      {1, 1.0, 2.0, 0, 7},
+      {0, Seconds{1.0}, Seconds{2.0}, 0, 20},
+      {1, Seconds{1.0}, Seconds{2.0}, 0, 7},
   };
   sort_fcfs(entries);
   EXPECT_EQ(entries[0].packet, 7u);
@@ -28,31 +28,31 @@ TEST(Dispatcher, TiesBrokenByPacketId) {
 
 TEST(Dispatcher, DispatchAcquires) {
   DecoderPool pool(1);
-  const DispatchEntry e{0, 0.0, 1.0, 0, 1};
+  const DispatchEntry e{0, Seconds{0.0}, Seconds{1.0}, 0, 1};
   const auto r = dispatch(pool, e);
   EXPECT_TRUE(r.acquired);
 }
 
 TEST(Dispatcher, DispatchRefusalReportsForeignMix) {
   DecoderPool pool(1);
-  (void)dispatch(pool, DispatchEntry{0, 0.0, 5.0, /*network=*/1, 1});
-  const auto refused = dispatch(pool, DispatchEntry{1, 0.1, 5.0, 0, 2});
+  (void)dispatch(pool, DispatchEntry{0, Seconds{0.0}, Seconds{5.0}, /*network=*/1, 1});
+  const auto refused = dispatch(pool, DispatchEntry{1, Seconds{0.1}, Seconds{5.0}, 0, 2});
   EXPECT_FALSE(refused.acquired);
   EXPECT_TRUE(refused.foreign_among_occupants);
 }
 
 TEST(Dispatcher, DispatchRefusalIntraOnly) {
   DecoderPool pool(1);
-  (void)dispatch(pool, DispatchEntry{0, 0.0, 5.0, 0, 1});
-  const auto refused = dispatch(pool, DispatchEntry{1, 0.1, 5.0, 0, 2});
+  (void)dispatch(pool, DispatchEntry{0, Seconds{0.0}, Seconds{5.0}, 0, 1});
+  const auto refused = dispatch(pool, DispatchEntry{1, Seconds{0.1}, Seconds{5.0}, 0, 2});
   EXPECT_FALSE(refused.acquired);
   EXPECT_FALSE(refused.foreign_among_occupants);
 }
 
 TEST(Dispatcher, ReleasesBeforeDispatch) {
   DecoderPool pool(1);
-  (void)dispatch(pool, DispatchEntry{0, 0.0, 1.0, 0, 1});
-  const auto later = dispatch(pool, DispatchEntry{1, 2.0, 3.0, 0, 2});
+  (void)dispatch(pool, DispatchEntry{0, Seconds{0.0}, Seconds{1.0}, 0, 1});
+  const auto later = dispatch(pool, DispatchEntry{1, Seconds{2.0}, Seconds{3.0}, 0, 2});
   EXPECT_TRUE(later.acquired);
 }
 

@@ -44,15 +44,15 @@ Transmission make_tx(PacketId id, int channel, SpreadingFactor sf,
 // 20 concurrent packets on orthogonal (channel, SF) pairs, staggered so
 // lock-on order equals packet order (the paper's Scheme (b)).
 std::vector<RxEvent> twenty_orthogonal(NetworkId network = 0,
-                                       Dbm power = -80.0) {
+                                       Dbm power = Dbm{-80.0}) {
   std::vector<RxEvent> events;
   for (int i = 0; i < 20; ++i) {
     const int channel = i % 8;
     const auto sf = sf_from_index((i / 8) % kNumSpreadingFactors);
-    Transmission tx = make_tx(static_cast<PacketId>(i + 1), channel, sf, 0.0,
-                              network);
+    Transmission tx = make_tx(static_cast<PacketId>(i + 1), channel, sf,
+                              Seconds{0.0}, network);
     // Shift start so lock-on lands at slot i (1 ms slots).
-    tx.start = 0.001 * (i + 1) - preamble_duration(tx.params);
+    tx.start = Seconds{0.001 * (i + 1)} - preamble_duration(tx.params);
     events.push_back(RxEvent{tx, power});
   }
   return events;
@@ -68,7 +68,7 @@ TEST(GatewayRadio, ConfigRejectsTooManyChannels) {
   GatewayRadio radio(default_profile(), 0, kPublicSyncWord);
   std::vector<Channel> nine;
   for (int i = 0; i < 8; ++i) nine.push_back(kSpec.grid_channel(i));
-  nine.push_back(Channel{kSpec.grid_center(7) + 10e3, kLoRaBandwidth125k});
+  nine.push_back(Channel{kSpec.grid_center(7) + Hz{10e3}, kLoRaBandwidth125k});
   EXPECT_THROW(radio.configure_channels(nine), std::invalid_argument);
 }
 
@@ -122,8 +122,8 @@ TEST(GatewayRadio, SchemeADropsByLockOnNotStartOrder) {
     // Mix of SFs so preamble lengths differ wildly.
     const auto sf = sf_from_index((i * 5) % kNumSpreadingFactors);
     Transmission tx = make_tx(static_cast<PacketId>(i + 1), channel, sf,
-                              0.001 * (i + 1));
-    events.push_back(RxEvent{tx, -80.0});
+                              Seconds{0.001 * (i + 1)});
+    events.push_back(RxEvent{tx, Dbm{-80.0}});
   }
   const auto outcomes = radio.process(events);
   // Mixed preamble lengths scramble lock-on order relative to start order,
@@ -161,7 +161,7 @@ TEST(GatewayRadio, NoSnrPriority) {
   // cross-SF orthogonality tolerance, as in the paper's controlled SNR
   // experiment).
   for (std::size_t i = 0; i < events.size(); ++i) {
-    events[i].rx_power = i < 16 ? -86.0 : -80.0;
+    events[i].rx_power = i < 16 ? Dbm{-86.0} : Dbm{-80.0};
   }
   const auto outcomes = radio.process(events);
   for (std::size_t i = 0; i < 16; ++i) {
@@ -181,9 +181,10 @@ TEST(GatewayRadio, ChannelFairness) {
   for (int i = 0; i < 20; ++i) {
     const int channel = i < 15 ? i % 3 : 3 + (i - 15);
     const auto sf = sf_from_index(i % kNumSpreadingFactors);
-    Transmission tx = make_tx(static_cast<PacketId>(i + 1), channel, sf, 0.0);
-    tx.start = 0.001 * (i + 1) - preamble_duration(tx.params);
-    events.push_back(RxEvent{tx, -80.0});
+    Transmission tx = make_tx(static_cast<PacketId>(i + 1), channel, sf,
+                              Seconds{0.0});
+    tx.start = Seconds{0.001 * (i + 1)} - preamble_duration(tx.params);
+    events.push_back(RxEvent{tx, Dbm{-80.0}});
   }
   const auto outcomes = radio.process(events);
   // Lock-on order is the index order; last 4 drop regardless of channel.
@@ -220,18 +221,18 @@ TEST(GatewayRadio, FrontEndRejectsMisalignedChannels) {
   // Strategy 8: a packet 40% misaligned from every operating channel never
   // consumes a decoder.
   auto radio = make_radio();
-  Transmission tx = make_tx(1, 0, SpreadingFactor::kSF7, 0.0);
-  tx.channel.center += 0.4 * kLoRaBandwidth125k + 20e3;
-  const auto outcomes = radio.process({RxEvent{tx, -60.0}});
+  Transmission tx = make_tx(1, 0, SpreadingFactor::kSF7, Seconds{0.0});
+  tx.channel.center += 0.4 * kLoRaBandwidth125k + Hz{20e3};
+  const auto outcomes = radio.process({RxEvent{tx, Dbm{-60.0}}});
   EXPECT_EQ(outcomes[0].disposition, RxDisposition::kRejectedFrontEnd);
 }
 
 TEST(GatewayRadio, WeakPacketNotDetected) {
   auto radio = make_radio();
-  Transmission tx = make_tx(1, 0, SpreadingFactor::kSF7, 0.0);
+  Transmission tx = make_tx(1, 0, SpreadingFactor::kSF7, Seconds{0.0});
   // SF7 threshold is -7.5 dB SNR; noise floor ~-117 dBm -> -130 dBm is
   // undetectable.
-  const auto outcomes = radio.process({RxEvent{tx, -130.0}});
+  const auto outcomes = radio.process({RxEvent{tx, Dbm{-130.0}}});
   EXPECT_EQ(outcomes[0].disposition, RxDisposition::kNotDetected);
 }
 
@@ -239,8 +240,8 @@ TEST(GatewayRadio, SubNoisePacketStillReceivedAtHighSf) {
   // LoRa's signature: SF12 decodes ~20 dB below noise. This is why
   // directional antennas cannot silence off-axis users (Fig. 7).
   auto radio = make_radio();
-  Transmission tx = make_tx(1, 0, SpreadingFactor::kSF12, 0.0);
-  const auto outcomes = radio.process({RxEvent{tx, -133.0}});  // SNR ~-16
+  Transmission tx = make_tx(1, 0, SpreadingFactor::kSF12, Seconds{0.0});
+  const auto outcomes = radio.process({RxEvent{tx, Dbm{-133.0}}});  // SNR ~-16
   EXPECT_EQ(outcomes[0].disposition, RxDisposition::kDelivered);
 }
 
@@ -249,8 +250,8 @@ TEST(GatewayRadio, SameSfSameChannelCollision) {
   std::vector<RxEvent> events;
   for (int i = 0; i < 2; ++i) {
     Transmission tx = make_tx(static_cast<PacketId>(i + 1), 0,
-                              SpreadingFactor::kSF9, 0.0);
-    events.push_back(RxEvent{tx, -90.0});
+                              SpreadingFactor::kSF9, Seconds{0.0});
+    events.push_back(RxEvent{tx, Dbm{-90.0}});
   }
   const auto outcomes = radio.process(events);
   EXPECT_EQ(count(outcomes, RxDisposition::kDroppedCollision), 2u);
@@ -258,10 +259,10 @@ TEST(GatewayRadio, SameSfSameChannelCollision) {
 
 TEST(GatewayRadio, CaptureStrongerSameSfPacket) {
   auto radio = make_radio();
-  Transmission strong = make_tx(1, 0, SpreadingFactor::kSF9, 0.0);
-  Transmission weak = make_tx(2, 0, SpreadingFactor::kSF9, 0.0);
+  Transmission strong = make_tx(1, 0, SpreadingFactor::kSF9, Seconds{0.0});
+  Transmission weak = make_tx(2, 0, SpreadingFactor::kSF9, Seconds{0.0});
   const auto outcomes =
-      radio.process({RxEvent{strong, -80.0}, RxEvent{weak, -95.0}});
+      radio.process({RxEvent{strong, Dbm{-80.0}}, RxEvent{weak, Dbm{-95.0}}});
   EXPECT_EQ(outcomes[0].disposition, RxDisposition::kDelivered);
   EXPECT_EQ(outcomes[1].disposition, RxDisposition::kDroppedCollision);
 }
@@ -270,9 +271,9 @@ TEST(GatewayRadio, OrthogonalSfShareChannel) {
   auto radio = make_radio();
   std::vector<RxEvent> events;
   for (int i = 0; i < kNumSpreadingFactors; ++i) {
-    Transmission tx =
-        make_tx(static_cast<PacketId>(i + 1), 0, sf_from_index(i), 0.0);
-    events.push_back(RxEvent{tx, -85.0});
+    Transmission tx = make_tx(static_cast<PacketId>(i + 1), 0,
+                              sf_from_index(i), Seconds{0.0});
+    events.push_back(RxEvent{tx, Dbm{-85.0}});
   }
   const auto outcomes = radio.process(events);
   EXPECT_EQ(count(outcomes, RxDisposition::kDelivered), 6u);
@@ -286,9 +287,9 @@ TEST(GatewayRadio, FewerChannelsKeepAllDecoders) {
   // 12 packets on the 2 channels (6 SFs each): all should be received.
   for (int i = 0; i < 12; ++i) {
     Transmission tx = make_tx(static_cast<PacketId>(i + 1), i % 2,
-                              sf_from_index(i / 2 % 6), 0.0);
-    tx.start = 0.0005 * i;
-    events.push_back(RxEvent{tx, -80.0});
+                              sf_from_index(i / 2 % 6), Seconds{0.0});
+    tx.start = Seconds{0.0005 * i};
+    events.push_back(RxEvent{tx, Dbm{-80.0}});
   }
   const auto outcomes = radio.process(events);
   EXPECT_EQ(count(outcomes, RxDisposition::kDelivered), 12u);
@@ -308,11 +309,11 @@ TEST(GatewayRadio, MisalignedStrongInterfererActsAsNoiseNotCollision) {
   // misaligned by 40% is filter-truncated — it neither collides with nor
   // preempts the wanted packet (an aligned one would destroy it).
   auto radio = make_radio();
-  Transmission wanted = make_tx(1, 0, SpreadingFactor::kSF8, 0.0);
-  Transmission foreign = make_tx(2, 0, SpreadingFactor::kSF8, 0.0, 1);
+  Transmission wanted = make_tx(1, 0, SpreadingFactor::kSF8, Seconds{0.0});
+  Transmission foreign = make_tx(2, 0, SpreadingFactor::kSF8, Seconds{0.0}, 1);
   foreign.channel.center += 0.4 * kLoRaBandwidth125k;
   auto outcomes =
-      radio.process({RxEvent{wanted, -100.0}, RxEvent{foreign, -85.0}});
+      radio.process({RxEvent{wanted, Dbm{-100.0}}, RxEvent{foreign, Dbm{-85.0}}});
   EXPECT_EQ(outcomes[0].disposition, RxDisposition::kDelivered);
   EXPECT_EQ(outcomes[1].disposition, RxDisposition::kRejectedFrontEnd);
 
@@ -321,7 +322,7 @@ TEST(GatewayRadio, MisalignedStrongInterfererActsAsNoiseNotCollision) {
   Transmission aligned = foreign;
   aligned.channel = wanted.channel;
   outcomes =
-      radio2.process({RxEvent{wanted, -100.0}, RxEvent{aligned, -85.0}});
+      radio2.process({RxEvent{wanted, Dbm{-100.0}}, RxEvent{aligned, Dbm{-85.0}}});
   EXPECT_EQ(outcomes[0].disposition, RxDisposition::kDroppedCollision);
   EXPECT_TRUE(outcomes[0].foreign_interferer);
 }
@@ -338,8 +339,8 @@ TEST(GatewayRadio, BucketedScanMatchesBruteForce) {
                               static_cast<int>(rng.uniform_int(0, 7)),
                               sf_from_index(static_cast<int>(
                                   rng.uniform_int(0, 5))),
-                              rng.uniform(0.0, 5.0));
-    events.push_back(RxEvent{tx, rng.uniform(-95.0, -75.0)});
+                              Seconds{rng.uniform(0.0, 5.0)});
+    events.push_back(RxEvent{tx, Dbm{rng.uniform(-95.0, -75.0)}});
   }
   const auto outcomes = radio.process(events);
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -365,12 +366,12 @@ TEST(GatewayRadio, DecoderFreedAfterPacketEnd) {
   // count.
   auto radio = make_radio();
   std::vector<RxEvent> events;
-  Seconds t = 0.0;
+  Seconds t{0.0};
   for (int i = 0; i < 40; ++i) {
     Transmission tx = make_tx(static_cast<PacketId>(i + 1), i % 8,
                               SpreadingFactor::kSF7, t);
-    t = tx.end() + 0.001;
-    events.push_back(RxEvent{tx, -80.0});
+    t = tx.end() + Seconds{0.001};
+    events.push_back(RxEvent{tx, Dbm{-80.0}});
   }
   const auto outcomes = radio.process(events);
   EXPECT_EQ(count(outcomes, RxDisposition::kDelivered), 40u);

@@ -8,50 +8,50 @@ namespace {
 Channel ch(Hz center) { return Channel{center, kLoRaBandwidth125k}; }
 
 TEST(RxChain, PassesAlignedChannel) {
-  const RxChain chain{ch(917.0e6)};
-  EXPECT_TRUE(chain.passes(ch(917.0e6)));
+  const RxChain chain{ch(Hz{917.0e6})};
+  EXPECT_TRUE(chain.passes(ch(Hz{917.0e6})));
 }
 
 TEST(RxChain, PassesNearAlignedChannel) {
   // 3 kHz offset keeps ~97.6% overlap — above the detect threshold.
-  const RxChain chain{ch(917.0e6)};
-  EXPECT_TRUE(chain.passes(ch(917.0e6 + 3e3)));
+  const RxChain chain{ch(Hz{917.0e6})};
+  EXPECT_TRUE(chain.passes(ch(Hz{917.0e6 + 3e3})));
 }
 
 TEST(RxChain, RejectsMisalignedChannel) {
-  const RxChain chain{ch(917.0e6)};
+  const RxChain chain{ch(Hz{917.0e6})};
   // Half-channel offset: well below the 95% overlap needed to correlate.
-  EXPECT_FALSE(chain.passes(ch(917.0e6 + 62.5e3)));
+  EXPECT_FALSE(chain.passes(ch(Hz{917.0e6 + 62.5e3})));
   // Fully disjoint grid neighbour.
-  EXPECT_FALSE(chain.passes(ch(917.2e6)));
+  EXPECT_FALSE(chain.passes(ch(Hz{917.2e6})));
 }
 
 TEST(RxChain, BestChainFindsExactMatch) {
   const std::vector<RxChain> chains = {
-      RxChain{ch(916.9e6)}, RxChain{ch(917.1e6)}, RxChain{ch(917.3e6)}};
-  const auto index = best_chain(chains, ch(917.3e6));
+      RxChain{ch(Hz{916.9e6})}, RxChain{ch(Hz{917.1e6})}, RxChain{ch(Hz{917.3e6})}};
+  const auto index = best_chain(chains, ch(Hz{917.3e6}));
   ASSERT_TRUE(index.has_value());
   EXPECT_EQ(*index, 2u);
 }
 
 TEST(RxChain, BestChainPrefersClosestAlignment) {
   // Two chains pass the filter; the better-aligned one must win.
-  const std::vector<RxChain> chains = {RxChain{ch(917.0e6 + 4e3)},
-                                       RxChain{ch(917.0e6 + 1e3)}};
-  const auto index = best_chain(chains, ch(917.0e6));
+  const std::vector<RxChain> chains = {RxChain{ch(Hz{917.0e6 + 4e3})},
+                                       RxChain{ch(Hz{917.0e6 + 1e3})}};
+  const auto index = best_chain(chains, ch(Hz{917.0e6}));
   ASSERT_TRUE(index.has_value());
   EXPECT_EQ(*index, 1u);
 }
 
 TEST(RxChain, BestChainRejectsWhenNoFilterPasses) {
   // The Strategy-8 isolation path: every chain truncates the packet.
-  const std::vector<RxChain> chains = {RxChain{ch(916.9e6)},
-                                       RxChain{ch(917.1e6)}};
-  EXPECT_FALSE(best_chain(chains, ch(917.0e6)).has_value());
+  const std::vector<RxChain> chains = {RxChain{ch(Hz{916.9e6})},
+                                       RxChain{ch(Hz{917.1e6})}};
+  EXPECT_FALSE(best_chain(chains, ch(Hz{917.0e6})).has_value());
 }
 
 TEST(RxChain, BestChainOnEmptyChainList) {
-  EXPECT_FALSE(best_chain({}, ch(917.0e6)).has_value());
+  EXPECT_FALSE(best_chain({}, ch(Hz{917.0e6})).has_value());
 }
 
 }  // namespace

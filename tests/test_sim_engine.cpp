@@ -8,29 +8,29 @@ namespace {
 TEST(EventQueue, OrdersByTime) {
   EventQueue q;
   std::vector<int> order;
-  q.push(2.0, [&] { order.push_back(2); });
-  q.push(1.0, [&] { order.push_back(1); });
-  q.push(3.0, [&] { order.push_back(3); });
-  Seconds now = 0.0;
+  q.push(Seconds{2.0}, [&] { order.push_back(2); });
+  q.push(Seconds{1.0}, [&] { order.push_back(1); });
+  q.push(Seconds{3.0}, [&] { order.push_back(3); });
+  Seconds now{0.0};
   while (!q.empty()) q.pop(now)();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_DOUBLE_EQ(now, 3.0);
+  EXPECT_DOUBLE_EQ(now.value(), 3.0);
 }
 
 TEST(EventQueue, FifoAmongTies) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    q.push(1.0, [&order, i] { order.push_back(i); });
+    q.push(Seconds{1.0}, [&order, i] { order.push_back(i); });
   }
-  Seconds now = 0.0;
+  Seconds now{0.0};
   while (!q.empty()) q.pop(now)();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 TEST(EventQueue, EmptyPopThrows) {
   EventQueue q;
-  Seconds now = 0.0;
+  Seconds now{0.0};
   EXPECT_THROW(q.pop(now), std::logic_error);
   EXPECT_THROW(q.next_time(), std::logic_error);
 }
@@ -38,54 +38,54 @@ TEST(EventQueue, EmptyPopThrows) {
 TEST(Engine, AdvancesClock) {
   Engine engine;
   double seen = -1.0;
-  engine.schedule_in(5.0, [&] { seen = engine.now(); });
+  engine.schedule_in(Seconds{5.0}, [&] { seen = engine.now().value(); });
   engine.run();
   EXPECT_DOUBLE_EQ(seen, 5.0);
-  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  EXPECT_DOUBLE_EQ(engine.now().value(), 5.0);
 }
 
 TEST(Engine, NestedScheduling) {
   Engine engine;
   int fired = 0;
-  engine.schedule_in(1.0, [&] {
+  engine.schedule_in(Seconds{1.0}, [&] {
     ++fired;
-    engine.schedule_in(1.0, [&] { ++fired; });
+    engine.schedule_in(Seconds{1.0}, [&] { ++fired; });
   });
   EXPECT_EQ(engine.run(), 2u);
   EXPECT_EQ(fired, 2);
-  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  EXPECT_DOUBLE_EQ(engine.now().value(), 2.0);
 }
 
 TEST(Engine, HorizonStopsExecution) {
   Engine engine;
   int fired = 0;
-  engine.schedule_in(1.0, [&] { ++fired; });
-  engine.schedule_in(10.0, [&] { ++fired; });
-  EXPECT_EQ(engine.run(5.0), 1u);
+  engine.schedule_in(Seconds{1.0}, [&] { ++fired; });
+  engine.schedule_in(Seconds{10.0}, [&] { ++fired; });
+  EXPECT_EQ(engine.run(Seconds{5.0}), 1u);
   EXPECT_EQ(fired, 1);
-  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  EXPECT_DOUBLE_EQ(engine.now().value(), 5.0);
   EXPECT_EQ(engine.run(), 1u);  // remaining event still runs later
   EXPECT_EQ(fired, 2);
 }
 
 TEST(Engine, NegativeDelayThrows) {
   Engine engine;
-  EXPECT_THROW(engine.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_in(Seconds{-1.0}, [] {}), std::invalid_argument);
 }
 
 TEST(Engine, PastAbsoluteTimeThrows) {
   Engine engine;
-  engine.schedule_in(2.0, [] {});
+  engine.schedule_in(Seconds{2.0}, [] {});
   engine.run();
-  EXPECT_THROW(engine.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_at(Seconds{1.0}, [] {}), std::invalid_argument);
 }
 
 TEST(Engine, ResetRestoresInitialState) {
   Engine engine;
-  engine.schedule_in(1.0, [] {});
+  engine.schedule_in(Seconds{1.0}, [] {});
   engine.run();
   engine.reset();
-  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_DOUBLE_EQ(engine.now().value(), 0.0);
   EXPECT_EQ(engine.run(), 0u);
 }
 

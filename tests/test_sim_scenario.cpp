@@ -13,14 +13,14 @@ ChannelModelConfig quiet_channel() {
   // node placements, clear margins); heavy shadowing would conflate
   // decoder contention with RF capture losses.
   ChannelModelConfig cfg;
-  cfg.shadowing_sigma_db = 0.3;
-  cfg.fast_fading_sigma_db = 0.1;
+  cfg.shadowing_sigma_db = Db{0.3};
+  cfg.fast_fading_sigma_db = Db{0.1};
   return cfg;
 }
 
 // A compact single-network deployment: one central gateway, nodes nearby.
 struct Fixture {
-  Deployment deployment{Region{800.0, 800.0}, spectrum_1m6(), quiet_channel()};
+  Deployment deployment{Region{Meters{800.0}, Meters{800.0}}, spectrum_1m6(), quiet_channel()};
   Network* network = nullptr;
   PacketIdSource ids;
   Rng rng{101};
@@ -38,17 +38,17 @@ struct Fixture {
     NodeRadioConfig cfg;
     cfg.channel = deployment.spectrum().grid_channel(channel);
     cfg.dr = dr;
-    cfg.tx_power = 14.0;
+    cfg.tx_power = Dbm{14.0};
     return network->add_node(deployment.next_node_id(), pos, cfg);
   }
 };
 
 TEST(Scenario, SinglePacketDelivered) {
   Fixture f;
-  auto& node = f.add_node(0, DataRate::kDR3, {420, 400});
+  auto& node = f.add_node(0, DataRate::kDR3, Point{Meters{420}, Meters{400}});
   ScenarioRunner runner(f.deployment);
   const auto result =
-      runner.run_window({node.make_transmission(0.0, 10, f.ids.next())});
+      runner.run_window({node.make_transmission(Seconds{0.0}, 10, f.ids.next())});
   EXPECT_EQ(result.total_delivered(), 1u);
   EXPECT_TRUE(result.fates[0].delivered);
   EXPECT_EQ(f.network->server().delivered_packets(), 1u);
@@ -59,12 +59,12 @@ TEST(Scenario, ConservationOfferedEqualsDeliveredPlusLost) {
   std::vector<EndNode*> nodes;
   for (int i = 0; i < 30; ++i) {
     nodes.push_back(&f.add_node(i % 8, static_cast<DataRate>(i % 6),
-                                {400.0 + (i % 6) * 30.0,
-                                 380.0 + (i / 6) * 25.0}));
+                                Point{Meters{400.0 + (i % 6) * 30.0},
+                                      Meters{380.0 + (i / 6) * 25.0}}));
   }
   ScenarioRunner runner(f.deployment);
   MetricsCollector metrics;
-  const auto txs = concurrent_burst(nodes, 0.0, f.ids);
+  const auto txs = concurrent_burst(nodes, Seconds{0.0}, f.ids);
   const auto result = runner.run_window(txs, metrics);
   EXPECT_EQ(result.total_offered(), 30u);
   std::size_t losses = 0;
@@ -84,12 +84,12 @@ TEST(Scenario, SixteenDecoderCeilingEndToEnd) {
   std::vector<EndNode*> nodes;
   for (int i = 0; i < 48; ++i) {
     nodes.push_back(&f.add_node(i % 8, static_cast<DataRate>(i / 8),
-                                {350.0 + (i % 8) * 20.0,
-                                 360.0 + (i / 8) * 15.0}));
+                                Point{Meters{350.0 + (i % 8) * 20.0},
+                                      Meters{360.0 + (i / 8) * 15.0}}));
   }
   ScenarioRunner runner(f.deployment);
   // Stagger lock-ons so dispatch order is defined.
-  const auto txs = staggered_by_lock_on(nodes, 0.0, 0.0005, f.ids);
+  const auto txs = staggered_by_lock_on(nodes, Seconds{0.0}, Seconds{0.0005}, f.ids);
   const auto result = runner.run_window(txs);
   EXPECT_EQ(result.total_delivered(), 16u);
 }
@@ -97,13 +97,13 @@ TEST(Scenario, SixteenDecoderCeilingEndToEnd) {
 TEST(Scenario, OutOfRangeNodeGetsOtherLoss) {
   Fixture f;
   // Far outside the region (the deployment only covers 800 m).
-  auto& node = f.add_node(0, DataRate::kDR5, {0, 0});
+  auto& node = f.add_node(0, DataRate::kDR5, Point{Meters{0}, Meters{0}});
   NodeRadioConfig cfg = node.config();
-  cfg.tx_power = 2.0;  // minimal power, SF7 from a corner: unreachable
+  cfg.tx_power = Dbm{2.0};  // minimal power, SF7 from a corner: unreachable
   node.apply_config(cfg);
   ScenarioRunner runner(f.deployment);
   const auto result =
-      runner.run_window({node.make_transmission(0.0, 10, f.ids.next())});
+      runner.run_window({node.make_transmission(Seconds{0.0}, 10, f.ids.next())});
   // Either not detected at all (kOther) or, rarely, delivered if fading
   // smiles; with 2 dBm at ~570 m and SF7 it must fail.
   EXPECT_EQ(result.total_delivered(), 0u);
@@ -115,11 +115,11 @@ TEST(Scenario, MetricsOverloadMatchesWindowResult) {
   std::vector<EndNode*> nodes;
   for (int i = 0; i < 20; ++i) {
     nodes.push_back(&f.add_node(i % 8, static_cast<DataRate>(i % 6),
-                                {400.0 + i * 5.0, 400.0}));
+                                Point{Meters{400.0 + i * 5.0}, Meters{400.0}}));
   }
   ScenarioRunner runner(f.deployment);
   MetricsCollector metrics;
-  const auto txs = concurrent_burst(nodes, 0.0, f.ids);
+  const auto txs = concurrent_burst(nodes, Seconds{0.0}, f.ids);
   const auto result = runner.run_window(txs, metrics);
   EXPECT_EQ(metrics.total_offered(), result.total_offered());
   EXPECT_EQ(metrics.total_delivered(), result.total_delivered());
@@ -127,10 +127,10 @@ TEST(Scenario, MetricsOverloadMatchesWindowResult) {
 
 TEST(Scenario, RepeatedWindowsAccumulateServerState) {
   Fixture f;
-  auto& node = f.add_node(2, DataRate::kDR2, {420, 380});
+  auto& node = f.add_node(2, DataRate::kDR2, Point{Meters{420}, Meters{380}});
   ScenarioRunner runner(f.deployment);
-  (void)runner.run_window({node.make_transmission(0.0, 10, f.ids.next())});
-  (void)runner.run_window({node.make_transmission(100.0, 10, f.ids.next())});
+  (void)runner.run_window({node.make_transmission(Seconds{0.0}, 10, f.ids.next())});
+  (void)runner.run_window({node.make_transmission(Seconds{100.0}, 10, f.ids.next())});
   EXPECT_EQ(f.network->server().delivered_packets(), 2u);
   EXPECT_EQ(f.network->server().link_profiles().at(node.id()).uplinks, 2u);
 }
@@ -141,10 +141,10 @@ TEST(Scenario, DeterministicUnderSameSeed) {
     std::vector<EndNode*> nodes;
     for (int i = 0; i < 25; ++i) {
       nodes.push_back(&f.add_node(i % 8, static_cast<DataRate>(i % 6),
-                                  {300.0 + i * 10.0, 500.0}));
+                                  Point{Meters{300.0 + i * 10.0}, Meters{500.0}}));
     }
     ScenarioRunner runner(f.deployment, seed);
-    const auto txs = concurrent_burst(nodes, 0.0, f.ids);
+    const auto txs = concurrent_burst(nodes, Seconds{0.0}, f.ids);
     return runner.run_window(txs).total_delivered();
   };
   EXPECT_EQ(run_once(5), run_once(5));

@@ -8,7 +8,7 @@ namespace alphawan {
 namespace {
 
 TEST(Topology, NetworksGetSequentialIdsAndStableReferences) {
-  Deployment deployment{Region{1000, 1000}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{1000}, Meters{1000}}, spectrum_1m6()};
   Network& first = deployment.add_network("a");
   Network& second = deployment.add_network("b");
   EXPECT_EQ(first.id(), 0u);
@@ -23,7 +23,7 @@ TEST(Topology, NetworksGetSequentialIdsAndStableReferences) {
 }
 
 TEST(Topology, IdAllocationIsGloballyUnique) {
-  Deployment deployment{Region{1000, 1000}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{1000}, Meters{1000}}, spectrum_1m6()};
   std::set<NodeId> nodes;
   std::set<GatewayId> gateways;
   for (int i = 0; i < 50; ++i) {
@@ -33,7 +33,7 @@ TEST(Topology, IdAllocationIsGloballyUnique) {
 }
 
 TEST(Topology, PlaceGatewaysCoversRegionWithConfiguredRadios) {
-  Deployment deployment{Region{2000, 1500}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{2000}, Meters{1500}}, spectrum_1m6()};
   Network& network = deployment.add_network("op");
   Rng rng(42);
   const auto ids = deployment.place_gateways(network, 4, default_profile(), rng);
@@ -50,7 +50,7 @@ TEST(Topology, PlaceGatewaysCoversRegionWithConfiguredRadios) {
 }
 
 TEST(Topology, PlaceNodesStayInRegionOnSpectrumChannels) {
-  Deployment deployment{Region{1200, 1200}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{1200}, Meters{1200}}, spectrum_1m6()};
   Network& network = deployment.add_network("op");
   Rng rng(7);
   deployment.place_gateways(network, 1, default_profile(), rng);
@@ -64,30 +64,30 @@ TEST(Topology, PlaceNodesStayInRegionOnSpectrumChannels) {
 }
 
 TEST(Topology, MeanSnrDecreasesWithDistance) {
-  Deployment deployment{Region{4000, 4000}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{4000}, Meters{4000}}, spectrum_1m6()};
   Network& network = deployment.add_network("op");
-  auto& gw = network.add_gateway(deployment.next_gateway_id(), {2000, 2000},
+  auto& gw = network.add_gateway(deployment.next_gateway_id(), Point{Meters{2000}, Meters{2000}},
                                  default_profile());
   NodeRadioConfig cfg;
   cfg.channel = deployment.spectrum().grid_channel(0);
-  cfg.tx_power = 14.0;
-  auto& near = network.add_node(deployment.next_node_id(), {2100, 2000}, cfg);
-  auto& far = network.add_node(deployment.next_node_id(), {3900, 3900}, cfg);
+  cfg.tx_power = Dbm{14.0};
+  auto& near = network.add_node(deployment.next_node_id(), Point{Meters{2100}, Meters{2000}}, cfg);
+  auto& far = network.add_node(deployment.next_node_id(), Point{Meters{3900}, Meters{3900}}, cfg);
   EXPECT_GT(deployment.mean_snr(near, gw), deployment.mean_snr(far, gw));
 }
 
 TEST(Topology, FeasibleDrDegradesToDr0OnWeakLinks) {
   // A huge region: the corner node cannot clear any fast-DR threshold.
-  Deployment deployment{Region{60000, 60000}, spectrum_1m6()};
+  Deployment deployment{Region{Meters{60000}, Meters{60000}}, spectrum_1m6()};
   Network& network = deployment.add_network("op");
-  network.add_gateway(deployment.next_gateway_id(), {30000, 30000},
+  network.add_gateway(deployment.next_gateway_id(), Point{Meters{30000}, Meters{30000}},
                       default_profile());
   NodeRadioConfig cfg;
   cfg.channel = deployment.spectrum().grid_channel(0);
-  cfg.tx_power = 14.0;
+  cfg.tx_power = Dbm{14.0};
   auto& near =
-      network.add_node(deployment.next_node_id(), {30050, 30000}, cfg);
-  auto& far = network.add_node(deployment.next_node_id(), {100, 100}, cfg);
+      network.add_node(deployment.next_node_id(), Point{Meters{30050}, Meters{30000}}, cfg);
+  auto& far = network.add_node(deployment.next_node_id(), Point{Meters{100}, Meters{100}}, cfg);
   EXPECT_EQ(deployment.feasible_dr(far, network), DataRate::kDR0);
   // Adjacent to the gateway, a faster DR must be feasible.
   EXPECT_GT(dr_value(deployment.feasible_dr(near, network)),

@@ -31,16 +31,16 @@ std::vector<EndNode*> raw(const std::vector<std::unique_ptr<EndNode>>& nodes) {
 TEST(Traffic, ConcurrentBurstAllStartTogether) {
   auto nodes = make_nodes(10);
   PacketIdSource ids;
-  const auto txs = concurrent_burst(raw(nodes), 3.0, ids);
+  const auto txs = concurrent_burst(raw(nodes), Seconds{3.0}, ids);
   ASSERT_EQ(txs.size(), 10u);
-  for (const auto& tx : txs) EXPECT_DOUBLE_EQ(tx.start, 3.0);
+  for (const auto& tx : txs) EXPECT_DOUBLE_EQ(tx.start.value(), 3.0);
 }
 
 TEST(Traffic, PacketIdsUnique) {
   auto nodes = make_nodes(20);
   PacketIdSource ids;
-  const auto a = concurrent_burst(raw(nodes), 0.0, ids);
-  const auto b = concurrent_burst(raw(nodes), 10.0, ids);
+  const auto a = concurrent_burst(raw(nodes), Seconds{0.0}, ids);
+  const auto b = concurrent_burst(raw(nodes), Seconds{10.0}, ids);
   std::set<PacketId> seen;
   for (const auto& tx : a) seen.insert(tx.id);
   for (const auto& tx : b) seen.insert(tx.id);
@@ -50,7 +50,7 @@ TEST(Traffic, PacketIdsUnique) {
 TEST(Traffic, StaggeredByStartOrdersStarts) {
   auto nodes = make_nodes(12);
   PacketIdSource ids;
-  const auto txs = staggered_by_start(raw(nodes), 0.0, 0.001, ids);
+  const auto txs = staggered_by_start(raw(nodes), Seconds{0.0}, Seconds{0.001}, ids);
   for (std::size_t i = 0; i + 1 < txs.size(); ++i) {
     EXPECT_LT(txs[i].start, txs[i + 1].start);
   }
@@ -61,7 +61,7 @@ TEST(Traffic, StaggeredByLockOnOrdersLockOns) {
   // the lock-on instants are in node order.
   auto nodes = make_nodes(12);
   PacketIdSource ids;
-  const auto txs = staggered_by_lock_on(raw(nodes), 0.0, 0.001, ids);
+  const auto txs = staggered_by_lock_on(raw(nodes), Seconds{0.0}, Seconds{0.001}, ids);
   for (std::size_t i = 0; i + 1 < txs.size(); ++i) {
     EXPECT_LT(txs[i].lock_on(), txs[i + 1].lock_on());
   }
@@ -71,11 +71,11 @@ TEST(Traffic, PoissonRateApproximatelyCorrect) {
   auto nodes = make_nodes(50);
   PacketIdSource ids;
   Rng rng(5);
-  const Seconds window = 1000.0;
+  const Seconds window{1000.0};
   const double rate = 0.01;  // 10 packets per node expected
   const auto txs = poisson_traffic(raw(nodes), window, rate, rng, ids,
                                    /*duty=*/1.0);
-  const double expected = 50 * window * rate;
+  const double expected = 50 * window.value() * rate;
   EXPECT_NEAR(static_cast<double>(txs.size()), expected, expected * 0.2);
 }
 
@@ -83,10 +83,10 @@ TEST(Traffic, PoissonRespectsWindow) {
   auto nodes = make_nodes(5);
   PacketIdSource ids;
   Rng rng(7);
-  const auto txs = poisson_traffic(raw(nodes), 100.0, 0.1, rng, ids, 1.0);
+  const auto txs = poisson_traffic(raw(nodes), Seconds{100.0}, 0.1, rng, ids, 1.0);
   for (const auto& tx : txs) {
-    EXPECT_GE(tx.start, 0.0);
-    EXPECT_LT(tx.start, 100.0);
+    EXPECT_GE(tx.start, Seconds{0.0});
+    EXPECT_LT(tx.start, Seconds{100.0});
   }
 }
 
@@ -97,16 +97,16 @@ TEST(Traffic, PoissonHonorsDutyCycle) {
   PacketIdSource ids;
   Rng rng(9);
   const auto txs =
-      poisson_traffic(raw(nodes), 2000.0, 1.0, rng, ids, /*duty=*/0.01);
+      poisson_traffic(raw(nodes), Seconds{2000.0}, 1.0, rng, ids, /*duty=*/0.01);
   ASSERT_GT(txs.size(), 1u);
   for (std::size_t i = 1; i < txs.size(); ++i) {
     const Seconds airtime = txs[i - 1].end() - txs[i - 1].start;
-    EXPECT_GE(txs[i].start - txs[i - 1].end(), 99.0 * airtime - 1e-6);
+    EXPECT_GE(txs[i].start - txs[i - 1].end(), 99.0 * airtime - Seconds{1e-6});
   }
   // Aggregate duty cycle stays at (or below) the cap.
-  Seconds busy = 0.0;
+  Seconds busy{0.0};
   for (const auto& tx : txs) busy += tx.end() - tx.start;
-  EXPECT_LE(busy / 2000.0, 0.011);
+  EXPECT_LE(busy.value() / 2000.0, 0.011);
 }
 
 TEST(Traffic, EmulatedUsersCarryVirtualIds) {
@@ -114,7 +114,7 @@ TEST(Traffic, EmulatedUsersCarryVirtualIds) {
   PacketIdSource ids;
   Rng rng(11);
   const auto txs = emulated_user_traffic(raw(nodes), /*users_per_node=*/4,
-                                         500.0, 0.01, rng, ids,
+                                         Seconds{500.0}, 0.01, rng, ids,
                                          /*virtual_base=*/1000);
   std::set<NodeId> users;
   for (const auto& tx : txs) {
@@ -130,7 +130,7 @@ TEST(Traffic, EmulatedUsersShareOriginPosition) {
   PacketIdSource ids;
   Rng rng(13);
   const auto txs =
-      emulated_user_traffic(raw(nodes), 5, 500.0, 0.02, rng, ids, 1000);
+      emulated_user_traffic(raw(nodes), 5, Seconds{500.0}, 0.02, rng, ids, 1000);
   for (const auto& tx : txs) {
     EXPECT_EQ(tx.origin, nodes[0]->position());
   }
@@ -139,7 +139,7 @@ TEST(Traffic, EmulatedUsersShareOriginPosition) {
 TEST(Traffic, SortByStartStable) {
   auto nodes = make_nodes(4);
   PacketIdSource ids;
-  auto txs = concurrent_burst(raw(nodes), 1.0, ids);
+  auto txs = concurrent_burst(raw(nodes), Seconds{1.0}, ids);
   std::reverse(txs.begin(), txs.end());
   sort_by_start(txs);
   for (std::size_t i = 0; i + 1 < txs.size(); ++i) {

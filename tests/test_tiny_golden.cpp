@@ -25,11 +25,11 @@ struct TinyWorld {
 
 TinyWorld build_tiny_world() {
   ChannelModelConfig channel;
-  channel.shadowing_sigma_db = 0.3;
-  channel.fast_fading_sigma_db = 0.1;
+  channel.shadowing_sigma_db = Db{0.3};
+  channel.fast_fading_sigma_db = Db{0.1};
   TinyWorld world;
   world.deployment = std::make_unique<Deployment>(
-      Region{900.0, 900.0}, spectrum_1m6(), channel);
+      Region{Meters{900.0}, Meters{900.0}}, spectrum_1m6(), channel);
   PacketIdSource ids;
   std::vector<EndNode*> nodes;
   const auto plan = standard_plan(world.deployment->spectrum(), 0);
@@ -39,7 +39,8 @@ TinyWorld build_tiny_world() {
     for (int g = 0; g < 2; ++g) {
       auto& gw = network.add_gateway(
           world.deployment->next_gateway_id(),
-          Point{380.0 + 140.0 * g, 420.0 + 60.0 * n}, default_profile());
+          Point{Meters{380.0 + 140.0 * g}, Meters{420.0 + 60.0 * n}},
+          default_profile());
       gw.apply_channels(GatewayChannelConfig{plan.channels});
     }
     for (int i = 0; i < 8; ++i) {
@@ -47,13 +48,14 @@ TinyWorld build_tiny_world() {
       // Only 4 distinct channels across 16 nodes: guaranteed contention.
       cfg.channel = world.deployment->spectrum().grid_channel(i % 4);
       cfg.dr = static_cast<DataRate>(i % 3);
-      cfg.tx_power = 14.0;
+      cfg.tx_power = Dbm{14.0};
       nodes.push_back(&network.add_node(
           world.deployment->next_node_id(),
-          Point{360.0 + 30.0 * i, 390.0 + 40.0 * n + 8.0 * i}, cfg));
+          Point{Meters{360.0 + 30.0 * i}, Meters{390.0 + 40.0 * n + 8.0 * i}},
+          cfg));
     }
   }
-  world.txs = concurrent_burst(nodes, 0.0, ids);
+  world.txs = concurrent_burst(nodes, Seconds{0.0}, ids);
   return world;
 }
 

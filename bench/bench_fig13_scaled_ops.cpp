@@ -112,10 +112,11 @@ Result run(Strategy strategy, std::size_t users, std::uint64_t seed) {
     txs = lmac_schedule(std::move(txs), lmac_rng);
   }
 
-  ScenarioRunner runner(deployment, seed);
+  RunOptions options;
   if (strategy == Strategy::kCic) {
-    runner.set_post_processor(make_cic_processor());
+    options.post_processor = make_cic_processor();
   }
+  ScenarioRunner runner(deployment, seed, std::move(options));
   MetricsCollector metrics;
   (void)runner.run_window(txs, metrics);
 

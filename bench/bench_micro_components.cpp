@@ -4,11 +4,14 @@
 // the Fig. 17 scales.
 #include <benchmark/benchmark.h>
 
+#include "baselines/standard_lorawan.hpp"
 #include "core/ga_solver.hpp"
 #include "net/frame.hpp"
 #include "net/sync_word.hpp"
 #include "phy/airtime.hpp"
 #include "radio/gateway_radio.hpp"
+#include "sim/scenario.hpp"
+#include "sim/traffic.hpp"
 
 namespace alphawan {
 namespace {
@@ -114,6 +117,65 @@ void BM_CpSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CpSolve)->Unit(benchmark::kMillisecond)->Arg(4000)->Arg(8000)->Arg(12000)->Iterations(1);
+
+// ---- parallel-speedup table (threads x {GA solve, 1k-node window}) --------
+// Results are bit-identical at every thread count (see docs/parallelism.md);
+// only wall-clock time moves. The Arg is the explicit thread count, so the
+// table is the speedup trajectory tracked in BENCH_*.json.
+
+void BM_CpSolveThreads(benchmark::State& state) {
+  const auto inst = solver_instance(4000, 4);
+  GaConfig cfg;
+  cfg.population = 32;
+  cfg.generations = 20;
+  cfg.early_stop = false;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_cp(inst, cfg));
+  }
+}
+BENCHMARK(BM_CpSolveThreads)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1);
+
+void BM_WindowThreads(benchmark::State& state) {
+  ChannelModelConfig urban;
+  urban.shadowing_sigma_db = Db{3.0};
+  urban.fast_fading_sigma_db = Db{0.8};
+  Deployment deployment{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(),
+                        urban};
+  auto& network = deployment.add_network("op");
+  Rng rng(17);
+  deployment.place_gateways(network, 15, default_profile(), rng);
+  deployment.place_nodes(network, 1000, rng);
+  apply_standard_lorawan(deployment, network, rng);
+
+  RunOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  ScenarioRunner runner(deployment, 17, options);
+  std::vector<EndNode*> nodes;
+  for (auto& n : network.nodes()) nodes.push_back(&n);
+  PacketIdSource ids;
+  Rng traffic_rng(23);
+  const auto txs =
+      poisson_traffic(nodes, Seconds{30.0}, 1.0 / 40.0, traffic_rng, ids, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run_window(txs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(txs.size()));
+}
+BENCHMARK(BM_WindowThreads)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(4);
 
 }  // namespace
 }  // namespace alphawan

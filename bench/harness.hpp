@@ -11,14 +11,29 @@
 #include <set>
 #include <numbers>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/standard_lorawan.hpp"
+#include "common/parallel.hpp"
 #include "core/controller.hpp"
 #include "sim/scenario.hpp"
 #include "sim/traffic.hpp"
 
 namespace alphawan::bench {
+
+// Evaluate one independent data point per input concurrently and return
+// the results in input order. Sweep bodies must be self-contained: build a
+// fresh Deployment (and runner, id source, rng) per point — points share
+// nothing, so any ALPHAWAN_THREADS value yields the same table.
+template <typename Input, typename Fn>
+auto parallel_sweep(const std::vector<Input>& inputs, Fn&& fn) {
+  using Result = std::decay_t<std::invoke_result_t<Fn&, const Input&>>;
+  std::vector<Result> out(inputs.size());
+  parallel_for(inputs.size(),
+               [&](std::size_t i) { out[i] = fn(inputs[i]); });
+  return out;
+}
 
 // Stable links: the paper's controlled capacity experiments pick placements
 // with clear margins, so decoder contention is not confounded by fading.
@@ -106,7 +121,9 @@ inline std::size_t max_concurrent_users(Deployment& deployment,
     at += Seconds{100.0};  // separate bursts in time
     if (static_cast<double>(result.total_delivered()) >=
         threshold * static_cast<double>(n)) {
-      best = result.total_delivered();
+      // The metric is the user count N, not the delivered count of the
+      // burst (with threshold < 1 a passing burst may deliver fewer).
+      best = n;
     }
   }
   return best;

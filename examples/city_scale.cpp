@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "baselines/standard_lorawan.hpp"
+#include "common/parallel.hpp"
 #include "core/controller.hpp"
 #include "core/log_parser.hpp"
 #include "core/traffic_estimator.hpp"
@@ -101,5 +102,28 @@ int main() {
   }
   std::printf("PRR after AlphaWAN planning: %.3f (was %.3f)\n", after,
               before);
+
+  // --- phase 4: status-quo scaling sweep ---------------------------------
+  // Each density point is an independent world, so the sweep fans out
+  // across ALPHAWAN_THREADS; the table is identical at every thread count.
+  const std::vector<int> densities = {200, 400, 600, 800};
+  const auto sweep_prr = parallel_map(densities.size(), [&](std::size_t i) {
+    Deployment world{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(), urban};
+    auto& op = world.add_network("sweep-op");
+    Rng world_rng(100 + i);
+    world.place_gateways(op, 15, default_profile(), world_rng);
+    world.place_nodes(op, densities[i], world_rng);
+    StandardLorawanOptions sweep_options;
+    sweep_options.spread_gateways_across_plans = false;
+    apply_standard_lorawan(world, op, world_rng, sweep_options);
+    ScenarioRunner sweep_runner(world, 3);
+    PacketIdSource sweep_ids;
+    return run_epoch(world, op, sweep_runner, sweep_ids, world_rng,
+                     Seconds{0.0});
+  });
+  std::printf("\nstatus-quo PRR vs node density (one window each):\n");
+  for (std::size_t i = 0; i < densities.size(); ++i) {
+    std::printf("  %4d nodes: %.3f\n", densities[i], sweep_prr[i]);
+  }
   return 0;
 }

@@ -7,8 +7,8 @@
 // packet N lost?": it lists, per gateway that could hear the packet, the
 // received power, SNR, and disposition, plus the resulting fate.
 //
-// Limitation: post-processors installed with set_post_processor (the CIC
-// baseline) are not replayed; the report reflects the stock radio pipeline.
+// Limitation: post-processors installed via RunOptions (the CIC baseline)
+// are not replayed; the report reflects the stock radio pipeline.
 #pragma once
 
 #include <string>

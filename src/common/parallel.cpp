@@ -1,0 +1,196 @@
+#include "common/parallel.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace alphawan {
+namespace {
+
+// Set while a pool worker is executing a task: reentrant parallel_for calls
+// from inside a region must not block on the shared queue (the queue could
+// be drained only by the very workers that are waiting), so they degrade to
+// serial execution instead.
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+std::vector<IndexRange> static_partition(std::size_t count, int chunks) {
+  std::vector<IndexRange> ranges;
+  if (count == 0 || chunks < 1) return ranges;
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(chunks), count);
+  ranges.reserve(k);
+  const std::size_t base = count / k;
+  const std::size_t remainder = count % k;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t size = base + (c < remainder ? 1 : 0);
+    ranges.push_back(IndexRange{begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
+int parse_thread_count(const char* text) {
+  if (text != nullptr && *text != '\0') {
+    char* end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end != nullptr && *end == '\0' && value >= 1 && value <= 4096) {
+      return static_cast<int>(value);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int default_thread_count() {
+  static const int count = parse_thread_count(std::getenv("ALPHAWAN_THREADS"));
+  return count;
+}
+
+// Shared bookkeeping of one parallel_for call: how many chunks are still
+// outstanding and the exception of the lowest-indexed failing chunk. Lives
+// on the submitting call frame, which outlives the region.
+struct Region {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  std::size_t first_error_chunk = 0;
+  std::exception_ptr error;
+
+  void finish_chunk(std::size_t chunk, std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (err && (!error || chunk < first_error_chunk)) {
+      error = err;
+      first_error_chunk = chunk;
+    }
+    if (--pending == 0) done_cv.notify_all();
+  }
+};
+
+// One chunk of a parallel_for region.
+struct ThreadPool::Task {
+  IndexRange range;
+  std::size_t chunk_index = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  Region* region = nullptr;
+
+  void run() const {
+    std::exception_ptr err;
+    try {
+      for (std::size_t i = range.begin; i < range.end; ++i) (*body)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    region->finish_chunk(chunk_index, err);
+  }
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<Task> queue;
+  std::vector<std::thread> workers;
+  bool stopping = false;
+};
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads < 1 ? 1 : threads), impl_(new Impl) {
+  for (int t = 0; t < threads_ - 1; ++t) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_worker = true;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->work_cv.wait(
+          lock, [this] { return impl_->stopping || !impl_->queue.empty(); });
+      if (impl_->queue.empty()) return;  // stopping and drained
+      task = impl_->queue.front();
+      impl_->queue.pop_front();
+    }
+    task.run();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, int chunks,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const auto ranges = static_partition(count, chunks);
+  // Serial paths: a single chunk, no workers to hand off to, or a reentrant
+  // call from inside a region (blocking here could starve the queue). The
+  // partition — and therefore every result slot — is the same either way.
+  if (ranges.size() == 1 || threads_ == 1 || t_inside_worker) {
+    for (const auto& range : ranges) {
+      for (std::size_t i = range.begin; i < range.end; ++i) body(i);
+    }
+    return;
+  }
+
+  Region region;
+  region.pending = ranges.size();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    // Enqueue every chunk but the first; the caller runs chunk 0 itself.
+    for (std::size_t c = 1; c < ranges.size(); ++c) {
+      impl_->queue.push_back(Task{ranges[c], c, &body, &region});
+    }
+  }
+  impl_->work_cv.notify_all();
+  Task{ranges[0], 0, &body, &region}.run();
+
+  // Help drain the queue instead of idling (a task from another concurrent
+  // region settles with that region's own counter).
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      if (impl_->queue.empty()) break;
+      task = impl_->queue.front();
+      impl_->queue.pop_front();
+    }
+    const bool was_inside = t_inside_worker;
+    t_inside_worker = true;
+    task.run();
+    t_inside_worker = was_inside;
+  }
+  {
+    std::unique_lock<std::mutex> lock(region.mutex);
+    region.done_cv.wait(lock, [&region] { return region.pending == 0; });
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body, int threads) {
+  const int k = threads > 0 ? threads : default_thread_count();
+  if (k == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool::global().parallel_for(count, k, body);
+}
+
+}  // namespace alphawan

@@ -1,0 +1,100 @@
+// Deterministic parallel execution: a small fixed-size thread pool plus
+// parallel_for / parallel_map helpers whose results never depend on thread
+// scheduling.
+//
+// The determinism contract (docs/parallelism.md):
+//   * work is split by STATIC index-based partitioning — chunk c of k always
+//     covers the same contiguous index range, regardless of thread count or
+//     scheduling;
+//   * results are written to pre-sized, per-index slots — never accumulated
+//     in completion order;
+//   * a body must be a pure function of its index and of state that is
+//     read-only for the duration of the region (shared caches it touches
+//     must be internally synchronized AND value-deterministic).
+// Under that contract a parallel run is bit-identical to the serial run,
+// which the golden-digest property tests enforce.
+//
+// Thread count comes from ALPHAWAN_THREADS (default: hardware concurrency;
+// `1` forces serial execution on the calling thread).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace alphawan {
+
+// Contiguous half-open index range [begin, end).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+// Split [0, count) into at most `chunks` contiguous ranges, sizes differing
+// by at most one, earlier chunks taking the remainder. Empty ranges are
+// omitted, so the result has min(chunks, count) entries (none for count 0).
+[[nodiscard]] std::vector<IndexRange> static_partition(std::size_t count,
+                                                       int chunks);
+
+// Parse an ALPHAWAN_THREADS-style value: a positive integer gives that many
+// threads; null/empty/invalid falls back to hardware concurrency (>= 1).
+[[nodiscard]] int parse_thread_count(const char* text);
+
+// The process-wide thread budget: ALPHAWAN_THREADS if exported, hardware
+// concurrency otherwise. Read once at first use.
+[[nodiscard]] int default_thread_count();
+
+class ThreadPool {
+ public:
+  // Spawns `threads - 1` workers; the thread calling parallel_for always
+  // executes the first chunk itself, so `threads` is the true concurrency.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  // Execute body(i) for every i in [0, count), partitioned into `chunks`
+  // contiguous ranges (static_partition). Blocks until every index ran.
+  // If any body throws, the exception from the LOWEST-indexed failing chunk
+  // is rethrown after the region completes (deterministic error reporting).
+  //
+  // Reentrant calls from inside a worker run serially on that worker — the
+  // partition stays the same, so results are unaffected.
+  void parallel_for(std::size_t count, int chunks,
+                    const std::function<void(std::size_t)>& body);
+
+  // The process-wide pool, sized by default_thread_count().
+  static ThreadPool& global();
+
+ private:
+  struct Task;
+  void worker_loop();
+
+  int threads_;
+  struct Impl;
+  Impl* impl_;
+};
+
+// Run body(i) for i in [0, count) on the global pool. `threads` overrides
+// the partition/concurrency for this call: 0 uses the process default and
+// 1 forces serial execution on the calling thread.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  int threads = 0);
+
+// Map [0, count) through fn into a pre-sized vector, slot i receiving
+// fn(i). Slot writes are index-keyed, so the output order never depends on
+// scheduling.
+template <typename Fn>
+auto parallel_map(std::size_t count, Fn&& fn, int threads = 0) {
+  using Result = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  std::vector<Result> out(count);
+  parallel_for(
+      count, [&](std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace alphawan

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace alphawan {
@@ -64,7 +65,7 @@ void randomize_gateway(const CpInstance& instance, const GaConfig& config,
 
 void mutate(const CpInstance& instance, const GaConfig& config,
             const std::vector<std::vector<std::int32_t>>& reach,
-            CpSolution& s, Rng& rng) {
+            bool nodes_frozen, CpSolution& s, Rng& rng) {
   // Gateway genes.
   for (std::size_t j = 0; j < instance.gateways.size(); ++j) {
     if (!rng.chance(config.mutation_rate * 10.0)) continue;
@@ -91,7 +92,7 @@ void mutate(const CpInstance& instance, const GaConfig& config,
     }
   }
   // Node genes.
-  if (!config.freeze_nodes) {
+  if (!nodes_frozen) {
     for (std::size_t i = 0; i < instance.nodes.size(); ++i) {
       if (!rng.chance(config.mutation_rate)) continue;
       if (reach[i].empty()) continue;
@@ -112,13 +113,13 @@ void mutate(const CpInstance& instance, const GaConfig& config,
   }
 }
 
-CpSolution crossover(const CpInstance& instance, const GaConfig& config,
+CpSolution crossover(const CpInstance& instance, bool nodes_frozen,
                      const CpSolution& a, const CpSolution& b, Rng& rng) {
   CpSolution child = a;
   for (std::size_t j = 0; j < instance.gateways.size(); ++j) {
     if (rng.chance(0.5)) child.gateway_channels[j] = b.gateway_channels[j];
   }
-  if (!config.freeze_nodes) {
+  if (!nodes_frozen) {
     for (std::size_t i = 0; i < instance.nodes.size(); ++i) {
       if (rng.chance(0.5)) {
         child.node_channel[i] = b.node_channel[i];
@@ -135,29 +136,62 @@ GaResult solve_cp(const CpInstance& instance, const GaConfig& config) {
   if (!instance.valid()) {
     throw std::invalid_argument("solve_cp: invalid CP instance");
   }
-  if (config.freeze_nodes && !config.initial) {
-    throw std::invalid_argument(
-        "solve_cp: freeze_nodes requires an initial solution");
+  // Resolve the node-freezing request: the typed frozen_nodes field, or the
+  // deprecated freeze_nodes + initial pair (still validated at runtime for
+  // external callers on the old API).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const bool legacy_freeze = config.freeze_nodes;
+#pragma GCC diagnostic pop
+  const CpSolution* frozen = nullptr;
+  if (config.frozen_nodes) {
+    frozen = &config.frozen_nodes->solution;
+  } else if (legacy_freeze) {
+    if (!config.initial) {
+      throw std::invalid_argument(
+          "solve_cp: freeze_nodes requires an initial solution");
+    }
+    frozen = &*config.initial;
   }
+  const bool nodes_frozen = frozen != nullptr;
+  // Population seed: an explicit initial wins; a frozen solution doubles as
+  // the seed otherwise.
+  const CpSolution* seed_solution =
+      config.initial ? &*config.initial : frozen;
+
   Rng rng(config.seed);
   const auto reach = reachable_gateways(instance);
+  GaResult result;
 
-  auto evaluate_individual = [&](Individual& ind, GaResult& result) {
+  // Prepare + score one individual. Pure in the individual given the
+  // instance and config — the precondition that lets a batch fan out.
+  auto evaluate_individual = [&](Individual& ind) {
     repair(instance, ind.solution);
     if (config.forced_channel_count) {
       enforce_forced_width(instance, *config.forced_channel_count,
                            ind.solution);
     }
-    if (config.freeze_nodes) {
-      ind.solution.node_channel = config.initial->node_channel;
-      ind.solution.node_level = config.initial->node_level;
+    if (nodes_frozen) {
+      ind.solution.node_channel = frozen->node_channel;
+      ind.solution.node_level = frozen->node_level;
     }
     ind.eval = evaluate(instance, ind.solution, config.weights);
     ind.evaluated = true;
-    ++result.evaluations;
   };
-
-  GaResult result;
+  // Evaluate every not-yet-scored individual concurrently. Results land in
+  // each individual's own slot and the count is exact, so GaResult is
+  // identical at any thread count.
+  auto evaluate_pending = [&](std::vector<Individual>& group) {
+    std::vector<Individual*> pending;
+    pending.reserve(group.size());
+    for (auto& ind : group) {
+      if (!ind.evaluated) pending.push_back(&ind);
+    }
+    parallel_for(
+        pending.size(), [&](std::size_t i) { evaluate_individual(*pending[i]); },
+        config.threads);
+    result.evaluations += pending.size();
+  };
 
   // ---- initial population -------------------------------------------
   std::vector<Individual> population;
@@ -166,34 +200,34 @@ GaResult solve_cp(const CpInstance& instance, const GaConfig& config) {
     Individual seed;
     GreedyOptions greedy_opts;
     greedy_opts.forced_channel_count = config.forced_channel_count;
-    seed.solution = config.initial ? *config.initial
-                                   : greedy_seed(instance, greedy_opts);
-    evaluate_individual(seed, result);
+    seed.solution = seed_solution != nullptr ? *seed_solution
+                                             : greedy_seed(instance, greedy_opts);
     population.push_back(seed);
     // If both an explicit initial and a greedy seed make sense, add the
     // greedy one too.
-    if (config.initial && !config.freeze_nodes) {
+    if (config.initial && !nodes_frozen) {
       Individual greedy;
       greedy.solution = greedy_seed(instance, greedy_opts);
-      evaluate_individual(greedy, result);
       population.push_back(greedy);
     }
-  }
-  // Seed a few structurally different greedy plans (channel widths 1-4):
-  // multi-gateway coverage overlap makes the ideal width instance-specific.
-  if (!config.forced_channel_count && !config.freeze_nodes) {
-    for (int width = 1;
-         width <= 4 &&
-         population.size() + 1 < static_cast<std::size_t>(config.population);
-         ++width) {
-      Individual ind;
-      GreedyOptions opts;
-      opts.forced_channel_count = width;
-      ind.solution = greedy_seed(instance, opts);
-      evaluate_individual(ind, result);
-      population.push_back(std::move(ind));
+    // Seed a few structurally different greedy plans (channel widths 1-4):
+    // multi-gateway coverage overlap makes the ideal width instance-specific.
+    if (!config.forced_channel_count && !nodes_frozen) {
+      for (int width = 1;
+           width <= 4 &&
+           population.size() + 1 < static_cast<std::size_t>(config.population);
+           ++width) {
+        Individual ind;
+        GreedyOptions opts;
+        opts.forced_channel_count = width;
+        ind.solution = greedy_seed(instance, opts);
+        population.push_back(std::move(ind));
+      }
     }
   }
+  // Score the seeds first: the random fill below perturbs the REPAIRED
+  // front-of-population solution, as the serial algorithm always has.
+  evaluate_pending(population);
   while (population.size() < static_cast<std::size_t>(config.population)) {
     Individual ind;
     ind.solution = population.front().solution;
@@ -202,10 +236,10 @@ GaResult solve_cp(const CpInstance& instance, const GaConfig& config) {
         randomize_gateway(instance, config, ind.solution, j, rng);
       }
     }
-    mutate(instance, config, reach, ind.solution, rng);
-    evaluate_individual(ind, result);
+    mutate(instance, config, reach, nodes_frozen, ind.solution, rng);
     population.push_back(std::move(ind));
   }
+  evaluate_pending(population);
 
   auto better = [](const Individual& a, const Individual& b) {
     return a.eval.objective < b.eval.objective;
@@ -221,6 +255,8 @@ GaResult solve_cp(const CpInstance& instance, const GaConfig& config) {
   };
 
   // ---- generations ----------------------------------------------------
+  // Offspring are constructed serially (every rng draw happens here, in a
+  // fixed order), then the batch of new individuals is scored in parallel.
   for (int gen = 0; gen < config.generations; ++gen) {
     std::sort(population.begin(), population.end(), better);
     if (config.early_stop &&
@@ -241,14 +277,14 @@ GaResult solve_cp(const CpInstance& instance, const GaConfig& config) {
       if (rng.chance(config.crossover_rate)) {
         const Individual& p2 = tournament_pick();
         child.solution =
-            crossover(instance, config, p1.solution, p2.solution, rng);
+            crossover(instance, nodes_frozen, p1.solution, p2.solution, rng);
       } else {
         child.solution = p1.solution;
       }
-      mutate(instance, config, reach, child.solution, rng);
-      evaluate_individual(child, result);
+      mutate(instance, config, reach, nodes_frozen, child.solution, rng);
       next.push_back(std::move(child));
     }
+    evaluate_pending(next);
     population = std::move(next);
     ++result.generations_run;
   }

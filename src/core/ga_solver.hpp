@@ -1,7 +1,10 @@
 // Evolutionary solver for the CP problem (paper Sec. 4.3.1 runs an
 // evolutionary algorithm on a central server). Tournament selection,
 // per-gateway / per-node uniform crossover, repair-based feasibility, and
-// greedy seeding. Deterministic under a fixed seed.
+// greedy seeding. Deterministic under a fixed seed, at any thread count:
+// all random draws happen while offspring are constructed serially, and
+// fitness evaluation — a pure function per individual — is what fans out
+// across the parallel executor (docs/parallelism.md).
 #pragma once
 
 #include <optional>
@@ -11,6 +14,18 @@
 
 namespace alphawan {
 
+// Strategy 7 node-side disabled: node genes are pinned to this solution,
+// which also seeds the population. Wrapping the solution (rather than a
+// bool next to an optional) makes "frozen but no solution" unrepresentable.
+struct FrozenNodes {
+  CpSolution solution;
+};
+
+// The pragma pair around the struct keeps GaConfig's synthesized
+// copy/move members from tripping the deprecation warning on the
+// freeze_nodes shim below; explicit reads/writes in caller code still do.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct GaConfig {
   int population = 32;
   int generations = 80;
@@ -23,14 +38,25 @@ struct GaConfig {
   std::uint64_t seed = 42;
   // Strategy 1 disabled: force this channel count on every gateway.
   std::optional<int> forced_channel_count;
-  // Strategy 7 node-side disabled: node genes are frozen to the values of
-  // `frozen_nodes` (must be set when true).
-  bool freeze_nodes = false;
-  std::optional<CpSolution> initial;  // seed of the frozen node genes
+  // Freeze node genes to frozen_nodes->solution (see FrozenNodes).
+  std::optional<FrozenNodes> frozen_nodes;
+  // Explicit population seed; node genes still evolve. When unset and
+  // frozen_nodes is set, the frozen solution seeds the population.
+  std::optional<CpSolution> initial;
   // Stop early once the objective reaches zero (perfect plan).
   bool early_stop = true;
   CpWeights weights{};
+  // Worker threads for fitness evaluation: 0 = the ALPHAWAN_THREADS
+  // process default, 1 = force serial. Any value yields identical results.
+  int threads = 0;
+
+  // Deprecated shim, kept for one release: freeze_nodes + initial was the
+  // old way to pin node genes and could express an invalid state at
+  // runtime. solve_cp still honors it for external callers.
+  [[deprecated("set frozen_nodes instead of freeze_nodes + initial")]]
+  bool freeze_nodes = false;
 };
+#pragma GCC diagnostic pop
 
 struct GaResult {
   CpSolution best;

@@ -101,8 +101,8 @@ PlanOutcome IntraPlanner::plan(const Network& network, const Spectrum& spectrum,
     ga.forced_channel_count = 8;
   }
   if (!config_.strategy7_node_side) {
-    ga.freeze_nodes = true;
-    ga.initial = snapshot_solution(network, outcome.instance);
+    ga.frozen_nodes =
+        FrozenNodes{snapshot_solution(network, outcome.instance)};
   }
 
   const auto start = std::chrono::steady_clock::now();

@@ -1,6 +1,7 @@
 #include "phy/channel_model.hpp"
 
 #include <cmath>
+#include <mutex>
 
 namespace alphawan {
 
@@ -16,10 +17,16 @@ Db ChannelModel::mean_path_loss(Meters dist) const {
 
 Db ChannelModel::shadowing(std::uint64_t tx_id, std::uint64_t rx_id) {
   const std::uint64_t key = (tx_id << 20) ^ rx_id;
-  auto it = shadow_cache_.find(key);
-  if (it != shadow_cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> read(shadow_mutex_);
+    const auto it = shadow_cache_.find(key);
+    if (it != shadow_cache_.end()) return it->second;
+  }
+  // Deterministic in the key alone, so two tasks racing on the same miss
+  // compute — and insert — the identical value.
   Rng link_rng(shadow_seed_ ^ (key * 0x9E3779B97F4A7C15ULL));
   const Db value{link_rng.normal(0.0, config_.shadowing_sigma_db.value())};
+  std::unique_lock<std::shared_mutex> write(shadow_mutex_);
   shadow_cache_.emplace(key, value);
   return value;
 }

@@ -7,6 +7,7 @@
 // paper's static testbed behaves, while fast fading is drawn per packet.
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/geometry.hpp"
@@ -64,6 +65,10 @@ class ChannelModel {
 
   ChannelModelConfig config_;
   std::uint64_t shadow_seed_;
+  // The cache is safe to populate from concurrent gateway tasks
+  // (sim/scenario.cpp): entries are pure functions of the key, so racing
+  // fills compute the same value, and inserts are serialized below.
+  std::shared_mutex shadow_mutex_;
   std::unordered_map<std::uint64_t, Db> shadow_cache_;
 };
 

@@ -18,19 +18,20 @@ void Engine::schedule_at(Seconds when, EventQueue::Action action) {
   queue_.push(when, std::move(action));
 }
 
-bool Engine::step(Seconds horizon) {
+bool Engine::step(std::optional<Seconds> horizon) {
   if (queue_.empty()) return false;
-  if (queue_.next_time() > horizon) return false;
+  if (horizon && queue_.next_time() > *horizon) return false;
   auto action = queue_.pop(now_);
   action();
   return true;
 }
 
-std::size_t Engine::run(Seconds horizon) {
+std::size_t Engine::run(std::optional<Seconds> horizon) {
   std::size_t executed = 0;
   while (step(horizon)) ++executed;
-  if (!queue_.empty() && queue_.next_time() > horizon && now_ < horizon) {
-    now_ = horizon;
+  if (horizon && !queue_.empty() && queue_.next_time() > *horizon &&
+      now_ < *horizon) {
+    now_ = *horizon;
   }
   return executed;
 }

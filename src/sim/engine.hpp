@@ -3,6 +3,8 @@
 // radio itself is window-batched (see ScenarioRunner).
 #pragma once
 
+#include <optional>
+
 #include "sim/event_queue.hpp"
 
 namespace alphawan {
@@ -16,13 +18,14 @@ class Engine {
   // Schedule at an absolute time (must not be in the past).
   void schedule_at(Seconds when, EventQueue::Action action);
 
-  // Run until the queue drains or the horizon is reached. Returns the
-  // number of events executed.
-  std::size_t run(Seconds horizon = Seconds{1e18});
+  // Run until the queue drains or the horizon is reached (no horizon:
+  // drain the queue). Returns the number of events executed. The clock
+  // advances to the horizon when events remain beyond it.
+  std::size_t run(std::optional<Seconds> horizon = std::nullopt);
 
   // Execute at most one event; returns false if the queue is empty or the
-  // next event is beyond the horizon.
-  bool step(Seconds horizon = Seconds{1e18});
+  // next event is beyond the horizon (no horizon: any event runs).
+  bool step(std::optional<Seconds> horizon = std::nullopt);
 
   void reset();
 

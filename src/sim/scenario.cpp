@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/invariants.hpp"
+#include "common/parallel.hpp"
 #include "radio/detector.hpp"
 
 namespace alphawan {
@@ -11,7 +12,15 @@ constexpr std::uint64_t kGatewayKeyBase = 1ULL << 32;
 // Substream domain tag separating fading draws from any future named
 // substreams derived from the same runner seed.
 constexpr std::uint64_t kFadingDomain = 0xFAD1'F0E5'7A7EULL;
-}
+
+// Everything one gateway produces from a window, computed independently of
+// every other gateway and merged in deployment order afterwards.
+struct GatewayYield {
+  std::vector<RxOutcome> outcomes;
+  std::vector<std::size_t> event_tx_index;
+  std::vector<UplinkRecord> uplinks;
+};
+}  // namespace
 
 Rng packet_link_rng(const Rng& root, GatewayId gateway, PacketId packet) {
   return root.substream(kFadingDomain ^ (static_cast<std::uint64_t>(gateway) << 40),
@@ -30,81 +39,106 @@ std::size_t WindowResult::total_offered() const {
   return total;
 }
 
-ScenarioRunner::ScenarioRunner(Deployment& deployment, std::uint64_t seed)
+ScenarioRunner::ScenarioRunner(Deployment& deployment, std::uint64_t seed,
+                               RunOptions options)
     : deployment_(deployment),
       rng_(seed),
+      options_(std::move(options)),
       invariants_(invariants_from_env()) {}
 
 WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   WindowResult result;
   auto& channel = deployment_.channel_model();
+  // Flatten (network, gateway) pairs in deployment order: the parallel
+  // fan-out runs them in any order, the merge below walks them in this one.
+  std::vector<std::pair<Network*, Gateway*>> tasks;
   for (auto& network : deployment_.networks()) {
     result.offered[network.id()] = 0;
     result.delivered[network.id()] = 0;
     result.served_nodes[network.id()] = 0;
     // (Re)attach the checker every window: gateways may have been added
     // since the last one, and a null attach detaches a stale checker.
-    for (auto& gw : network.gateways()) gw.set_observer(invariants_);
+    for (auto& gw : network.gateways()) {
+      gw.set_observer(invariants_);
+      tasks.emplace_back(&network, &gw);
+    }
   }
 
-  // Per own-network outcomes of each packet, keyed by its index in txs.
-  std::vector<std::vector<RxOutcome>> own_outcomes(txs.size());
-  std::map<PacketId, std::size_t> index_of;
-  for (std::size_t i = 0; i < txs.size(); ++i) index_of[txs[i].id] = i;
+  // Per-gateway pipelines are independent: each consumes the shared
+  // transmission list and touches only its own gateway (plus the internally
+  // synchronized shadowing cache). The invariant checker's observer
+  // protocol is sequential, so an attached checker forces serial execution.
+  std::vector<GatewayYield> yields(tasks.size());
+  const int threads = invariants_ != nullptr ? 1 : options_.threads;
+  parallel_for(
+      tasks.size(),
+      [&](std::size_t t) {
+        auto& [network, gw] = tasks[t];
+        auto& yield = yields[t];
+        // Build this gateway's view of the air.
+        std::vector<RxEvent> events;
+        events.reserve(txs.size());
+        yield.event_tx_index.reserve(txs.size());
+        const Dbm floor =
+            noise_floor_dbm(kLoRaBandwidth125k) - options_.prune_margin;
+        for (std::size_t i = 0; i < txs.size(); ++i) {
+          const auto& tx = txs[i];
+          const Meters dist = distance(tx.origin, gw->position());
+          Rng link_rng = packet_link_rng(rng_, gw->id(), tx.id);
+          const Dbm rx_power =
+              channel.received_power(tx.node, kGatewayKeyBase + gw->id(), dist,
+                                     tx.tx_power, link_rng) +
+              gw->antenna_gain_towards(tx.origin);
+          if (rx_power < floor) continue;
+          events.push_back(RxEvent{tx, rx_power});
+          yield.event_tx_index.push_back(i);
+        }
 
+        yield.outcomes = gw->receive_window(events, yield.uplinks);
+        if (options_.post_processor) {
+          options_.post_processor(*gw, events, yield.outcomes);
+          // Post-processors may promote outcomes to kDelivered; forward
+          // newly delivered packets to the server like the radio would.
+          for (std::size_t e = 0; e < yield.outcomes.size(); ++e) {
+            const auto& out = yield.outcomes[e];
+            if (out.disposition != RxDisposition::kDelivered) continue;
+            const bool already = std::any_of(
+                yield.uplinks.begin(), yield.uplinks.end(),
+                [&](const UplinkRecord& r) {
+                  return r.packet == out.packet && r.gateway == gw->id();
+                });
+            if (already) continue;
+            UplinkRecord rec;
+            rec.packet = out.packet;
+            rec.node = out.node;
+            rec.gateway = gw->id();
+            rec.network = network->id();
+            rec.timestamp = events[e].tx.end();
+            rec.channel = events[e].tx.channel;
+            rec.dr = sf_to_dr(events[e].tx.params.sf);
+            rec.snr = out.snr;
+            yield.uplinks.push_back(rec);
+          }
+        }
+      },
+      threads);
+
+  // Merge in deployment order: per own-network outcomes of each packet
+  // (keyed by its index in txs) gather in gateway-ID order within the
+  // packet's network, and each server ingests its gateways' uplinks in that
+  // same order — exactly the serial sequence.
+  std::vector<std::vector<RxOutcome>> own_outcomes(txs.size());
+  std::size_t t = 0;
   for (auto& network : deployment_.networks()) {
     std::vector<UplinkRecord> uplinks;
-    for (auto& gw : network.gateways()) {
-      // Build this gateway's view of the air.
-      std::vector<RxEvent> events;
-      events.reserve(txs.size());
-      std::vector<std::size_t> event_tx_index;
-      event_tx_index.reserve(txs.size());
-      const Dbm floor =
-          noise_floor_dbm(kLoRaBandwidth125k) - prune_margin_;
-      for (std::size_t i = 0; i < txs.size(); ++i) {
-        const auto& tx = txs[i];
-        const Meters dist = distance(tx.origin, gw.position());
-        Rng link_rng = packet_link_rng(rng_, gw.id(), tx.id);
-        const Dbm rx_power =
-            channel.received_power(tx.node, kGatewayKeyBase + gw.id(), dist,
-                                   tx.tx_power, link_rng) +
-            gw.antenna_gain_towards(tx.origin);
-        if (rx_power < floor) continue;
-        events.push_back(RxEvent{tx, rx_power});
-        event_tx_index.push_back(i);
-      }
-
-      auto outcomes = gw.receive_window(events, uplinks);
-      if (post_) {
-        post_(gw, events, outcomes);
-        // Post-processors may promote outcomes to kDelivered; forward
-        // newly delivered packets to the server like the radio would.
-        for (std::size_t e = 0; e < outcomes.size(); ++e) {
-          const auto& out = outcomes[e];
-          if (out.disposition != RxDisposition::kDelivered) continue;
-          const bool already = std::any_of(
-              uplinks.begin(), uplinks.end(), [&](const UplinkRecord& r) {
-                return r.packet == out.packet && r.gateway == gw.id();
-              });
-          if (already) continue;
-          UplinkRecord rec;
-          rec.packet = out.packet;
-          rec.node = out.node;
-          rec.gateway = gw.id();
-          rec.network = network.id();
-          rec.timestamp = events[e].tx.end();
-          rec.channel = events[e].tx.channel;
-          rec.dr = sf_to_dr(events[e].tx.params.sf);
-          rec.snr = out.snr;
-          uplinks.push_back(rec);
-        }
-      }
-      for (std::size_t e = 0; e < outcomes.size(); ++e) {
-        const auto& tx_ref = events[e].tx;
+    for ([[maybe_unused]] auto& gw : network.gateways()) {
+      auto& yield = yields[t++];
+      for (std::size_t e = 0; e < yield.outcomes.size(); ++e) {
+        const auto& tx_ref = txs[yield.event_tx_index[e]];
         if (tx_ref.network != network.id()) continue;  // foreign at this GW
-        own_outcomes[event_tx_index[e]].push_back(outcomes[e]);
+        own_outcomes[yield.event_tx_index[e]].push_back(yield.outcomes[e]);
       }
+      uplinks.insert(uplinks.end(), yield.uplinks.begin(), yield.uplinks.end());
     }
     network.server().ingest(uplinks);
   }

@@ -2,6 +2,11 @@
 // gateway of every coexisting network, feeds the network servers, and
 // classifies packet fates. This is the top-level simulation API used by
 // benches, examples, and AlphaWAN's measurement loop.
+//
+// Within a window, gateways are independent consumers of the shared
+// transmission list, so run_window fans them out across the parallel
+// executor (common/parallel.hpp) and merges per-gateway results in
+// deployment order — bit-identical to the serial run (docs/parallelism.md).
 #pragma once
 
 #include <functional>
@@ -24,10 +29,25 @@ class SimInvariants;
 
 // Optional per-gateway outcome post-processor (hook used by the CIC
 // baseline to resolve collisions a stock gateway cannot). Receives the
-// events the gateway saw and may rewrite outcome dispositions.
+// events the gateway saw and may rewrite outcome dispositions. May be
+// invoked from concurrent gateway tasks, so it must not mutate state shared
+// across gateways (see docs/parallelism.md).
 using RxPostProcessor = std::function<void(
     const Gateway& gw, const std::vector<RxEvent>& events,
     std::vector<RxOutcome>& outcomes)>;
+
+// Per-runner knobs, consolidated in one value so a runner is configured in
+// a single statement instead of a pile of setters.
+struct RunOptions {
+  // Transmissions weaker than noise_floor - prune_margin at a gateway are
+  // dropped from that gateway's event list (they can neither be received
+  // nor meaningfully interfere).
+  Db prune_margin{25.0};
+  RxPostProcessor post_processor;
+  // Worker threads for the per-gateway fan-out: 0 = the ALPHAWAN_THREADS
+  // process default, 1 = force serial.
+  int threads = 0;
+};
 
 struct WindowResult {
   // Fate of every offered packet (across all networks).
@@ -44,20 +64,29 @@ struct WindowResult {
 
 class ScenarioRunner {
  public:
-  explicit ScenarioRunner(Deployment& deployment, std::uint64_t seed = 7);
+  explicit ScenarioRunner(Deployment& deployment, std::uint64_t seed = 7,
+                          RunOptions options = {});
 
-  // Transmissions weaker than noise_floor - margin at a gateway are
-  // dropped from that gateway's event list (they can neither be received
-  // nor meaningfully interfere).
-  void set_prune_margin(Db margin) { prune_margin_ = margin; }
-  [[nodiscard]] Db prune_margin() const { return prune_margin_; }
+  void set_options(RunOptions options) { options_ = std::move(options); }
+  [[nodiscard]] const RunOptions& options() const { return options_; }
+  [[nodiscard]] Db prune_margin() const { return options_.prune_margin; }
   [[nodiscard]] std::uint64_t seed() const { return rng_.root_seed(); }
-  void set_post_processor(RxPostProcessor proc) { post_ = std::move(proc); }
+
+  // Deprecated setter shims, kept for one release for external callers.
+  [[deprecated("pass RunOptions to the constructor or set_options")]]
+  void set_prune_margin(Db margin) {
+    options_.prune_margin = margin;
+  }
+  [[deprecated("pass RunOptions to the constructor or set_options")]]
+  void set_post_processor(RxPostProcessor proc) {
+    options_.post_processor = std::move(proc);
+  }
 
   // Attach the correctness harness: every window is checked for packet
   // conservation, FCFS ordering, and decoder-pool discipline. Enabled
   // automatically (fail-fast) when ALPHAWAN_CHECK=1 is exported. Pass
-  // nullptr to detach.
+  // nullptr to detach. The observer protocol is sequential, so an attached
+  // checker forces the window to run serially.
   void set_invariants(SimInvariants* invariants) { invariants_ = invariants; }
   [[nodiscard]] SimInvariants* invariants() const { return invariants_; }
 
@@ -73,8 +102,7 @@ class ScenarioRunner {
  private:
   Deployment& deployment_;
   Rng rng_;
-  Db prune_margin_{25.0};
-  RxPostProcessor post_;
+  RunOptions options_;
   SimInvariants* invariants_ = nullptr;
 };
 

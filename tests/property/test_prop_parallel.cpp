@@ -1,0 +1,115 @@
+// Property: parallel execution is bit-identical to serial execution. For
+// random worlds, the ordered fate stream of a window (its FNV-1a digest)
+// and the GA solver's result must not depend on the thread count — the
+// determinism contract of common/parallel.hpp (docs/parallelism.md).
+#include <gtest/gtest.h>
+
+#include "check/digest.hpp"
+#include "core/ga_solver.hpp"
+#include "proptest.hpp"
+
+namespace alphawan {
+namespace {
+
+using prop::CaseParams;
+
+std::uint64_t window_digest(const CaseParams& params, int threads) {
+  prop::World world = prop::build_world(params);
+  RunOptions options;
+  options.threads = threads;
+  ScenarioRunner runner(*world.deployment, params.seed, options);
+  return fate_digest(runner.run_window(world.txs).fates);
+}
+
+TEST(ParallelDeterminism, WindowDigestIdenticalAcrossThreadCounts) {
+  CaseParams lo;
+  lo.networks = 1;
+  lo.gateways_per_net = 1;
+  lo.nodes_per_net = 4;
+  lo.plan_channels = 2;
+  lo.decoders = 4;
+  CaseParams hi;
+  hi.networks = 3;
+  hi.gateways_per_net = 4;
+  hi.nodes_per_net = 40;
+  hi.plan_channels = 8;
+  hi.decoders = 16;
+  prop::check_property(
+      "window digest is thread-count invariant", /*cases=*/50,
+      /*seed=*/20250805, lo, hi,
+      [](const CaseParams& params) -> std::optional<std::string> {
+        const std::uint64_t serial = window_digest(params, 1);
+        for (int threads : {2, 8}) {
+          const std::uint64_t parallel = window_digest(params, threads);
+          if (parallel != serial) {
+            return "digest " + digest_hex(parallel) + " at threads=" +
+                   std::to_string(threads) + " != serial digest " +
+                   digest_hex(serial);
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+CpInstance random_cp_instance(Rng& rng) {
+  CpInstance inst;
+  const int num_channels = static_cast<int>(rng.uniform_int(4, 16));
+  inst.spectrum = Spectrum{Hz{916.8e6}, num_channels * kChannelSpacing};
+  inst.num_channels = num_channels;
+  const int num_gw = static_cast<int>(rng.uniform_int(1, 6));
+  for (int j = 0; j < num_gw; ++j) {
+    CpGateway gw;
+    gw.id = static_cast<GatewayId>(j + 1);
+    gw.decoders = static_cast<int>(rng.uniform_int(4, 24));
+    gw.max_channels = static_cast<int>(rng.uniform_int(2, 8));
+    gw.max_span_channels = static_cast<int>(rng.uniform_int(2, 16));
+    inst.gateways.push_back(gw);
+  }
+  const int num_nodes = static_cast<int>(rng.uniform_int(5, 80));
+  for (int i = 0; i < num_nodes; ++i) {
+    CpNode node;
+    node.id = static_cast<NodeId>(i + 1);
+    node.traffic = rng.uniform(0.2, 3.0);
+    node.min_level.resize(static_cast<std::size_t>(num_gw));
+    for (auto& level : node.min_level) {
+      const auto roll = rng.uniform_int(0, 7);
+      level = roll >= 6 ? kUnreachable : static_cast<std::uint8_t>(roll);
+    }
+    inst.nodes.push_back(std::move(node));
+  }
+  return inst;
+}
+
+TEST(ParallelDeterminism, GaSolveIdenticalAcrossThreadCounts) {
+  Rng meta(424242);
+  for (int c = 0; c < 25; ++c) {
+    const auto inst = random_cp_instance(meta);
+    GaConfig cfg;
+    cfg.population = 16;
+    cfg.generations = 12;
+    cfg.seed = meta.next();
+    cfg.threads = 1;
+    const auto serial = solve_cp(inst, cfg);
+    for (int threads : {2, 8}) {
+      cfg.threads = threads;
+      const auto parallel = solve_cp(inst, cfg);
+      ASSERT_EQ(parallel.best.node_channel, serial.best.node_channel)
+          << "case " << c << " threads " << threads;
+      ASSERT_EQ(parallel.best.node_level, serial.best.node_level)
+          << "case " << c << " threads " << threads;
+      ASSERT_EQ(parallel.best.gateway_channels, serial.best.gateway_channels)
+          << "case " << c << " threads " << threads;
+      ASSERT_DOUBLE_EQ(parallel.best_eval.objective,
+                       serial.best_eval.objective)
+          << "case " << c << " threads " << threads;
+      // The batched evaluator must count exactly like the serial one.
+      ASSERT_EQ(parallel.evaluations, serial.evaluations)
+          << "case " << c << " threads " << threads;
+      ASSERT_EQ(parallel.generations_run, serial.generations_run)
+          << "case " << c << " threads " << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alphawan

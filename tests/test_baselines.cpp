@@ -194,8 +194,8 @@ TEST(Cic, ResolvesSmallCollisions) {
   const auto stock = runner.run_window(txs);
   EXPECT_EQ(stock.total_delivered(), 0u);
 
-  ScenarioRunner cic_runner(deployment);
-  cic_runner.set_post_processor(make_cic_processor());
+  ScenarioRunner cic_runner(deployment, 7,
+                            RunOptions{.post_processor = make_cic_processor()});
   txs = {n1.make_transmission(Seconds{10.0}, 10, ids.next()),
          n2.make_transmission(Seconds{10.0}, 10, ids.next())};
   const auto with_cic = cic_runner.run_window(txs);
@@ -226,8 +226,8 @@ TEST(Cic, BoundedResolvability) {
         &network.add_node(static_cast<NodeId>(i + 1), ring[i], cfg));
   }
   PacketIdSource ids;
-  ScenarioRunner runner(deployment);
-  runner.set_post_processor(make_cic_processor());
+  ScenarioRunner runner(deployment, 7,
+                        RunOptions{.post_processor = make_cic_processor()});
   const auto result = runner.run_window(concurrent_burst(nodes, Seconds{0.0}, ids));
   EXPECT_EQ(result.total_delivered(), 0u);
 }

@@ -1,0 +1,209 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace alphawan {
+namespace {
+
+TEST(StaticPartition, CoversEveryIndexExactlyOnce) {
+  for (std::size_t count : {0u, 1u, 2u, 7u, 8u, 9u, 100u, 1000u}) {
+    for (int chunks : {1, 2, 3, 4, 8, 16, 64}) {
+      const auto ranges = static_partition(count, chunks);
+      std::vector<int> hits(count, 0);
+      for (const auto& r : ranges) {
+        EXPECT_LT(r.begin, r.end);  // empty ranges are omitted
+        for (std::size_t i = r.begin; i < r.end; ++i) ++hits[i];
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i], 1) << "count=" << count << " chunks=" << chunks
+                              << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(StaticPartition, ChunkCountAndContiguity) {
+  const auto ranges = static_partition(10, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges.front().begin, 0u);
+  EXPECT_EQ(ranges.back().end, 10u);
+  for (std::size_t c = 1; c < ranges.size(); ++c) {
+    EXPECT_EQ(ranges[c].begin, ranges[c - 1].end);
+  }
+  // More chunks than indices: one singleton range per index.
+  EXPECT_EQ(static_partition(3, 8).size(), 3u);
+  EXPECT_TRUE(static_partition(0, 8).empty());
+}
+
+TEST(StaticPartition, BalancedWithEarlyRemainder) {
+  const auto ranges = static_partition(11, 4);  // 3,3,3,2
+  ASSERT_EQ(ranges.size(), 4u);
+  std::vector<std::size_t> sizes;
+  for (const auto& r : ranges) sizes.push_back(r.end - r.begin);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 3, 3, 2}));
+}
+
+TEST(StaticPartition, IdenticalForRepeatedCalls) {
+  // The partition is a pure function of (count, chunks) — the determinism
+  // contract depends on it.
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto a = static_partition(137, 8);
+    const auto b = static_partition(137, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < a.size(); ++c) {
+      EXPECT_EQ(a[c].begin, b[c].begin);
+      EXPECT_EQ(a[c].end, b[c].end);
+    }
+  }
+}
+
+TEST(ParseThreadCount, AcceptsPositiveIntegers) {
+  EXPECT_EQ(parse_thread_count("1"), 1);
+  EXPECT_EQ(parse_thread_count("8"), 8);
+  EXPECT_EQ(parse_thread_count("4096"), 4096);
+}
+
+TEST(ParseThreadCount, FallsBackToHardwareConcurrency) {
+  const int fallback = parse_thread_count(nullptr);
+  EXPECT_GE(fallback, 1);
+  EXPECT_EQ(parse_thread_count(""), fallback);
+  EXPECT_EQ(parse_thread_count("zero"), fallback);
+  EXPECT_EQ(parse_thread_count("0"), fallback);
+  EXPECT_EQ(parse_thread_count("-3"), fallback);
+  EXPECT_EQ(parse_thread_count("8 threads"), fallback);
+  EXPECT_EQ(parse_thread_count("99999999"), fallback);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(
+        hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoop) {
+  bool ran = false;
+  parallel_for(0, [&](std::size_t) { ran = true; }, 8);
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SerialWhenOneThread) {
+  // threads=1 must run inline on the calling thread, in index order.
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(
+      16,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+      },
+      1);
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelMap, SlotsMatchIndices) {
+  for (int threads : {1, 2, 8}) {
+    const auto out = parallel_map(
+        100, [](std::size_t i) { return i * i; }, threads);
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelMap, IdenticalAcrossThreadCounts) {
+  const auto serial =
+      parallel_map(512, [](std::size_t i) { return 31 * i + 7; }, 1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(parallel_map(512, [](std::size_t i) { return 31 * i + 7; },
+                           threads),
+              serial);
+  }
+}
+
+TEST(ParallelFor, PropagatesExceptionFromLowestFailingChunk) {
+  // Several chunks throw; the rethrown exception must always be the one
+  // from the lowest-indexed failing chunk, so error reporting is
+  // deterministic too. With 8 chunks over 64 indices, index 8 begins
+  // chunk 1 — the lowest failing chunk of {1, 3, 5}.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      parallel_for(
+          64,
+          [](std::size_t i) {
+            if (i == 8 || i == 24 || i == 40) {
+              throw std::runtime_error("chunk-" + std::to_string(i / 8));
+            }
+          },
+          8);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& err) {
+      EXPECT_STREQ(err.what(), "chunk-1");
+    }
+  }
+}
+
+TEST(ParallelFor, PoolSurvivesAnException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   16, 4, [](std::size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  // The workers must still be alive and draining tasks.
+  std::atomic<int> total{0};
+  pool.parallel_for(32, 4, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ParallelFor, NestedCallsDegradeToSerialWithoutDeadlock) {
+  // A body that itself calls parallel_for must not deadlock on the shared
+  // global pool: inner regions run serially on the worker.
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(
+      8,
+      [&](std::size_t outer) {
+        parallel_for(
+            8,
+            [&](std::size_t inner) { hits[outer * 8 + inner].fetch_add(1); },
+            8);
+      },
+      8);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, LifecycleConstructDestruct) {
+  // Pools of every size construct, run one region, and tear down cleanly.
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    std::atomic<int> total{0};
+    pool.parallel_for(10, threads, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 10);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsReusableAcrossRegions) {
+  auto& pool = ThreadPool::global();
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(100, pool.threads(),
+                      [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+}  // namespace
+}  // namespace alphawan

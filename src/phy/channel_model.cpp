@@ -4,6 +4,24 @@
 #include <mutex>
 
 namespace alphawan {
+namespace {
+
+// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Collision-resistant (tx, rx) -> key combine. The previous
+// `(tx_id << 20) ^ rx_id` scheme aliased as soon as rx ids carried bits
+// >= 20 — which the runner's gateway keyspace (kGatewayKeyBase = 1 << 32)
+// guarantees — silently giving distinct links the same shadowing draw.
+constexpr std::uint64_t link_key(std::uint64_t tx_id, std::uint64_t rx_id) {
+  return mix64(mix64(tx_id ^ 0x9E3779B97F4A7C15ULL) ^ rx_id);
+}
+
+}  // namespace
 
 ChannelModel::ChannelModel(ChannelModelConfig config)
     : config_(config), shadow_seed_(config.seed * 0xA24BAED4963EE407ULL + 1) {}
@@ -16,7 +34,7 @@ Db ChannelModel::mean_path_loss(Meters dist) const {
 }
 
 Db ChannelModel::shadowing(std::uint64_t tx_id, std::uint64_t rx_id) {
-  const std::uint64_t key = (tx_id << 20) ^ rx_id;
+  const std::uint64_t key = link_key(tx_id, rx_id);
   {
     std::shared_lock<std::shared_mutex> read(shadow_mutex_);
     const auto it = shadow_cache_.find(key);

@@ -37,6 +37,22 @@ TEST(ChannelModel, ShadowingDiffersAcrossLinks) {
   EXPECT_NE(a, b);
 }
 
+TEST(ChannelModel, ShadowingKeyDoesNotAliasHighRxIds) {
+  // Regression: the old `(tx_id << 20) ^ rx_id` cache key aliased once rx
+  // ids carried bits >= 20. The runner keys gateways at 1 << 32 upward, so
+  // e.g. (node 4096, gateway key 2^32 + 7) collided with (node 0, rx 7) —
+  // two unrelated links sharing one frozen shadowing draw.
+  ChannelModel model;
+  constexpr std::uint64_t kGatewayKeyBase = 1ULL << 32;
+  const Db a = model.link_path_loss(4096, kGatewayKeyBase + 7, Meters{500.0});
+  const Db b = model.link_path_loss(0, 7, Meters{500.0});
+  EXPECT_NE(a, b);
+  // And distinct gateways seen from one node must not share draws either.
+  const Db g1 = model.link_path_loss(42, kGatewayKeyBase + 1, Meters{500.0});
+  const Db g2 = model.link_path_loss(42, kGatewayKeyBase + 2, Meters{500.0});
+  EXPECT_NE(g1, g2);
+}
+
 TEST(ChannelModel, ShadowingDeterministicAcrossInstances) {
   ChannelModelConfig cfg;
   cfg.seed = 99;

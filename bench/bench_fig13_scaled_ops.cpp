@@ -21,6 +21,11 @@ constexpr Seconds kWindow{30.0};
 constexpr double kUserUtilization = 0.005;
 constexpr std::size_t kPhysicalNodes = 144;
 
+// Receive-pipeline throughput across every measured window, aggregated
+// over all (strategy, scale) runs: the scaled-ops hot-path metric tracked
+// in BENCH_PR4.json (planning/GA time deliberately excluded).
+PerfAccumulator window_perf("fig13_scaled_ops.window");
+
 enum class Strategy {
   kNoAdr,
   kAdr,
@@ -118,7 +123,8 @@ Result run(Strategy strategy, std::size_t users, std::uint64_t seed) {
   }
   ScenarioRunner runner(deployment, seed, std::move(options));
   MetricsCollector metrics;
-  (void)runner.run_window(txs, metrics);
+  (void)window_perf.time(txs.size(),
+                         [&] { return runner.run_window(txs, metrics); });
 
   Result result;
   result.prr = metrics.total_prr();
@@ -146,10 +152,19 @@ Result run(Strategy strategy, std::size_t users, std::uint64_t seed) {
 }  // namespace
 
 int main() {
-  const std::size_t scales[] = {2000, 4000, 6000, 8000, 10000, 12000};
-  const Strategy strategies[] = {Strategy::kNoAdr, Strategy::kAdr,
-                                 Strategy::kLmac, Strategy::kCic,
-                                 Strategy::kRandomCp, Strategy::kAlphaWan};
+  // Smoke mode (ALPHAWAN_BENCH_SMOKE=1): two scales, the two cheap
+  // strategies — enough windows to track receive-pipeline throughput in CI
+  // without paying for the GA planner at every scale.
+  const std::vector<std::size_t> scales =
+      perf_smoke_mode() ? std::vector<std::size_t>{2000, 6000}
+                        : std::vector<std::size_t>{2000, 4000, 6000, 8000,
+                                                   10000, 12000};
+  const std::vector<Strategy> strategies =
+      perf_smoke_mode()
+          ? std::vector<Strategy>{Strategy::kNoAdr, Strategy::kAdr}
+          : std::vector<Strategy>{Strategy::kNoAdr, Strategy::kAdr,
+                                  Strategy::kLmac, Strategy::kCic,
+                                  Strategy::kRandomCp, Strategy::kAlphaWan};
 
   print_header(
       "Fig. 13a/13b — throughput (kbps) and PRR vs user scale\n"
@@ -197,5 +212,6 @@ int main() {
     }
     std::printf("\n");
   }
+  window_perf.report();
   return 0;
 }

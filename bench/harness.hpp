@@ -5,8 +5,11 @@
 // the measured ones (see EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <map>
 #include <set>
 #include <numbers>
@@ -20,7 +23,122 @@
 #include "sim/scenario.hpp"
 #include "sim/traffic.hpp"
 
+#ifndef ALPHAWAN_GIT_SHA
+#define ALPHAWAN_GIT_SHA "unknown"
+#endif
+
 namespace alphawan::bench {
+
+// ---- perf telemetry -------------------------------------------------------
+// Machine-readable throughput records, written as JSON so the perf
+// trajectory is tracked across PRs (BENCH_PR4.json onward; see
+// docs/performance.md). A bench accumulates (packets, wall seconds) for a
+// named hot path and the recorder writes every record at process exit.
+//
+// Output path: $ALPHAWAN_BENCH_JSON if set (empty disables), else
+// BENCH_PR4.json in the working directory. Nothing is written when no
+// record was made, so benches that don't opt in stay side-effect free.
+
+struct PerfRecord {
+  std::string name;
+  double packets = 0;
+  double wall_seconds = 0;
+  int threads = 1;
+
+  [[nodiscard]] double packets_per_sec() const {
+    return wall_seconds > 0 ? packets / wall_seconds : 0.0;
+  }
+};
+
+class PerfRecorder {
+ public:
+  static PerfRecorder& instance() {
+    static PerfRecorder recorder;
+    return recorder;
+  }
+
+  void record(std::string name, double packets, double wall_seconds,
+              int threads) {
+    records_.push_back(
+        PerfRecord{std::move(name), packets, wall_seconds, threads});
+  }
+
+  ~PerfRecorder() {
+    if (records_.empty()) return;
+    std::string path = "BENCH_PR4.json";
+    if (const char* env = std::getenv("ALPHAWAN_BENCH_JSON")) {
+      path = env;
+    }
+    if (path.empty()) return;
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return;
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    }
+    std::fprintf(out,
+                 "{\n  \"schema\": \"alphawan-bench-v1\",\n"
+                 "  \"git_sha\": \"%s\",\n  \"generated\": \"%s\",\n"
+                 "  \"benchmarks\": [\n",
+                 ALPHAWAN_GIT_SHA, stamp);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const auto& r = records_[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"packets\": %.0f, "
+                   "\"wall_s\": %.6f, \"packets_per_sec\": %.1f, "
+                   "\"threads\": %d}%s\n",
+                   r.name.c_str(), r.packets, r.wall_seconds,
+                   r.packets_per_sec(), r.threads,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+
+ private:
+  std::vector<PerfRecord> records_;
+};
+
+// Accumulates wall time over the timed sections of one named hot path.
+// Destructor-free usage: call add() around each timed region, then
+// report() once (typically at the end of main).
+class PerfAccumulator {
+ public:
+  explicit PerfAccumulator(std::string name) : name_(std::move(name)) {}
+
+  template <typename Fn>
+  auto time(std::size_t packets, Fn&& fn) {
+    const auto begin = std::chrono::steady_clock::now();
+    auto result = fn();
+    const auto end = std::chrono::steady_clock::now();
+    packets_ += static_cast<double>(packets);
+    wall_seconds_ += std::chrono::duration<double>(end - begin).count();
+    return result;
+  }
+
+  void report(int threads = default_thread_count()) const {
+    if (packets_ <= 0) return;
+    PerfRecorder::instance().record(name_, packets_, wall_seconds_, threads);
+    std::printf("  [perf] %s: %.0f packets in %.3f s = %.0f packets/sec\n",
+                name_.c_str(), packets_, wall_seconds_,
+                packets_ > 0 && wall_seconds_ > 0 ? packets_ / wall_seconds_
+                                                  : 0.0);
+  }
+
+ private:
+  std::string name_;
+  double packets_ = 0;
+  double wall_seconds_ = 0;
+};
+
+// True when the reduced perf-smoke configuration is requested (CI runs the
+// benches this way to track regressions without paying full-figure cost).
+inline bool perf_smoke_mode() {
+  const char* env = std::getenv("ALPHAWAN_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 // Evaluate one independent data point per input concurrently and return
 // the results in input order. Sweep bodies must be self-contained: build a

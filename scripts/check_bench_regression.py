@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a bench telemetry JSON against the committed baseline.
+
+Both files follow the alphawan-bench-v1 schema written by
+bench/harness.hpp's PerfRecorder: a list of {name, packets, wall_s,
+packets_per_sec, threads} records.
+
+The check compares the packets_per_sec RATIO current/baseline per
+benchmark name, never absolute wall seconds: the baseline was recorded on
+a different machine, and within one machine wall time scales with how
+much work the bench ran (smoke vs full mode), while sustained throughput
+for the same hot path is comparable. A ratio below (1 - tolerance) for
+any benchmark present in both files fails the check (exit 1); benchmarks
+present on only one side are reported but never fail it.
+
+Usage:
+  scripts/check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "alphawan-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    records = {}
+    for rec in doc.get("benchmarks", []):
+        records[rec["name"]] = float(rec["packets_per_sec"])
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum allowed fractional throughput drop (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    current = load_records(args.current)
+    baseline = load_records(args.baseline)
+
+    failed = False
+    for name in sorted(current.keys() | baseline.keys()):
+        cur = current.get(name)
+        base = baseline.get(name)
+        if cur is None or base is None:
+            side = "baseline" if cur is None else "current"
+            print(f"  {name}: only in {side} run, skipped")
+            continue
+        if base <= 0:
+            print(f"  {name}: baseline throughput is zero, skipped")
+            continue
+        ratio = cur / base
+        verdict = "ok"
+        if ratio < 1.0 - args.tolerance:
+            verdict = f"REGRESSION (>{args.tolerance:.0%} drop)"
+            failed = True
+        print(
+            f"  {name}: {cur:,.0f} vs baseline {base:,.0f} pkts/s "
+            f"(x{ratio:.2f}) {verdict}"
+        )
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

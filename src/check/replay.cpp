@@ -5,9 +5,6 @@
 namespace alphawan {
 namespace {
 
-// Must match the scenario runner's link-cache keyspace (sim/scenario.cpp).
-constexpr std::uint64_t kGatewayKeyBase = 1ULL << 32;
-
 std::string_view disposition_name(RxDisposition d) {
   switch (d) {
     case RxDisposition::kDelivered: return "delivered";

@@ -22,6 +22,12 @@ inline constexpr GatewayId kInvalidGateway =
     std::numeric_limits<GatewayId>::max();
 inline constexpr ChannelIndex kInvalidChannel = -1;
 
+// Gateways enter the shadowing-cache keyspace (phy/channel_model.hpp) offset
+// by this base so node ids and gateway ids can never collide as link
+// endpoints. Shared by the runner, the replay checker, and the link cache —
+// all three must derive identical keys for the same physical link.
+inline constexpr std::uint64_t kGatewayKeyBase = 1ULL << 32;
+
 // ---- physical units ------------------------------------------------------
 // Strong quantity types (see common/units.hpp). All frequencies in Hz, all
 // powers in dBm (or dB for ratios), all times in seconds unless a name says

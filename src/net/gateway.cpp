@@ -20,6 +20,7 @@ void Gateway::set_antenna(std::unique_ptr<Antenna> antenna,
                           double boresight_rad) {
   antenna_ = std::move(antenna);
   boresight_rad_ = boresight_rad;
+  ++antenna_epoch_;
 }
 
 Db Gateway::antenna_gain_towards(const Point& target) const {

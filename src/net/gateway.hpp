@@ -53,6 +53,10 @@ class Gateway {
   void set_antenna(std::unique_ptr<Antenna> antenna, double boresight_rad);
   [[nodiscard]] Db antenna_gain_towards(const Point& target) const;
 
+  // Bumped by set_antenna; lets the link cache (phy/link_cache.hpp) know
+  // its cached antenna gains for this gateway are stale.
+  [[nodiscard]] std::uint64_t antenna_epoch() const { return antenna_epoch_; }
+
   // Process one window of on-air transmissions; returns per-event radio
   // outcomes and appends delivered packets to `uplinks`.
   [[nodiscard]] std::vector<RxOutcome> receive_window(
@@ -68,6 +72,7 @@ class Gateway {
   std::vector<Channel> channels_;
   std::unique_ptr<Antenna> antenna_;
   double boresight_rad_ = 0.0;
+  std::uint64_t antenna_epoch_ = 0;
   int reboot_count_ = 0;
 };
 

@@ -1,0 +1,143 @@
+#include "phy/link_cache.hpp"
+
+#include "common/rng.hpp"
+
+namespace alphawan {
+namespace {
+// Absorbs any floating-point reassociation between the pruning inequality
+// (one subtraction) and the full received-power expression it stands in
+// for; dwarfs the few-ulp error either side can accumulate.
+constexpr double kPruneSlackDb = 1.0;
+}  // namespace
+
+std::uint32_t LinkCache::column_of(GatewayId id) const {
+  const auto it = column_of_.find(id);
+  return it == column_of_.end() ? kInvalidColumn : it->second;
+}
+
+LinkGain LinkCache::compute_gain(const Column& column, NodeId node,
+                                 const Point& origin) {
+  // Argument order matches the uncached runner path exactly:
+  // distance(tx.origin, gw.position()) feeding link_path_loss.
+  const Meters dist = distance(origin, column.position);
+  return LinkGain{model_->link_path_loss(node, column.rx_key, dist),
+                  column.antenna_gain(origin)};
+}
+
+std::size_t LinkCache::upsert_gateway(GatewayId id, std::uint64_t rx_key,
+                                      const Point& position,
+                                      std::uint64_t antenna_epoch,
+                                      AntennaGainFn antenna_gain) {
+  const auto it = column_of_.find(id);
+  if (it != column_of_.end()) {
+    Column& column = columns_[it->second];
+    if (column.antenna_epoch != antenna_epoch) {
+      // Path loss is position-bound and positions are immutable; only the
+      // antenna term needs recomputing.
+      column.antenna_epoch = antenna_epoch;
+      column.antenna_gain = std::move(antenna_gain);
+      for (std::uint32_t row = 0; row < row_origin_.size(); ++row) {
+        column.gains[row].antenna_gain = column.antenna_gain(row_origin_[row]);
+      }
+      candidates_valid_ = false;
+    }
+    return it->second;
+  }
+
+  Column column;
+  column.id = id;
+  column.rx_key = rx_key;
+  column.position = position;
+  column.antenna_epoch = antenna_epoch;
+  column.antenna_gain = std::move(antenna_gain);
+  column.gains.reserve(row_origin_.size());
+  for (std::uint32_t row = 0; row < row_origin_.size(); ++row) {
+    column.gains.push_back(
+        compute_gain(column, row_node_[row], row_origin_[row]));
+  }
+  const auto index = columns_.size();
+  columns_.push_back(std::move(column));
+  column_of_.emplace(id, static_cast<std::uint32_t>(index));
+  candidates_valid_ = false;
+  return index;
+}
+
+std::uint32_t LinkCache::ensure_row(NodeId node, const Point& origin) {
+  const auto it = row_of_.find(node);
+  if (it != row_of_.end()) {
+    const std::uint32_t row = it->second;
+    if (row_origin_[row] == origin) return row;
+    // Same id, new position: recompute the row in place. Candidate ranges
+    // may shrink or grow, so the flat layout is rebuilt lazily.
+    row_origin_[row] = origin;
+    for (auto& column : columns_) {
+      column.gains[row] = compute_gain(column, node, origin);
+    }
+    candidates_valid_ = false;
+    return row;
+  }
+
+  const auto row = static_cast<std::uint32_t>(row_origin_.size());
+  row_node_.push_back(node);
+  row_origin_.push_back(origin);
+  row_of_.emplace(node, row);
+  for (auto& column : columns_) {
+    column.gains.push_back(compute_gain(column, node, origin));
+  }
+  if (candidates_valid_) append_candidates_for_row(row);
+  return row;
+}
+
+double LinkCache::candidate_threshold() const {
+  const double fade_bound =
+      kNormalTailSigmas * model_->config().fast_fading_sigma_db.value();
+  return candidate_floor_.value() - candidate_power_bound_.value() -
+         fade_bound - kPruneSlackDb;
+}
+
+void LinkCache::append_candidates_for_row(std::uint32_t row) {
+  const double threshold = candidate_threshold();
+  const auto begin = static_cast<std::uint32_t>(candidate_flat_.size());
+  for (std::uint32_t col = 0; col < columns_.size(); ++col) {
+    const LinkGain& g = columns_[col].gains[row];
+    if (g.antenna_gain.value() - g.path_loss.value() >= threshold) {
+      candidate_flat_.push_back(col);
+    }
+  }
+  candidate_range_.emplace_back(
+      begin, static_cast<std::uint32_t>(candidate_flat_.size()));
+}
+
+void LinkCache::rebuild_candidates(Dbm floor, Dbm power_bound) {
+  candidate_floor_ = floor;
+  candidate_power_bound_ = power_bound;
+  candidate_flat_.clear();
+  candidate_range_.clear();
+  candidate_range_.reserve(row_origin_.size());
+  candidates_valid_ = true;
+  for (std::uint32_t row = 0; row < row_origin_.size(); ++row) {
+    append_candidates_for_row(row);
+  }
+}
+
+std::span<const std::uint32_t> LinkCache::candidate_columns(std::uint32_t row,
+                                                            Dbm floor,
+                                                            Dbm power_bound) {
+  if (!candidates_valid_ || floor != candidate_floor_ ||
+      power_bound != candidate_power_bound_) {
+    rebuild_candidates(floor, power_bound);
+  }
+  const auto [begin, end] = candidate_range_[row];
+  return {candidate_flat_.data() + begin, end - begin};
+}
+
+std::uint64_t LinkCache::candidate_mask(std::uint32_t row, Dbm floor,
+                                        Dbm power_bound) {
+  std::uint64_t mask = 0;
+  for (const std::uint32_t col : candidate_columns(row, floor, power_bound)) {
+    mask |= std::uint64_t{1} << col;
+  }
+  return mask;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,128 @@
+// Window-invariant link-gain matrix. Everything about a (node, gateway)
+// link that does not change between packets — mean path loss, the frozen
+// shadowing draw, and the receive antenna gain toward the node — is
+// precomputed once into flat per-gateway columns, so the per-packet cost in
+// ScenarioRunner::run_window collapses to one array load plus the
+// fast-fading draw (docs/performance.md).
+//
+// The two static terms are stored separately (not pre-summed) so the runner
+// can replay the exact floating-point operation order of the uncached path:
+//   rx = ((tx_power - path_loss) + fading) + antenna_gain
+// which is what keeps the cached pipeline bit-identical to the original.
+//
+// The cache also derives per-row *candidate gateway lists*: the columns
+// whose best-case static gain could let any transmission clear a prune
+// floor, assuming the strongest legal tx power and the largest fast-fading
+// draw the Rng can produce (kNormalTailSigmas). Pruning against them is a
+// conservative superset filter — a skipped (row, column) pair is guaranteed
+// to fall below the floor for every possible draw, so event lists are
+// unchanged.
+//
+// Mutation (upsert_gateway / ensure_row) is not thread-safe; the runner
+// performs all registration in a serial prepass and the parallel gateway
+// fan-out only reads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "phy/channel_model.hpp"
+
+namespace alphawan {
+
+// The frozen static terms of one (node, gateway) link.
+struct LinkGain {
+  Db path_loss{0.0};     // mean path loss + frozen shadowing
+  Db antenna_gain{0.0};  // receive antenna gain toward the node
+};
+
+class LinkCache {
+ public:
+  // Queried for the receive antenna gain toward a transmitter position
+  // whenever a column is (re)built; must stay valid until the gateway is
+  // re-upserted or the cache destroyed (gateways live in stable deques).
+  using AntennaGainFn = std::function<Db(const Point&)>;
+
+  explicit LinkCache(ChannelModel& model) : model_(&model) {}
+
+  // Register a gateway column, or refresh its antenna gains when
+  // `antenna_epoch` advanced since the last upsert (Gateway::set_antenna
+  // bumps the epoch). Gateway positions are immutable. Returns the column
+  // index, stable for the lifetime of the cache.
+  std::size_t upsert_gateway(GatewayId id, std::uint64_t rx_key,
+                             const Point& position,
+                             std::uint64_t antenna_epoch,
+                             AntennaGainFn antenna_gain);
+
+  // Register a transmitter row (idempotent), extending every column with
+  // the link's static terms. A registered id whose origin later differs —
+  // a traffic generator reusing virtual ids for different positions — is
+  // recomputed in place. Returns the row index.
+  std::uint32_t ensure_row(NodeId node, const Point& origin);
+
+  [[nodiscard]] std::size_t row_count() const { return row_origin_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+
+  // Column index for a registered gateway id; kInvalidColumn if absent.
+  static constexpr std::uint32_t kInvalidColumn = ~0U;
+  [[nodiscard]] std::uint32_t column_of(GatewayId id) const;
+
+  // The per-row static link terms of one gateway column (size row_count()).
+  [[nodiscard]] std::span<const LinkGain> gains(std::size_t column) const {
+    return columns_[column].gains;
+  }
+
+  // Columns whose best-case received power — tx power <= `power_bound`,
+  // fading up to kNormalTailSigmas * fast_fading_sigma, plus a 1 dB slack
+  // absorbing floating-point reassociation — can clear `floor` from `row`.
+  // Built lazily for the (floor, power_bound) in use and kept incrementally
+  // as rows are added; any gateway change rebuilds from scratch.
+  [[nodiscard]] std::span<const std::uint32_t> candidate_columns(
+      std::uint32_t row, Dbm floor, Dbm power_bound);
+
+  // candidate_columns as a bitmask (bit c == column c). Only meaningful
+  // when column_count() <= 64 — the dense-deployment fast path that lets
+  // the runner test candidacy with one AND instead of materializing
+  // per-column transmission lists.
+  [[nodiscard]] std::uint64_t candidate_mask(std::uint32_t row, Dbm floor,
+                                             Dbm power_bound);
+
+ private:
+  struct Column {
+    GatewayId id = kInvalidGateway;
+    std::uint64_t rx_key = 0;
+    Point position{};
+    std::uint64_t antenna_epoch = 0;
+    AntennaGainFn antenna_gain;
+    std::vector<LinkGain> gains;  // indexed by row
+  };
+
+  [[nodiscard]] LinkGain compute_gain(const Column& column, NodeId node,
+                                      const Point& origin);
+  // Static-gain threshold below which a (row, column) pair can never clear
+  // the candidate floor.
+  [[nodiscard]] double candidate_threshold() const;
+  void append_candidates_for_row(std::uint32_t row);
+  void rebuild_candidates(Dbm floor, Dbm power_bound);
+
+  ChannelModel* model_;
+  std::vector<Column> columns_;
+  std::unordered_map<GatewayId, std::uint32_t> column_of_;
+
+  std::vector<NodeId> row_node_;
+  std::vector<Point> row_origin_;
+  std::unordered_map<NodeId, std::uint32_t> row_of_;
+
+  // Flat candidate storage: per-row [begin, end) ranges into one vector.
+  bool candidates_valid_ = false;
+  Dbm candidate_floor_{0.0};
+  Dbm candidate_power_bound_{0.0};
+  std::vector<std::uint32_t> candidate_flat_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> candidate_range_;
+};
+
+}  // namespace alphawan

@@ -8,7 +8,15 @@
 // energy that does fall in-band acts as interference; the coupling model
 // below is calibrated to reproduce the measured PRR-vs-overlap curve of
 // Fig. 8 and the SNR-threshold shifts of Fig. 16.
+//
+// Defined inline: overlap_ratio runs once per candidate interferer pair in
+// GatewayRadio::process's phase-3 scan (the single hottest call site in the
+// simulator), where inlining lets the compiler hoist the receiver channel's
+// band edges out of the loop.
 #pragma once
+
+#include <algorithm>
+#include <cmath>
 
 #include "phy/band_plan.hpp"
 #include "phy/lora_params.hpp"
@@ -17,7 +25,14 @@ namespace alphawan {
 
 // Fractional bandwidth overlap between two channels, in [0, 1]:
 // overlap_width / min(bandwidths).
-[[nodiscard]] double overlap_ratio(const Channel& a, const Channel& b);
+[[nodiscard]] inline double overlap_ratio(const Channel& a, const Channel& b) {
+  const Hz lo = std::max(a.low(), b.low());
+  const Hz hi = std::min(a.high(), b.high());
+  const Hz width = std::max(Hz{0.0}, hi - lo);
+  const Hz denom = std::min(a.bandwidth, b.bandwidth);
+  if (denom <= Hz{0.0}) return 0.0;
+  return std::clamp(width / denom, 0.0, 1.0);
+}
 
 // Minimum overlap for a packet to be detectable/lockable by a receiver
 // tuned to a given channel. COTS LoRa radios need near-alignment to
@@ -25,8 +40,10 @@ namespace alphawan {
 // front-end and never reaches the dispatcher.
 inline constexpr double kDetectOverlapThreshold = 0.95;
 
-[[nodiscard]] bool detectable(const Channel& packet_channel,
-                              const Channel& rx_channel);
+[[nodiscard]] inline bool detectable(const Channel& packet_channel,
+                                     const Channel& rx_channel) {
+  return overlap_ratio(packet_channel, rx_channel) >= kDetectOverlapThreshold;
+}
 
 // Interference coupling (dB, <= 0): how much of an interferer's power on
 // channel `src` leaks into a receiver tuned to `dst`. Two effects:
@@ -39,12 +56,21 @@ inline constexpr double kDetectOverlapThreshold = 0.95;
 // orthogonal DRs survive essentially all overlaps — matching Fig. 8.
 inline constexpr Db kSelectivitySlope{35.0};
 
-[[nodiscard]] Db coupling_db(const Channel& src, const Channel& dst);
+[[nodiscard]] inline Db coupling_db(const Channel& src, const Channel& dst) {
+  const double rho = overlap_ratio(src, dst);
+  if (rho <= 0.0) return Db{-400.0};
+  return Db{10.0 * std::log10(rho) - (1.0 - rho) * kSelectivitySlope.value()};
+}
 
 // Effective in-band power (dBm) at a receiver on `dst` of an interferer
 // with received power `power` on channel `src`. Returns -infinity-ish
 // (-400 dBm) for disjoint channels.
-[[nodiscard]] Dbm effective_interference_dbm(Dbm power, const Channel& src,
-                                             const Channel& dst);
+[[nodiscard]] inline Dbm effective_interference_dbm(Dbm power,
+                                                    const Channel& src,
+                                                    const Channel& dst) {
+  const Db coupling = coupling_db(src, dst);
+  if (coupling <= Db{-399.0}) return Dbm{-400.0};
+  return power + coupling;
+}
 
 }  // namespace alphawan

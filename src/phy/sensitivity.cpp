@@ -2,22 +2,6 @@
 
 namespace alphawan {
 
-Db demod_snr_threshold(SpreadingFactor sf) {
-  switch (sf) {
-    case SpreadingFactor::kSF7: return Db{-7.5};
-    case SpreadingFactor::kSF8: return Db{-10.0};
-    case SpreadingFactor::kSF9: return Db{-12.5};
-    case SpreadingFactor::kSF10: return Db{-15.0};
-    case SpreadingFactor::kSF11: return Db{-17.5};
-    case SpreadingFactor::kSF12: return Db{-20.0};
-  }
-  return Db{0.0};
-}
-
-Dbm sensitivity_dbm(SpreadingFactor sf, Hz bandwidth) {
-  return noise_floor_dbm(bandwidth) + demod_snr_threshold(sf);
-}
-
 std::optional<DataRate> best_data_rate_for_snr(Db snr, Db margin) {
   // DR5 (SF7) is fastest; walk from fastest to slowest.
   for (int dr = kNumDataRates - 1; dr >= 0; --dr) {

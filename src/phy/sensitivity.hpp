@@ -13,10 +13,22 @@ namespace alphawan {
 // (Semtech SX1276/SX1302 datasheet values). SF12 decodes ~20 dB below the
 // noise floor — this is why directional antennas fail to isolate users
 // (paper Fig. 7): even signals attenuated 40 dB can remain decodable.
-[[nodiscard]] Db demod_snr_threshold(SpreadingFactor sf);
+[[nodiscard]] constexpr Db demod_snr_threshold(SpreadingFactor sf) {
+  switch (sf) {
+    case SpreadingFactor::kSF7: return Db{-7.5};
+    case SpreadingFactor::kSF8: return Db{-10.0};
+    case SpreadingFactor::kSF9: return Db{-12.5};
+    case SpreadingFactor::kSF10: return Db{-15.0};
+    case SpreadingFactor::kSF11: return Db{-17.5};
+    case SpreadingFactor::kSF12: return Db{-20.0};
+  }
+  return Db{0.0};
+}
 
 // Receiver sensitivity in dBm = noise floor + demod threshold.
-[[nodiscard]] Dbm sensitivity_dbm(SpreadingFactor sf, Hz bandwidth);
+[[nodiscard]] constexpr Dbm sensitivity_dbm(SpreadingFactor sf, Hz bandwidth) {
+  return noise_floor_dbm(bandwidth) + demod_snr_threshold(sf);
+}
 
 // Extra SNR (dB) above the bare demodulation limit that the packet
 // detector needs to lock onto a preamble reliably.

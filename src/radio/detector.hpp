@@ -17,9 +17,18 @@ struct Detection {
 };
 
 // Returns the detection if the packet is lockable at the given SNR.
-[[nodiscard]] std::optional<Detection> detect(const Transmission& tx, Db snr);
+// Inline: runs once per candidate event in GatewayRadio::process phase 1.
+[[nodiscard]] inline std::optional<Detection> detect(const Transmission& tx,
+                                                     Db snr) {
+  if (snr < demod_snr_threshold(tx.params.sf) + kDetectionMargin) {
+    return std::nullopt;
+  }
+  return Detection{tx.lock_on(), snr};
+}
 
 // SNR of a received packet given its in-band power.
-[[nodiscard]] Db packet_snr(Dbm rx_power, Hz bandwidth);
+[[nodiscard]] constexpr Db packet_snr(Dbm rx_power, Hz bandwidth) {
+  return rx_power - noise_floor_dbm(bandwidth);
+}
 
 }  // namespace alphawan

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 
 #include "phy/capture.hpp"
@@ -15,6 +14,19 @@ namespace {
 
 double dbm_to_lin(Dbm p) { return std::pow(10.0, p.value() / 10.0); }
 Dbm lin_to_dbm(double lin) { return Dbm{10.0 * std::log10(lin)}; }
+
+// The per-packet noise-floor conversion is a pow() on a three-valued input;
+// memoize the three LoRa bandwidths (anything else still reaches
+// noise_floor_dbm's hard model error).
+double noise_floor_lin(Hz bandwidth) {
+  static const double lin125 = dbm_to_lin(noise_floor_dbm(kLoRaBandwidth125k));
+  static const double lin250 = dbm_to_lin(noise_floor_dbm(kLoRaBandwidth250k));
+  static const double lin500 = dbm_to_lin(noise_floor_dbm(kLoRaBandwidth500k));
+  if (bandwidth == kLoRaBandwidth125k) return lin125;
+  if (bandwidth == kLoRaBandwidth250k) return lin250;
+  if (bandwidth == kLoRaBandwidth500k) return lin500;
+  return dbm_to_lin(noise_floor_dbm(bandwidth));
+}
 
 }  // namespace
 
@@ -43,6 +55,7 @@ void GatewayRadio::configure_channels(std::vector<Channel> channels) {
   chains_.clear();
   chains_.reserve(channels.size());
   for (const auto& ch : channels) chains_.push_back(RxChain{ch});
+  scratch_.chain_memo.clear();
 }
 
 void GatewayRadio::set_observer(SimObserver* observer) {
@@ -50,44 +63,93 @@ void GatewayRadio::set_observer(SimObserver* observer) {
   pool_.set_observer(observer);
 }
 
+int GatewayRadio::chain_for(const Channel& packet_channel) {
+  for (const auto& memo : scratch_.chain_memo) {
+    if (memo.center == packet_channel.center &&
+        memo.bandwidth == packet_channel.bandwidth) {
+      return memo.chain;
+    }
+  }
+  const auto chain = best_chain(chains_, packet_channel);
+  const int index = chain ? static_cast<int>(*chain) : -1;
+  scratch_.chain_memo.push_back(RxScratch::ChainMemo{
+      packet_channel.center, packet_channel.bandwidth, index});
+  return index;
+}
+
+const GatewayRadio::RxScratch::AirtimeMemo& GatewayRadio::airtime_for(
+    const Transmission& tx) {
+  for (const auto& memo : scratch_.airtime_memo) {
+    if (memo.payload_bytes == tx.payload_bytes && memo.params == tx.params) {
+      return memo;
+    }
+  }
+  scratch_.airtime_memo.push_back(RxScratch::AirtimeMemo{
+      tx.params, tx.payload_bytes, time_on_air(tx.params, tx.payload_bytes),
+      preamble_duration(tx.params)});
+  return scratch_.airtime_memo.back();
+}
+
 std::vector<RxOutcome> GatewayRadio::process(
     const std::vector<RxEvent>& events) {
   std::vector<RxOutcome> outcomes(events.size());
   pool_.reset();
   if (observer_ != nullptr) observer_->on_radio_window_begin();
+  auto& sc = scratch_;
 
-  // Phase 1: front-end + detection per event.
-  std::vector<DispatchEntry> queue;
-  std::vector<int> chain_of(events.size(), -1);
-  queue.reserve(events.size());
+  // Phase 1: front-end + detection per event. Also fills the per-event
+  // caches phase 3 leans on: tx.end() (a full airtime recomputation) and
+  // the linear rx power (a pow), each otherwise paid once per *candidate
+  // pair* in the interferer scan.
+  sc.queue.clear();
+  sc.queue.reserve(events.size());
+  sc.chain_of.assign(events.size(), -1);
+  sc.end_of.resize(events.size());
+  sc.lin_power.resize(events.size());
+  sc.start_of.resize(events.size());
+  sc.channel_of.resize(events.size());
+  sc.power_of.resize(events.size());
+  sc.sf_of.resize(events.size());
+  sc.net_of.resize(events.size());
   for (std::size_t i = 0; i < events.size(); ++i) {
     const auto& ev = events[i];
     auto& out = outcomes[i];
+    // airtime_for memoizes the airtime formula per radio setting; the sums
+    // below are term-for-term the ones tx.end() / tx.lock_on() compute.
+    const auto& airtime = airtime_for(ev.tx);
+    sc.end_of[i] = ev.tx.start + airtime.airtime;
+    sc.lin_power[i] = dbm_to_lin(ev.rx_power);
+    sc.start_of[i] = ev.tx.start;
+    sc.channel_of[i] = ev.tx.channel;
+    sc.power_of[i] = ev.rx_power;
+    sc.sf_of[i] = ev.tx.params.sf;
+    sc.net_of[i] = ev.tx.network;
     out.packet = ev.tx.id;
     out.node = ev.tx.node;
     out.network = ev.tx.network;
-    const auto chain = best_chain(chains_, ev.tx.channel);
-    if (!chain) {
+    const int chain = chain_for(ev.tx.channel);
+    if (chain < 0) {
       out.disposition = RxDisposition::kRejectedFrontEnd;
       continue;
     }
-    chain_of[i] = static_cast<int>(*chain);
-    out.chain_channel = static_cast<int>(*chain);
+    sc.chain_of[i] = chain;
+    out.chain_channel = chain;
     out.snr = packet_snr(ev.rx_power, ev.tx.channel.bandwidth);
-    const auto detection = detect(ev.tx, out.snr);
-    if (!detection) {
+    // Inline detect(): the lock-on instant comes from the memoized
+    // preamble duration instead of a fresh preamble_duration call.
+    if (out.snr < demod_snr_threshold(ev.tx.params.sf) + kDetectionMargin) {
       out.disposition = RxDisposition::kNotDetected;
       continue;
     }
-    queue.push_back(DispatchEntry{i, detection->lock_on, ev.tx.end(),
-                                  ev.tx.network, ev.tx.id});
+    sc.queue.push_back(DispatchEntry{i, ev.tx.start + airtime.preamble,
+                                     sc.end_of[i], ev.tx.network, ev.tx.id});
   }
 
   // Phase 2: FCFS dispatch into the decoder pool.
-  sort_fcfs(queue);
-  std::vector<std::size_t> decoding;  // event indices holding a decoder
-  decoding.reserve(queue.size());
-  for (const auto& entry : queue) {
+  sort_fcfs(sc.queue);
+  sc.decoding.clear();
+  sc.decoding.reserve(sc.queue.size());
+  for (const auto& entry : sc.queue) {
     if (observer_ != nullptr) {
       observer_->on_dispatch(events[entry.event_index].tx.start, entry.lock_on,
                              entry.packet);
@@ -99,7 +161,7 @@ std::vector<RxOutcome> GatewayRadio::process(
       out.foreign_among_occupants = result.foreign_among_occupants;
       continue;
     }
-    decoding.push_back(entry.event_index);
+    sc.decoding.push_back(entry.event_index);
   }
 
   // Phase 3: decode each packet that holds a decoder, accounting for
@@ -108,84 +170,208 @@ std::vector<RxOutcome> GatewayRadio::process(
   // still present). Events are bucketed by coarse frequency (interference
   // requires spectral overlap) and sorted by start time within a bucket,
   // bounding the interferer scan to plausible overlappers.
+  //
+  // The bucket index is flat: sorting (bucket, event index) pairs groups
+  // each bucket's events in ascending index order — the same initial
+  // sequence the map-based code fed to the identical start-time sort, so
+  // the per-bucket permutation (and thus every floating-point accumulation
+  // order below) is unchanged.
   constexpr auto bucket_of = [](Hz center) {
     return static_cast<std::int64_t>(center / kChannelSpacing);
   };
-  std::map<std::int64_t, std::vector<std::size_t>> by_bucket;
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    by_bucket[bucket_of(events[i].tx.channel.center)].push_back(i);
-  }
-  std::map<std::int64_t, Seconds> bucket_max_duration;
-  for (auto& [bucket, indices] : by_bucket) {
-    std::sort(indices.begin(), indices.end(),
-              [&](std::size_t a, std::size_t b) {
-                return events[a].tx.start < events[b].tx.start;
-              });
-    Seconds longest{0.0};
-    for (const auto idx : indices) {
-      longest = std::max(longest, events[idx].tx.end() - events[idx].tx.start);
+  sc.order.resize(events.size());
+  sc.buckets.clear();
+  if (!events.empty()) {
+    sc.bucket_id.resize(events.size());
+    std::int64_t lo = bucket_of(sc.channel_of[0].center);
+    std::int64_t hi = lo;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const std::int64_t b = bucket_of(sc.channel_of[i].center);
+      sc.bucket_id[i] = b;
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
     }
-    bucket_max_duration[bucket] = longest;
+    const std::int64_t span = hi - lo + 1;
+    if (span <= static_cast<std::int64_t>(4 * events.size() + 64)) {
+      // Stable counting sort over the compact id range: within a bucket,
+      // ascending scatter order keeps indices ascending — the exact order
+      // sorting (bucket, index) pairs produces — without the comparison
+      // sort.
+      sc.bucket_count.assign(static_cast<std::size_t>(span), 0);
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        ++sc.bucket_count[static_cast<std::size_t>(sc.bucket_id[i] - lo)];
+      }
+      std::uint32_t running = 0;
+      for (auto& c : sc.bucket_count) {
+        const std::uint32_t count = c;
+        c = running;
+        running += count;
+      }
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        auto& cursor =
+            sc.bucket_count[static_cast<std::size_t>(sc.bucket_id[i] - lo)];
+        sc.order[cursor++] = static_cast<std::uint32_t>(i);
+      }
+      // Post-scatter, bucket_count[b] is the end of bucket b (== the start
+      // of bucket b + 1 before the scatter).
+      for (std::int64_t b = 0; b < span; ++b) {
+        const std::uint32_t begin =
+            b == 0 ? 0 : sc.bucket_count[static_cast<std::size_t>(b - 1)];
+        const std::uint32_t end =
+            sc.bucket_count[static_cast<std::size_t>(b)];
+        if (end > begin) {
+          sc.buckets.push_back(
+              RxScratch::Bucket{lo + b, begin, end, Seconds{0.0}});
+        }
+      }
+    } else {
+      // Pathological center spread (sparse ids): fall back to the pair
+      // sort, which produces the identical grouping.
+      sc.keyed.clear();
+      sc.keyed.reserve(events.size());
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        sc.keyed.emplace_back(sc.bucket_id[i], static_cast<std::uint32_t>(i));
+      }
+      std::sort(sc.keyed.begin(), sc.keyed.end());
+      for (std::uint32_t pos = 0; pos < sc.keyed.size(); ++pos) {
+        const auto [bucket, index] = sc.keyed[pos];
+        if (sc.buckets.empty() || sc.buckets.back().id != bucket) {
+          sc.buckets.push_back(
+              RxScratch::Bucket{bucket, pos, pos, Seconds{0.0}});
+        }
+        sc.order[pos] = index;
+        sc.buckets.back().end = pos + 1;
+      }
+    }
+  }
+  for (auto& b : sc.buckets) {
+    const auto begin = sc.order.begin() + b.begin;
+    const auto end = sc.order.begin() + b.end;
+    // Sort each bucket's group by start time — through a contiguous
+    // (start, index) staging array, because comparing via events[idx] costs
+    // a scattered RxEvent load per comparison. A start-only comparator sees
+    // exactly the comparison outcomes the index comparator would, so the
+    // resulting index permutation is identical to sorting the indices
+    // directly (bit-identity of every downstream accumulation order).
+    auto& staged = sc.start_idx;
+    staged.clear();
+    bool sorted = true;
+    bool strictly = true;
+    for (auto it = begin; it != end; ++it) {
+      const Seconds start = sc.start_of[*it];
+      if (!staged.empty()) {
+        if (start < staged.back().first) sorted = strictly = false;
+        if (!(staged.back().first < start)) strictly = false;
+      }
+      staged.emplace_back(start, *it);
+    }
+    // Skip the sort when it provably cannot move anything: any comparison
+    // sort is the identity on strictly sorted input, and libstdc++'s
+    // std::sort uses pure insertion sort below its 16-element threshold,
+    // which never reorders a sorted-with-ties sequence.
+    const bool identity =
+        strictly || (sorted && staged.size() <= 16);
+    if (!identity) {
+      std::sort(staged.begin(), staged.end(),
+                [](const std::pair<Seconds, std::uint32_t>& a,
+                   const std::pair<Seconds, std::uint32_t>& c) {
+                  return a.first < c.first;
+                });
+      auto out = begin;
+      for (const auto& [start, index] : staged) *out++ = index;
+    }
+    Seconds longest{0.0};
+    b.channel = sc.channel_of[*begin];
+    b.uniform = true;
+    for (auto it = begin; it != end; ++it) {
+      longest = std::max(longest, sc.end_of[*it] - sc.start_of[*it]);
+      const Channel& ch = sc.channel_of[*it];
+      if (!(ch.center == b.channel.center) ||
+          !(ch.bandwidth == b.channel.bandwidth)) {
+        b.uniform = false;
+      }
+    }
+    b.max_duration = longest;
   }
 
-  for (const std::size_t i : decoding) {
+  for (const std::size_t i : sc.decoding) {
     const auto& ev = events[i];
     auto& out = outcomes[i];
-    const Channel& rx_ch = chains_[static_cast<std::size_t>(chain_of[i])].channel;
+    const Channel& rx_ch =
+        chains_[static_cast<std::size_t>(sc.chain_of[i])].channel;
 
-    const double noise_lin =
-        dbm_to_lin(noise_floor_dbm(ev.tx.channel.bandwidth));
+    const double noise_lin = noise_floor_lin(ev.tx.channel.bandwidth);
     double misaligned_intf_lin = 0.0;
     double aligned_same_sf_lin = 0.0;
     bool collided = false;
     bool foreign_fatal = false;
     Dbm strongest_same_sf{-400.0};
+    const Seconds ev_start = sc.start_of[i];
+    const Seconds ev_end = sc.end_of[i];
+    const Dbm ev_power = sc.power_of[i];
+    const SpreadingFactor ev_sf = sc.sf_of[i];
+    const NetworkId ev_net = sc.net_of[i];
 
     // Candidates: same or adjacent frequency bucket, starting within
-    // [ev.start - bucket_longest, ev.end).
+    // [ev.start - bucket_longest, ev.end). The scan reads only the flat
+    // per-event arrays filled in phase 1 — never the RxEvent structs.
     const std::int64_t center_bucket = bucket_of(ev.tx.channel.center);
     for (std::int64_t bucket = center_bucket - 1;
          bucket <= center_bucket + 1; ++bucket) {
-      const auto bucket_it = by_bucket.find(bucket);
-      if (bucket_it == by_bucket.end()) continue;
-      const auto& indices = bucket_it->second;
-      const Seconds lookback = bucket_max_duration[bucket];
-      const auto first = std::lower_bound(
-          indices.begin(), indices.end(), ev.tx.start - lookback,
-          [&](std::size_t idx, Seconds t) {
-            return events[idx].tx.start < t;
+      const auto bucket_it = std::lower_bound(
+          sc.buckets.begin(), sc.buckets.end(), bucket,
+          [](const RxScratch::Bucket& b, std::int64_t id) {
+            return b.id < id;
           });
-    for (auto it = first; it != indices.end(); ++it) {
+      if (bucket_it == sc.buckets.end() || bucket_it->id != bucket) continue;
+      // Uniform-channel bucket: one overlap test covers every event in it.
+      // Zero overlap means no event in the bucket can couple into this
+      // chain — skip the whole range (adjacent grid channels, typically).
+      const bool uniform = bucket_it->uniform;
+      double rho_uniform = 0.0;
+      if (uniform) {
+        rho_uniform = overlap_ratio(bucket_it->channel, rx_ch);
+        if (rho_uniform <= 0.0) continue;
+      }
+      const Seconds lookback = bucket_it->max_duration;
+      const auto indices_begin = sc.order.begin() + bucket_it->begin;
+      const auto indices_end = sc.order.begin() + bucket_it->end;
+      const auto first = std::lower_bound(
+          indices_begin, indices_end, ev_start - lookback,
+          [&](std::uint32_t idx, Seconds t) {
+            return sc.start_of[idx] < t;
+          });
+    for (auto it = first; it != indices_end; ++it) {
       const std::size_t j = *it;
-      if (events[j].tx.start >= ev.tx.end()) break;
+      const Seconds j_start = sc.start_of[j];
+      if (j_start >= ev_end) break;
       if (j == i) continue;
-      const auto& other = events[j];
-      if (!ev.tx.overlaps_in_time(other.tx)) continue;
-      const double rho = overlap_ratio(other.tx.channel, rx_ch);
+      if (!(ev_start < sc.end_of[j] && j_start < ev_end)) continue;
+      const double rho =
+          uniform ? rho_uniform : overlap_ratio(sc.channel_of[j], rx_ch);
       if (rho <= 0.0) continue;
-      const bool same_sf = other.tx.params.sf == ev.tx.params.sf;
+      const bool same_sf = sc.sf_of[j] == ev_sf;
       if (rho >= kDetectOverlapThreshold) {
         // Co-channel interferer: SF capture matrix applies.
         if (same_sf) {
-          aligned_same_sf_lin += dbm_to_lin(other.rx_power);
-          if (other.rx_power > strongest_same_sf) {
-            strongest_same_sf = other.rx_power;
+          aligned_same_sf_lin += sc.lin_power[j];
+          if (sc.power_of[j] > strongest_same_sf) {
+            strongest_same_sf = sc.power_of[j];
             // Attribute a potential fatal collision to this interferer.
           }
-          if (ev.rx_power - other.rx_power <
-              capture_sir_threshold(ev.tx.params.sf, other.tx.params.sf)) {
+          if (ev_power - sc.power_of[j] <
+              capture_sir_threshold(ev_sf, sc.sf_of[j])) {
             collided = true;
-            foreign_fatal = other.tx.network != ev.tx.network;
+            foreign_fatal = sc.net_of[j] != ev_net;
           }
-        } else if (ev.rx_power - other.rx_power <
-                   capture_sir_threshold(ev.tx.params.sf,
-                                         other.tx.params.sf)) {
+        } else if (ev_power - sc.power_of[j] <
+                   capture_sir_threshold(ev_sf, sc.sf_of[j])) {
           collided = true;
-          foreign_fatal = other.tx.network != ev.tx.network;
+          foreign_fatal = sc.net_of[j] != ev_net;
         }
       } else {
         // Misaligned interferer: filter-truncated energy acts as noise.
-        Dbm eff = effective_interference_dbm(other.rx_power, other.tx.channel,
+        Dbm eff = effective_interference_dbm(sc.power_of[j], sc.channel_of[j],
                                              rx_ch);
         if (!same_sf) eff -= kCrossSfMisalignedRejection;
         if (eff > Dbm{-250.0}) misaligned_intf_lin += dbm_to_lin(eff);

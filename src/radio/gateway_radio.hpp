@@ -53,12 +53,77 @@ class GatewayRadio {
       const std::vector<RxEvent>& events);
 
  private:
+  // Reusable per-window working storage (docs/performance.md): allocated
+  // once, capacity retained across windows, so a steady-state window does
+  // no per-window heap allocation inside process(). The flat sorted bucket
+  // index replaces the per-window std::map frequency buckets.
+  struct RxScratch {
+    std::vector<DispatchEntry> queue;
+    std::vector<int> chain_of;          // event -> rx chain (-1 = rejected)
+    std::vector<Seconds> end_of;        // cached tx.end() per event
+    std::vector<double> lin_power;      // cached dBm->linear rx power
+    std::vector<std::size_t> decoding;  // event indices holding a decoder
+    // Hot per-event fields mirrored into flat arrays in phase 1, so the
+    // interferer scan reads small contiguous vectors instead of doing one
+    // wide scattered RxEvent load per candidate pair.
+    std::vector<Seconds> start_of;
+    std::vector<Channel> channel_of;
+    std::vector<Dbm> power_of;
+    std::vector<SpreadingFactor> sf_of;
+    std::vector<NetworkId> net_of;
+    struct Bucket {
+      std::int64_t id = 0;      // coarse frequency bucket
+      std::uint32_t begin = 0;  // [begin, end) range into `order`
+      std::uint32_t end = 0;
+      Seconds max_duration{0.0};
+      // When every event in the bucket shares one exact channel, a single
+      // overlap test against the wanted chain covers the whole bucket —
+      // and zero overlap skips its entire scan range.
+      bool uniform = true;
+      Channel channel{};
+    };
+    std::vector<std::int64_t> bucket_id;     // per-event coarse bucket
+    std::vector<std::uint32_t> bucket_count; // counting-sort workspace
+    std::vector<std::pair<std::int64_t, std::uint32_t>> keyed;
+    std::vector<std::uint32_t> order;  // event indices grouped by bucket
+    // Per-bucket (start, index) staging for the start-time sort.
+    std::vector<std::pair<Seconds, std::uint32_t>> start_idx;
+    std::vector<Bucket> buckets;       // sorted by bucket id
+    struct ChainMemo {
+      Hz center{};
+      Hz bandwidth{};
+      int chain = -1;
+    };
+    // best_chain result per distinct packet channel; valid until the
+    // channel set changes (cleared by configure_channels).
+    std::vector<ChainMemo> chain_memo;
+    struct AirtimeMemo {
+      TxParams params{};
+      std::uint32_t payload_bytes = 0;
+      Seconds airtime{0.0};
+      Seconds preamble{0.0};
+    };
+    // time_on_air/preamble_duration per distinct (params, payload): a
+    // window draws from a handful of radio settings, so the full airtime
+    // formula runs once per setting instead of once per event.
+    std::vector<AirtimeMemo> airtime_memo;
+  };
+
+  // Memoized best_chain: the chain index for a packet channel, or -1 when
+  // every chain's filter truncates it.
+  [[nodiscard]] int chain_for(const Channel& packet_channel);
+
+  // Memoized airtime terms for one transmission's radio settings.
+  [[nodiscard]] const RxScratch::AirtimeMemo& airtime_for(
+      const Transmission& tx);
+
   GatewayProfile profile_;
   NetworkId network_;
   std::uint16_t sync_word_;
   std::vector<RxChain> chains_;
   DecoderPool pool_;
   SimObserver* observer_ = nullptr;
+  RxScratch scratch_;
 };
 
 }  // namespace alphawan

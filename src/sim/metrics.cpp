@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 namespace alphawan {
 
 std::string_view loss_cause_name(LossCause cause) {
@@ -14,52 +16,32 @@ std::string_view loss_cause_name(LossCause cause) {
   return "?";
 }
 
-PacketFate classify_packet(const Transmission& tx,
-                           const std::vector<RxOutcome>& own_gateway_outcomes) {
-  PacketFate fate;
-  fate.packet = tx.id;
-  fate.node = tx.node;
-  fate.network = tx.network;
-  fate.payload_bytes = tx.payload_bytes;
-  fate.dr = sf_to_dr(tx.params.sf);
+MetricsCollector::PerNetwork& MetricsCollector::slot(NetworkId network) {
+  for (auto& net : per_network_) {
+    if (net.id == network) return net;
+  }
+  per_network_.emplace_back();
+  per_network_.back().id = network;
+  return per_network_.back();
+}
 
-  bool decoder_drop = false;
-  bool decoder_drop_foreign = false;
-  bool collision = false;
-  bool collision_foreign = false;
-  for (const auto& out : own_gateway_outcomes) {
-    switch (out.disposition) {
-      case RxDisposition::kDelivered:
-        fate.delivered = true;
-        fate.cause = LossCause::kDelivered;
-        return fate;
-      case RxDisposition::kDroppedDecoderBusy:
-        decoder_drop = true;
-        decoder_drop_foreign |= out.foreign_among_occupants;
-        break;
-      case RxDisposition::kDroppedCollision:
-        collision = true;
-        collision_foreign |= out.foreign_interferer;
-        break;
-      default:
-        break;
-    }
+const MetricsCollector::PerNetwork* MetricsCollector::find(
+    NetworkId network) const {
+  for (const auto& net : per_network_) {
+    if (net.id == network) return &net;
   }
-  if (decoder_drop) {
-    fate.cause = decoder_drop_foreign ? LossCause::kDecoderContentionInter
-                                      : LossCause::kDecoderContentionIntra;
-  } else if (collision) {
-    fate.cause = collision_foreign ? LossCause::kChannelContentionInter
-                                   : LossCause::kChannelContentionIntra;
-  } else {
-    fate.cause = LossCause::kOther;
-  }
-  return fate;
+  return nullptr;
+}
+
+std::size_t MetricsCollector::distinct(std::vector<NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  return static_cast<std::size_t>(
+      std::unique(nodes.begin(), nodes.end()) - nodes.begin());
 }
 
 void MetricsCollector::record(const PacketFate& fate) {
   fates_.push_back(fate);
-  auto& net = per_network_[fate.network];
+  auto& net = slot(fate.network);
   ++net.offered;
   ++total_offered_;
   if (fate.delivered) {
@@ -67,7 +49,7 @@ void MetricsCollector::record(const PacketFate& fate) {
     ++total_delivered_;
     net.delivered_bytes += fate.payload_bytes;
     total_delivered_bytes_ += fate.payload_bytes;
-    ++net.served[fate.node];
+    net.served.push_back(fate.node);
   } else {
     net.causes.add(fate.cause);
     total_causes_.add(fate.cause);
@@ -75,13 +57,13 @@ void MetricsCollector::record(const PacketFate& fate) {
 }
 
 std::size_t MetricsCollector::offered(NetworkId network) const {
-  const auto it = per_network_.find(network);
-  return it == per_network_.end() ? 0 : it->second.offered;
+  const PerNetwork* net = find(network);
+  return net == nullptr ? 0 : net->offered;
 }
 
 std::size_t MetricsCollector::delivered(NetworkId network) const {
-  const auto it = per_network_.find(network);
-  return it == per_network_.end() ? 0 : it->second.delivered;
+  const PerNetwork* net = find(network);
+  return net == nullptr ? 0 : net->delivered;
 }
 
 double MetricsCollector::prr(NetworkId network) const {
@@ -106,37 +88,38 @@ double MetricsCollector::loss_fraction(LossCause cause) const {
 
 double MetricsCollector::loss_fraction(NetworkId network,
                                        LossCause cause) const {
-  const auto it = per_network_.find(network);
-  if (it == per_network_.end() || it->second.offered == 0) return 0.0;
-  return static_cast<double>(it->second.causes.get(cause)) /
-         static_cast<double>(it->second.offered);
+  const PerNetwork* net = find(network);
+  if (net == nullptr || net->offered == 0) return 0.0;
+  return static_cast<double>(net->causes.get(cause)) /
+         static_cast<double>(net->offered);
 }
 
 std::size_t MetricsCollector::losses(NetworkId network, LossCause cause) const {
-  const auto it = per_network_.find(network);
-  return it == per_network_.end() ? 0 : it->second.causes.get(cause);
+  const PerNetwork* net = find(network);
+  return net == nullptr ? 0 : net->causes.get(cause);
 }
 
 std::vector<NetworkId> MetricsCollector::networks() const {
   std::vector<NetworkId> ids;
   ids.reserve(per_network_.size());
-  for (const auto& [network, data] : per_network_) ids.push_back(network);
+  for (const auto& net : per_network_) ids.push_back(net.id);
+  std::sort(ids.begin(), ids.end());  // map-era callers expect ascending ids
   return ids;
 }
 
 std::size_t MetricsCollector::delivered_bytes(NetworkId network) const {
-  const auto it = per_network_.find(network);
-  return it == per_network_.end() ? 0 : it->second.delivered_bytes;
+  const PerNetwork* net = find(network);
+  return net == nullptr ? 0 : net->delivered_bytes;
 }
 
 std::size_t MetricsCollector::served_nodes(NetworkId network) const {
-  const auto it = per_network_.find(network);
-  return it == per_network_.end() ? 0 : it->second.served.size();
+  const PerNetwork* net = find(network);
+  return net == nullptr ? 0 : distinct(net->served);
 }
 
 std::size_t MetricsCollector::total_served_nodes() const {
   std::size_t total = 0;
-  for (const auto& [net, data] : per_network_) total += data.served.size();
+  for (const auto& net : per_network_) total += distinct(net.served);
   return total;
 }
 

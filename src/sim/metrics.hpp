@@ -3,7 +3,7 @@
 // breakdowns be direct queries on the simulation rather than guesses.
 #pragma once
 
-#include <map>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -35,9 +35,56 @@ struct PacketFate {
 
 // Classify a packet from its outcomes at the gateways OF ITS OWN NETWORK.
 // Delivery by any gateway wins; otherwise the "most actionable" cause is
-// chosen: decoder contention > channel contention > other.
-[[nodiscard]] PacketFate classify_packet(
-    const Transmission& tx, const std::vector<RxOutcome>& own_gateway_outcomes);
+// chosen: decoder contention > channel contention > other. Inline: this
+// runs once per offered packet inside the window merge loop.
+[[nodiscard]] inline PacketFate classify_packet(
+    const Transmission& tx, std::span<const RxOutcome> own_gateway_outcomes) {
+  PacketFate fate;
+  fate.packet = tx.id;
+  fate.node = tx.node;
+  fate.network = tx.network;
+  fate.payload_bytes = tx.payload_bytes;
+  fate.dr = sf_to_dr(tx.params.sf);
+
+  bool decoder_drop = false;
+  bool decoder_drop_foreign = false;
+  bool collision = false;
+  bool collision_foreign = false;
+  for (const auto& out : own_gateway_outcomes) {
+    switch (out.disposition) {
+      case RxDisposition::kDelivered:
+        fate.delivered = true;
+        fate.cause = LossCause::kDelivered;
+        return fate;
+      case RxDisposition::kDroppedDecoderBusy:
+        decoder_drop = true;
+        decoder_drop_foreign |= out.foreign_among_occupants;
+        break;
+      case RxDisposition::kDroppedCollision:
+        collision = true;
+        collision_foreign |= out.foreign_interferer;
+        break;
+      default:
+        break;
+    }
+  }
+  if (decoder_drop) {
+    fate.cause = decoder_drop_foreign ? LossCause::kDecoderContentionInter
+                                      : LossCause::kDecoderContentionIntra;
+  } else if (collision) {
+    fate.cause = collision_foreign ? LossCause::kChannelContentionInter
+                                   : LossCause::kChannelContentionIntra;
+  } else {
+    fate.cause = LossCause::kOther;
+  }
+  return fate;
+}
+
+[[nodiscard]] inline PacketFate classify_packet(
+    const Transmission& tx, std::initializer_list<RxOutcome> outcomes) {
+  return classify_packet(
+      tx, std::span<const RxOutcome>(outcomes.begin(), outcomes.size()));
+}
 
 class MetricsCollector {
  public:
@@ -82,14 +129,25 @@ class MetricsCollector {
 
  private:
   struct PerNetwork {
+    NetworkId id = 0;
     std::size_t offered = 0;
     std::size_t delivered = 0;
     std::size_t delivered_bytes = 0;
     Tally<LossCause> causes;
-    std::map<NodeId, std::size_t> served;
+    // One entry per delivered packet; deduplicated lazily by the
+    // served_nodes() queries. Keeps record() — called once per offered
+    // packet — free of per-call map inserts.
+    std::vector<NodeId> served;
   };
 
-  std::map<NetworkId, PerNetwork> per_network_;
+  // Flat per-network table (deployments have a handful of networks): a
+  // short linear scan beats a std::map node walk in the per-packet
+  // record() path.
+  [[nodiscard]] PerNetwork& slot(NetworkId network);
+  [[nodiscard]] const PerNetwork* find(NetworkId network) const;
+  [[nodiscard]] static std::size_t distinct(std::vector<NodeId> nodes);
+
+  std::vector<PerNetwork> per_network_;
   std::vector<PacketFate> fates_;
   std::size_t total_offered_ = 0;
   std::size_t total_delivered_ = 0;

@@ -4,11 +4,11 @@
 
 #include "check/invariants.hpp"
 #include "common/parallel.hpp"
+#include "phy/sensitivity.hpp"
 #include "radio/detector.hpp"
 
 namespace alphawan {
 namespace {
-constexpr std::uint64_t kGatewayKeyBase = 1ULL << 32;
 // Substream domain tag separating fading draws from any future named
 // substreams derived from the same runner seed.
 constexpr std::uint64_t kFadingDomain = 0xFAD1'F0E5'7A7EULL;
@@ -49,13 +49,13 @@ ScenarioRunner::ScenarioRunner(Deployment& deployment, std::uint64_t seed,
 WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   WindowResult result;
   auto& channel = deployment_.channel_model();
+  // Refreshing the cache registers every gateway column (and recomputes
+  // antenna gains for gateways whose antenna changed since the last call).
+  LinkCache& cache = deployment_.link_cache();
   // Flatten (network, gateway) pairs in deployment order: the parallel
   // fan-out runs them in any order, the merge below walks them in this one.
   std::vector<std::pair<Network*, Gateway*>> tasks;
   for (auto& network : deployment_.networks()) {
-    result.offered[network.id()] = 0;
-    result.delivered[network.id()] = 0;
-    result.served_nodes[network.id()] = 0;
     // (Re)attach the checker every window: gateways may have been added
     // since the last one, and a null attach detaches a stale checker.
     for (auto& gw : network.gateways()) {
@@ -64,10 +64,65 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
     }
   }
 
-  // Per-gateway pipelines are independent: each consumes the shared
-  // transmission list and touches only its own gateway (plus the internally
-  // synchronized shadowing cache). The invariant checker's observer
-  // protocol is sequential, so an attached checker forces serial execution.
+  // Serial prepass: register every transmitter row with the link cache and
+  // invert each row's candidate gateway list into per-gateway transmission
+  // lists, so a gateway task walks only transmissions that could plausibly
+  // clear its prune floor. Candidates are a conservative superset (see
+  // LinkCache::candidate_columns), and ascending tx order is preserved per
+  // gateway, so every event list is identical to the unpruned loop's.
+  auto& sc = scratch_;
+  const Dbm floor =
+      noise_floor_dbm(kLoRaBandwidth125k) - options_.prune_margin;
+  sc.task_col.resize(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    sc.task_col[t] = cache.column_of(tasks[t].second->id());
+  }
+  // Candidacy is recorded per transmission as a column bitmask when the
+  // deployment fits in 64 gateways (one AND per (tx, gateway) pair in the
+  // fan-out); larger deployments fall back to materialized per-column
+  // transmission lists. Both paths visit transmissions in ascending index
+  // order per gateway, so event lists are identical either way.
+  const bool use_mask = cache.column_count() <= 64;
+  sc.row_of_tx.resize(txs.size());
+  if (use_mask) {
+    sc.tx_mask.resize(txs.size());
+  } else {
+    if (sc.gw_txs.size() < cache.column_count()) {
+      sc.gw_txs.resize(cache.column_count());
+    }
+    for (auto& list : sc.gw_txs) list.clear();
+  }
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const auto& tx = txs[i];
+    const std::uint32_t row = cache.ensure_row(tx.node, tx.origin);
+    sc.row_of_tx[i] = row;
+    if (use_mask) {
+      // Out-of-spec tx power: the candidate bound does not cover it, so
+      // consider the transmission at every gateway.
+      sc.tx_mask[i] = tx.tx_power <= kMaxTxPower
+                          ? cache.candidate_mask(row, floor, kMaxTxPower)
+                          : ~std::uint64_t{0};
+      continue;
+    }
+    if (tx.tx_power <= kMaxTxPower) {
+      for (const std::uint32_t col :
+           cache.candidate_columns(row, floor, kMaxTxPower)) {
+        sc.gw_txs[col].push_back(static_cast<std::uint32_t>(i));
+      }
+    } else {
+      for (std::uint32_t col = 0; col < cache.column_count(); ++col) {
+        sc.gw_txs[col].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  if (sc.events.size() < tasks.size()) sc.events.resize(tasks.size());
+  const double fading_sigma = channel.config().fast_fading_sigma_db.value();
+
+  // Per-gateway pipelines are independent: each consumes its candidate
+  // transmission list and touches only its own gateway (the link cache and
+  // scratch arenas are read-only / per-task here). The invariant checker's
+  // observer protocol is sequential, so an attached checker forces serial
+  // execution.
   std::vector<GatewayYield> yields(tasks.size());
   const int threads = invariants_ != nullptr ? 1 : options_.threads;
   parallel_for(
@@ -75,23 +130,34 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
       [&](std::size_t t) {
         auto& [network, gw] = tasks[t];
         auto& yield = yields[t];
-        // Build this gateway's view of the air.
-        std::vector<RxEvent> events;
+        // Build this gateway's view of the air from the cached static link
+        // terms; only the fast-fading draw is per-packet. The expression
+        // reproduces the uncached arithmetic term for term —
+        //   ((tx_power - link_path_loss) + fading) + antenna_gain
+        // — so rx powers are bit-identical.
+        const auto gains = cache.gains(sc.task_col[t]);
+        auto& events = sc.events[t];
+        events.clear();
         events.reserve(txs.size());
         yield.event_tx_index.reserve(txs.size());
-        const Dbm floor =
-            noise_floor_dbm(kLoRaBandwidth125k) - options_.prune_margin;
-        for (std::size_t i = 0; i < txs.size(); ++i) {
+        const auto consider = [&](std::size_t i) {
           const auto& tx = txs[i];
-          const Meters dist = distance(tx.origin, gw->position());
+          const LinkGain g = gains[sc.row_of_tx[i]];
           Rng link_rng = packet_link_rng(rng_, gw->id(), tx.id);
+          const Db fading{link_rng.normal_once(0.0, fading_sigma)};
           const Dbm rx_power =
-              channel.received_power(tx.node, kGatewayKeyBase + gw->id(), dist,
-                                     tx.tx_power, link_rng) +
-              gw->antenna_gain_towards(tx.origin);
-          if (rx_power < floor) continue;
+              tx.tx_power - g.path_loss + fading + g.antenna_gain;
+          if (rx_power < floor) return;
           events.push_back(RxEvent{tx, rx_power});
           yield.event_tx_index.push_back(i);
+        };
+        if (use_mask) {
+          const std::uint64_t bit = std::uint64_t{1} << sc.task_col[t];
+          for (std::size_t i = 0; i < txs.size(); ++i) {
+            if (sc.tx_mask[i] & bit) consider(i);
+          }
+        } else {
+          for (const std::uint32_t i : sc.gw_txs[sc.task_col[t]]) consider(i);
         }
 
         yield.outcomes = gw->receive_window(events, yield.uplinks);
@@ -126,17 +192,38 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   // Merge in deployment order: per own-network outcomes of each packet
   // (keyed by its index in txs) gather in gateway-ID order within the
   // packet's network, and each server ingests its gateways' uplinks in that
-  // same order — exactly the serial sequence.
-  std::vector<std::vector<RxOutcome>> own_outcomes(txs.size());
+  // same order — exactly the serial sequence. The gather is a counted flat
+  // layout (count, prefix-sum, fill) instead of one heap vector per packet.
+  sc.own_count.assign(txs.size(), 0);
+  {
+    std::size_t t = 0;
+    for (auto& network : deployment_.networks()) {
+      for ([[maybe_unused]] auto& gw : network.gateways()) {
+        const auto& yield = yields[t++];
+        for (const std::size_t i : yield.event_tx_index) {
+          if (txs[i].network == network.id()) ++sc.own_count[i];
+        }
+      }
+    }
+  }
+  sc.own_offset.resize(txs.size() + 1);
+  sc.own_offset[0] = 0;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    sc.own_offset[i + 1] = sc.own_offset[i] + sc.own_count[i];
+  }
+  sc.own_flat.resize(sc.own_offset[txs.size()]);
+  // Reuse own_count as the per-packet fill cursor (relative to the offset).
+  std::fill(sc.own_count.begin(), sc.own_count.end(), 0);
   std::size_t t = 0;
   for (auto& network : deployment_.networks()) {
-    std::vector<UplinkRecord> uplinks;
+    std::vector<UplinkRecord>& uplinks = sc.uplinks;
+    uplinks.clear();
     for ([[maybe_unused]] auto& gw : network.gateways()) {
       auto& yield = yields[t++];
       for (std::size_t e = 0; e < yield.outcomes.size(); ++e) {
-        const auto& tx_ref = txs[yield.event_tx_index[e]];
-        if (tx_ref.network != network.id()) continue;  // foreign at this GW
-        own_outcomes[yield.event_tx_index[e]].push_back(yield.outcomes[e]);
+        const std::size_t i = yield.event_tx_index[e];
+        if (txs[i].network != network.id()) continue;  // foreign at this GW
+        sc.own_flat[sc.own_offset[i] + sc.own_count[i]++] = yield.outcomes[e];
       }
       uplinks.insert(uplinks.end(), yield.uplinks.begin(), yield.uplinks.end());
     }
@@ -144,19 +231,61 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   }
 
   // Classify every offered packet against its own network's gateways.
-  std::map<NetworkId, std::set<NodeId>> served;
+  // Counters are flat vectors indexed by a dense network index (network
+  // ids are allocated sequentially, so the common case is index == id);
+  // the result maps are filled once at the end.
+  sc.net_ids.clear();
+  for (const auto& network : deployment_.networks()) {
+    sc.net_ids.push_back(network.id());
+  }
+  const std::size_t deployed = sc.net_ids.size();
+  sc.offered.assign(deployed, 0);
+  sc.delivered.assign(deployed, 0);
+  sc.served.resize(deployed);
+  for (auto& nodes : sc.served) nodes.clear();
+  auto index_of = [&sc](NetworkId id) -> std::size_t {
+    if (id < sc.net_ids.size() && sc.net_ids[id] == id) return id;
+    for (std::size_t n = 0; n < sc.net_ids.size(); ++n) {
+      if (sc.net_ids[n] == id) return n;
+    }
+    // Traffic may reference a network id absent from the deployment; give
+    // it a slot so its fates are still tallied (the map-based bookkeeping
+    // this replaces created entries on the fly).
+    sc.net_ids.push_back(id);
+    sc.offered.push_back(0);
+    sc.delivered.push_back(0);
+    sc.served.emplace_back();
+    return sc.net_ids.size() - 1;
+  };
   result.fates.reserve(txs.size());
   for (std::size_t i = 0; i < txs.size(); ++i) {
-    PacketFate fate = classify_packet(txs[i], own_outcomes[i]);
-    ++result.offered[fate.network];
+    PacketFate fate = classify_packet(
+        txs[i], std::span<const RxOutcome>(
+                    sc.own_flat.data() + sc.own_offset[i],
+                    sc.own_offset[i + 1] - sc.own_offset[i]));
+    const std::size_t n = index_of(fate.network);
+    ++sc.offered[n];
     if (fate.delivered) {
-      ++result.delivered[fate.network];
-      served[fate.network].insert(fate.node);
+      ++sc.delivered[n];
+      sc.served[n].push_back(fate.node);
     }
     result.fates.push_back(std::move(fate));
   }
-  for (const auto& [net, nodes] : served) {
-    result.served_nodes[net] = nodes.size();
+  for (std::size_t n = 0; n < sc.net_ids.size(); ++n) {
+    auto& nodes = sc.served[n];
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    const NetworkId id = sc.net_ids[n];
+    // Deployment networks always report (zeroes included); ids outside the
+    // deployment get exactly the entries their packets created, matching
+    // the previous on-the-fly map behaviour.
+    if (n < deployed || sc.offered[n] > 0) result.offered[id] = sc.offered[n];
+    if (n < deployed || sc.delivered[n] > 0) {
+      result.delivered[id] = sc.delivered[n];
+    }
+    if (n < deployed || !nodes.empty()) {
+      result.served_nodes[id] = nodes.size();
+    }
   }
   if (invariants_ != nullptr) invariants_->check_window(result);
   return result;

@@ -100,10 +100,35 @@ class ScenarioRunner {
                           MetricsCollector& metrics);
 
  private:
+  // Per-window working storage, reused across windows so a steady-state
+  // window allocates nothing in the prepass or the classification pass
+  // (docs/performance.md). Makes concurrent run_window calls on one runner
+  // invalid — they already were (network servers are shared state).
+  struct RunScratch {
+    std::vector<std::uint32_t> row_of_tx;  // tx index -> link-cache row
+    std::vector<std::uint32_t> task_col;   // task index -> link-cache column
+    std::vector<std::uint64_t> tx_mask;    // tx index -> candidate columns
+    std::vector<std::vector<std::uint32_t>> gw_txs;  // per-column tx lists
+                                                     // (> 64-gateway path)
+    std::vector<std::vector<RxEvent>> events;        // per-task event arena
+    // Flat per-packet own-network outcome gather (count / prefix / fill).
+    std::vector<std::uint32_t> own_count;
+    std::vector<std::uint32_t> own_offset;
+    std::vector<RxOutcome> own_flat;
+    // Per-network uplink gather handed to NetworkServer::ingest.
+    std::vector<UplinkRecord> uplinks;
+    // Flat per-network classification counters (dense network index).
+    std::vector<NetworkId> net_ids;
+    std::vector<std::size_t> offered;
+    std::vector<std::size_t> delivered;
+    std::vector<std::vector<NodeId>> served;
+  };
+
   Deployment& deployment_;
   Rng rng_;
   RunOptions options_;
   SimInvariants* invariants_ = nullptr;
+  RunScratch scratch_;
 };
 
 }  // namespace alphawan

@@ -5,10 +5,6 @@
 #include "phy/sensitivity.hpp"
 
 namespace alphawan {
-namespace {
-// Keyspace separation for the channel model's (tx, rx) link cache.
-constexpr std::uint64_t kGatewayKeyBase = 1ULL << 32;
-}  // namespace
 
 Deployment::Deployment(Region region, Spectrum spectrum,
                        ChannelModelConfig channel_config)
@@ -40,6 +36,20 @@ std::vector<GatewayId> Deployment::place_gateways(
     ids.push_back(id);
   }
   return ids;
+}
+
+LinkCache& Deployment::link_cache() {
+  for (auto& network : networks_) {
+    for (auto& gw : network.gateways()) {
+      link_cache_.upsert_gateway(
+          gw.id(), kGatewayKeyBase + gw.id(), gw.position(),
+          gw.antenna_epoch(),
+          [&gw](const Point& origin) {
+            return gw.antenna_gain_towards(origin);
+          });
+    }
+  }
+  return link_cache_;
 }
 
 Db Deployment::mean_snr(const EndNode& node, const Gateway& gw) {

@@ -11,6 +11,7 @@
 #include "net/network.hpp"
 #include "phy/band_plan.hpp"
 #include "phy/channel_model.hpp"
+#include "phy/link_cache.hpp"
 
 namespace alphawan {
 
@@ -57,10 +58,18 @@ class Deployment {
   // part + frozen shadowing; no fast fading).
   [[nodiscard]] Db mean_snr(const EndNode& node, const Gateway& gw);
 
+  // The window-invariant link-gain matrix over this deployment's gateways
+  // (phy/link_cache.hpp). Each call refreshes the gateway columns —
+  // newly placed gateways get a column, antenna swaps recompute theirs —
+  // and hands the cache to the runner. Transmitter rows are registered
+  // lazily by the runner as traffic mentions them.
+  [[nodiscard]] LinkCache& link_cache();
+
  private:
   Region region_;
   Spectrum spectrum_;
   ChannelModel channel_model_;
+  LinkCache link_cache_{channel_model_};
   std::deque<Network> networks_;
   NodeId next_node_id_ = 1;
   GatewayId next_gateway_id_ = 1;

@@ -1,0 +1,240 @@
+#include "phy/link_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace alphawan {
+namespace {
+
+constexpr std::uint64_t kRxKeyBase = 1ULL << 32;
+
+// A deterministic, position-dependent stand-in for a gateway antenna.
+Db toy_antenna_gain(const Point& origin) {
+  return Db{-(origin.x.value() + origin.y.value()) / 1000.0};
+}
+
+struct Site {
+  GatewayId id;
+  Point position;
+};
+
+struct Tx {
+  NodeId node;
+  Point origin;
+};
+
+std::vector<Site> test_sites() {
+  return {{1, Point{Meters{0.0}, Meters{0.0}}},
+          {2, Point{Meters{1200.0}, Meters{300.0}}},
+          {7, Point{Meters{-400.0}, Meters{900.0}}}};
+}
+
+std::vector<Tx> test_nodes() {
+  return {{0, Point{Meters{50.0}, Meters{80.0}}},
+          {3, Point{Meters{700.0}, Meters{-200.0}}},
+          {11, Point{Meters{1500.0}, Meters{1500.0}}},
+          {42, Point{Meters{-900.0}, Meters{400.0}}}};
+}
+
+void upsert(LinkCache& cache, const Site& site, std::uint64_t epoch = 0) {
+  cache.upsert_gateway(site.id, kRxKeyBase + site.id, site.position, epoch,
+                       toy_antenna_gain);
+}
+
+// Two caches over identically configured models (frozen shadowing draws are
+// keyed by (node, rx_key) and the config seed, so both see the same links)
+// must agree gain for gain no matter the registration order.
+TEST(LinkCache, IncrementalAddMatchesFromScratchRebuild) {
+  ChannelModelConfig cfg;
+  cfg.seed = 7;
+  ChannelModel model_a(cfg), model_b(cfg);
+  LinkCache incremental(model_a);
+  LinkCache rebuilt(model_b);
+
+  const auto sites = test_sites();
+  const auto nodes = test_nodes();
+
+  // Interleave: one gateway, two rows, the remaining gateways (which must
+  // backfill existing rows), then the remaining rows.
+  upsert(incremental, sites[0]);
+  incremental.ensure_row(nodes[0].node, nodes[0].origin);
+  incremental.ensure_row(nodes[1].node, nodes[1].origin);
+  upsert(incremental, sites[1]);
+  upsert(incremental, sites[2]);
+  incremental.ensure_row(nodes[2].node, nodes[2].origin);
+  incremental.ensure_row(nodes[3].node, nodes[3].origin);
+
+  // From scratch: all gateways first, then all rows.
+  for (const auto& site : sites) upsert(rebuilt, site);
+  for (const auto& tx : nodes) rebuilt.ensure_row(tx.node, tx.origin);
+
+  ASSERT_EQ(incremental.column_count(), rebuilt.column_count());
+  ASSERT_EQ(incremental.row_count(), rebuilt.row_count());
+  for (const auto& site : sites) {
+    const auto col_a = incremental.column_of(site.id);
+    const auto col_b = rebuilt.column_of(site.id);
+    ASSERT_NE(col_a, LinkCache::kInvalidColumn);
+    ASSERT_NE(col_b, LinkCache::kInvalidColumn);
+    const auto gains_a = incremental.gains(col_a);
+    const auto gains_b = rebuilt.gains(col_b);
+    ASSERT_EQ(gains_a.size(), gains_b.size());
+    for (std::size_t row = 0; row < gains_a.size(); ++row) {
+      EXPECT_DOUBLE_EQ(gains_a[row].path_loss.value(),
+                       gains_b[row].path_loss.value());
+      EXPECT_DOUBLE_EQ(gains_a[row].antenna_gain.value(),
+                       gains_b[row].antenna_gain.value());
+    }
+  }
+}
+
+TEST(LinkCache, EnsureRowIsIdempotent) {
+  ChannelModel model;
+  LinkCache cache(model);
+  upsert(cache, test_sites()[0]);
+  const auto tx = test_nodes()[0];
+  const auto row = cache.ensure_row(tx.node, tx.origin);
+  EXPECT_EQ(cache.ensure_row(tx.node, tx.origin), row);
+  EXPECT_EQ(cache.row_count(), 1u);
+}
+
+TEST(LinkCache, ReusedNodeIdWithNewOriginIsRecomputedInPlace) {
+  ChannelModelConfig cfg;
+  cfg.seed = 3;
+  ChannelModel model(cfg), fresh_model(cfg);
+  LinkCache cache(model);
+  const auto site = test_sites()[0];
+  upsert(cache, site);
+
+  const NodeId node = 1'000'123;  // virtual id, reused across positions
+  const Point p1{Meters{100.0}, Meters{100.0}};
+  const Point p2{Meters{2000.0}, Meters{-500.0}};
+  const auto row = cache.ensure_row(node, p1);
+  ASSERT_EQ(cache.ensure_row(node, p2), row);
+
+  // The recomputed row must equal a cache that only ever saw p2.
+  LinkCache fresh(fresh_model);
+  upsert(fresh, site);
+  fresh.ensure_row(node, p2);
+  const auto got = cache.gains(cache.column_of(site.id))[row];
+  const auto want = fresh.gains(fresh.column_of(site.id))[0];
+  EXPECT_DOUBLE_EQ(got.path_loss.value(), want.path_loss.value());
+  EXPECT_DOUBLE_EQ(got.antenna_gain.value(), want.antenna_gain.value());
+}
+
+TEST(LinkCache, AntennaEpochRefreshesGainsButNotPathLoss) {
+  ChannelModel model;
+  LinkCache cache(model);
+  const auto site = test_sites()[0];
+  upsert(cache, site, 0);
+  const auto tx = test_nodes()[0];
+  const auto row = cache.ensure_row(tx.node, tx.origin);
+  const auto col = cache.column_of(site.id);
+  const LinkGain before = cache.gains(col)[row];
+
+  // Same epoch: the new gain function must be ignored.
+  cache.upsert_gateway(site.id, kRxKeyBase + site.id, site.position, 0,
+                       [](const Point&) { return Db{9.0}; });
+  EXPECT_DOUBLE_EQ(cache.gains(col)[row].antenna_gain.value(),
+                   before.antenna_gain.value());
+
+  // Advanced epoch: antenna gain refreshes, path loss stays frozen.
+  cache.upsert_gateway(site.id, kRxKeyBase + site.id, site.position, 1,
+                       [](const Point&) { return Db{9.0}; });
+  const LinkGain after = cache.gains(col)[row];
+  EXPECT_DOUBLE_EQ(after.antenna_gain.value(), 9.0);
+  EXPECT_DOUBLE_EQ(after.path_loss.value(), before.path_loss.value());
+}
+
+TEST(LinkCache, ColumnOfUnknownGatewayIsInvalid) {
+  ChannelModel model;
+  LinkCache cache(model);
+  EXPECT_EQ(cache.column_of(99), LinkCache::kInvalidColumn);
+}
+
+// The candidate lists are a conservative superset: a pruned (row, column)
+// pair must be undeliverable for EVERY fading draw the Rng can produce.
+// kNormalTailSigmas bounds |normal()|, so the worst case is tx at the power
+// bound plus that many sigmas of constructive fading.
+TEST(LinkCache, CandidateListsAreConservativeSuperset) {
+  ChannelModelConfig cfg;
+  cfg.seed = 11;
+  ChannelModel model(cfg);
+  LinkCache cache(model);
+  for (const auto& site : test_sites()) upsert(cache, site);
+  // Spread rows from close-in to far beyond plausible reach so both
+  // candidate and pruned pairs exist.
+  std::vector<std::uint32_t> rows;
+  for (int k = 0; k < 8; ++k) {
+    const double d = 100.0 * std::pow(4.0, k);  // 100 m .. ~1638 km
+    rows.push_back(
+        cache.ensure_row(100 + k, Point{Meters{d}, Meters{0.0}}));
+  }
+
+  const Dbm floor = noise_floor_dbm(kLoRaBandwidth125k) - Db{10.0};
+  const Dbm power_bound{20.0};
+  const double sigma = model.config().fast_fading_sigma_db.value();
+
+  bool saw_pruned = false;
+  for (const auto row : rows) {
+    const auto candidates = cache.candidate_columns(row, floor, power_bound);
+    for (std::uint32_t col = 0; col < cache.column_count(); ++col) {
+      const bool is_candidate =
+          std::find(candidates.begin(), candidates.end(), col) !=
+          candidates.end();
+      if (is_candidate) continue;
+      saw_pruned = true;
+      // Best case a pruned pair could ever realize must stay below floor.
+      const LinkGain g = cache.gains(col)[row];
+      const Db max_fading{kNormalTailSigmas * sigma};
+      const Dbm best =
+          power_bound - g.path_loss + max_fading + g.antenna_gain;
+      EXPECT_LT(best.value(), floor.value())
+          << "pruned pair (row " << row << ", col " << col
+          << ") could have cleared the floor";
+    }
+  }
+  EXPECT_TRUE(saw_pruned) << "test topology produced no pruned pairs";
+}
+
+// Rows added after the candidate layout is built extend it incrementally;
+// the result must match a cold rebuild over the same rows.
+TEST(LinkCache, IncrementalCandidatesMatchRebuild) {
+  ChannelModelConfig cfg;
+  cfg.seed = 13;
+  ChannelModel model_a(cfg), model_b(cfg);
+  LinkCache warm(model_a);
+  LinkCache cold(model_b);
+  for (const auto& site : test_sites()) {
+    upsert(warm, site);
+    upsert(cold, site);
+  }
+
+  const Dbm floor = noise_floor_dbm(kLoRaBandwidth125k) - Db{10.0};
+  const Dbm power_bound{20.0};
+
+  const Point near{Meters{200.0}, Meters{0.0}};
+  const Point far{Meters{3.0e6}, Meters{0.0}};
+  warm.ensure_row(1, near);
+  (void)warm.candidate_columns(0, floor, power_bound);  // build layout
+  warm.ensure_row(2, far);                              // incremental append
+  warm.ensure_row(3, near);
+
+  cold.ensure_row(1, near);
+  cold.ensure_row(2, far);
+  cold.ensure_row(3, near);
+
+  for (std::uint32_t row = 0; row < 3; ++row) {
+    const auto a = warm.candidate_columns(row, floor, power_bound);
+    const auto b = cold.candidate_columns(row, floor, power_bound);
+    ASSERT_EQ(a.size(), b.size()) << "row " << row;
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -361,6 +361,90 @@ TEST(GatewayRadio, BucketedScanMatchesBruteForce) {
   }
 }
 
+TEST(GatewayRadio, AdjacentBucketInterfererIsScanned) {
+  // The interferer scan buckets events by coarse frequency
+  // (kChannelSpacing) and only walks the wanted packet's own bucket plus
+  // its two neighbours. A misaligned interferer whose center falls in the
+  // *adjacent* bucket but whose band still grazes the wanted channel must
+  // be found there: its filter-truncated energy degrades SNR.
+  Transmission wanted = make_tx(1, 0, SpreadingFactor::kSF8, Seconds{0.0});
+  Transmission intf = make_tx(2, 0, SpreadingFactor::kSF8, Seconds{0.0}, 1);
+  // +120 kHz crosses the 200 kHz bucket boundary (grid centers sit
+  // mid-bucket, 100 kHz below it) while 5 kHz of band still overlaps.
+  intf.channel.center += Hz{120e3};
+  const auto bucket = [](Hz center) {
+    return static_cast<std::int64_t>(center / kChannelSpacing);
+  };
+  ASSERT_NE(bucket(wanted.channel.center), bucket(intf.channel.center));
+  ASSERT_GT(overlap_ratio(intf.channel, wanted.channel), 0.0);
+
+  // Control: alone, the wanted packet is received.
+  auto alone = make_radio();
+  EXPECT_EQ(alone.process({RxEvent{wanted, Dbm{-100.0}}})[0].disposition,
+            RxDisposition::kDelivered);
+
+  // With the strong cross-bucket interferer, residual in-band energy
+  // swamps the SNR. The interferer itself is front-end rejected — its RF
+  // energy interferes anyway.
+  auto radio = make_radio();
+  const auto outcomes =
+      radio.process({RxEvent{wanted, Dbm{-100.0}}, RxEvent{intf, Dbm{-30.0}}});
+  EXPECT_EQ(outcomes[1].disposition, RxDisposition::kRejectedFrontEnd);
+  EXPECT_EQ(outcomes[0].disposition, RxDisposition::kDroppedLowSnr);
+}
+
+TEST(GatewayRadio, LookbackBoundaryInterfererEndingAtStartIsHarmless) {
+  // The scan's lower_bound starts at exactly ev.start - lookback, where
+  // lookback is the bucket's longest airtime. An interferer sitting
+  // precisely on that boundary ends exactly at ev.start: it must be
+  // scanned (lower_bound includes the equal key) yet cause nothing —
+  // airtime intervals are half-open, touching is not overlapping.
+  Transmission wanted = make_tx(1, 0, SpreadingFactor::kSF9, Seconds{10.0});
+  Transmission intf = make_tx(2, 0, SpreadingFactor::kSF9, Seconds{0.0});
+  const Seconds duration = intf.end() - intf.start;
+  intf.start = wanted.start - duration;  // intf.end() == wanted.start
+  {
+    auto radio = make_radio();
+    const auto outcomes =
+        radio.process({RxEvent{wanted, Dbm{-90.0}}, RxEvent{intf, Dbm{-60.0}}});
+    EXPECT_EQ(outcomes[0].disposition, RxDisposition::kDelivered);
+    EXPECT_EQ(outcomes[1].disposition, RxDisposition::kDelivered);
+  }
+  // One millisecond later the same interferer genuinely overlaps and its
+  // 30 dB advantage destroys the wanted packet.
+  intf.start = intf.start + Seconds{0.001};
+  {
+    auto radio = make_radio();
+    const auto outcomes =
+        radio.process({RxEvent{wanted, Dbm{-90.0}}, RxEvent{intf, Dbm{-60.0}}});
+    EXPECT_EQ(outcomes[0].disposition, RxDisposition::kDroppedCollision);
+    EXPECT_EQ(outcomes[1].disposition, RxDisposition::kDelivered);
+  }
+}
+
+TEST(GatewayRadio, ForwardScanStopsAtEventsStartingAtWantedEnd) {
+  // Mirror boundary: the forward scan breaks at the first event whose
+  // start reaches ev.end. An interferer starting exactly there shares no
+  // airtime; one starting a millisecond earlier collides.
+  Transmission wanted = make_tx(1, 0, SpreadingFactor::kSF9, Seconds{0.0});
+  Transmission intf = make_tx(2, 0, SpreadingFactor::kSF9, wanted.end());
+  {
+    auto radio = make_radio();
+    const auto outcomes =
+        radio.process({RxEvent{wanted, Dbm{-90.0}}, RxEvent{intf, Dbm{-60.0}}});
+    EXPECT_EQ(outcomes[0].disposition, RxDisposition::kDelivered);
+    EXPECT_EQ(outcomes[1].disposition, RxDisposition::kDelivered);
+  }
+  intf.start = wanted.end() - Seconds{0.001};
+  {
+    auto radio = make_radio();
+    const auto outcomes =
+        radio.process({RxEvent{wanted, Dbm{-90.0}}, RxEvent{intf, Dbm{-60.0}}});
+    EXPECT_EQ(outcomes[0].disposition, RxDisposition::kDroppedCollision);
+    EXPECT_EQ(outcomes[1].disposition, RxDisposition::kDelivered);
+  }
+}
+
 TEST(GatewayRadio, DecoderFreedAfterPacketEnd) {
   // Sequential (non-overlapping) packets never contend, regardless of
   // count.

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage per source directory and gate it.
+
+Works with plain `gcov --json-format --stdout` (no gcovr/llvm-cov
+dependency): finds every .gcda under the build tree, asks gcov for the
+JSON intermediate format, and folds executable/executed line counts per
+watched source directory (default: src/backhaul and src/core).
+
+Usage:
+  # after building with -DALPHAWAN_COVERAGE=ON and running ctest
+  python3 scripts/check_coverage.py build --baseline COVERAGE_BASELINE.json
+  # re-record the baseline (e.g. at the end of a PR):
+  python3 scripts/check_coverage.py build --baseline COVERAGE_BASELINE.json \
+      --update-baseline
+
+The gate fails (exit 1) when a directory listed in the baseline's
+"gated" array drops more than --tolerance percentage points below its
+recorded line coverage; other watched directories are reported only.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir: str) -> list[str]:
+    hits = []
+    for root, _dirs, files in os.walk(build_dir):
+        hits.extend(os.path.join(root, f) for f in files if f.endswith(".gcda"))
+    return sorted(hits)
+
+
+def gcov_json(gcda: str, build_dir: str) -> dict | None:
+    """Run gcov in JSON/stdout mode for one .gcda; None on failure."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.relpath(gcda, build_dir)],
+        cwd=build_dir,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0 or not proc.stdout.strip():
+        return None
+    # One JSON document per input file; take the first line that parses.
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError:
+            continue
+    return None
+
+
+def aggregate(build_dir: str, repo_root: str,
+              watch_dirs: list[str]) -> dict[str, dict[str, object]]:
+    """Per watched directory: executable line total, executed total.
+
+    A line is counted once per (file, line) with the max execution count
+    across all translation units that include it (headers are seen many
+    times).
+    """
+    # (file, line) -> max count, file -> watched dir
+    line_counts: dict[tuple[str, int], int] = {}
+    for gcda in find_gcda(build_dir):
+        doc = gcov_json(gcda, build_dir)
+        if doc is None:
+            continue
+        for entry in doc.get("files", []):
+            path = entry.get("file", "")
+            abs_path = os.path.normpath(
+                path if os.path.isabs(path)
+                else os.path.join(build_dir, path))
+            try:
+                rel = os.path.relpath(abs_path, repo_root)
+            except ValueError:
+                continue
+            if not any(rel == d or rel.startswith(d + os.sep)
+                       for d in watch_dirs):
+                continue
+            for line in entry.get("lines", []):
+                key = (rel, int(line.get("line_number", 0)))
+                count = int(line.get("count", 0))
+                line_counts[key] = max(line_counts.get(key, 0), count)
+
+    result: dict[str, dict[str, object]] = {}
+    for d in watch_dirs:
+        total = sum(1 for (f, _l) in line_counts
+                    if f == d or f.startswith(d + os.sep))
+        hit = sum(1 for (f, _l), c in line_counts.items()
+                  if (f == d or f.startswith(d + os.sep)) and c > 0)
+        pct = 100.0 * hit / total if total else 0.0
+        result[d] = {"lines": total, "covered": hit,
+                     "percent": round(pct, 2)}
+    return result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir", help="CMake build dir with .gcda files")
+    parser.add_argument("--dirs", nargs="*",
+                        default=["src/backhaul", "src/core"],
+                        help="source directories to aggregate")
+    parser.add_argument("--baseline", default="COVERAGE_BASELINE.json")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the measured coverage as the new baseline")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="allowed drop in percentage points before failing")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    measured = aggregate(os.path.abspath(args.build_dir), repo_root, args.dirs)
+    if all(v["lines"] == 0 for v in measured.values()):
+        print("check_coverage: no coverage data found — build with "
+              "-DALPHAWAN_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    for d, v in measured.items():
+        print(f"{d}: {v['covered']}/{v['lines']} lines = {v['percent']}%")
+
+    if args.update_baseline:
+        baseline = {"schema": "alphawan-coverage-v1",
+                    "gated": ["src/backhaul"],
+                    "coverage": measured}
+        with open(args.baseline, "w", encoding="utf-8") as out:
+            json.dump(baseline, out, indent=2)
+            out.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        print(f"check_coverage: baseline {args.baseline} missing; run with "
+              "--update-baseline to create it", file=sys.stderr)
+        return 2
+
+    failed = False
+    for d in baseline.get("gated", []):
+        want = float(baseline["coverage"].get(d, {}).get("percent", 0.0))
+        have = float(measured.get(d, {}).get("percent", 0.0))
+        if have + args.tolerance < want:
+            print(f"FAIL: {d} line coverage {have}% dropped below baseline "
+                  f"{want}% (tolerance {args.tolerance} pts)")
+            failed = True
+        else:
+            print(f"OK: {d} {have}% vs baseline {want}%")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

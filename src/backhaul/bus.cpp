@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "backhaul/faults.hpp"
+
 namespace alphawan {
 
 void MessageBus::attach(const EndpointId& id, Handler handler) {
@@ -10,17 +12,43 @@ void MessageBus::attach(const EndpointId& id, Handler handler) {
 
 void MessageBus::detach(const EndpointId& id) { handlers_.erase(id); }
 
+void MessageBus::set_down(const EndpointId& id, bool down) {
+  if (down) {
+    down_.insert(id);
+  } else {
+    down_.erase(id);
+  }
+}
+
 void MessageBus::send(const EndpointId& from, const EndpointId& to,
                       std::vector<std::uint8_t> payload, bool wan) {
   ++stats_.messages;
   stats_.bytes += payload.size();
+  if (down_.contains(from)) {
+    // A crashed endpoint cannot transmit.
+    ++stats_.dropped;
+    return;
+  }
   const Seconds delay = wan ? latency_.wan_one_way()
                             : latency_.lan_transfer(payload.size());
+  if (faults_ != nullptr) {
+    faults_->route(from, to, delay, std::move(payload));
+    return;
+  }
+  schedule_delivery(from, to, delay, std::move(payload));
+}
+
+void MessageBus::schedule_delivery(const EndpointId& from,
+                                   const EndpointId& to, Seconds delay,
+                                   std::vector<std::uint8_t> payload) {
   engine_.schedule_in(
       delay, [this, from, to, data = std::move(payload)]() mutable {
+        // Attachment and liveness are evaluated when the delivery event
+        // fires: an endpoint detached or crashed while the message was in
+        // flight drops it (counted), even if it later re-attaches.
         const auto it = handlers_.find(to);
-        if (it == handlers_.end()) {
-          ++dropped_;
+        if (it == handlers_.end() || down_.contains(to)) {
+          ++stats_.dropped;
           return;
         }
         it->second(from, std::move(data));

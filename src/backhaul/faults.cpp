@@ -1,0 +1,113 @@
+#include "backhaul/faults.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace alphawan {
+
+FaultInjector::FaultInjector(MessageBus& bus, FaultPlan plan)
+    : bus_(bus), plan_(std::move(plan)), root_(plan_.seed) {
+  active_ = plan_.any_message_faults();
+  bus_.set_fault_injector(this);
+}
+
+FaultInjector::~FaultInjector() { bus_.set_fault_injector(nullptr); }
+
+void FaultInjector::arm_outages() {
+  for (const auto& outage : plan_.outages) {
+    bus_.engine().schedule_at(outage.start, [this, endpoint = outage.endpoint] {
+      bus_.set_down(endpoint, true);
+      ++stats_.crashes;
+    });
+    bus_.engine().schedule_at(
+        outage.start + outage.duration, [this, endpoint = outage.endpoint] {
+          bus_.set_down(endpoint, false);
+          ++stats_.restarts;
+          if (restart_hook_) restart_hook_(endpoint);
+        });
+  }
+}
+
+const FaultSpec* FaultInjector::rule_for(const EndpointId& endpoint,
+                                         FaultDirection direction) const {
+  for (const auto& rule : plan_.rules) {
+    if (rule.direction == direction && rule.endpoint == endpoint) {
+      return &rule.spec;
+    }
+  }
+  return nullptr;
+}
+
+void FaultInjector::route(const EndpointId& from, const EndpointId& to,
+                          Seconds base_delay,
+                          std::vector<std::uint8_t> payload) {
+  ++stats_.messages_seen;
+  if (!active_) {
+    bus_.schedule_delivery(from, to, base_delay, std::move(payload));
+    return;
+  }
+  // Every decision about this message comes from a substream keyed by the
+  // message index, so the fault pattern is a pure function of
+  // (plan seed, send sequence) — replays are bit-identical and one
+  // message's faults never perturb another's.
+  Rng rng = root_.substream(message_index_++);
+
+  const FaultSpec* specs[3] = {&plan_.everywhere,
+                               rule_for(from, FaultDirection::kTx),
+                               rule_for(to, FaultDirection::kRx)};
+  int copies = 1;
+  Seconds extra_delay{0.0};
+  bool truncate = false;
+  bool corrupt = false;
+  for (const FaultSpec* spec : specs) {
+    if (spec == nullptr) continue;
+    if (spec->drop_prob > 0.0 && rng.chance(spec->drop_prob)) {
+      ++stats_.dropped;
+      return;
+    }
+    if (spec->duplicate_prob > 0.0 && rng.chance(spec->duplicate_prob)) {
+      ++copies;
+    }
+    if (spec->delay_prob > 0.0 && rng.chance(spec->delay_prob)) {
+      extra_delay +=
+          Seconds{rng.uniform(spec->delay_min.value(), spec->delay_max.value())};
+    }
+    if (spec->truncate_prob > 0.0 && rng.chance(spec->truncate_prob)) {
+      truncate = true;
+    }
+    if (spec->corrupt_prob > 0.0 && rng.chance(spec->corrupt_prob)) {
+      corrupt = true;
+    }
+  }
+  if (copies > 1) stats_.duplicated += static_cast<std::size_t>(copies - 1);
+  if (extra_delay > Seconds{0.0}) ++stats_.delayed;
+  if (truncate && !payload.empty()) {
+    ++stats_.truncated;
+    payload.resize(static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(payload.size()) - 1)));
+  }
+  if (corrupt && !payload.empty()) {
+    ++stats_.corrupted;
+    int flip_budget = 1;
+    for (const FaultSpec* spec : specs) {
+      if (spec != nullptr) flip_budget = std::max(flip_budget, spec->max_bit_flips);
+    }
+    const auto flips = rng.uniform_int(1, flip_budget);
+    for (std::int64_t f = 0; f < flips; ++f) {
+      const auto bit = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(payload.size()) * 8 - 1));
+      payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  // Each duplicate takes its own extra delay draw on top of the shared
+  // one, so duplicates interleave (and reorder) with other traffic.
+  for (int c = 0; c < copies; ++c) {
+    Seconds copy_delay = base_delay + extra_delay;
+    if (c > 0) {
+      copy_delay += Seconds{rng.uniform(0.0, extra_delay.value() + 0.05)};
+    }
+    bus_.schedule_delivery(from, to, copy_delay, payload);
+  }
+}
+
+}  // namespace alphawan

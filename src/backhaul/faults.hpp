@@ -1,0 +1,137 @@
+// Deterministic, seed-driven fault injection for the backhaul: a layer
+// between MessageBus and the Engine that can drop, duplicate, delay
+// (and thereby reorder), truncate, and bit-corrupt payloads per
+// (endpoint, direction), plus crash/restart endpoints for a configured
+// outage window. Chaos is replayable: every per-message decision derives
+// from (FaultPlan::seed, message index), so the same (world seed,
+// FaultPlan) always produces the same event sequence — the chaos property
+// suite (tests/property/test_prop_chaos.cpp) depends on this.
+//
+// The injector is OFF unless explicitly attached to a bus
+// (`MessageBus::set_fault_injector`); the detached fast path is a single
+// pointer branch in `MessageBus::send`. See docs/robustness.md for the
+// FaultPlan schema and the recovery guarantees the control plane layers
+// on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backhaul/bus.hpp"
+#include "common/rng.hpp"
+
+namespace alphawan {
+
+// Which leg of a message a rule applies to: kTx matches the rule's
+// endpoint as the SENDER, kRx as the RECEIVER.
+enum class FaultDirection : std::uint8_t { kTx, kRx };
+
+// Per-message fault probabilities. Each applicable spec is evaluated
+// independently (see FaultPlan), so effective rates compose.
+struct FaultSpec {
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;   // one extra copy per triggering spec
+  double delay_prob = 0.0;       // extra latency => reordering
+  Seconds delay_min{0.01};
+  Seconds delay_max{0.5};
+  double truncate_prob = 0.0;    // cut to a random prefix (possibly empty)
+  double corrupt_prob = 0.0;     // flip 1..max_bit_flips random bits
+  int max_bit_flips = 4;
+
+  [[nodiscard]] bool any() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || delay_prob > 0.0 ||
+           truncate_prob > 0.0 || corrupt_prob > 0.0;
+  }
+};
+
+// A spec scoped to one endpoint and one direction.
+struct FaultRule {
+  EndpointId endpoint;
+  FaultDirection direction = FaultDirection::kRx;
+  FaultSpec spec;
+};
+
+// Crash `endpoint` at `start` and restore it `duration` later
+// (MessageBus::set_down both ways). While down the endpoint neither
+// sends nor receives; in-flight deliveries drop and are counted.
+struct OutageSpec {
+  EndpointId endpoint;
+  Seconds start{0.0};
+  Seconds duration{1.0};
+};
+
+// Declarative chaos schedule. For each message the injector evaluates, in
+// order: `everywhere` (once), then the first matching (sender, kTx) rule,
+// then the first matching (receiver, kRx) rule. Drop short-circuits;
+// duplicate/delay/truncate/corrupt decisions accumulate across specs.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  FaultSpec everywhere;
+  std::vector<FaultRule> rules;
+  std::vector<OutageSpec> outages;
+
+  [[nodiscard]] bool any_message_faults() const {
+    if (everywhere.any()) return true;
+    for (const auto& rule : rules) {
+      if (rule.spec.any()) return true;
+    }
+    return false;
+  }
+};
+
+// Counters for everything the injector did; part of the deterministic
+// replay surface (the chaos digest folds them in).
+struct FaultStats {
+  std::size_t messages_seen = 0;
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t delayed = 0;
+  std::size_t truncated = 0;
+  std::size_t corrupted = 0;
+  std::size_t crashes = 0;
+  std::size_t restarts = 0;
+};
+
+class FaultInjector {
+ public:
+  using RestartHook = std::function<void(const EndpointId&)>;
+
+  // Attaches itself to `bus`; the injector must outlive the bus traffic
+  // (detaches again on destruction).
+  FaultInjector(MessageBus& bus, FaultPlan plan);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedule the plan's outage windows on the bus's engine. Call once,
+  // before running the engine past the first outage start.
+  void arm_outages();
+
+  // Invoked (after the bus endpoint is restored) at the end of every
+  // outage window — the hook endpoints use to re-sync ("re-request on
+  // reconnect"). Runs inside the engine's restore event.
+  void set_restart_hook(RestartHook hook) { restart_hook_ = std::move(hook); }
+
+  // Called by MessageBus::send for every message while attached. Applies
+  // the plan and re-enters MessageBus::schedule_delivery for each
+  // surviving copy.
+  void route(const EndpointId& from, const EndpointId& to, Seconds base_delay,
+             std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] const FaultSpec* rule_for(const EndpointId& endpoint,
+                                          FaultDirection direction) const;
+
+  MessageBus& bus_;
+  FaultPlan plan_;
+  bool active_ = false;  // any_message_faults(), precomputed
+  Rng root_;
+  std::uint64_t message_index_ = 0;
+  FaultStats stats_;
+  RestartHook restart_hook_;
+};
+
+}  // namespace alphawan

@@ -1,5 +1,8 @@
 #include "backhaul/forwarder.hpp"
 
+#include <cmath>
+#include <utility>
+
 namespace alphawan {
 namespace {
 
@@ -27,6 +30,10 @@ std::optional<UplinkRecord> decode_uplink(BufferReader& r) {
   const auto dr = r.u8();
   const auto snr = r.f64();
   if (!r.ok() || !dr || *dr >= kNumDataRates) return std::nullopt;
+  if (!std::isfinite(*timestamp) || !std::isfinite(*center) ||
+      !std::isfinite(*bandwidth) || !std::isfinite(*snr)) {
+    return std::nullopt;
+  }
   rec.packet = *packet;
   rec.node = *node;
   rec.gateway = *gateway;
@@ -62,6 +69,7 @@ std::vector<std::uint8_t> encode_forwarder(const ForwarderMessage& msg) {
           w.u8(static_cast<std::uint8_t>(ForwarderOp::kPullResp));
           w.u16(m.token);
           w.u32(m.gateway);
+          w.u32(m.config_version);
           w.u32(static_cast<std::uint32_t>(m.channels.size()));
           for (const auto& ch : m.channels) {
             w.f64(ch.center.value());
@@ -73,12 +81,14 @@ std::vector<std::uint8_t> encode_forwarder(const ForwarderMessage& msg) {
         }
       },
       msg);
-  return w.take();
+  return seal_payload(w.take());
 }
 
 std::optional<ForwarderMessage> decode_forwarder(
     std::span<const std::uint8_t> payload) {
-  BufferReader r(payload);
+  const auto body = open_payload(payload);
+  if (!body) return std::nullopt;
+  BufferReader r(*body);
   const auto op = r.u8();
   if (!op) return std::nullopt;
   switch (static_cast<ForwarderOp>(*op)) {
@@ -114,14 +124,21 @@ std::optional<ForwarderMessage> decode_forwarder(
       PullRespMsg m;
       const auto token = r.u16();
       const auto gateway = r.u32();
+      const auto version = r.u32();
       const auto count = r.u32();
-      if (!token || !gateway || !count || *count > 4096) return std::nullopt;
+      if (!token || !gateway || !version || !count || *count > 4096) {
+        return std::nullopt;
+      }
       m.token = *token;
       m.gateway = *gateway;
+      m.config_version = *version;
       for (std::uint32_t i = 0; i < *count; ++i) {
         const auto center = r.f64();
         const auto bandwidth = r.f64();
         if (!center || !bandwidth) return std::nullopt;
+        if (!std::isfinite(*center) || !std::isfinite(*bandwidth)) {
+          return std::nullopt;
+        }
         m.channels.push_back(Channel{Hz{*center}, Hz{*bandwidth}});
       }
       if (r.remaining() != 0) return std::nullopt;
@@ -139,12 +156,20 @@ std::optional<ForwarderMessage> decode_forwarder(
 // ---- gateway side -----------------------------------------------------------
 
 GatewayForwarder::GatewayForwarder(Gateway& gateway, MessageBus& bus,
-                                   EndpointId server)
-    : gateway_(gateway), bus_(bus), server_(std::move(server)) {
+                                   EndpointId server, RetryPolicy policy)
+    : gateway_(gateway),
+      bus_(bus),
+      server_(std::move(server)),
+      policy_(policy) {
   bus_.attach(endpoint(), [this](const EndpointId& from,
                                  std::vector<std::uint8_t> payload) {
     on_message(from, std::move(payload));
   });
+}
+
+GatewayForwarder::~GatewayForwarder() {
+  bus_.detach(endpoint());
+  detached_ = true;  // neutralize retry timers still queued on the engine
 }
 
 EndpointId GatewayForwarder::endpoint() const {
@@ -157,9 +182,32 @@ std::uint16_t GatewayForwarder::push_uplinks(
   msg.token = next_token_++;
   msg.gateway = gateway_.id();
   msg.uplinks = std::move(uplinks);
-  pending_push_.insert(msg.token);
-  bus_.send(endpoint(), server_, encode_forwarder(msg));
+  auto payload = encode_forwarder(msg);
+  pending_push_[msg.token] = PendingPush{payload, 0};
+  bus_.send(endpoint(), server_, std::move(payload));
+  arm_push_timer(msg.token, 0);
   return msg.token;
+}
+
+void GatewayForwarder::arm_push_timer(std::uint16_t token, int attempt) {
+  const Seconds timeout = policy_.timeout_for_attempt(attempt);
+  bus_.engine().schedule_in(timeout, [this, token, attempt] {
+    if (detached_) return;
+    const auto it = pending_push_.find(token);
+    if (it == pending_push_.end()) return;         // acked meanwhile
+    if (it->second.attempt != attempt) return;     // superseded timer
+    const int next_attempt = it->second.attempt + 1;
+    if (policy_.max_attempts > 0 && next_attempt >= policy_.max_attempts) {
+      // Give up; the uplinks in this batch are lost to the server.
+      ++stats_.pushes_abandoned;
+      pending_push_.erase(it);
+      return;
+    }
+    ++stats_.push_retries;
+    it->second.attempt = next_attempt;
+    bus_.send(endpoint(), server_, it->second.payload);
+    arm_push_timer(token, next_attempt);
+  });
 }
 
 std::uint16_t GatewayForwarder::pull() {
@@ -171,13 +219,22 @@ std::uint16_t GatewayForwarder::pull() {
 void GatewayForwarder::on_message(const EndpointId& /*from*/,
                                   std::vector<std::uint8_t> payload) {
   const auto msg = decode_forwarder(payload);
-  if (!msg) return;
+  if (!msg) {
+    ++stats_.malformed_ignored;
+    return;
+  }
   if (const auto* ack = std::get_if<PushAckMsg>(&*msg)) {
     pending_push_.erase(ack->token);
   } else if (const auto* resp = std::get_if<PullRespMsg>(&*msg)) {
     if (resp->gateway != gateway_.id() || resp->channels.empty()) return;
-    gateway_.apply_channels(GatewayChannelConfig{resp->channels});
-    ++configs_applied_;
+    if (gateway_.apply_channels(GatewayChannelConfig{resp->channels},
+                                resp->config_version)) {
+      ++configs_applied_;
+    } else {
+      // Duplicated or reordered push: already in force (or older than
+      // what is). Re-ack so the server stops re-pushing, don't reboot.
+      ++stats_.duplicate_configs;
+    }
     bus_.send(endpoint(), server_,
               encode_forwarder(PullAckMsg{resp->token}));
   }
@@ -198,27 +255,71 @@ bool ForwarderServer::push_config(GatewayId gateway,
                                   std::vector<Channel> channels) {
   const auto it = pull_paths_.find(gateway);
   if (it == pull_paths_.end()) return false;
+  auto& state = configs_[gateway];
+  ++state.version;
+  state.channels = std::move(channels);
+  state.acked = false;
+  send_config(gateway, it->second);
+  return true;
+}
+
+void ForwarderServer::send_config(GatewayId gateway, const EndpointId& to) {
+  auto& state = configs_.at(gateway);
   PullRespMsg msg;
   msg.token = next_token_++;
   msg.gateway = gateway;
-  msg.channels = std::move(channels);
-  bus_.send(endpoint_, it->second, encode_forwarder(msg));
-  return true;
+  msg.config_version = state.version;
+  msg.channels = state.channels;
+  state.token = msg.token;
+  bus_.send(endpoint_, to, encode_forwarder(msg));
+}
+
+bool ForwarderServer::config_acked(GatewayId gateway) const {
+  const auto it = configs_.find(gateway);
+  return it != configs_.end() && it->second.acked;
+}
+
+std::uint32_t ForwarderServer::config_version(GatewayId gateway) const {
+  const auto it = configs_.find(gateway);
+  return it == configs_.end() ? 0 : it->second.version;
 }
 
 void ForwarderServer::on_message(const EndpointId& from,
                                  std::vector<std::uint8_t> payload) {
   const auto msg = decode_forwarder(payload);
-  if (!msg) return;
+  if (!msg) {
+    ++stats_.malformed_ignored;
+    return;
+  }
   if (const auto* push = std::get_if<PushDataMsg>(&*msg)) {
-    server_.ingest(push->uplinks);
-    ++batches_;
+    // Dedup retried batches: a retransmit whose original (or whose ack)
+    // was lost must not double-count uplinks.
+    if (seen_push_tokens_[push->gateway].insert(push->token).second) {
+      server_.ingest(push->uplinks);
+      ++batches_;
+    } else {
+      ++stats_.duplicate_batches;
+    }
     bus_.send(endpoint_, from, encode_forwarder(PushAckMsg{push->token}));
   } else if (const auto* pull = std::get_if<PullDataMsg>(&*msg)) {
     pull_paths_[pull->gateway] = from;
     bus_.send(endpoint_, from, encode_forwarder(PullAckMsg{pull->token}));
+    // Reconnect: if a config push is still unacked (the gateway may have
+    // been down when it went out), re-push it now.
+    const auto cfg = configs_.find(pull->gateway);
+    if (cfg != configs_.end() && !cfg->second.acked) {
+      ++stats_.config_repushes;
+      send_config(pull->gateway, from);
+    }
+  } else if (const auto* ack = std::get_if<PullAckMsg>(&*msg)) {
+    // Config application confirmed: match the token of the last push.
+    for (auto& [gw, state] : configs_) {
+      if (state.token == ack->token) {
+        state.acked = true;
+        break;
+      }
+    }
   }
-  // PullAck: nothing to do (config application is observable at the GW).
 }
 
 }  // namespace alphawan

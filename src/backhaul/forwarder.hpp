@@ -7,12 +7,21 @@
 // The wire format here is the library's binary codec rather than Semtech's
 // JSON, but the protocol state machine (tokens, acks, keepalive) is the
 // same — it is what the AlphaWAN agents on gateways ride on.
+//
+// Fault hardening (docs/robustness.md): every frame carries a CRC-32
+// trailer (wire.hpp seal/open), PUSH_DATA is retried with exponential
+// backoff until acked, the server dedups retried batches by
+// (gateway, token), config pushes carry a monotonically increasing
+// version the gateway uses to ignore duplicated/reordered pushes, and an
+// unacked config is re-pushed when the gateway's PULL_DATA reopens the
+// downlink path after an outage.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <set>
+#include <map>
 #include <optional>
+#include <set>
 #include <variant>
 
 #include "backhaul/bus.hpp"
@@ -34,47 +43,82 @@ struct PushDataMsg {
   std::uint16_t token = 0;
   GatewayId gateway = kInvalidGateway;
   std::vector<UplinkRecord> uplinks;
+
+  [[nodiscard]] bool operator==(const PushDataMsg&) const = default;
 };
 
 struct PushAckMsg {
   std::uint16_t token = 0;
+
+  [[nodiscard]] bool operator==(const PushAckMsg&) const = default;
 };
 
 struct PullDataMsg {
   std::uint16_t token = 0;
   GatewayId gateway = kInvalidGateway;
+
+  [[nodiscard]] bool operator==(const PullDataMsg&) const = default;
 };
 
 struct PullRespMsg {
   std::uint16_t token = 0;
   GatewayId gateway = kInvalidGateway;
+  // Monotonically increasing per-gateway config version; the gateway
+  // applies a push only when the version is strictly newer than the one
+  // in force (duplicates/reorders are acked but not re-applied).
+  std::uint32_t config_version = 0;
   // Channel configuration push (the AlphaWAN agent applies it and reboots).
   std::vector<Channel> channels;
+
+  [[nodiscard]] bool operator==(const PullRespMsg&) const = default;
 };
 
 struct PullAckMsg {
   std::uint16_t token = 0;
+
+  [[nodiscard]] bool operator==(const PullAckMsg&) const = default;
 };
 
 using ForwarderMessage = std::variant<PushDataMsg, PushAckMsg, PullDataMsg,
                                       PullRespMsg, PullAckMsg>;
 
+// Frames carry a CRC-32 trailer: decode_forwarder rejects (nullopt) any
+// truncation or bit corruption instead of mis-parsing it.
 [[nodiscard]] std::vector<std::uint8_t> encode_forwarder(
     const ForwarderMessage& msg);
 [[nodiscard]] std::optional<ForwarderMessage> decode_forwarder(
     std::span<const std::uint8_t> payload);
 
-// The gateway-side agent: forwards uplink batches, answers PULL_RESP
-// configuration pushes by reconfiguring its gateway, tracks ack state.
+// Fault-handling telemetry for the gateway-side agent.
+struct GatewayForwarderStats {
+  std::size_t push_retries = 0;
+  std::size_t pushes_abandoned = 0;
+  std::size_t duplicate_configs = 0;  // acked but not re-applied
+  std::size_t malformed_ignored = 0;
+};
+
+// The gateway-side agent: forwards uplink batches (with retry until
+// acked), answers PULL_RESP configuration pushes by reconfiguring its
+// gateway (version-deduped), tracks ack state.
+//
+// Lifetime: retry timers capture `this` on the bus's engine; keep the
+// forwarder alive until the engine drains.
 class GatewayForwarder {
  public:
-  GatewayForwarder(Gateway& gateway, MessageBus& bus, EndpointId server);
+  GatewayForwarder(Gateway& gateway, MessageBus& bus, EndpointId server,
+                   RetryPolicy policy = RetryPolicy{});
+  ~GatewayForwarder();
+  GatewayForwarder(const GatewayForwarder&) = delete;
+  GatewayForwarder& operator=(const GatewayForwarder&) = delete;
 
   [[nodiscard]] EndpointId endpoint() const;
 
-  // Send one batch of uplinks (PUSH_DATA). Returns the token used.
+  // Send one batch of uplinks (PUSH_DATA); retried with backoff until the
+  // PUSH_ACK arrives (or RetryPolicy::max_attempts runs out). Returns the
+  // token used.
   std::uint16_t push_uplinks(std::vector<UplinkRecord> uplinks);
-  // Send a keepalive (PULL_DATA) so the server can address us.
+  // Send a keepalive (PULL_DATA) so the server can address us. Also the
+  // reconnect signal: the server re-pushes any unacked config in response.
   std::uint16_t pull();
 
   [[nodiscard]] std::size_t unacked_pushes() const {
@@ -83,21 +127,39 @@ class GatewayForwarder {
   [[nodiscard]] std::size_t configs_applied() const {
     return configs_applied_;
   }
+  [[nodiscard]] const GatewayForwarderStats& stats() const { return stats_; }
 
  private:
+  struct PendingPush {
+    std::vector<std::uint8_t> payload;  // sealed frame, resent verbatim
+    int attempt = 0;
+  };
+
   void on_message(const EndpointId& from, std::vector<std::uint8_t> payload);
+  void arm_push_timer(std::uint16_t token, int attempt);
 
   Gateway& gateway_;
   MessageBus& bus_;
   EndpointId server_;
+  RetryPolicy policy_;
   std::uint16_t next_token_ = 1;
-  std::set<std::uint16_t> pending_push_;
+  std::map<std::uint16_t, PendingPush> pending_push_;
   std::size_t configs_applied_ = 0;
+  bool detached_ = false;
+  GatewayForwarderStats stats_;
 };
 
-// The server-side endpoint: ingests PUSH_DATA into a NetworkServer, acks
-// everything, and can push channel configurations to gateways that have
-// pulled at least once.
+// Fault-handling telemetry for the server-side endpoint.
+struct ForwarderServerStats {
+  std::size_t duplicate_batches = 0;  // retried PUSH_DATA, re-acked only
+  std::size_t config_repushes = 0;    // unacked config resent on PULL_DATA
+  std::size_t malformed_ignored = 0;
+};
+
+// The server-side endpoint: ingests PUSH_DATA into a NetworkServer
+// (deduping retried batches by (gateway, token)), acks everything, and
+// pushes versioned channel configurations to gateways that have pulled at
+// least once — re-pushing unacked configs when the gateway reconnects.
 class ForwarderServer {
  public:
   ForwarderServer(NetworkServer& server, MessageBus& bus,
@@ -109,21 +171,39 @@ class ForwarderServer {
     return pull_paths_;
   }
 
-  // Push a channel configuration to a gateway (must have pulled).
+  // Push a channel configuration to a gateway (must have pulled). Each
+  // call stamps a fresh (per-gateway monotonic) version; the config is
+  // kept and re-pushed on reconnect until the gateway acks it.
   // Returns false when no downlink path is known.
   bool push_config(GatewayId gateway, std::vector<Channel> channels);
 
+  // True when the last pushed config for `gateway` has been acked.
+  [[nodiscard]] bool config_acked(GatewayId gateway) const;
+  [[nodiscard]] std::uint32_t config_version(GatewayId gateway) const;
+
   [[nodiscard]] std::size_t uplink_batches() const { return batches_; }
+  [[nodiscard]] const ForwarderServerStats& stats() const { return stats_; }
 
  private:
+  struct ConfigState {
+    std::uint32_t version = 0;
+    std::vector<Channel> channels;
+    std::uint16_t token = 0;  // token of the last PULL_RESP sent
+    bool acked = false;
+  };
+
   void on_message(const EndpointId& from, std::vector<std::uint8_t> payload);
+  void send_config(GatewayId gateway, const EndpointId& to);
 
   NetworkServer& server_;
   MessageBus& bus_;
   EndpointId endpoint_;
   std::map<GatewayId, EndpointId> pull_paths_;
+  std::map<GatewayId, std::set<std::uint16_t>> seen_push_tokens_;
+  std::map<GatewayId, ConfigState> configs_;
   std::uint16_t next_token_ = 1;
   std::size_t batches_ = 0;
+  ForwarderServerStats stats_;
 };
 
 }  // namespace alphawan

@@ -1,5 +1,7 @@
 #include "backhaul/master_protocol.hpp"
 
+#include <cmath>
+
 namespace alphawan {
 namespace {
 
@@ -20,6 +22,9 @@ std::optional<Channel> decode_channel(BufferReader& r) {
   const auto center = r.f64();
   const auto bw = r.f64();
   if (!center || !bw) return std::nullopt;
+  // A NaN/Inf channel would silently poison every overlap and airtime
+  // computation downstream; reject it at the trust boundary.
+  if (!std::isfinite(*center) || !std::isfinite(*bw)) return std::nullopt;
   return Channel{Hz{*center}, Hz{*bw}};
 }
 
@@ -47,6 +52,7 @@ std::vector<std::uint8_t> encode_message(const MasterMessage& msg) {
         } else if constexpr (std::is_same_v<T, PlanAssignMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kPlanAssign));
           w.u16(m.operator_id);
+          w.u32(m.master_epoch);
           w.f64(m.overlap_ratio);
           w.f64(m.frequency_offset.value());
           w.u32(static_cast<std::uint32_t>(m.channels.size()));
@@ -58,12 +64,14 @@ std::vector<std::uint8_t> encode_message(const MasterMessage& msg) {
         }
       },
       msg);
-  return w.take();
+  return seal_payload(w.take());
 }
 
 std::optional<MasterMessage> decode_message(
     std::span<const std::uint8_t> payload) {
-  BufferReader r(payload);
+  const auto body = open_payload(payload);
+  if (!body) return std::nullopt;
+  BufferReader r(*body);
   const auto tag = r.u8();
   if (!tag) return std::nullopt;
   switch (static_cast<Tag>(*tag)) {
@@ -94,6 +102,7 @@ std::optional<MasterMessage> decode_message(
       if (!id || !base || !width || !want || r.remaining() != 0) {
         return std::nullopt;
       }
+      if (!std::isfinite(*base) || !std::isfinite(*width)) return std::nullopt;
       m.operator_id = *id;
       m.spectrum_base = Hz{*base};
       m.spectrum_width = Hz{*width};
@@ -103,12 +112,17 @@ std::optional<MasterMessage> decode_message(
     case Tag::kPlanAssign: {
       PlanAssignMsg m;
       const auto id = r.u16();
+      const auto epoch = r.u32();
       const auto overlap = r.f64();
       const auto offset = r.f64();
       const auto count = r.u32();
-      if (!id || !overlap || !offset || !count) return std::nullopt;
+      if (!id || !epoch || !overlap || !offset || !count) return std::nullopt;
       if (*count > 4096) return std::nullopt;
+      if (!std::isfinite(*overlap) || !std::isfinite(*offset)) {
+        return std::nullopt;
+      }
       m.operator_id = *id;
+      m.master_epoch = *epoch;
       m.overlap_ratio = *overlap;
       m.frequency_offset = Hz{*offset};
       m.channels.reserve(*count);

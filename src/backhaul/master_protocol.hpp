@@ -42,6 +42,10 @@ struct PlanRequestMsg {
 
 struct PlanAssignMsg {
   NetworkId operator_id = 0;
+  // Master epoch the plan was computed at. Epochs advance on every new
+  // registration; receivers must ignore assignments from a stale epoch
+  // (a delayed or duplicated message can arrive after a refresh).
+  std::uint32_t master_epoch = 0;
   double overlap_ratio = 0.0;  // with the nearest coexisting plan
   Hz frequency_offset{0.0};   // applied to the standard grid
   std::vector<Channel> channels;
@@ -59,10 +63,13 @@ struct ErrorMsg {
 using MasterMessage = std::variant<RegisterMsg, RegisterAckMsg, PlanRequestMsg,
                                    PlanAssignMsg, ErrorMsg>;
 
+// Encoded payloads carry a CRC-32 trailer (wire.hpp `seal_payload`), so
+// any truncation or bit corruption in flight is rejected on decode.
 [[nodiscard]] std::vector<std::uint8_t> encode_message(
     const MasterMessage& msg);
 
-// Returns nullopt on malformed/truncated/unknown-tag payloads.
+// Returns nullopt on malformed/truncated/corrupted/unknown-tag payloads,
+// including any message carrying a non-finite float field.
 [[nodiscard]] std::optional<MasterMessage> decode_message(
     std::span<const std::uint8_t> payload);
 

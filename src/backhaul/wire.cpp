@@ -1,5 +1,6 @@
 #include "backhaul/wire.hpp"
 
+#include <array>
 #include <cstring>
 
 namespace alphawan {
@@ -95,6 +96,53 @@ std::optional<std::string> BufferReader::str() {
   std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
   pos_ += *len;
   return s;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> seal_payload(std::vector<std::uint8_t> body) {
+  const std::uint32_t check = crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<std::uint8_t>(check >> (8 * i)));
+  }
+  return body;
+}
+
+std::optional<std::span<const std::uint8_t>> open_payload(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4) return std::nullopt;
+  const std::span<const std::uint8_t> body = payload.first(payload.size() - 4);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(payload[body.size() +
+                                                 static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (crc32(body) != stored) return std::nullopt;
+  return body;
 }
 
 std::vector<std::uint8_t> frame_message(std::span<const std::uint8_t> payload) {

@@ -53,6 +53,22 @@ class BufferReader {
   bool failed_ = false;
 };
 
+// CRC-32 (IEEE 802.3 polynomial, reflected). Detects every single-bit
+// error and all burst errors up to 32 bits, which is what the payload
+// integrity trailer below relies on.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// Payload integrity trailer: protocol payloads travel as [body][u32 CRC].
+// The backhaul can truncate or bit-corrupt messages in flight (see
+// backhaul/faults.hpp); the trailer turns silent corruption into a clean
+// decode failure that the sender's retry path handles.
+[[nodiscard]] std::vector<std::uint8_t> seal_payload(
+    std::vector<std::uint8_t> body);
+// Verifies and strips the trailer. Returns nullopt when the payload is too
+// short to carry a trailer or the CRC does not match the body.
+[[nodiscard]] std::optional<std::span<const std::uint8_t>> open_payload(
+    std::span<const std::uint8_t> payload);
+
 // Length-prefixed framing for a byte stream: [u32 length][payload].
 // Max frame size guards against corrupt prefixes.
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;

@@ -34,6 +34,9 @@ struct UpgradeReport {
   ConfigDelta delta{};
   Hz frequency_offset{0.0};
   double overlap_ratio = 0.0;
+  // Epoch of the Master plan this upgrade was computed against (0 when
+  // spectrum sharing is disabled). See core/master.hpp.
+  std::uint32_t master_epoch = 0;
 };
 
 class AlphaWanController {
@@ -49,11 +52,23 @@ class AlphaWanController {
                         const std::map<NodeId, double>& traffic,
                         MasterNode* master = nullptr);
 
+  // Epoch-guarded plan acceptance: record `assign` as the plan in force
+  // for its operator unless it is staler than the plan already held (a
+  // delayed/duplicated backhaul delivery). Returns whether it was
+  // accepted; stale assignments are counted instead.
+  bool accept_plan(NetworkId operator_id, const PlanAssignMsg& assign);
+  [[nodiscard]] std::uint32_t plan_epoch(NetworkId operator_id) const;
+  [[nodiscard]] std::size_t stale_plans_ignored() const {
+    return stale_plans_ignored_;
+  }
+
   [[nodiscard]] const AlphaWanConfig& config() const { return config_; }
 
  private:
   AlphaWanConfig config_;
   LatencyModel& latency_;
+  std::map<NetworkId, std::uint32_t> plan_epochs_;
+  std::size_t stale_plans_ignored_ = 0;
 };
 
 }  // namespace alphawan

@@ -24,6 +24,8 @@ struct UplinkRecord {
   Channel channel{};
   DataRate dr = DataRate::kDR0;
   Db snr{0.0};
+
+  [[nodiscard]] bool operator==(const UplinkRecord&) const = default;
 };
 
 class Gateway {
@@ -45,6 +47,16 @@ class Gateway {
   // Apply a channel configuration (triggers a "reboot" in the latency
   // model). Throws on configurations the hardware cannot realize.
   void apply_channels(const GatewayChannelConfig& config);
+
+  // Versioned variant used by the forwarder push path: configs carry a
+  // monotonically increasing version so a duplicated or reordered push
+  // never re-applies (and never re-reboots) — only strictly newer versions
+  // take effect. Returns whether the config was applied.
+  bool apply_channels(const GatewayChannelConfig& config,
+                      std::uint32_t version);
+  [[nodiscard]] std::uint32_t config_version() const {
+    return config_version_;
+  }
 
   // Attach/detach a correctness observer on the underlying radio.
   void set_observer(SimObserver* observer) { radio_.set_observer(observer); }
@@ -73,6 +85,7 @@ class Gateway {
   std::unique_ptr<Antenna> antenna_;
   double boresight_rad_ = 0.0;
   std::uint64_t antenna_epoch_ = 0;
+  std::uint32_t config_version_ = 0;
   int reboot_count_ = 0;
 };
 

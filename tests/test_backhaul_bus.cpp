@@ -81,6 +81,59 @@ TEST_F(BusFixture, DetachStopsDelivery) {
   EXPECT_EQ(bus.dropped(), 1u);
 }
 
+TEST_F(BusFixture, DetachWhileInFlightDropsAndCounts) {
+  // Delivery semantics: attachment is checked when the delivery event
+  // fires, not at send time. A message racing a detach is dropped and
+  // counted — never delivered to a dead handler.
+  int hits = 0;
+  bus.attach("s", [&](const EndpointId&, std::vector<std::uint8_t>) {
+    ++hits;
+  });
+  bus.send("c", "s", {1});  // in flight...
+  bus.detach("s");          // ...and the endpoint goes away before delivery
+  engine.run();
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(bus.stats().dropped, 1u);
+}
+
+TEST_F(BusFixture, DownEndpointDropsAtDeliveryTime) {
+  int hits = 0;
+  bus.attach("s", [&](const EndpointId&, std::vector<std::uint8_t>) {
+    ++hits;
+  });
+  bus.send("c", "s", {1});
+  bus.set_down("s", true);  // crash while the message is in flight
+  engine.run();
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(bus.dropped(), 1u);
+
+  bus.set_down("s", false);  // handler survived the outage
+  bus.send("c", "s", {1});
+  engine.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_F(BusFixture, DownSourceDropsAtSendTime) {
+  int hits = 0;
+  bus.attach("s", [&](const EndpointId&, std::vector<std::uint8_t>) {
+    ++hits;
+  });
+  bus.set_down("c", true);
+  bus.send("c", "s", {1});
+  engine.run();
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(bus.dropped(), 1u);
+}
+
+TEST(RetryPolicyTest, BackoffIsExponentialAndCapped) {
+  RetryPolicy policy;  // 0.25 s * 2^k, cap 4 s
+  EXPECT_DOUBLE_EQ(policy.timeout_for_attempt(0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(policy.timeout_for_attempt(1).value(), 0.5);
+  EXPECT_DOUBLE_EQ(policy.timeout_for_attempt(2).value(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.timeout_for_attempt(5).value(), 4.0);
+  EXPECT_DOUBLE_EQ(policy.timeout_for_attempt(50).value(), 4.0);
+}
+
 TEST(LatencyModelTest, RebootNearPaperMean) {
   LatencyModel latency{LatencyModelConfig{}, 11};
   RunningStats stats;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backhaul/faults.hpp"
 #include "net/network.hpp"
 #include "phy/band_plan.hpp"
 
@@ -114,6 +115,96 @@ TEST_F(ForwarderFixture, ConfigPushNeedsPullPath) {
   EXPECT_EQ(agent.configs_applied(), 1u);
   EXPECT_EQ(network.gateways()[0].channels(), new_plan);
   EXPECT_EQ(network.gateways()[0].reboot_count(), reboots_before + 1);
+}
+
+TEST_F(ForwarderFixture, PushRetriesUntilAckedThroughLossyBus) {
+  FaultPlan fault_plan;
+  fault_plan.seed = 7;
+  fault_plan.everywhere.drop_prob = 0.5;
+  FaultInjector injector(bus, fault_plan);
+  ForwarderServer fwd_server(server, bus);
+  GatewayForwarder agent(network.gateways()[0], bus, fwd_server.endpoint());
+  agent.push_uplinks({sample_record(1), sample_record(2)});
+  engine.run();
+  EXPECT_EQ(agent.unacked_pushes(), 0u);  // retried to completion
+  EXPECT_GT(agent.stats().push_retries, 0u);
+  EXPECT_EQ(server.delivered_packets(), 2u);  // retries deduped, counted once
+  EXPECT_EQ(fwd_server.uplink_batches(), 1u);
+}
+
+TEST_F(ForwarderFixture, RetriedBatchNotDoubleIngested) {
+  ForwarderServer fwd_server(server, bus);
+  GatewayForwarder agent(network.gateways()[0], bus, fwd_server.endpoint());
+  // Simulate a retransmit whose original also arrived: send the same
+  // sealed PUSH_DATA frame twice.
+  const auto frame = encode_forwarder(
+      PushDataMsg{42, 1, {sample_record(1), sample_record(2)}});
+  bus.send(agent.endpoint(), fwd_server.endpoint(), frame);
+  bus.send(agent.endpoint(), fwd_server.endpoint(), frame);
+  engine.run();
+  EXPECT_EQ(fwd_server.uplink_batches(), 1u);
+  EXPECT_EQ(fwd_server.stats().duplicate_batches, 1u);
+  EXPECT_EQ(server.delivered_packets(), 2u);
+}
+
+TEST_F(ForwarderFixture, DuplicateConfigPushNotReapplied) {
+  ForwarderServer fwd_server(server, bus);
+  GatewayForwarder agent(network.gateways()[0], bus, fwd_server.endpoint());
+  agent.pull();
+  engine.run();
+  const std::vector<Channel> plan = {Channel{Hz{923.3e6 + 37.5e3}, Hz{125e3}}};
+  ASSERT_TRUE(fwd_server.push_config(1, plan));
+  engine.run();
+  EXPECT_EQ(agent.configs_applied(), 1u);
+  const int reboots = network.gateways()[0].reboot_count();
+
+  // A duplicated delivery of the same versioned push: acked, not re-applied,
+  // no extra reboot.
+  PullRespMsg dup;
+  dup.token = 999;
+  dup.gateway = 1;
+  dup.config_version = network.gateways()[0].config_version();
+  dup.channels = plan;
+  bus.send(fwd_server.endpoint(), agent.endpoint(), encode_forwarder(dup));
+  engine.run();
+  EXPECT_EQ(agent.configs_applied(), 1u);
+  EXPECT_EQ(agent.stats().duplicate_configs, 1u);
+  EXPECT_EQ(network.gateways()[0].reboot_count(), reboots);
+}
+
+TEST_F(ForwarderFixture, UnackedConfigRepushedOnReconnect) {
+  ForwarderServer fwd_server(server, bus);
+  GatewayForwarder agent(network.gateways()[0], bus, fwd_server.endpoint());
+  agent.pull();
+  engine.run();
+
+  // The gateway crashes; a config push goes out and is lost.
+  bus.set_down(agent.endpoint(), true);
+  const std::vector<Channel> plan = {Channel{Hz{923.3e6 + 37.5e3}, Hz{125e3}}};
+  ASSERT_TRUE(fwd_server.push_config(1, plan));
+  engine.run();
+  EXPECT_EQ(agent.configs_applied(), 0u);
+  EXPECT_FALSE(fwd_server.config_acked(1));
+
+  // Restart + reconnect: the PULL_DATA keepalive triggers a re-push and
+  // the config lands exactly once.
+  bus.set_down(agent.endpoint(), false);
+  agent.pull();
+  engine.run();
+  EXPECT_EQ(fwd_server.stats().config_repushes, 1u);
+  EXPECT_EQ(agent.configs_applied(), 1u);
+  EXPECT_EQ(network.gateways()[0].channels(), plan);
+  EXPECT_TRUE(fwd_server.config_acked(1));
+}
+
+TEST(ForwarderCodec, SingleBitFlipsRejected) {
+  const auto bytes = encode_forwarder(
+      PushDataMsg{1, 2, {UplinkRecord{.packet = 3, .node = 4}}});
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto flipped = bytes;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(decode_forwarder(flipped).has_value()) << "bit " << bit;
+  }
 }
 
 TEST_F(ForwarderFixture, ConfigForUnknownGatewayIgnored) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace alphawan {
 namespace {
 
@@ -33,11 +35,14 @@ TEST(MasterProtocol, PlanRequestRoundTrip) {
 TEST(MasterProtocol, PlanAssignRoundTrip) {
   PlanAssignMsg msg;
   msg.operator_id = 2;
+  msg.master_epoch = 17;
   msg.overlap_ratio = 0.4;
   msg.frequency_offset = Hz{75e3};
   msg.channels = {Channel{Hz{923.3e6 + 75e3}, Hz{125e3}},
                   Channel{Hz{923.5e6 + 75e3}, Hz{125e3}}};
-  EXPECT_EQ(round_trip(msg), msg);
+  const auto back = round_trip(msg);
+  EXPECT_EQ(back, msg);
+  EXPECT_EQ(back.master_epoch, 17u);
 }
 
 TEST(MasterProtocol, PlanAssignEmptyChannels) {
@@ -81,6 +86,33 @@ TEST(MasterProtocol, AbsurdChannelCountRejected) {
   w.f64(0.0);
   w.u32(1u << 30);  // claims a billion channels
   EXPECT_FALSE(decode_message(w.data()).has_value());
+}
+
+TEST(MasterProtocol, EverySingleBitFlipRejected) {
+  // The CRC-32 trailer detects all single-bit errors, so corruption can
+  // never be silently accepted as a (different) valid message.
+  const auto bytes =
+      encode_message(PlanAssignMsg{2, 5, 0.4, Hz{75e3},
+                                   {Channel{Hz{923.3e6}, Hz{125e3}}}});
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto flipped = bytes;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(decode_message(flipped).has_value()) << "bit " << bit;
+  }
+}
+
+TEST(MasterProtocol, NonFiniteFloatsRejected) {
+  const double bad_values[] = {std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity(),
+                               std::numeric_limits<double>::quiet_NaN()};
+  for (const double bad : bad_values) {
+    EXPECT_FALSE(decode_message(encode_message(
+                     PlanRequestMsg{3, Hz{bad}, Hz{4.8e6}, 24}))
+                     .has_value());
+    PlanAssignMsg assign;
+    assign.channels = {Channel{Hz{bad}, Hz{125e3}}};
+    EXPECT_FALSE(decode_message(encode_message(assign)).has_value());
+  }
 }
 
 }  // namespace

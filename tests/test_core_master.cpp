@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backhaul/faults.hpp"
 #include "phy/overlap.hpp"
 
 namespace alphawan {
@@ -144,6 +145,71 @@ TEST(MasterServiceTest, RoundTripOverBus) {
   EXPECT_EQ(service.requests_served(), 2u);
 }
 
+TEST(Master, DuplicateRegistrationKeepsEpochStable) {
+  MasterNode master(config_for(3));
+  EXPECT_EQ(master.current_epoch(), 1u);
+  (void)master.handle_register({1, "a"});
+  const auto epoch_after_first = master.current_epoch();
+  EXPECT_EQ(epoch_after_first, 2u);
+  // A retried registration (lost ack) is idempotent: same slot, same epoch.
+  const auto ack = master.handle_register({1, "a"});
+  EXPECT_EQ(master.current_epoch(), epoch_after_first);
+  EXPECT_EQ(ack.master_epoch, epoch_after_first);
+  EXPECT_EQ(master.registered_operators(), 1u);
+  // A NEW operator advances the epoch.
+  (void)master.handle_register({2, "b"});
+  EXPECT_EQ(master.current_epoch(), epoch_after_first + 1);
+}
+
+TEST(MasterServiceTest, DuplicateRegisterMsgCountedAndAnsweredIdempotently) {
+  Engine engine;
+  LatencyModel latency{LatencyModelConfig{}, 5};
+  MessageBus bus(engine, latency);
+  MasterNode master(config_for(2));
+  MasterService service(master, bus);
+
+  std::vector<RegisterAckMsg> acks;
+  bus.attach("operator-1", [&](const EndpointId&,
+                               std::vector<std::uint8_t> payload) {
+    const auto reply = decode_message(payload);
+    ASSERT_TRUE(reply.has_value());
+    const auto* ack = std::get_if<RegisterAckMsg>(&*reply);
+    ASSERT_NE(ack, nullptr);
+    acks.push_back(*ack);
+  });
+  for (int i = 0; i < 3; ++i) {
+    bus.send("operator-1", MasterService::endpoint(),
+             encode_message(RegisterMsg{1, "op-1"}), /*wan=*/true);
+  }
+  engine.run();
+  ASSERT_EQ(acks.size(), 3u);
+  EXPECT_EQ(service.duplicate_registrations(), 2u);
+  EXPECT_EQ(acks[0].master_epoch, acks[1].master_epoch);
+  EXPECT_EQ(acks[1].master_epoch, acks[2].master_epoch);
+  EXPECT_EQ(master.registered_operators(), 1u);
+}
+
+TEST(MasterServiceTest, PlanRequestFromUnregisteredOperatorGetsError) {
+  Engine engine;
+  LatencyModel latency{LatencyModelConfig{}, 5};
+  MessageBus bus(engine, latency);
+  MasterNode master(config_for(2));
+  MasterService service(master, bus);
+
+  std::optional<MasterMessage> reply;
+  bus.attach("operator-9", [&](const EndpointId&,
+                               std::vector<std::uint8_t> payload) {
+    reply = decode_message(payload);
+  });
+  bus.send("operator-9", MasterService::endpoint(),
+           encode_message(PlanRequestMsg{9, Hz{923.2e6}, Hz{1.6e6}, 8}), true);
+  engine.run();
+  ASSERT_TRUE(reply.has_value());
+  const auto* error = std::get_if<ErrorMsg>(&*reply);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, 1);  // "operator not registered"
+}
+
 TEST(MasterServiceTest, MalformedMessageGetsError) {
   Engine engine;
   LatencyModel latency{LatencyModelConfig{}, 7};
@@ -159,6 +225,94 @@ TEST(MasterServiceTest, MalformedMessageGetsError) {
   engine.run();
   ASSERT_TRUE(reply.has_value());
   EXPECT_NE(std::get_if<ErrorMsg>(&*reply), nullptr);
+}
+
+struct OperatorClientFixture : ::testing::Test {
+  Engine engine;
+  LatencyModel latency{LatencyModelConfig{}, 5};
+  MessageBus bus{engine, latency};
+  MasterNode master{config_for(2)};
+  MasterService service{master, bus};
+  Spectrum spectrum{Hz{923.2e6}, Hz{1.6e6}};
+};
+
+TEST_F(OperatorClientFixture, CleanBusConvergesToMasterPlan) {
+  NetworkServer server(1);
+  OperatorClient client(1, "op-1", bus, RetryPolicy{}, &server);
+  client.sync(spectrum, 8);
+  engine.run();
+  EXPECT_TRUE(client.registered());
+  ASSERT_TRUE(client.has_plan());
+  EXPECT_TRUE(client.idle());
+  EXPECT_EQ(client.plan_epoch(), master.current_epoch());
+  EXPECT_EQ(client.plan().frequency_offset, *master.offset_of(1));
+  EXPECT_EQ(client.stats().retries, 0u);
+  // The accepted plan was adopted into the network server too.
+  ASSERT_TRUE(server.has_plan());
+  EXPECT_EQ(server.plan_epoch(), master.current_epoch());
+  EXPECT_EQ(server.plan().channels, client.plan().channels);
+}
+
+TEST_F(OperatorClientFixture, StaleEpochPlanAssignIgnored) {
+  OperatorClient client(1, "op-1", bus, RetryPolicy{});
+  client.sync(spectrum, 8);
+  engine.run();
+  ASSERT_TRUE(client.has_plan());
+  const auto good = client.plan();
+  ASSERT_GT(good.master_epoch, 0u);
+
+  // A delayed duplicate from an older epoch arrives after convergence: it
+  // must be counted and discarded, keeping the last-known-good plan.
+  PlanAssignMsg stale = good;
+  stale.master_epoch = good.master_epoch - 1;
+  stale.frequency_offset = Hz{999.0e3};
+  bus.send("imposter", client.endpoint(), encode_message(stale), true);
+  engine.run();
+  EXPECT_EQ(client.stats().stale_plans_ignored, 1u);
+  EXPECT_EQ(client.plan().frequency_offset, good.frequency_offset);
+  EXPECT_EQ(client.plan_epoch(), good.master_epoch);
+}
+
+TEST_F(OperatorClientFixture, DuplicatePlanAssignIgnoredAfterConvergence) {
+  OperatorClient client(1, "op-1", bus, RetryPolicy{});
+  client.sync(spectrum, 8);
+  engine.run();
+  ASSERT_TRUE(client.has_plan());
+  bus.send("imposter", client.endpoint(), encode_message(client.plan()), true);
+  engine.run();
+  EXPECT_EQ(client.stats().duplicates_ignored, 1u);
+}
+
+TEST_F(OperatorClientFixture, RetriesThroughLossyBusAndConverges) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.everywhere.drop_prob = 0.5;
+  FaultInjector injector(bus, plan);
+  OperatorClient client(1, "op-1", bus, RetryPolicy{});
+  client.sync(spectrum, 8);
+  engine.run();
+  EXPECT_TRUE(client.registered());
+  ASSERT_TRUE(client.has_plan());
+  EXPECT_TRUE(client.idle());
+  EXPECT_GT(client.stats().timeouts, 0u);  // the loss actually bit
+  EXPECT_EQ(client.plan().frequency_offset, *master.offset_of(1));
+}
+
+TEST_F(OperatorClientFixture, BoundedAttemptsGiveUpKeepingLastKnownGood) {
+  OperatorClient client(1, "op-1", bus, RetryPolicy{.max_attempts = 3});
+  client.sync(spectrum, 8);
+  engine.run();
+  ASSERT_TRUE(client.has_plan());
+  const auto good = client.plan();
+
+  // The master goes dark; a refresh must give up after 3 attempts and
+  // keep the previously accepted plan in force.
+  bus.set_down(MasterService::endpoint(), true);
+  client.refresh();
+  engine.run();
+  EXPECT_TRUE(client.idle());
+  EXPECT_EQ(client.stats().gave_up, 1u);
+  EXPECT_EQ(client.plan(), good);
 }
 
 }  // namespace

@@ -136,12 +136,13 @@ Result run(Strategy strategy, std::size_t users, std::uint64_t seed) {
   result.chan = metrics.loss_fraction(LossCause::kChannelContentionIntra) +
                 metrics.loss_fraction(LossCause::kChannelContentionInter);
   result.other = metrics.loss_fraction(LossCause::kOther);
-  // Fig. 13d — spectrum utilization: delivered traffic share per DR.
-  double delivered_total = 0;
-  for (const auto& fate : metrics.fates()) {
-    if (!fate.delivered) continue;
-    delivered_total += 1.0;
-    result.dr_share[static_cast<std::size_t>(dr_value(fate.dr))] += 1.0;
+  // Fig. 13d — spectrum utilization: delivered traffic share per DR,
+  // straight from the streaming per-DR aggregate (the full fate history is
+  // no longer retained).
+  const auto delivered_total = static_cast<double>(metrics.total_delivered());
+  for (const DataRate dr : kAllDataRates) {
+    result.dr_share[static_cast<std::size_t>(dr_value(dr))] =
+        static_cast<double>(metrics.delivered_by_dr(dr));
   }
   if (delivered_total > 0) {
     for (auto& share : result.dr_share) share /= delivered_total;

@@ -36,7 +36,7 @@ namespace alphawan::bench {
 // named hot path and the recorder writes every record at process exit.
 //
 // Output path: $ALPHAWAN_BENCH_JSON if set (empty disables), else
-// BENCH_PR5.json in the working directory. Nothing is written when no
+// BENCH_PR6.json in the working directory. Nothing is written when no
 // record was made, so benches that don't opt in stay side-effect free.
 
 struct PerfRecord {
@@ -65,7 +65,7 @@ class PerfRecorder {
 
   ~PerfRecorder() {
     if (records_.empty()) return;
-    std::string path = "BENCH_PR5.json";
+    std::string path = "BENCH_PR6.json";
     if (const char* env = std::getenv("ALPHAWAN_BENCH_JSON")) {
       path = env;
     }
@@ -223,9 +223,11 @@ inline WindowResult run_burst(Deployment& deployment,
   return runner.run_window(txs);
 }
 
-// Max concurrent users supported: largest N (<= limit) such that a burst
-// of N orthogonal users is fully (>= threshold) delivered. The paper's
-// "maximum number of concurrent users" metric.
+// Max concurrent users supported: largest N <= nodes.size() such that a
+// burst of the first N users is delivered at >= threshold. Returns that
+// USER COUNT N — the paper's "maximum number of concurrent users" metric —
+// not the burst's delivered-packet count (with threshold < 1 a passing
+// burst delivers fewer than N; tests/test_bench_harness.cpp pins this).
 inline std::size_t max_concurrent_users(Deployment& deployment,
                                         const std::vector<EndNode*>& nodes,
                                         PacketIdSource& ids,

@@ -16,6 +16,9 @@ Usage:
 The gate fails (exit 1) when a directory listed in the baseline's
 "gated" array drops more than --tolerance percentage points below its
 recorded line coverage; other watched directories are reported only.
+Additionally, the baseline's "gated_files" map pins per-file floors:
+each listed file must measure at least its recorded percent (an
+absolute floor, so new subsystems keep the coverage they shipped with).
 """
 from __future__ import annotations
 
@@ -55,15 +58,14 @@ def gcov_json(gcda: str, build_dir: str) -> dict | None:
     return None
 
 
-def aggregate(build_dir: str, repo_root: str,
-              watch_dirs: list[str]) -> dict[str, dict[str, object]]:
-    """Per watched directory: executable line total, executed total.
+def collect_line_counts(build_dir: str, repo_root: str,
+                        watch_dirs: list[str]) -> dict[tuple[str, int], int]:
+    """(file, line) -> max execution count across all translation units.
 
     A line is counted once per (file, line) with the max execution count
     across all translation units that include it (headers are seen many
     times).
     """
-    # (file, line) -> max count, file -> watched dir
     line_counts: dict[tuple[str, int], int] = {}
     for gcda in find_gcda(build_dir):
         doc = gcov_json(gcda, build_dir)
@@ -85,24 +87,32 @@ def aggregate(build_dir: str, repo_root: str,
                 key = (rel, int(line.get("line_number", 0)))
                 count = int(line.get("count", 0))
                 line_counts[key] = max(line_counts.get(key, 0), count)
+    return line_counts
 
-    result: dict[str, dict[str, object]] = {}
-    for d in watch_dirs:
-        total = sum(1 for (f, _l) in line_counts
-                    if f == d or f.startswith(d + os.sep))
-        hit = sum(1 for (f, _l), c in line_counts.items()
-                  if (f == d or f.startswith(d + os.sep)) and c > 0)
-        pct = 100.0 * hit / total if total else 0.0
-        result[d] = {"lines": total, "covered": hit,
-                     "percent": round(pct, 2)}
-    return result
+
+def fold(line_counts: dict[tuple[str, int], int],
+         prefix: str) -> dict[str, object]:
+    """Coverage summary for one directory (prefix match) or exact file."""
+    total = sum(1 for (f, _l) in line_counts
+                if f == prefix or f.startswith(prefix + os.sep))
+    hit = sum(1 for (f, _l), c in line_counts.items()
+              if (f == prefix or f.startswith(prefix + os.sep)) and c > 0)
+    pct = 100.0 * hit / total if total else 0.0
+    return {"lines": total, "covered": hit, "percent": round(pct, 2)}
+
+
+def aggregate(build_dir: str, repo_root: str,
+              watch_dirs: list[str]) -> dict[str, dict[str, object]]:
+    """Per watched directory: executable line total, executed total."""
+    line_counts = collect_line_counts(build_dir, repo_root, watch_dirs)
+    return {d: fold(line_counts, d) for d in watch_dirs}
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("build_dir", help="CMake build dir with .gcda files")
     parser.add_argument("--dirs", nargs="*",
-                        default=["src/backhaul", "src/core"],
+                        default=["src/backhaul", "src/core", "src/sim"],
                         help="source directories to aggregate")
     parser.add_argument("--baseline", default="COVERAGE_BASELINE.json")
     parser.add_argument("--update-baseline", action="store_true",
@@ -112,7 +122,26 @@ def main() -> int:
     args = parser.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    measured = aggregate(os.path.abspath(args.build_dir), repo_root, args.dirs)
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        baseline = None
+        if not args.update_baseline:
+            print(f"check_coverage: baseline {args.baseline} missing; run "
+                  "with --update-baseline to create it", file=sys.stderr)
+            return 2
+
+    # Gated files may live outside the watched directories (e.g. a
+    # src/phy file): collect for them too.
+    gated_files = list(baseline.get("gated_files", {})) if baseline else []
+    watched = args.dirs + [f for f in gated_files
+                           if not any(f.startswith(d + os.sep)
+                                      for d in args.dirs)]
+    line_counts = collect_line_counts(os.path.abspath(args.build_dir),
+                                      repo_root, watched)
+    measured = {d: fold(line_counts, d) for d in args.dirs}
     if all(v["lines"] == 0 for v in measured.values()):
         print("check_coverage: no coverage data found — build with "
               "-DALPHAWAN_COVERAGE=ON and run the tests first",
@@ -123,22 +152,21 @@ def main() -> int:
         print(f"{d}: {v['covered']}/{v['lines']} lines = {v['percent']}%")
 
     if args.update_baseline:
-        baseline = {"schema": "alphawan-coverage-v1",
-                    "gated": ["src/backhaul"],
-                    "coverage": measured}
+        gated = baseline.get("gated", ["src/backhaul"]) if baseline \
+            else ["src/backhaul"]
+        gated_files = baseline.get("gated_files", {}) if baseline else {}
+        # Refresh each per-file floor to what is actually measured now.
+        gated_files = {f: fold(line_counts, f)["percent"]
+                       for f in gated_files}
+        new_baseline = {"schema": "alphawan-coverage-v1",
+                        "gated": gated,
+                        "gated_files": gated_files,
+                        "coverage": measured}
         with open(args.baseline, "w", encoding="utf-8") as out:
-            json.dump(baseline, out, indent=2)
+            json.dump(new_baseline, out, indent=2)
             out.write("\n")
         print(f"baseline written to {args.baseline}")
         return 0
-
-    try:
-        with open(args.baseline, encoding="utf-8") as f:
-            baseline = json.load(f)
-    except FileNotFoundError:
-        print(f"check_coverage: baseline {args.baseline} missing; run with "
-              "--update-baseline to create it", file=sys.stderr)
-        return 2
 
     failed = False
     for d in baseline.get("gated", []):
@@ -150,6 +178,21 @@ def main() -> int:
             failed = True
         else:
             print(f"OK: {d} {have}% vs baseline {want}%")
+    # Per-file floors are absolute: a file listed at 90 must measure >= 90
+    # (minus tolerance), regardless of how it drifted historically.
+    for path, floor in baseline.get("gated_files", {}).items():
+        stats = fold(line_counts, path)
+        have = float(stats["percent"])
+        if stats["lines"] == 0:
+            print(f"FAIL: {path} has no coverage data (file gone or "
+                  "never executed)")
+            failed = True
+        elif have + args.tolerance < float(floor):
+            print(f"FAIL: {path} line coverage {have}% below required "
+                  f"floor {floor}% (tolerance {args.tolerance} pts)")
+            failed = True
+        else:
+            print(f"OK: {path} {have}% vs floor {floor}%")
     return 1 if failed else 0
 
 

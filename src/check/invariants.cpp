@@ -224,21 +224,46 @@ void SimInvariants::check_metrics(const MetricsCollector& metrics) {
         << total_losses;
     violate(msg.str());
   }
-  if (metrics.fates().size() != metrics.total_offered()) {
+  // The recent-fate ring is bounded; retained + evicted must account for
+  // every offered packet, and while nothing has been evicted the ring is
+  // the complete history, so its delivered count must match the aggregate.
+  const std::size_t expected_history =
+      std::min(metrics.total_offered(), metrics.history_limit());
+  if (metrics.history_size() != expected_history) {
     std::ostringstream msg;
-    msg << "fate stream size " << metrics.fates().size()
-        << " != total offered " << metrics.total_offered();
+    msg << "fate ring size " << metrics.history_size() << " != expected "
+        << expected_history << " (offered " << metrics.total_offered()
+        << ", limit " << metrics.history_limit() << ")";
     violate(msg.str());
   }
-  std::size_t delivered_fates = 0;
-  for (const auto& fate : metrics.fates()) {
-    if (fate.delivered) ++delivered_fates;
-  }
-  if (delivered_fates != metrics.total_delivered()) {
+  if (metrics.history_size() + metrics.evicted() != metrics.total_offered()) {
     std::ostringstream msg;
-    msg << "delivered fates " << delivered_fates << " != total delivered "
+    msg << "fate ring " << metrics.history_size() << " + evicted "
+        << metrics.evicted() << " != total offered "
+        << metrics.total_offered();
+    violate(msg.str());
+  }
+  std::size_t dr_delivered = 0;
+  for (const DataRate dr : kAllDataRates) {
+    dr_delivered += metrics.delivered_by_dr(dr);
+  }
+  if (dr_delivered != metrics.total_delivered()) {
+    std::ostringstream msg;
+    msg << "per-DR delivered sum " << dr_delivered << " != total delivered "
         << metrics.total_delivered();
     violate(msg.str());
+  }
+  if (metrics.evicted() == 0) {
+    std::size_t delivered_fates = 0;
+    for (const auto& fate : metrics.recent_fates()) {
+      if (fate.delivered) ++delivered_fates;
+    }
+    if (delivered_fates != metrics.total_delivered()) {
+      std::ostringstream msg;
+      msg << "delivered fates " << delivered_fates << " != total delivered "
+          << metrics.total_delivered();
+      violate(msg.str());
+    }
   }
 }
 

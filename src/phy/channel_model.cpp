@@ -1,7 +1,6 @@
 #include "phy/channel_model.hpp"
 
 #include <cmath>
-#include <mutex>
 
 namespace alphawan {
 namespace {
@@ -33,35 +32,29 @@ Db ChannelModel::mean_path_loss(Meters dist) const {
             std::log10(d / config_.reference_distance)};
 }
 
-Db ChannelModel::shadowing(std::uint64_t tx_id, std::uint64_t rx_id) {
+Db ChannelModel::shadowing(std::uint64_t tx_id, std::uint64_t rx_id) const {
+  // Pure in the key alone: any caller, on any thread, recomputes the
+  // identical draw, so there is nothing worth memoizing here — the
+  // LinkCache holds the composite static terms for hot links.
   const std::uint64_t key = link_key(tx_id, rx_id);
-  {
-    std::shared_lock<std::shared_mutex> read(shadow_mutex_);
-    const auto it = shadow_cache_.find(key);
-    if (it != shadow_cache_.end()) return it->second;
-  }
-  // Deterministic in the key alone, so two tasks racing on the same miss
-  // compute — and insert — the identical value.
   Rng link_rng(shadow_seed_ ^ (key * 0x9E3779B97F4A7C15ULL));
-  const Db value{link_rng.normal(0.0, config_.shadowing_sigma_db.value())};
-  std::unique_lock<std::shared_mutex> write(shadow_mutex_);
-  shadow_cache_.emplace(key, value);
-  return value;
+  return Db{link_rng.normal(0.0, config_.shadowing_sigma_db.value())};
 }
 
 Db ChannelModel::link_path_loss(std::uint64_t tx_id, std::uint64_t rx_id,
-                                Meters dist) {
+                                Meters dist) const {
   return mean_path_loss(dist) + shadowing(tx_id, rx_id);
 }
 
 Dbm ChannelModel::received_power(std::uint64_t tx_id, std::uint64_t rx_id,
-                                 Meters dist, Dbm tx_power, Rng& packet_rng) {
+                                 Meters dist, Dbm tx_power,
+                                 Rng& packet_rng) const {
   const Db fading{packet_rng.normal(0.0, config_.fast_fading_sigma_db.value())};
   return tx_power - link_path_loss(tx_id, rx_id, dist) + fading;
 }
 
 Db ChannelModel::mean_link_snr(std::uint64_t tx_id, std::uint64_t rx_id,
-                               Meters dist, Dbm tx_power, Hz bandwidth) {
+                               Meters dist, Dbm tx_power, Hz bandwidth) const {
   return tx_power - link_path_loss(tx_id, rx_id, dist) -
          noise_floor_dbm(bandwidth);
 }

@@ -2,13 +2,15 @@
 // shadowing. Substitutes the paper's 2.1 km x 1.6 km urban testbed
 // (outdoor/indoor/blockage mix) — see DESIGN.md section 2.
 //
-// Shadowing is frozen per (transmitter, receiver) pair at construction so a
-// given deployment has stable link qualities across a run, matching how the
-// paper's static testbed behaves, while fast fading is drawn per packet.
+// Shadowing is frozen per (transmitter, receiver) pair: the draw is a pure
+// function of (config seed, tx id, rx id), recomputed on demand rather than
+// memoized. That keeps a given deployment's link qualities stable across a
+// run — matching the paper's static testbed — while the model itself holds
+// no per-link state, so its memory stays O(1) no matter how many links a
+// city-scale world probes (docs/sharding.md). Fast fading is drawn per
+// packet. Hot paths that revisit links cache the composite static terms in
+// the LinkCache instead (phy/link_cache.hpp).
 #pragma once
-
-#include <shared_mutex>
-#include <unordered_map>
 
 #include "common/geometry.hpp"
 #include "common/rng.hpp"
@@ -40,17 +42,18 @@ class ChannelModel {
   // Path loss including this link's frozen shadowing term. Links are keyed
   // by (tx_id, rx_id) chosen by the caller (node id, gateway id).
   [[nodiscard]] Db link_path_loss(std::uint64_t tx_id, std::uint64_t rx_id,
-                                  Meters dist);
+                                  Meters dist) const;
 
   // Received power for a transmission, with per-packet fast fading.
   [[nodiscard]] Dbm received_power(std::uint64_t tx_id, std::uint64_t rx_id,
-                                   Meters dist, Dbm tx_power, Rng& packet_rng);
+                                   Meters dist, Dbm tx_power,
+                                   Rng& packet_rng) const;
 
   // Mean SNR of a link (no fast fading) — what ADR and planners estimate
   // from history.
   [[nodiscard]] Db mean_link_snr(std::uint64_t tx_id, std::uint64_t rx_id,
                                  Meters dist, Dbm tx_power,
-                                 Hz bandwidth = kLoRaBandwidth125k);
+                                 Hz bandwidth = kLoRaBandwidth125k) const;
 
   // Distance at which mean SNR equals `snr` for the given tx power (inverse
   // of the deterministic model; ignores shadowing). Used to build the
@@ -61,15 +64,10 @@ class ChannelModel {
   [[nodiscard]] const ChannelModelConfig& config() const { return config_; }
 
  private:
-  [[nodiscard]] Db shadowing(std::uint64_t tx_id, std::uint64_t rx_id);
+  [[nodiscard]] Db shadowing(std::uint64_t tx_id, std::uint64_t rx_id) const;
 
   ChannelModelConfig config_;
   std::uint64_t shadow_seed_;
-  // The cache is safe to populate from concurrent gateway tasks
-  // (sim/scenario.cpp): entries are pure functions of the key, so racing
-  // fills compute the same value, and inserts are serialized below.
-  std::shared_mutex shadow_mutex_;
-  std::unordered_map<std::uint64_t, Db> shadow_cache_;
 };
 
 }  // namespace alphawan

@@ -15,6 +15,11 @@ std::uint32_t LinkCache::column_of(GatewayId id) const {
   return it == column_of_.end() ? kInvalidColumn : it->second;
 }
 
+std::uint32_t LinkCache::row_of(NodeId node) const {
+  const auto it = row_of_.find(node);
+  return it == row_of_.end() ? kInvalidRow : it->second;
+}
+
 LinkGain LinkCache::compute_gain(const Column& column, NodeId node,
                                  const Point& origin) {
   // Argument order matches the uncached runner path exactly:
@@ -40,6 +45,7 @@ std::size_t LinkCache::upsert_gateway(GatewayId id, std::uint64_t rx_key,
         column.gains[row].antenna_gain = column.antenna_gain(row_origin_[row]);
       }
       candidates_valid_ = false;
+      ++structure_epoch_;  // a new antenna can make rejected nodes audible
     }
     return it->second;
   }
@@ -59,6 +65,7 @@ std::size_t LinkCache::upsert_gateway(GatewayId id, std::uint64_t rx_key,
   columns_.push_back(std::move(column));
   column_of_.emplace(id, static_cast<std::uint32_t>(index));
   candidates_valid_ = false;
+  ++structure_epoch_;  // a new column can make rejected nodes audible
   return index;
 }
 
@@ -81,6 +88,7 @@ std::uint32_t LinkCache::ensure_row(NodeId node, const Point& origin) {
   row_node_.push_back(node);
   row_origin_.push_back(origin);
   row_of_.emplace(node, row);
+  rejected_.erase(node);
   for (auto& column : columns_) {
     column.gains.push_back(compute_gain(column, node, origin));
   }
@@ -88,11 +96,57 @@ std::uint32_t LinkCache::ensure_row(NodeId node, const Point& origin) {
   return row;
 }
 
-double LinkCache::candidate_threshold() const {
+std::uint32_t LinkCache::ensure_row_if_audible(NodeId node, const Point& origin,
+                                               Dbm floor, Dbm power_bound) {
+  if (row_of_.contains(node)) {
+    // Already materialized: take the ensure_row refresh path. The row stays
+    // resident even if it has drifted inaudible — its candidate list just
+    // goes empty, which is equally cheap in the fan-out.
+    return ensure_row(node, origin);
+  }
+  const auto memo = rejected_.find(node);
+  if (memo != rejected_.end()) {
+    const Rejection& r = memo->second;
+    if (r.origin == origin && r.epoch == structure_epoch_ &&
+        r.floor == floor && r.power_bound == power_bound) {
+      return kInvalidRow;
+    }
+  }
+  // Probe every column into scratch, materializing only on an audible hit
+  // (so the probe's work is not thrown away when the node joins).
+  const double threshold = audible_threshold(floor, power_bound);
+  probe_gains_.clear();
+  probe_gains_.reserve(columns_.size());
+  bool audible = false;
+  for (auto& column : columns_) {
+    const LinkGain g = compute_gain(column, node, origin);
+    audible = audible ||
+              g.antenna_gain.value() - g.path_loss.value() >= threshold;
+    probe_gains_.push_back(g);
+  }
+  if (!audible) {
+    rejected_[node] = Rejection{origin, structure_epoch_, floor, power_bound};
+    return kInvalidRow;
+  }
+  const auto row = static_cast<std::uint32_t>(row_origin_.size());
+  row_node_.push_back(node);
+  row_origin_.push_back(origin);
+  row_of_.emplace(node, row);
+  for (std::size_t col = 0; col < columns_.size(); ++col) {
+    columns_[col].gains.push_back(probe_gains_[col]);
+  }
+  if (candidates_valid_) append_candidates_for_row(row);
+  return row;
+}
+
+double LinkCache::audible_threshold(Dbm floor, Dbm power_bound) const {
   const double fade_bound =
       kNormalTailSigmas * model_->config().fast_fading_sigma_db.value();
-  return candidate_floor_.value() - candidate_power_bound_.value() -
-         fade_bound - kPruneSlackDb;
+  return floor.value() - power_bound.value() - fade_bound - kPruneSlackDb;
+}
+
+double LinkCache::candidate_threshold() const {
+  return audible_threshold(candidate_floor_, candidate_power_bound_);
 }
 
 void LinkCache::append_candidates_for_row(std::uint32_t row) {

@@ -21,6 +21,14 @@
 // Mutation (upsert_gateway / ensure_row) is not thread-safe; the runner
 // performs all registration in a serial prepass and the parallel gateway
 // fan-out only reads.
+//
+// For city-scale worlds the cache is partitioned: a ShardedLinkCache holds
+// one independent slice per spatial shard, each covering a subset of the
+// gateway columns, and rows are materialized per slice only when the node
+// is audible there (ensure_row_if_audible). Memory follows the live
+// (audible) links instead of the full node x gateway cross product, and
+// every slice computes the same LinkGain values a monolithic cache would,
+// so any partition of the columns is bit-identical (docs/sharding.md).
 #pragma once
 
 #include <cstdint>
@@ -64,6 +72,26 @@ class LinkCache {
   // recomputed in place. Returns the row index.
   std::uint32_t ensure_row(NodeId node, const Point& origin);
 
+  // Like ensure_row, but materializes the row only if the node is audible
+  // here — some column's static gain clears the same conservative bound
+  // candidate_columns prunes against (so a rejected node has no candidate
+  // columns in this cache and skipping it drops no events). Returns
+  // kInvalidRow on rejection; rejections are memoized per (origin,
+  // column-structure) so steady-state windows don't re-probe. A row that
+  // already exists is refreshed like ensure_row and kept resident.
+  static constexpr std::uint32_t kInvalidRow = ~0U;
+  std::uint32_t ensure_row_if_audible(NodeId node, const Point& origin,
+                                      Dbm floor, Dbm power_bound);
+
+  // Row index of a registered transmitter id; kInvalidRow if absent.
+  [[nodiscard]] std::uint32_t row_of(NodeId node) const;
+
+  // Bumped whenever the column set or an antenna changes — anything that
+  // can turn an inaudible node audible invalidates rejection memos.
+  [[nodiscard]] std::uint64_t structure_epoch() const {
+    return structure_epoch_;
+  }
+
   [[nodiscard]] std::size_t row_count() const { return row_origin_.size(); }
   [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
 
@@ -104,7 +132,9 @@ class LinkCache {
   [[nodiscard]] LinkGain compute_gain(const Column& column, NodeId node,
                                       const Point& origin);
   // Static-gain threshold below which a (row, column) pair can never clear
-  // the candidate floor.
+  // `floor` for tx powers up to `power_bound` — the shared bound behind
+  // both candidate pruning and audibility gating.
+  [[nodiscard]] double audible_threshold(Dbm floor, Dbm power_bound) const;
   [[nodiscard]] double candidate_threshold() const;
   void append_candidates_for_row(std::uint32_t row);
   void rebuild_candidates(Dbm floor, Dbm power_bound);
@@ -117,12 +147,55 @@ class LinkCache {
   std::vector<Point> row_origin_;
   std::unordered_map<NodeId, std::uint32_t> row_of_;
 
+  // Rejection memo for ensure_row_if_audible: valid while the node's
+  // origin, the column structure, and the audibility bound all match.
+  struct Rejection {
+    Point origin{};
+    std::uint64_t epoch = 0;
+    Dbm floor{0.0};
+    Dbm power_bound{0.0};
+  };
+  std::unordered_map<NodeId, Rejection> rejected_;
+  std::uint64_t structure_epoch_ = 0;
+  std::vector<LinkGain> probe_gains_;  // scratch for the audibility probe
+
   // Flat candidate storage: per-row [begin, end) ranges into one vector.
   bool candidates_valid_ = false;
   Dbm candidate_floor_{0.0};
   Dbm candidate_power_bound_{0.0};
   std::vector<std::uint32_t> candidate_flat_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> candidate_range_;
+};
+
+// A set of independent LinkCache slices over one channel model, one per
+// spatial shard. The phy layer knows nothing about shard geometry — the sim
+// layer decides which slice a gateway column lives in (sim/shard.hpp); this
+// class only guarantees slice independence: every slice computes the same
+// LinkGain values a monolithic cache would (the model is a pure function of
+// the link key), so any partition of the columns yields bit-identical
+// physics while each slice's memory tracks only the links audible there.
+class ShardedLinkCache {
+ public:
+  explicit ShardedLinkCache(ChannelModel& model) : model_(&model) {}
+
+  // Drop every slice and start over with `count` empty ones. Gains are
+  // recomputed on the next refresh, so re-partitioning mid-run is safe —
+  // and bit-stable, since values depend only on the model.
+  void reset(std::size_t count) {
+    slices_.clear();
+    slices_.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) slices_.emplace_back(*model_);
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return slices_.size(); }
+  [[nodiscard]] LinkCache& slice(std::size_t shard) { return slices_[shard]; }
+  [[nodiscard]] const LinkCache& slice(std::size_t shard) const {
+    return slices_[shard];
+  }
+
+ private:
+  ChannelModel* model_;
+  std::vector<LinkCache> slices_;
 };
 
 }  // namespace alphawan

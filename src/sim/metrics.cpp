@@ -33,14 +33,39 @@ const MetricsCollector::PerNetwork* MetricsCollector::find(
   return nullptr;
 }
 
-std::size_t MetricsCollector::distinct(std::vector<NodeId> nodes) {
-  std::sort(nodes.begin(), nodes.end());
-  return static_cast<std::size_t>(
-      std::unique(nodes.begin(), nodes.end()) - nodes.begin());
+namespace {
+// Fold the tail once it outgrows a quarter of the base (but let small
+// tails batch up): keeps the amortized per-delivery cost logarithmic
+// while the resident set stays exactly the distinct nodes.
+constexpr std::size_t kServedFoldMin = 64;
+}  // namespace
+
+void MetricsCollector::fold_served(const PerNetwork& net) {
+  if (net.served_tail.empty()) return;
+  std::sort(net.served_tail.begin(), net.served_tail.end());
+  const auto mid = static_cast<std::ptrdiff_t>(net.served_sorted.size());
+  net.served_sorted.insert(net.served_sorted.end(), net.served_tail.begin(),
+                           net.served_tail.end());
+  std::inplace_merge(net.served_sorted.begin(),
+                     net.served_sorted.begin() + mid, net.served_sorted.end());
+  net.served_sorted.erase(
+      std::unique(net.served_sorted.begin(), net.served_sorted.end()),
+      net.served_sorted.end());
+  net.served_tail.clear();
 }
 
 void MetricsCollector::record(const PacketFate& fate) {
-  fates_.push_back(fate);
+  if (history_limit_ > 0) {
+    if (ring_.size() < history_limit_) {
+      ring_.push_back(fate);
+    } else {
+      ring_[ring_head_] = fate;
+      ring_head_ = (ring_head_ + 1) % history_limit_;
+      ++evicted_;
+    }
+  } else {
+    ++evicted_;
+  }
   auto& net = slot(fate.network);
   ++net.offered;
   ++total_offered_;
@@ -49,7 +74,12 @@ void MetricsCollector::record(const PacketFate& fate) {
     ++total_delivered_;
     net.delivered_bytes += fate.payload_bytes;
     total_delivered_bytes_ += fate.payload_bytes;
-    net.served.push_back(fate.node);
+    ++delivered_by_dr_[static_cast<std::size_t>(dr_value(fate.dr))];
+    net.served_tail.push_back(fate.node);
+    if (net.served_tail.size() >=
+        std::max(kServedFoldMin, net.served_sorted.size() / 4)) {
+      fold_served(net);
+    }
   } else {
     net.causes.add(fate.cause);
     total_causes_.add(fate.cause);
@@ -114,15 +144,31 @@ std::size_t MetricsCollector::delivered_bytes(NetworkId network) const {
 
 std::size_t MetricsCollector::served_nodes(NetworkId network) const {
   const PerNetwork* net = find(network);
-  return net == nullptr ? 0 : distinct(net->served);
+  if (net == nullptr) return 0;
+  fold_served(*net);
+  return net->served_sorted.size();
 }
 
 std::size_t MetricsCollector::total_served_nodes() const {
   std::size_t total = 0;
-  for (const auto& net : per_network_) total += distinct(net.served);
+  for (const auto& net : per_network_) {
+    fold_served(net);
+    total += net.served_sorted.size();
+  }
   return total;
 }
 
-void MetricsCollector::clear() { *this = MetricsCollector{}; }
+std::vector<PacketFate> MetricsCollector::recent_fates() const {
+  std::vector<PacketFate> fates;
+  fates.reserve(ring_.size());
+  // Oldest first: the ring is filled linearly until the limit, after which
+  // ring_head_ marks the oldest slot.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    fates.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return fates;
+}
+
+void MetricsCollector::clear() { *this = MetricsCollector{history_limit_}; }
 
 }  // namespace alphawan

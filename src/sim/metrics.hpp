@@ -1,13 +1,22 @@
 // Packet-fate classification and metric aggregation. Every lost packet is
 // attributed to a cause, which is what lets the Fig. 4 / Fig. 13c loss
 // breakdowns be direct queries on the simulation rather than guesses.
+//
+// The collector aggregates in a streaming fashion: totals, per-cause and
+// per-data-rate counters, and a deduplicated served-node set are updated per
+// fate, while only a bounded ring of recent fates is retained for
+// inspection. Memory is O(live state) — networks + distinct served nodes +
+// the ring — never O(packet history), which is what lets a million-user
+// city run (bench_city_1m) record every packet (docs/sharding.md).
 #pragma once
 
+#include <array>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "phy/lora_params.hpp"
 #include "radio/transmission.hpp"
 
 namespace alphawan {
@@ -88,6 +97,13 @@ struct PacketFate {
 
 class MetricsCollector {
  public:
+  // `history_limit` bounds the retained recent-fate ring (0 = keep none).
+  // Aggregates are exact regardless of the limit; only per-fate inspection
+  // is windowed.
+  static constexpr std::size_t kDefaultHistoryLimit = 65536;
+  explicit MetricsCollector(std::size_t history_limit = kDefaultHistoryLimit)
+      : history_limit_(history_limit) {}
+
   void record(const PacketFate& fate);
 
   [[nodiscard]] std::size_t offered(NetworkId network) const;
@@ -123,7 +139,20 @@ class MetricsCollector {
   [[nodiscard]] std::size_t served_nodes(NetworkId network) const;
   [[nodiscard]] std::size_t total_served_nodes() const;
 
-  [[nodiscard]] const std::vector<PacketFate>& fates() const { return fates_; }
+  // Delivered packets that used `dr`, across all networks (Fig. 13d
+  // spectrum-utilization shares — previously recomputed from the full fate
+  // history).
+  [[nodiscard]] std::size_t delivered_by_dr(DataRate dr) const {
+    return delivered_by_dr_[static_cast<std::size_t>(dr_value(dr))];
+  }
+
+  // The rolling recent-fate window, oldest first. history_size() is
+  // min(total_offered, history_limit); evicted() counts fates that aged out
+  // of the ring — aggregates above still include them.
+  [[nodiscard]] std::vector<PacketFate> recent_fates() const;
+  [[nodiscard]] std::size_t history_size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t history_limit() const { return history_limit_; }
+  [[nodiscard]] std::size_t evicted() const { return evicted_; }
 
   void clear();
 
@@ -134,10 +163,12 @@ class MetricsCollector {
     std::size_t delivered = 0;
     std::size_t delivered_bytes = 0;
     Tally<LossCause> causes;
-    // One entry per delivered packet; deduplicated lazily by the
-    // served_nodes() queries. Keeps record() — called once per offered
-    // packet — free of per-call map inserts.
-    std::vector<NodeId> served;
+    // Distinct served nodes in O(distinct) memory: a sorted unique base
+    // plus an unsorted tail of recent deliveries, folded in (record() side
+    // or lazily by the queries) once the tail outgrows the base — amortized
+    // O(log n) per delivery instead of per-call map inserts.
+    mutable std::vector<NodeId> served_sorted;
+    mutable std::vector<NodeId> served_tail;
   };
 
   // Flat per-network table (deployments have a handful of networks): a
@@ -145,14 +176,21 @@ class MetricsCollector {
   // record() path.
   [[nodiscard]] PerNetwork& slot(NetworkId network);
   [[nodiscard]] const PerNetwork* find(NetworkId network) const;
-  [[nodiscard]] static std::size_t distinct(std::vector<NodeId> nodes);
+  static void fold_served(const PerNetwork& net);
 
   std::vector<PerNetwork> per_network_;
-  std::vector<PacketFate> fates_;
   std::size_t total_offered_ = 0;
   std::size_t total_delivered_ = 0;
   std::size_t total_delivered_bytes_ = 0;
   Tally<LossCause> total_causes_;
+  std::array<std::size_t, kNumDataRates> delivered_by_dr_{};
+
+  // Bounded recent-fate ring: once full, the oldest entry is overwritten
+  // (ring_head_ marks it) and evicted_ advances.
+  std::size_t history_limit_;
+  std::vector<PacketFate> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t evicted_ = 0;
 };
 
 }  // namespace alphawan

@@ -49,9 +49,12 @@ ScenarioRunner::ScenarioRunner(Deployment& deployment, std::uint64_t seed,
 WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   WindowResult result;
   auto& channel = deployment_.channel_model();
-  // Refreshing the cache registers every gateway column (and recomputes
-  // antenna gains for gateways whose antenna changed since the last call).
-  LinkCache& cache = deployment_.link_cache();
+  const int shard_count = resolve_shard_count(options_.shards);
+  const ShardLayout layout = deployment_.shard_layout(shard_count);
+  // Refreshing the cache set registers every gateway column in its home
+  // slice (and recomputes antenna gains for gateways whose antenna changed
+  // since the last call).
+  ShardedLinkCache& caches = deployment_.shard_caches(shard_count);
   // Flatten (network, gateway) pairs in deployment order: the parallel
   // fan-out runs them in any order, the merge below walks them in this one.
   std::vector<std::pair<Network*, Gateway*>> tasks;
@@ -64,85 +67,119 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
     }
   }
 
-  // Serial prepass: register every transmitter row with the link cache and
-  // invert each row's candidate gateway list into per-gateway transmission
-  // lists, so a gateway task walks only transmissions that could plausibly
-  // clear its prune floor. Candidates are a conservative superset (see
-  // LinkCache::candidate_columns), and ascending tx order is preserved per
-  // gateway, so every event list is identical to the unpruned loop's.
   auto& sc = scratch_;
   const Dbm floor =
       noise_floor_dbm(kLoRaBandwidth125k) - options_.prune_margin;
+  const auto shards = static_cast<std::size_t>(shard_count);
+  sc.shards.resize(shards);
   sc.task_col.resize(tasks.size());
+  sc.task_shard.resize(tasks.size());
+  sc.task_slot.resize(tasks.size());
+  for (auto& sh : sc.shards) sh.tasks.clear();
   for (std::size_t t = 0; t < tasks.size(); ++t) {
-    sc.task_col[t] = cache.column_of(tasks[t].second->id());
+    Gateway* gw = tasks[t].second;
+    const auto home = static_cast<std::size_t>(layout.shard_of(gw->position()));
+    sc.task_shard[t] = static_cast<std::uint32_t>(home);
+    sc.task_col[t] = caches.slice(home).column_of(gw->id());
+    sc.task_slot[t] = static_cast<std::uint32_t>(sc.shards[home].tasks.size());
+    sc.shards[home].tasks.push_back(t);
   }
-  // Candidacy is recorded per transmission as a column bitmask when the
-  // deployment fits in 64 gateways (one AND per (tx, gateway) pair in the
-  // fan-out); larger deployments fall back to materialized per-column
-  // transmission lists. Both paths visit transmissions in ascending index
-  // order per gateway, so event lists are identical either way.
-  const bool use_mask = cache.column_count() <= 64;
-  sc.row_of_tx.resize(txs.size());
-  if (use_mask) {
-    sc.tx_mask.resize(txs.size());
-  } else {
-    if (sc.gw_txs.size() < cache.column_count()) {
-      sc.gw_txs.resize(cache.column_count());
-    }
-    for (auto& list : sc.gw_txs) list.clear();
-  }
-  for (std::size_t i = 0; i < txs.size(); ++i) {
-    const auto& tx = txs[i];
-    const std::uint32_t row = cache.ensure_row(tx.node, tx.origin);
-    sc.row_of_tx[i] = row;
-    if (use_mask) {
-      // Out-of-spec tx power: the candidate bound does not cover it, so
-      // consider the transmission at every gateway.
-      sc.tx_mask[i] = tx.tx_power <= kMaxTxPower
-                          ? cache.candidate_mask(row, floor, kMaxTxPower)
-                          : ~std::uint64_t{0};
-      continue;
-    }
-    if (tx.tx_power <= kMaxTxPower) {
-      for (const std::uint32_t col :
-           cache.candidate_columns(row, floor, kMaxTxPower)) {
-        sc.gw_txs[col].push_back(static_cast<std::uint32_t>(i));
-      }
+
+  // Serial prepass, one pass per shard: register every audible transmitter
+  // row with the shard's LinkCache slice and record its candidate columns,
+  // so a gateway task walks only transmissions that could plausibly clear
+  // its prune floor. The audibility gate uses exactly the candidate bound,
+  // so a transmitter skipped by a slice has no candidate columns there and
+  // no event is lost; ascending tx order is preserved per gateway, so every
+  // event list is identical to the monolithic loop's (docs/sharding.md).
+  shard_stats_ = ShardWindowStats{};
+  shard_stats_.shards = shard_count;
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto& sh = sc.shards[s];
+    LinkCache& slice = caches.slice(s);
+    // Candidacy is recorded per transmission as a column bitmask when the
+    // slice fits in 64 gateways (one AND per (tx, gateway) pair in the
+    // fan-out); larger slices fall back to materialized per-column
+    // transmission lists. Both paths visit transmissions in ascending
+    // index order per gateway, so event lists are identical either way.
+    sh.use_mask = slice.column_count() <= 64;
+    sh.row_of_tx.resize(txs.size());
+    if (sh.use_mask) {
+      sh.tx_mask.resize(txs.size());
     } else {
-      for (std::uint32_t col = 0; col < cache.column_count(); ++col) {
-        sc.gw_txs[col].push_back(static_cast<std::uint32_t>(i));
+      if (sh.gw_txs.size() < slice.column_count()) {
+        sh.gw_txs.resize(slice.column_count());
+      }
+      for (auto& list : sh.gw_txs) list.clear();
+    }
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      const auto& tx = txs[i];
+      // Out-of-spec tx power: the candidate bound does not cover it, so
+      // register and consider the transmission at every gateway.
+      const bool in_spec = tx.tx_power <= kMaxTxPower;
+      const std::uint32_t row =
+          in_spec ? slice.ensure_row_if_audible(tx.node, tx.origin, floor,
+                                                kMaxTxPower)
+                  : slice.ensure_row(tx.node, tx.origin);
+      sh.row_of_tx[i] = row;
+      if (row != LinkCache::kInvalidRow &&
+          layout.shard_of(tx.origin) != static_cast<int>(s)) {
+        ++shard_stats_.boundary_rows;
+      }
+      if (sh.use_mask) {
+        sh.tx_mask[i] =
+            row == LinkCache::kInvalidRow ? 0
+            : in_spec ? slice.candidate_mask(row, floor, kMaxTxPower)
+                      : ~std::uint64_t{0};
+        continue;
+      }
+      if (row == LinkCache::kInvalidRow) continue;
+      if (in_spec) {
+        for (const std::uint32_t col :
+             slice.candidate_columns(row, floor, kMaxTxPower)) {
+          sh.gw_txs[col].push_back(static_cast<std::uint32_t>(i));
+        }
+      } else {
+        for (std::uint32_t col = 0; col < slice.column_count(); ++col) {
+          sh.gw_txs[col].push_back(static_cast<std::uint32_t>(i));
+        }
       }
     }
+    shard_stats_.resident_rows += slice.row_count();
   }
   if (sc.events.size() < tasks.size()) sc.events.resize(tasks.size());
   const double fading_sigma = channel.config().fast_fading_sigma_db.value();
 
-  // Per-gateway pipelines are independent: each consumes its candidate
-  // transmission list and touches only its own gateway (the link cache and
-  // scratch arenas are read-only / per-task here). The invariant checker's
-  // observer protocol is sequential, so an attached checker forces serial
-  // execution.
-  std::vector<GatewayYield> yields(tasks.size());
+  // Per-gateway pipelines are independent: each consumes its shard's
+  // candidate transmission list and touches only its own gateway (the link
+  // cache slices and scratch arenas are read-only / per-task here). Yields
+  // land in shard-local staging; the window barrier below publishes them.
+  // The invariant checker's observer protocol is sequential, so an attached
+  // checker forces serial execution.
+  std::vector<std::vector<GatewayYield>> staged(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    staged[s].resize(sc.shards[s].tasks.size());
+  }
   const int threads = invariants_ != nullptr ? 1 : options_.threads;
   parallel_for(
       tasks.size(),
       [&](std::size_t t) {
         auto& [network, gw] = tasks[t];
-        auto& yield = yields[t];
+        const auto& sh = sc.shards[sc.task_shard[t]];
+        auto& yield = staged[sc.task_shard[t]][sc.task_slot[t]];
         // Build this gateway's view of the air from the cached static link
         // terms; only the fast-fading draw is per-packet. The expression
         // reproduces the uncached arithmetic term for term —
         //   ((tx_power - link_path_loss) + fading) + antenna_gain
         // — so rx powers are bit-identical.
-        const auto gains = cache.gains(sc.task_col[t]);
+        const auto gains = caches.slice(sc.task_shard[t]).gains(sc.task_col[t]);
         auto& events = sc.events[t];
         events.clear();
         events.reserve(txs.size());
         yield.event_tx_index.reserve(txs.size());
         const auto consider = [&](std::size_t i) {
           const auto& tx = txs[i];
-          const LinkGain g = gains[sc.row_of_tx[i]];
+          const LinkGain g = gains[sh.row_of_tx[i]];
           Rng link_rng = packet_link_rng(rng_, gw->id(), tx.id);
           const Db fading{link_rng.normal_once(0.0, fading_sigma)};
           const Dbm rx_power =
@@ -151,13 +188,13 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
           events.push_back(RxEvent{tx, rx_power});
           yield.event_tx_index.push_back(i);
         };
-        if (use_mask) {
+        if (sh.use_mask) {
           const std::uint64_t bit = std::uint64_t{1} << sc.task_col[t];
           for (std::size_t i = 0; i < txs.size(); ++i) {
-            if (sc.tx_mask[i] & bit) consider(i);
+            if (sh.tx_mask[i] & bit) consider(i);
           }
         } else {
-          for (const std::uint32_t i : sc.gw_txs[sc.task_col[t]]) consider(i);
+          for (const std::uint32_t i : sh.gw_txs[sc.task_col[t]]) consider(i);
         }
 
         yield.outcomes = gw->receive_window(events, yield.uplinks);
@@ -188,6 +225,34 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
         }
       },
       threads);
+
+  // Deterministic window barrier: each shard's event queue holds a single
+  // publish event at the end of the window, which hands the shard's yields
+  // — boundary events included — to the global merge slots. Queues are
+  // drained in ascending shard order, and every yield lands in the slot of
+  // its global task index, so the exchange is order-insensitive by
+  // construction and the merge below is byte-for-byte the monolithic one
+  // (docs/sharding.md).
+  Seconds barrier{0.0};
+  for (const auto& tx : txs) barrier = std::max(barrier, tx.end());
+  std::vector<GatewayYield> yields(tasks.size());
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto& sh = sc.shards[s];
+    sh.engine.reset();
+    sh.engine.schedule_at(barrier, [&, s] {
+      auto& mine = staged[s];
+      const auto& owned = sc.shards[s].tasks;
+      for (std::size_t k = 0; k < owned.size(); ++k) {
+        for (const std::size_t i : mine[k].event_tx_index) {
+          if (layout.shard_of(txs[i].origin) != static_cast<int>(s)) {
+            ++shard_stats_.boundary_events;
+          }
+        }
+        yields[owned[k]] = std::move(mine[k]);
+      }
+    });
+  }
+  for (std::size_t s = 0; s < shards; ++s) sc.shards[s].engine.run();
 
   // Merge in deployment order: per own-network outcomes of each packet
   // (keyed by its index in txs) gather in gateway-ID order within the

@@ -7,12 +7,19 @@
 // transmission list, so run_window fans them out across the parallel
 // executor (common/parallel.hpp) and merges per-gateway results in
 // deployment order — bit-identical to the serial run (docs/parallelism.md).
+//
+// The world is additionally partitioned into spatial shards (sim/shard.hpp):
+// each shard owns a LinkCache slice, its own scratch arenas, and an event
+// queue that publishes the shard's window yields — boundary events included
+// — at a deterministic barrier. Shard count never changes results
+// (docs/sharding.md); it bounds memory to the live audible links.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/topology.hpp"
 
@@ -47,6 +54,21 @@ struct RunOptions {
   // Worker threads for the per-gateway fan-out: 0 = the ALPHAWAN_THREADS
   // process default, 1 = force serial.
   int threads = 0;
+  // Spatial shards for the link-cache / event-queue partition: 0 = the
+  // ALPHAWAN_SHARDS process default, >= 1 explicit. Any count produces
+  // bit-identical results (docs/sharding.md).
+  int shards = 0;
+};
+
+// Telemetry from the last window's shard partition: how many transmitter
+// rows the slices held, and how much of the window crossed a shard border
+// (a boundary row is a transmitter audible in a stripe other than the one
+// holding its origin; a boundary event is a reception at such a gateway).
+struct ShardWindowStats {
+  int shards = 1;
+  std::size_t resident_rows = 0;   // rows materialized across all slices
+  std::size_t boundary_rows = 0;   // audible (tx, shard) pairs away from home
+  std::size_t boundary_events = 0; // rx events that crossed a border
 };
 
 struct WindowResult {
@@ -99,18 +121,37 @@ class ScenarioRunner {
   WindowResult run_window(const std::vector<Transmission>& txs,
                           MetricsCollector& metrics);
 
+  // Shard telemetry from the most recent run_window call.
+  [[nodiscard]] const ShardWindowStats& shard_stats() const {
+    return shard_stats_;
+  }
+
  private:
   // Per-window working storage, reused across windows so a steady-state
   // window allocates nothing in the prepass or the classification pass
   // (docs/performance.md). Makes concurrent run_window calls on one runner
   // invalid — they already were (network servers are shared state).
-  struct RunScratch {
-    std::vector<std::uint32_t> row_of_tx;  // tx index -> link-cache row
-    std::vector<std::uint32_t> task_col;   // task index -> link-cache column
+  //
+  // Routing state (rows, candidate masks, per-column tx lists) lives per
+  // shard: each shard's arenas reference only its own LinkCache slice, and
+  // its Engine is the event queue that publishes the shard's yields at the
+  // window barrier (docs/sharding.md).
+  struct ShardScratch {
+    std::vector<std::uint32_t> row_of_tx;  // tx index -> row in this slice
     std::vector<std::uint64_t> tx_mask;    // tx index -> candidate columns
     std::vector<std::vector<std::uint32_t>> gw_txs;  // per-column tx lists
-                                                     // (> 64-gateway path)
-    std::vector<std::vector<RxEvent>> events;        // per-task event arena
+                                                     // (> 64-column path)
+    std::vector<std::size_t> tasks;  // global task indices homed here
+    bool use_mask = true;            // slice fits the 64-column mask path
+    Engine engine;  // shard-local queue; publishes yields at the barrier
+  };
+
+  struct RunScratch {
+    std::vector<ShardScratch> shards;
+    std::vector<std::uint32_t> task_col;    // task index -> column in slice
+    std::vector<std::uint32_t> task_shard;  // task index -> home shard
+    std::vector<std::uint32_t> task_slot;   // task index -> slot in shard
+    std::vector<std::vector<RxEvent>> events;  // per-task event arena
     // Flat per-packet own-network outcome gather (count / prefix / fill).
     std::vector<std::uint32_t> own_count;
     std::vector<std::uint32_t> own_offset;
@@ -129,6 +170,7 @@ class ScenarioRunner {
   RunOptions options_;
   SimInvariants* invariants_ = nullptr;
   RunScratch scratch_;
+  ShardWindowStats shard_stats_;
 };
 
 }  // namespace alphawan

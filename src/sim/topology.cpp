@@ -38,10 +38,18 @@ std::vector<GatewayId> Deployment::place_gateways(
   return ids;
 }
 
-LinkCache& Deployment::link_cache() {
+ShardedLinkCache& Deployment::shard_caches(int shards) {
+  const ShardLayout layout = shard_layout(shards);
+  if (shard_caches_.shard_count() !=
+      static_cast<std::size_t>(layout.shards())) {
+    shard_caches_.reset(static_cast<std::size_t>(layout.shards()));
+  }
   for (auto& network : networks_) {
     for (auto& gw : network.gateways()) {
-      link_cache_.upsert_gateway(
+      // Gateway positions are immutable, so a gateway's home slice is
+      // stable for a given shard count.
+      const auto home = static_cast<std::size_t>(layout.shard_of(gw.position()));
+      shard_caches_.slice(home).upsert_gateway(
           gw.id(), kGatewayKeyBase + gw.id(), gw.position(),
           gw.antenna_epoch(),
           [&gw](const Point& origin) {
@@ -49,7 +57,7 @@ LinkCache& Deployment::link_cache() {
           });
     }
   }
-  return link_cache_;
+  return shard_caches_;
 }
 
 Db Deployment::mean_snr(const EndNode& node, const Gateway& gw) {

@@ -12,6 +12,7 @@
 #include "phy/band_plan.hpp"
 #include "phy/channel_model.hpp"
 #include "phy/link_cache.hpp"
+#include "sim/shard.hpp"
 
 namespace alphawan {
 
@@ -58,18 +59,25 @@ class Deployment {
   // part + frozen shadowing; no fast fading).
   [[nodiscard]] Db mean_snr(const EndNode& node, const Gateway& gw);
 
-  // The window-invariant link-gain matrix over this deployment's gateways
-  // (phy/link_cache.hpp). Each call refreshes the gateway columns —
-  // newly placed gateways get a column, antenna swaps recompute theirs —
-  // and hands the cache to the runner. Transmitter rows are registered
-  // lazily by the runner as traffic mentions them.
-  [[nodiscard]] LinkCache& link_cache();
+  // The window-invariant link-gain matrix over this deployment's gateways,
+  // partitioned into one LinkCache slice per spatial shard (sim/shard.hpp;
+  // shards == 1 is the monolithic cache). Each call re-partitions if the
+  // shard count changed and refreshes every gateway's column in its home
+  // slice — newly placed gateways get a column, antenna swaps recompute
+  // theirs. Transmitter rows are registered lazily by the runner as traffic
+  // mentions them, and only in the slices where the node is audible.
+  [[nodiscard]] ShardedLinkCache& shard_caches(int shards);
+
+  // The stripe layout used to home gateways (and transmitters) to shards.
+  [[nodiscard]] ShardLayout shard_layout(int shards) const {
+    return ShardLayout(region_, shards);
+  }
 
  private:
   Region region_;
   Spectrum spectrum_;
   ChannelModel channel_model_;
-  LinkCache link_cache_{channel_model_};
+  ShardedLinkCache shard_caches_{channel_model_};
   std::deque<Network> networks_;
   NodeId next_node_id_ = 1;
   GatewayId next_gateway_id_ = 1;

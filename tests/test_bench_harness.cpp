@@ -1,0 +1,55 @@
+// Pins the bench harness helpers the reproduction figures lean on — in
+// particular that max_concurrent_users returns the USER COUNT of the
+// largest passing burst, not the burst's delivered-packet count (its
+// doc-comment once described the pre-parallelism return value).
+#include "bench/harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alphawan {
+namespace {
+
+// One gateway with a small decoder pool and orthogonal users: a staggered
+// burst delivers exactly min(N, decoders) packets, making the
+// count-vs-delivered distinction observable.
+struct HarnessFixture {
+  Deployment deployment{Region{Meters{800.0}, Meters{800.0}}, spectrum_1m6(),
+                        bench::quiet_channel()};
+  Network* network = nullptr;
+  PacketIdSource ids;
+  Rng rng{2024};
+  std::vector<EndNode*> nodes;
+
+  explicit HarnessFixture(int decoders, int users) {
+    network = &deployment.add_network("op");
+    GatewayProfile profile = default_profile();
+    profile.decoders = decoders;
+    bench::place_clustered_gateways(deployment, *network, 1, profile);
+    nodes = bench::add_orthogonal_users(deployment, *network, users, rng);
+  }
+};
+
+TEST(BenchHarness, MaxConcurrentUsersHitsTheDecoderCeiling) {
+  HarnessFixture f(/*decoders=*/4, /*users=*/8);
+  EXPECT_EQ(bench::max_concurrent_users(f.deployment, f.nodes, f.ids), 4u);
+}
+
+TEST(BenchHarness, MaxConcurrentUsersReturnsUserCountNotDelivered) {
+  HarnessFixture f(/*decoders=*/4, /*users=*/8);
+  // With a 0.5 threshold the 8-user burst passes while delivering only 4
+  // packets (the decoder ceiling). The metric must report the burst's user
+  // count, 8 — if it reported delivered packets it would say 4.
+  EXPECT_EQ(bench::max_concurrent_users(f.deployment, f.nodes, f.ids,
+                                        /*threshold=*/0.5),
+            8u);
+}
+
+TEST(BenchHarness, MaxConcurrentUsersIsBoundedByOfferedUsers) {
+  HarnessFixture f(/*decoders=*/16, /*users=*/6);
+  // Plenty of decoders: every burst passes and the metric saturates at the
+  // population size.
+  EXPECT_EQ(bench::max_concurrent_users(f.deployment, f.nodes, f.ids), 6u);
+}
+
+}  // namespace
+}  // namespace alphawan

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "sim/scenario.hpp"
+#include "sim/traffic.hpp"
+
 namespace alphawan {
 namespace {
 
@@ -139,6 +144,168 @@ TEST(Collector, ClearResets) {
   m.record(f);
   m.clear();
   EXPECT_EQ(m.total_offered(), 0u);
+}
+
+// ---- streaming aggregation ------------------------------------------------
+
+PacketFate synth_fate(int i) {
+  PacketFate f;
+  f.packet = static_cast<PacketId>(i);
+  f.node = static_cast<NodeId>(i % 17);  // repeats, to exercise dedup
+  f.network = static_cast<NetworkId>(i % 3);
+  f.dr = static_cast<DataRate>(i % kNumDataRates);
+  f.payload_bytes = static_cast<std::uint32_t>(1 + i % 5);
+  if (i % 4 == 0) {
+    f.delivered = false;
+    f.cause = static_cast<LossCause>(1 + i % 5);
+  } else {
+    f.delivered = true;
+    f.cause = LossCause::kDelivered;
+  }
+  return f;
+}
+
+// Reference totals computed the pre-streaming way: from the complete flat
+// fate history.
+struct FlatTotals {
+  std::size_t offered = 0;
+  std::size_t delivered = 0;
+  std::size_t bytes = 0;
+  std::map<NetworkId, std::size_t> net_delivered;
+  std::map<NetworkId, std::set<NodeId>> served;
+  std::map<DataRate, std::size_t> by_dr;
+
+  void add(const PacketFate& f) {
+    ++offered;
+    if (!f.delivered) return;
+    ++delivered;
+    bytes += f.payload_bytes;
+    ++net_delivered[f.network];
+    served[f.network].insert(f.node);
+    ++by_dr[f.dr];
+  }
+};
+
+TEST(StreamingCollector, RollingAggregatesEqualFlatHistoryTotals) {
+  MetricsCollector rolling(/*history_limit=*/16);  // far below the stream
+  FlatTotals flat;
+  for (int i = 0; i < 1000; ++i) {
+    const PacketFate f = synth_fate(i);
+    rolling.record(f);
+    flat.add(f);
+  }
+  EXPECT_EQ(rolling.total_offered(), flat.offered);
+  EXPECT_EQ(rolling.total_delivered(), flat.delivered);
+  EXPECT_EQ(rolling.total_delivered_bytes(), flat.bytes);
+  for (const auto& [net, count] : flat.net_delivered) {
+    EXPECT_EQ(rolling.delivered(net), count) << "network " << net;
+  }
+  for (const DataRate dr : kAllDataRates) {
+    const auto it = flat.by_dr.find(dr);
+    EXPECT_EQ(rolling.delivered_by_dr(dr),
+              it == flat.by_dr.end() ? 0u : it->second);
+  }
+}
+
+TEST(StreamingCollector, EvictionNeverDropsLiveState) {
+  MetricsCollector m(/*history_limit=*/4);
+  FlatTotals flat;
+  for (int i = 0; i < 300; ++i) {
+    const PacketFate f = synth_fate(i);
+    m.record(f);
+    flat.add(f);
+  }
+  // The ring evicted nearly everything...
+  EXPECT_EQ(m.history_size(), 4u);
+  EXPECT_EQ(m.evicted(), 296u);
+  // ...yet every live aggregate is still exact, including the deduplicated
+  // served-node sets whose members were recorded long before eviction.
+  EXPECT_EQ(m.total_offered(), flat.offered);
+  EXPECT_EQ(m.total_delivered(), flat.delivered);
+  for (const auto& [net, nodes] : flat.served) {
+    EXPECT_EQ(m.served_nodes(net), nodes.size()) << "network " << net;
+  }
+  std::size_t flat_served = 0;
+  for (const auto& [net, nodes] : flat.served) flat_served += nodes.size();
+  EXPECT_EQ(m.total_served_nodes(), flat_served);
+}
+
+TEST(StreamingCollector, RecentFatesAreTheNewestOldestFirst) {
+  MetricsCollector m(/*history_limit=*/8);
+  for (int i = 0; i < 20; ++i) m.record(synth_fate(i));
+  const auto recent = m.recent_fates();
+  ASSERT_EQ(recent.size(), 8u);
+  for (std::size_t k = 0; k < recent.size(); ++k) {
+    EXPECT_EQ(recent[k].packet, static_cast<PacketId>(12 + k));
+  }
+  EXPECT_EQ(m.evicted(), 12u);
+}
+
+TEST(StreamingCollector, ZeroLimitKeepsNoHistoryButExactAggregates) {
+  MetricsCollector m(/*history_limit=*/0);
+  for (int i = 0; i < 50; ++i) m.record(synth_fate(i));
+  EXPECT_EQ(m.history_size(), 0u);
+  EXPECT_TRUE(m.recent_fates().empty());
+  EXPECT_EQ(m.evicted(), 50u);
+  EXPECT_EQ(m.total_offered(), 50u);
+}
+
+TEST(StreamingCollector, ServedDedupSurvivesFoldBoundaries) {
+  MetricsCollector m;
+  PacketFate f;
+  f.delivered = true;
+  f.cause = LossCause::kDelivered;
+  f.network = 0;
+  // 500 deliveries from only 5 distinct nodes: crosses the fold threshold
+  // many times over.
+  for (int i = 0; i < 500; ++i) {
+    f.packet = static_cast<PacketId>(i);
+    f.node = static_cast<NodeId>(i % 5);
+    m.record(f);
+  }
+  EXPECT_EQ(m.served_nodes(0), 5u);
+  EXPECT_EQ(m.total_served_nodes(), 5u);
+}
+
+TEST(StreamingCollector, ScenarioWindowMatchesFlatRecompute) {
+  // A golden-style scenario window: aggregates from the streaming collector
+  // must equal a flat recompute over the window's complete fate stream.
+  Deployment deployment{Region{Meters{800.0}, Meters{800.0}}, spectrum_1m6()};
+  auto& network = deployment.add_network("op");
+  auto& gw = network.add_gateway(deployment.next_gateway_id(),
+                                 deployment.region().center(),
+                                 default_profile());
+  gw.apply_channels(GatewayChannelConfig{
+      standard_plan(deployment.spectrum(), 0).channels});
+  std::vector<EndNode*> nodes;
+  for (int i = 0; i < 40; ++i) {
+    NodeRadioConfig cfg;
+    cfg.channel = deployment.spectrum().grid_channel(i % 8);
+    cfg.dr = static_cast<DataRate>(i % 6);
+    cfg.tx_power = Dbm{14.0};
+    nodes.push_back(&network.add_node(
+        deployment.next_node_id(),
+        Point{Meters{300.0 + (i % 10) * 20.0}, Meters{350.0 + (i / 10) * 30.0}},
+        cfg));
+  }
+  PacketIdSource ids;
+  ScenarioRunner runner(deployment, /*seed=*/11);
+  MetricsCollector metrics(/*history_limit=*/8);
+  const auto result =
+      runner.run_window(concurrent_burst(nodes, Seconds{0.0}, ids), metrics);
+  FlatTotals flat;
+  for (const auto& fate : result.fates) flat.add(fate);
+  EXPECT_EQ(metrics.total_offered(), flat.offered);
+  EXPECT_EQ(metrics.total_delivered(), flat.delivered);
+  EXPECT_EQ(metrics.total_delivered_bytes(), flat.bytes);
+  std::size_t flat_served = 0;
+  for (const auto& [net, served] : flat.served) flat_served += served.size();
+  EXPECT_EQ(metrics.total_served_nodes(), flat_served);
+  for (const DataRate dr : kAllDataRates) {
+    const auto it = flat.by_dr.find(dr);
+    EXPECT_EQ(metrics.delivered_by_dr(dr),
+              it == flat.by_dr.end() ? 0u : it->second);
+  }
 }
 
 TEST(LossCauseNames, AllDistinct) {

@@ -5,6 +5,7 @@
 //           -> CP solver -> config distribution -> measurable PRR gain.
 //
 //   ./example_city_scale
+#include <cstdint>
 #include <cstdio>
 
 #include "baselines/standard_lorawan.hpp"
@@ -21,6 +22,10 @@ namespace {
 
 constexpr Seconds kWindow{120.0};
 constexpr int kMeasurementWindows = 4;
+// Every random draw in this example derives from these two seeds; change
+// them here to replay a different world.
+constexpr std::uint64_t kRootSeed = 42;
+constexpr std::uint64_t kSweepSeedBase = 100;
 
 double run_epoch(Deployment& deployment, Network& network,
                  ScenarioRunner& runner, PacketIdSource& ids, Rng& rng,
@@ -42,7 +47,7 @@ int main() {
   urban.fast_fading_sigma_db = Db{0.8};
   Deployment deployment{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(), urban};
   auto& network = deployment.add_network("city-op");
-  Rng rng(42);
+  Rng rng(kRootSeed);
   deployment.place_gateways(network, 15, default_profile(), rng);
   deployment.place_nodes(network, 600, rng);
 
@@ -110,7 +115,7 @@ int main() {
   const auto sweep_prr = parallel_map(densities.size(), [&](std::size_t i) {
     Deployment world{Region{Meters{2100}, Meters{1600}}, spectrum_4m8(), urban};
     auto& op = world.add_network("sweep-op");
-    Rng world_rng(100 + i);
+    Rng world_rng(kSweepSeedBase + i);
     world.place_gateways(op, 15, default_profile(), world_rng);
     world.place_nodes(op, densities[i], world_rng);
     StandardLorawanOptions sweep_options;

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gate: the alphawan-lint suppression baseline may only shrink.
+
+Compares the working-tree baseline (tools/lint/lint_baseline.json) against
+the copy at a git ref (default origin/main, falling back to HEAD) and fails
+if any (file, check, context) entry count grew or appeared. Deleting
+entries -- fixing grandfathered findings -- always passes. Run by the CI
+lint-alphawan job; tests/lint/test_baseline_mechanics.py exercises it with
+--against-file.
+
+Exit status: 0 ok, 1 baseline grew, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+DEFAULT_BASELINE = os.path.join(REPO, "tools", "lint", "lint_baseline.json")
+BASELINE_RELPATH = "tools/lint/lint_baseline.json"
+
+
+def entry_counts(data) -> dict:
+    counts: dict = {}
+    for e in data.get("entries", []):
+        key = (e["file"], e["check"], e["context"])
+        counts[key] = counts.get(key, 0) + int(e.get("count", 1))
+    return counts
+
+
+def load_json_file(path: str):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def load_at_ref(ref: str):
+    """Baseline JSON at `ref`, or None when absent there (new file)."""
+    proc = subprocess.run(
+        ["git", "-C", REPO, "show", f"{ref}:{BASELINE_RELPATH}"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def resolve_ref(requested: str) -> str:
+    probe = subprocess.run(
+        ["git", "-C", REPO, "rev-parse", "--verify", "--quiet", requested],
+        capture_output=True, text=True)
+    if probe.returncode == 0:
+        return requested
+    print(f"check_lint_baseline: ref '{requested}' not found, "
+          "comparing against HEAD", file=sys.stderr)
+    return "HEAD"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="working-tree baseline file")
+    ap.add_argument("--against", default="origin/main", metavar="GITREF",
+                    help="git ref holding the reference baseline "
+                         "(default origin/main, falls back to HEAD)")
+    ap.add_argument("--against-file", metavar="JSON",
+                    help="compare against this file instead of a git ref")
+    args = ap.parse_args()
+
+    try:
+        new = entry_counts(load_json_file(args.baseline))
+    except FileNotFoundError:
+        new = {}
+
+    if args.against_file:
+        old_data = load_json_file(args.against_file)
+    else:
+        old_data = load_at_ref(resolve_ref(args.against))
+        if old_data is None:
+            print("check_lint_baseline: no baseline at the reference ref "
+                  "(new file) -- nothing to compare, passing")
+            return 0
+    old = entry_counts(old_data)
+
+    grown = []
+    for key, count in sorted(new.items()):
+        if count > old.get(key, 0):
+            grown.append((key, old.get(key, 0), count))
+    if grown:
+        print("check_lint_baseline: FAIL -- the suppression baseline may "
+              "only shrink; fix or ALPHAWAN-LINT-ALLOW(+reason) new "
+              "findings instead of baselining them:", file=sys.stderr)
+        for (file, check, context), was, now in grown:
+            print(f"  {file} [{check}] {was} -> {now}: {context}",
+                  file=sys.stderr)
+        return 1
+
+    removed = sum(max(0, c - new.get(k, 0)) for k, c in old.items())
+    total = sum(new.values())
+    print(f"check_lint_baseline: OK ({total} entr{'y' if total == 1 else 'ies'}"
+          f", {removed} burned down since the reference)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

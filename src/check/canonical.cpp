@@ -115,6 +115,8 @@ CanonicalScenario contention_heavy() {
                               Point{Meters{420.0 + (i % 8) * 45.0}, Meters{480.0 + (i / 8) * 40.0}}));
   }
   PacketIdSource ids;
+  // ALPHAWAN-LINT-ALLOW(rng-literal-seed: the canonical scenario is a
+  // fixed cross-machine fixture; its seed is part of the digest contract)
   Rng traffic_rng(5);
   // A 1-second window at 2 pkt/s/node: ~50-80 packets crammed onto 4
   // channels, overlapping heavily given SF9-SF12 airtimes of 0.2-1.2 s.

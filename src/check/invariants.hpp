@@ -49,6 +49,7 @@ class SimInvariants final : public SimObserver {
   // ---- SimObserver hooks (called by instrumented components) ----
   void on_pool_reset(const DecoderPool& pool) override;
   // (now, until) mirrors DecoderPool::try_acquire's interval order.
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (now, until) interval)
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   void on_pool_acquire(const DecoderPool& pool, Seconds now, Seconds until,
                        NetworkId network, PacketId packet) override;
@@ -58,6 +59,8 @@ class SimInvariants final : public SimObserver {
                        NetworkId network, PacketId packet) override;
   void on_radio_window_begin() override;
   // arrival precedes lock_on chronologically (preamble detection).
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: chronological order is
+  // checked at runtime by the dispatch-monotonicity invariant)
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   void on_dispatch(Seconds arrival, Seconds lock_on, PacketId packet) override;
 
@@ -76,6 +79,8 @@ class SimInvariants final : public SimObserver {
     std::set<PacketId> held;
   };
 
+  // ALPHAWAN-LINT-ALLOW(ordering-pointer-key: lookup-only — nothing
+  // iterates pools_, so allocation-order keys never reach any output)
   std::map<const DecoderPool*, PoolState> pools_;
   Seconds last_lock_on_{-1e300};
   bool in_window_ = false;

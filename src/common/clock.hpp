@@ -1,0 +1,67 @@
+// Injectable monotonic wall-clock for the few places that legitimately
+// measure host time (solver telemetry, bench harnesses).
+//
+// Simulation time NEVER comes from here — it advances only through the
+// event queue, which is what keeps runs bit-identical across thread and
+// shard counts (docs/parallelism.md, docs/sharding.md). alphawan-lint's
+// determinism-wallclock check bans bare std::chrono reads in src/ so that
+// every host-clock dependency is either routed through this interface
+// (tests inject ManualClock and stay deterministic) or carries an allow
+// annotation stating why the value cannot reach simulation state
+// (annotation grammar in docs/static-analysis.md).
+#pragma once
+
+#include <chrono>
+
+#include "common/units.hpp"
+
+namespace alphawan {
+
+// Seconds since an arbitrary fixed epoch; monotone non-decreasing.
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+  [[nodiscard]] virtual Seconds now() const = 0;
+};
+
+// The host's monotonic clock — the default for telemetry.
+class SteadyClock final : public MonotonicClock {
+ public:
+  [[nodiscard]] Seconds now() const override {
+    // ALPHAWAN-LINT-ALLOW(determinism-wallclock: the one sanctioned
+    // steady_clock read — values are telemetry-only by the contract above)
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return Seconds{std::chrono::duration<double>(t).count()};
+  }
+};
+
+// Hand-advanced clock for tests: now() returns the set instant and then
+// steps by `auto_step` (so a start/stop measurement around an opaque call
+// observes exactly one step, deterministically).
+class ManualClock final : public MonotonicClock {
+ public:
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (start, step) mirrors every
+  // range-style ctor in the codebase; both defaults are zero)
+  explicit ManualClock(Seconds start = Seconds{0.0},
+                       Seconds auto_step = Seconds{0.0})
+      : now_(start), auto_step_(auto_step) {}
+
+  [[nodiscard]] Seconds now() const override {
+    const Seconds t = now_;
+    now_ = now_ + auto_step_;
+    return t;
+  }
+  void advance(Seconds by) { now_ = now_ + by; }
+
+ private:
+  mutable Seconds now_;
+  Seconds auto_step_;
+};
+
+// Process-wide default used when no clock is injected.
+[[nodiscard]] inline const MonotonicClock& steady_process_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+}  // namespace alphawan

@@ -100,6 +100,7 @@ class Rng {
   }
   // Uniform double in [lo, hi). Interval order (lo then hi) is the
   // universal convention; swapping the bounds is caught by an assert.
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (lo, hi) interval order)
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
   // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
@@ -130,6 +131,7 @@ class Rng {
   }
   // Normal with given mean / standard deviation — the (mean, sigma)
   // order every math library uses.
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (mean, sigma) convention)
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   double normal(double mean, double stddev) {
     return mean + stddev * normal();
@@ -139,6 +141,7 @@ class Rng {
   // normal(mean, stddev) on a fresh generator, but skips computing and
   // caching the companion sample the caller will never consume. The
   // per-(gateway, packet) fading draw in run_window is the intended user.
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (mean, sigma) convention)
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   double normal_once(double mean, double stddev) {
     double u1 = uniform();

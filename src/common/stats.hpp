@@ -43,6 +43,7 @@ class RunningStats {
 class Histogram {
  public:
   // (lo, hi) interval order, as in Rng::uniform.
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (lo, hi) interval order)
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   Histogram(double lo, double hi, std::size_t bins);
   void add(double x);

@@ -1,7 +1,6 @@
 #include "core/intra_planner.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "phy/sensitivity.hpp"
 
@@ -105,11 +104,11 @@ PlanOutcome IntraPlanner::plan(const Network& network, const Spectrum& spectrum,
         FrozenNodes{snapshot_solution(network, outcome.instance)};
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const MonotonicClock& clock =
+      config_.clock != nullptr ? *config_.clock : steady_process_clock();
+  const Seconds start = clock.now();
   GaResult result = solve_cp(outcome.instance, ga);
-  const auto end = std::chrono::steady_clock::now();
-  outcome.solve_seconds =
-      Seconds{std::chrono::duration<double>(end - start).count()};
+  outcome.solve_seconds = clock.now() - start;
   outcome.eval = result.best_eval;
   outcome.ga_generations = result.generations_run;
   outcome.config =

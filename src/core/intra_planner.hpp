@@ -7,6 +7,7 @@
 
 #include <map>
 
+#include "common/clock.hpp"
 #include "core/cp_solution.hpp"
 #include "core/ga_solver.hpp"
 #include "core/log_parser.hpp"
@@ -27,6 +28,10 @@ struct IntraPlannerConfig {
   // concurrency planning).
   double pair_capacity = 1.0;
   GaConfig ga{};
+  // Clock for the solve_seconds telemetry (never simulation state).
+  // Null means the process steady clock; tests inject a ManualClock to
+  // keep PlanOutcome fully deterministic.
+  const MonotonicClock* clock = nullptr;
 };
 
 struct PlanOutcome {

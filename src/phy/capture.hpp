@@ -57,6 +57,8 @@ inline constexpr double kCaptureSirMatrix[6][6] = {
 
 // Aggregate interference: combine interferer powers (linear sum, in dBm).
 // Commutative, so the (a, b) order genuinely does not matter.
+// ALPHAWAN-LINT-ALLOW(units-swappable-pair: commutative — both orders
+// produce the same sum)
 // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
 [[nodiscard]] inline Dbm combine_powers_dbm(Dbm a, Dbm b) {
   const double lin =

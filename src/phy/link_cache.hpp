@@ -80,6 +80,8 @@ class LinkCache {
   // column-structure) so steady-state windows don't re-probe. A row that
   // already exists is refreshed like ensure_row and kept resident.
   static constexpr std::uint32_t kInvalidRow = ~0U;
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (floor, power_bound) is
+  // floor-first at every audibility call site, as below)
   std::uint32_t ensure_row_if_audible(NodeId node, const Point& origin,
                                       Dbm floor, Dbm power_bound);
 
@@ -109,6 +111,8 @@ class LinkCache {
   // absorbing floating-point reassociation — can clear `floor` from `row`.
   // Built lazily for the (floor, power_bound) in use and kept incrementally
   // as rows are added; any gateway change rebuilds from scratch.
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (floor, power_bound) is
+  // floor-first at every audibility call site)
   [[nodiscard]] std::span<const std::uint32_t> candidate_columns(
       std::uint32_t row, Dbm floor, Dbm power_bound);
 
@@ -116,6 +120,8 @@ class LinkCache {
   // when column_count() <= 64 — the dense-deployment fast path that lets
   // the runner test candidacy with one AND instead of materializing
   // per-column transmission lists.
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (floor, power_bound) is
+  // floor-first at every audibility call site)
   [[nodiscard]] std::uint64_t candidate_mask(std::uint32_t row, Dbm floor,
                                              Dbm power_bound);
 
@@ -134,17 +140,25 @@ class LinkCache {
   // Static-gain threshold below which a (row, column) pair can never clear
   // `floor` for tx powers up to `power_bound` — the shared bound behind
   // both candidate pruning and audibility gating.
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (floor, power_bound) is
+  // floor-first at every audibility call site)
   [[nodiscard]] double audible_threshold(Dbm floor, Dbm power_bound) const;
   [[nodiscard]] double candidate_threshold() const;
   void append_candidates_for_row(std::uint32_t row);
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (floor, power_bound) is
+  // floor-first at every audibility call site)
   void rebuild_candidates(Dbm floor, Dbm power_bound);
 
   ChannelModel* model_;
   std::vector<Column> columns_;
+  // ALPHAWAN-LINT-ALLOW(determinism-unordered-member: keyed lookups only;
+  // all iteration runs over the index-ordered columns_ vector)
   std::unordered_map<GatewayId, std::uint32_t> column_of_;
 
   std::vector<NodeId> row_node_;
   std::vector<Point> row_origin_;
+  // ALPHAWAN-LINT-ALLOW(determinism-unordered-member: keyed lookups only;
+  // all iteration runs over the row_node_/row_origin_ vectors)
   std::unordered_map<NodeId, std::uint32_t> row_of_;
 
   // Rejection memo for ensure_row_if_audible: valid while the node's
@@ -155,6 +169,8 @@ class LinkCache {
     Dbm floor{0.0};
     Dbm power_bound{0.0};
   };
+  // ALPHAWAN-LINT-ALLOW(determinism-unordered-member: memo is probed per
+  // node id and never iterated, so its order cannot reach any digest)
   std::unordered_map<NodeId, Rejection> rejected_;
   std::uint64_t structure_epoch_ = 0;
   std::vector<LinkGain> probe_gains_;  // scratch for the audibility probe

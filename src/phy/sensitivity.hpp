@@ -36,6 +36,8 @@ inline constexpr Db kDetectionMargin{0.0};
 
 // Best (fastest) data rate whose threshold the given SNR satisfies with
 // `margin` dB to spare; nullopt if even SF12 cannot be demodulated.
+// ALPHAWAN-LINT-ALLOW(units-swappable-pair: margin is defaulted and only
+// ever passed by name at the two call sites)
 [[nodiscard]] std::optional<DataRate> best_data_rate_for_snr(
     Db snr, Db margin = Db{0.0});
 

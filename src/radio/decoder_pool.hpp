@@ -39,6 +39,7 @@ class DecoderPool {
   // Claim a decoder at `now`, holding it until `until`, for a packet of
   // `network`. Returns true on success; false if the pool is exhausted.
   // (now, until) is a time interval: chronological order, never swapped.
+  // ALPHAWAN-LINT-ALLOW(units-swappable-pair: (now, until) interval)
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
   bool try_acquire(Seconds now, Seconds until, NetworkId network,
                    PacketId packet);

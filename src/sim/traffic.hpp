@@ -33,6 +33,8 @@ class PacketIdSource {
 
 // Fig. 3 Scheme (a): the *first* preamble symbol of node i arrives in slot
 // i (lock-on order then depends on each node's preamble length).
+// ALPHAWAN-LINT-ALLOW(units-swappable-pair: start is an absolute
+// instant, slot a duration — same unit, distinct documented roles)
 // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): start is an
 // absolute instant, slot a duration — same unit, distinct roles.
 [[nodiscard]] std::vector<Transmission> staggered_by_start(
@@ -41,6 +43,7 @@ class PacketIdSource {
 
 // Fig. 3 Scheme (b): the *final* preamble symbol (= lock-on instant) of
 // node i lands in slot i, so dispatch order equals node order.
+// ALPHAWAN-LINT-ALLOW(units-swappable-pair: as staggered_by_start)
 // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): as above.
 [[nodiscard]] std::vector<Transmission> staggered_by_lock_on(
     std::vector<EndNode*> nodes, Seconds start, Seconds slot,

@@ -1,0 +1,23 @@
+// alphawan-lint fixture: the allow-annotation grammar is itself checked.
+// Linted as-if at src/sim/allow_misuse.cpp.
+#include <map>
+
+namespace alphawan {
+
+// An annotation naming a check id that does not exist: finding
+// (lint-allow-unknown).
+// ALPHAWAN-LINT-ALLOW(determinism-wibble: no such check)
+inline int unknown_check() { return 1; }
+
+// An annotation that suppresses nothing has expired and must be deleted:
+// finding (lint-allow-unused).
+// ALPHAWAN-LINT-ALLOW(determinism-wallclock: the clock call below was
+// removed two refactors ago)
+inline int expired_allow() { return 2; }
+
+// An annotation without the mandatory ": reason" part: finding
+// (lint-allow-malformed).
+// ALPHAWAN-LINT-ALLOW(ordering-pointer-key)
+inline int malformed_allow() { return 3; }
+
+}  // namespace alphawan

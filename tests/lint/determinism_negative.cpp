@@ -1,0 +1,41 @@
+// alphawan-lint fixture: determinism family, negative cases.
+// Linted as-if at src/sim/determinism_negative.cpp; must stay silent.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace alphawan {
+
+struct Quantized {
+  // ALPHAWAN-LINT-ALLOW(determinism-unordered-member: keyed lookup only,
+  // never iterated; digest order cannot observe it)
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of_;
+
+  std::uint32_t lookup(std::uint64_t key) const {
+    const auto it = index_of_.find(key);  // lookup, not iteration
+    return it == index_of_.end() ? 0U : it->second;
+  }
+};
+
+inline double telemetry_now_seconds() {
+  // Annotations cover their own line plus the comment run directly above
+  // the finding (NOLINT-style), so this one sits on the clock call itself.
+  // ALPHAWAN-LINT-ALLOW(determinism-wallclock: telemetry only — the value
+  // never feeds simulation state or digests)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+inline double fold_sorted(const std::map<int, double>& gains) {
+  double sum = 0.0;
+  for (const auto& [node, gain] : gains) {  // sorted container: fine
+    sum += gain;
+  }
+  return sum;
+}
+
+// Mentioning std::unordered_map in a comment or string must not fire.
+inline const char* doc() { return "prefer std::map over std::unordered_map"; }
+
+}  // namespace alphawan

@@ -1,0 +1,50 @@
+// alphawan-lint fixture: determinism family, positive cases.
+// Linted as-if at src/sim/determinism_positive.cpp (digest-affecting).
+// Every marked line must be reported; see determinism_positive.expected.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace alphawan {
+
+struct WindowState {
+  // Unordered member in a digest subsystem without a no-iteration
+  // annotation.
+  std::unordered_map<int, double> gains_by_node_;  // finding: member
+  std::unordered_set<int> seen_;                   // finding: member
+};
+
+inline double entropy_seed() {
+  std::random_device device;  // finding: wallclock
+  return static_cast<double>(device());
+}
+
+inline double legacy_draw() {
+  std::srand(42);                        // finding: wallclock
+  return std::rand() / 32768.0;          // finding: wallclock
+}
+
+inline double wall_now_seconds() {
+  const auto now = std::chrono::system_clock::now();  // finding: wallclock
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+inline double mono_now_seconds() {
+  const auto now = std::chrono::steady_clock::now();  // finding: wallclock
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+inline double fold_gains(const WindowState& state) {
+  double sum = 0.0;
+  std::unordered_map<int, double> local = state.gains_by_node_;  // finding
+  for (const auto& [node, gain] : local) {  // finding: iteration
+    sum += gain;
+  }
+  auto it = local.begin();  // finding: iteration
+  if (it != local.end()) sum += it->second;
+  return sum;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,26 @@
+// alphawan-lint fixture: ordering-keys family, negative cases.
+// Linted as-if at src/radio/ordering_negative.cpp; must stay silent.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace alphawan {
+
+struct DecoderPool {
+  int capacity = 16;
+};
+
+struct Registry {
+  // Stable-id keys: deterministic iteration order.
+  std::map<std::uint64_t, int> held_by_pool_id;
+  std::set<std::string> pool_names;
+  // Pointer VALUES are fine; only pointer KEYS order the container.
+  std::map<std::uint64_t, DecoderPool*> pool_by_id;
+
+  // ALPHAWAN-LINT-ALLOW(ordering-pointer-key: lookup-only — populated and
+  // queried by key, never iterated, so order cannot leak into digests)
+  std::map<const DecoderPool*, int> scratch_index;
+};
+
+}  // namespace alphawan

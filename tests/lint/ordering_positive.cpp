@@ -1,0 +1,28 @@
+// alphawan-lint fixture: ordering-keys family, positive cases.
+// Linted as-if at src/radio/ordering_positive.cpp.
+#include <map>
+#include <set>
+#include <string>
+
+namespace alphawan {
+
+struct DecoderPool {
+  int capacity = 16;
+};
+
+struct Registry {
+  // Pointer-keyed ordered containers: iteration order is allocation
+  // order, which varies run to run. Both are findings.
+  std::map<const DecoderPool*, int> held_by_pool;
+  std::set<DecoderPool*> active_pools;
+};
+
+inline int count(const Registry& registry) {
+  int total = 0;
+  for (const auto& [pool, held] : registry.held_by_pool) {
+    total += held + pool->capacity;
+  }
+  return total;
+}
+
+}  // namespace alphawan

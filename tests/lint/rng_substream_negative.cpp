@@ -1,0 +1,45 @@
+// alphawan-lint fixture: RNG-substream family, negative cases.
+// Linted as-if at src/core/rng_substream_negative.cpp; must stay silent.
+#include <cstddef>
+#include <cstdint>
+
+namespace alphawan {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : seed_(seed) {}
+  double uniform() { return static_cast<double>(seed_++); }
+  Rng substream(std::uint64_t key) const { return Rng(seed_ ^ key); }
+
+ private:
+  std::uint64_t seed_;
+};
+
+template <typename Body>
+void parallel_for(std::size_t count, Body body) {
+  for (std::size_t i = 0; i < count; ++i) body(i);
+}
+
+struct RunConfig {
+  std::uint64_t seed = 0;
+};
+
+// Seed flows in from configuration: replayable from one root seed.
+inline double configured_seed(const RunConfig& config) {
+  Rng rng(config.seed);
+  return rng.uniform();
+}
+
+// The sanctioned parallel pattern: the shared Rng is only forked via the
+// const substream() derivation; draws happen on the per-index local.
+inline double keyed_parallel(const RunConfig& config, std::size_t n) {
+  const Rng rng(config.seed);
+  double sum = 0.0;
+  parallel_for(n, [&](std::size_t i) {
+    Rng local = rng.substream(static_cast<std::uint64_t>(i));
+    sum += local.uniform();
+  });
+  return sum;
+}
+
+}  // namespace alphawan

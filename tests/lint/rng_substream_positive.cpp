@@ -1,0 +1,40 @@
+// alphawan-lint fixture: RNG-substream family, positive cases.
+// Linted as-if at src/core/rng_substream_positive.cpp.
+#include <cstddef>
+#include <cstdint>
+
+namespace alphawan {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : seed_(seed) {}
+  void reseed(std::uint64_t seed) { seed_ = seed; }
+  double uniform() { return static_cast<double>(seed_++); }
+  Rng substream(std::uint64_t key) const { return Rng(seed_ ^ key); }
+
+ private:
+  std::uint64_t seed_;
+};
+
+template <typename Body>
+void parallel_for(std::size_t count, Body body) {
+  for (std::size_t i = 0; i < count; ++i) body(i);
+}
+
+inline double hardcoded_seed() {
+  Rng rng(42);  // finding: literal seed outside tests//bench/
+  Rng hex{0xDEADBEEF};  // finding: literal seed
+  rng.reseed(7);  // finding: literal reseed
+  return rng.uniform() + hex.uniform();
+}
+
+inline double shared_draw(std::size_t n) {
+  Rng rng(0);  // finding: literal seed
+  double sum = 0.0;
+  parallel_for(n, [&](std::size_t i) {
+    sum += rng.uniform() + static_cast<double>(i);  // finding: shared draw
+  });
+  return sum;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Baseline mechanics for alphawan-lint (run by ctest as
+lint.baseline_mechanics).
+
+Covers the suppression-file lifecycle end to end:
+  1. --write-baseline over a file with findings, then a re-run against that
+     baseline, must be clean (exit 0);
+  2. fixing one finding makes its baseline entry STALE and the run fails --
+     the baseline is shrink-only, it can never rot;
+  3. scripts/check_lint_baseline.py accepts an unchanged/shrunk baseline
+     and rejects a grown one.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.normpath(os.path.join(HERE, "..", ".."))
+DRIVER = os.path.join(REPO, "tools", "lint", "alphawan_lint.py")
+CHECKER = os.path.join(REPO, "scripts", "check_lint_baseline.py")
+FIXTURE = os.path.join(HERE, "ordering_positive.cpp")
+
+
+def run(*argv):
+    proc = subprocess.run([sys.executable, *argv], capture_output=True,
+                          text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def fail(msg, output=""):
+    print(f"FAIL: {msg}\n{output}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    tmp = tempfile.mkdtemp(prefix="alphawan_lint_baseline_")
+    try:
+        # Stage the fixture inside a scratch tree shaped like the repo
+        # (src/radio/...), and point the driver's --root at it so path
+        # scoping applies without touching the real tree.
+        baseline = os.path.join(tmp, "baseline.json")
+
+        # Step 1: record, then re-run against the recording -> clean.
+        code, out = run(DRIVER, "--fixture", FIXTURE,
+                        "--as-path", "src/radio/ordering_positive.cpp")
+        if code != 1:
+            fail("fixture should have findings before baselining", out)
+
+        staged_dir = os.path.join(tmp, "src", "radio")
+        os.makedirs(staged_dir)
+        staged = os.path.join(staged_dir, "ordering_probe.hpp")
+        shutil.copyfile(FIXTURE, staged)
+
+        code, out = run(DRIVER, "--root", tmp, staged,
+                        "--baseline", baseline, "--write-baseline")
+        if code != 0:
+            fail("--write-baseline should exit 0", out)
+        with open(baseline, encoding="utf-8") as fh:
+            entries = json.load(fh)["entries"]
+        if len(entries) != 2:
+            fail(f"expected 2 baseline entries, got {len(entries)}")
+        code, out = run(DRIVER, "--root", tmp, staged, "--baseline", baseline)
+        if code != 0:
+            fail("baselined findings must not fail the run", out)
+
+        # Step 2: fix one finding -> its entry is stale -> exit 1.
+        with open(staged, encoding="utf-8") as fh:
+            text = fh.read()
+        with open(staged, "w", encoding="utf-8") as fh:
+            fh.write(text.replace("std::set<DecoderPool*> active_pools;",
+                                  "int active_pool_count = 0;"))
+        code, out = run(DRIVER, "--root", tmp, staged, "--baseline", baseline)
+        if code != 1 or "stale baseline entry" not in out:
+            fail("stale baseline entry must fail the run", out)
+
+        # Step 3: growth gate.
+        shrunk = os.path.join(tmp, "shrunk.json")
+        grown = os.path.join(tmp, "grown.json")
+        with open(baseline, encoding="utf-8") as fh:
+            data = json.load(fh)
+        with open(shrunk, "w", encoding="utf-8") as fh:
+            json.dump({"version": 1, "entries": data["entries"][:1]}, fh)
+        with open(grown, "w", encoding="utf-8") as fh:
+            json.dump({"version": 1, "entries": data["entries"] + [
+                {"file": "src/x.cpp", "check": "determinism-wallclock",
+                 "context": "steady_clock::now();", "count": 1}]}, fh)
+
+        code, out = run(CHECKER, "--baseline", shrunk, "--against-file",
+                        baseline)
+        if code != 0:
+            fail("shrinking the baseline must pass", out)
+        code, out = run(CHECKER, "--baseline", grown, "--against-file",
+                        baseline)
+        if code != 1:
+            fail("growing the baseline must fail", out)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    print("lint.baseline_mechanics OK")
+
+
+if __name__ == "__main__":
+    main()

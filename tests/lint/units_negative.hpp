@@ -1,0 +1,43 @@
+// alphawan-lint fixture: unit-discipline family, negative cases.
+// Linted as-if at src/phy/units_negative.hpp; must stay silent.
+#pragma once
+
+#include <cmath>
+
+namespace alphawan {
+
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr explicit Quantity(double v) : value_(v) {}
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+struct DbmTag {};
+struct DbTag {};
+using Dbm = Quantity<DbmTag>;
+using Db = Quantity<DbTag>;
+
+// Strong types with unit-suffixed names: exactly the convention.
+Dbm combine_power_dbm(Dbm tx_power_dbm, Db antenna_gain_db);
+
+// Distinct adjacent types are not swappable.
+Dbm apply_gain(Dbm power, Db gain);
+
+// ALPHAWAN-LINT-ALLOW(units-swappable-pair: interval convention lo then
+// hi, asserted at runtime)
+double clamp_fraction(double lo, double hi);
+
+// Unwrapping for transcendental math is the sanctioned escape hatch; the
+// rewrap wraps a genuinely new value, not the same one.
+inline Dbm halve_linear(Dbm power) {
+  return Dbm{10.0 * std::log10(std::pow(10.0, power.value() / 10.0) / 2.0)};
+}
+
+// A suffix-free raw double is no finding.
+double fraction_of_capacity(double used, int total);
+
+}  // namespace alphawan

@@ -1,0 +1,34 @@
+// alphawan-lint fixture: unit-discipline family, positive cases.
+// Linted as-if at src/phy/units_positive.hpp (header: all unit checks on).
+#pragma once
+
+namespace alphawan {
+
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr explicit Quantity(double v) : value_(v) {}
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+struct DbmTag {};
+struct HzTag {};
+using Dbm = Quantity<DbmTag>;
+using Hz = Quantity<HzTag>;
+
+// Raw double parameters named with unit suffixes: findings.
+double link_budget(double tx_power_dbm, double path_loss_db);
+
+// Function named with a unit suffix returning a raw double: finding.
+double noise_floor_dbm(Hz bandwidth);
+
+// Adjacent same-unit parameters with no annotated convention: finding.
+Dbm combine(Dbm first, Dbm second);
+
+// Unwrap-then-rewrap round trip: finding.
+inline Dbm passthrough(Dbm power) { return Dbm{power.value()}; }
+
+}  // namespace alphawan

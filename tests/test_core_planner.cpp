@@ -90,6 +90,21 @@ TEST(IntraPlanner, PlanAppliesCleanly) {
   }
 }
 
+TEST(IntraPlanner, InjectedClockMakesSolveTimeDeterministic) {
+  PlannerFixture f(2, 6);
+  // ManualClock auto-steps by 0.25 s per read; plan() reads it exactly
+  // twice (start/stop), so the telemetry equals one step, every run.
+  ManualClock manual{Seconds{100.0}, Seconds{0.25}};
+  IntraPlannerConfig cfg = fast_planner();
+  cfg.clock = &manual;
+  IntraPlanner planner(cfg);
+  const auto links = oracle_link_estimates(f.deployment, *f.network);
+  const auto outcome = planner.plan(*f.network, f.deployment.spectrum(),
+                                    links, uniform_traffic(*f.network));
+  EXPECT_EQ(outcome.solve_seconds, Seconds{0.25});
+  EXPECT_EQ(manual.now(), Seconds{100.5});
+}
+
 TEST(IntraPlanner, FrequencyOffsetShiftsEverything) {
   PlannerFixture f(2, 6);
   IntraPlanner planner(fast_planner());

@@ -1,0 +1,276 @@
+// alphawan-lint AST engine: clang libTooling / AST-matcher checker.
+//
+// Same check catalogue and ALPHAWAN-LINT-ALLOW grammar as the token engine
+// (tools/lint/alphawan_lint.py); see docs/static-analysis.md. This binary
+// consumes compile_commands.json the standard libTooling way:
+//
+//   alphawan-lint-ast -p build src/core/intra_planner.cpp ...
+//
+// It is built only where Clang development packages are installed
+// (find_package(Clang) in tools/lint/CMakeLists.txt) — the container/CI
+// images that lack them fall back to the token engine, which implements a
+// superset of these checks. Where the two engines differ:
+//   * the AST engine resolves types exactly (no false positives on
+//     shadowed names or on `unordered_map` mentioned in comments);
+//   * the token engine additionally covers rng-shared-capture,
+//     units-swappable-pair and units-value-roundtrip, whose AST
+//     formulations are deferred (noted below).
+//
+// Output format is identical to the token engine:
+//   <path>:<line>: <check-id>: <message>
+// and the exit status is 1 iff any unsuppressed finding was emitted.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+namespace {
+
+using namespace clang;             // NOLINT
+using namespace clang::ast_matchers;  // NOLINT
+using clang::tooling::CommonOptionsParser;
+
+llvm::cl::OptionCategory gCategory("alphawan-lint-ast options");
+llvm::cl::opt<std::string> gRepoRoot(
+    "repo-root", llvm::cl::desc("repo root for relative paths and scoping"),
+    llvm::cl::init(""), llvm::cl::cat(gCategory));
+
+int gFindings = 0;
+
+std::string relPath(llvm::StringRef file) {
+  std::string f = file.str();
+  if (!gRepoRoot.empty() && f.rfind(gRepoRoot, 0) == 0) {
+    f = f.substr(gRepoRoot.size());
+    while (!f.empty() && (f.front() == '/' || f.front() == '\\')) {
+      f = f.substr(1);
+    }
+  }
+  return f;
+}
+
+bool startsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool inSrc(const std::string& p) { return startsWith(p, "src/"); }
+
+bool inDigestDirs(const std::string& p) {
+  return startsWith(p, "src/sim/") || startsWith(p, "src/phy/") ||
+         startsWith(p, "src/radio/") || startsWith(p, "src/check/");
+}
+
+bool rngSeedScope(const std::string& p) {
+  return startsWith(p, "src/") || startsWith(p, "examples/");
+}
+
+// ALPHAWAN-LINT-ALLOW(<check>: <reason>) on the finding's line or on the
+// run of comment-only lines directly above it.
+bool isAllowed(const SourceManager& sm, SourceLocation loc,
+               llvm::StringRef check) {
+  const FileID fid = sm.getFileID(loc);
+  bool invalid = false;
+  const llvm::StringRef buffer = sm.getBufferData(fid, &invalid);
+  if (invalid) return false;
+  unsigned line = sm.getSpellingLineNumber(loc);
+  llvm::SmallVector<llvm::StringRef, 64> lines;
+  buffer.split(lines, '\n');
+  const std::string needle =
+      ("ALPHAWAN-LINT-ALLOW(" + check + ":").str();
+  for (unsigned probe = line; probe >= 1; --probe) {
+    const llvm::StringRef text = lines[probe - 1];
+    if (text.contains(needle)) return true;
+    if (probe == line) continue;
+    // Keep walking only through comment-only lines.
+    const llvm::StringRef trimmed = text.ltrim();
+    if (!trimmed.startswith("//") && !trimmed.empty()) return false;
+    if (probe == 1) break;
+  }
+  return false;
+}
+
+void report(const SourceManager& sm, SourceLocation loc,
+            llvm::StringRef check, llvm::StringRef message) {
+  if (loc.isInvalid() || !sm.isInFileID(loc, sm.getMainFileID())) {
+    // Only report in the main file: headers are linted as their own
+    // inputs, which keeps findings deduplicated across TUs.
+    return;
+  }
+  if (isAllowed(sm, loc, check)) return;
+  const std::string path = relPath(sm.getFilename(loc));
+  std::printf("%s:%u: %s: %s\n", path.c_str(),
+              sm.getSpellingLineNumber(loc), check.str().c_str(),
+              message.str().c_str());
+  ++gFindings;
+}
+
+class Reporter : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& result) override {
+    const SourceManager& sm = *result.SourceManager;
+    const std::string main =
+        relPath(sm.getFileEntryForID(sm.getMainFileID())->getName());
+
+    if (const auto* d =
+            result.Nodes.getNodeAs<DeclRefExpr>("wallclock-fn")) {
+      if (inSrc(main)) {
+        report(sm, d->getBeginLoc(), "determinism-wallclock",
+               "rand()/srand() bypass the seeded Rng substreams");
+      }
+    }
+    if (const auto* d =
+            result.Nodes.getNodeAs<VarDecl>("random-device")) {
+      if (inSrc(main)) {
+        report(sm, d->getBeginLoc(), "determinism-wallclock",
+               "std::random_device is non-deterministic; draw from a "
+               "seeded Rng");
+      }
+    }
+    if (const auto* c = result.Nodes.getNodeAs<CallExpr>("clock-now")) {
+      if (inSrc(main)) {
+        report(sm, c->getBeginLoc(), "determinism-wallclock",
+               "wall/monotonic clock read in src/ must be annotated or "
+               "routed through MonotonicClock (src/common/clock.hpp)");
+      }
+    }
+    if (const auto* f =
+            result.Nodes.getNodeAs<CXXForRangeStmt>("unordered-iter")) {
+      if (inDigestDirs(main)) {
+        report(sm, f->getBeginLoc(), "determinism-unordered-iter",
+               "iteration over a std::unordered container in a "
+               "digest-affecting subsystem breaks bit-identical replay");
+      }
+    }
+    if (const auto* d =
+            result.Nodes.getNodeAs<DeclaratorDecl>("unordered-member")) {
+      if (inDigestDirs(main)) {
+        report(sm, d->getBeginLoc(), "determinism-unordered-member",
+               "std::unordered container declared in a digest-affecting "
+               "subsystem; annotate the no-iteration contract or use a "
+               "sorted container");
+      }
+    }
+    if (const auto* c =
+            result.Nodes.getNodeAs<CXXConstructExpr>("rng-literal")) {
+      if (rngSeedScope(main)) {
+        report(sm, c->getBeginLoc(), "rng-literal-seed",
+               "Rng seeded from a literal outside tests//bench/; seeds "
+               "must flow in from configuration");
+      }
+    }
+    if (const auto* p =
+            result.Nodes.getNodeAs<ParmVarDecl>("raw-unit-param")) {
+      if (inSrc(main)) {
+        report(sm, p->getBeginLoc(), "units-raw-double",
+               "parameter carries a unit suffix but is raw double/float; "
+               "use the Quantity<Tag> strong type");
+      }
+    }
+    if (const auto* f =
+            result.Nodes.getNodeAs<FunctionDecl>("raw-unit-return")) {
+      if (inSrc(main)) {
+        report(sm, f->getBeginLoc(), "units-raw-double",
+               "function named with a unit suffix returns raw "
+               "double/float; return the Quantity<Tag> strong type");
+      }
+    }
+    if (const auto* d =
+            result.Nodes.getNodeAs<DeclaratorDecl>("pointer-key")) {
+      if (inSrc(main)) {
+        report(sm, d->getBeginLoc(), "ordering-pointer-key",
+               "std::map/std::set keyed on a raw pointer iterates in "
+               "allocation order; key on a stable id or annotate the "
+               "lookup-only contract");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expectedParser = CommonOptionsParser::create(argc, argv, gCategory);
+  if (!expectedParser) {
+    llvm::errs() << llvm::toString(expectedParser.takeError()) << "\n";
+    return 2;
+  }
+  CommonOptionsParser& options = *expectedParser;
+  clang::tooling::ClangTool tool(options.getCompilations(),
+                                 options.getSourcePathList());
+
+  Reporter reporter;
+  MatchFinder finder;
+
+  const auto unorderedType = qualType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(namedDecl(hasAnyName(
+          "::std::unordered_map", "::std::unordered_set"))))));
+
+  finder.addMatcher(
+      declRefExpr(to(functionDecl(hasAnyName("::rand", "::srand"))))
+          .bind("wallclock-fn"),
+      &reporter);
+  finder.addMatcher(
+      varDecl(hasType(namedDecl(hasName("::std::random_device"))))
+          .bind("random-device"),
+      &reporter);
+  finder.addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::system_clock",
+                                      "::std::chrono::steady_clock")))))
+          .bind("clock-now"),
+      &reporter);
+  finder.addMatcher(
+      cxxForRangeStmt(hasRangeInit(expr(hasType(unorderedType))))
+          .bind("unordered-iter"),
+      &reporter);
+  finder.addMatcher(fieldDecl(hasType(unorderedType)).bind("unordered-member"),
+                    &reporter);
+  finder.addMatcher(
+      varDecl(hasType(unorderedType), unless(parmVarDecl()))
+          .bind("unordered-member"),
+      &reporter);
+  finder.addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(
+                           ofClass(hasName("::alphawan::Rng")))),
+                       hasArgument(0, ignoringParenImpCasts(integerLiteral())))
+          .bind("rng-literal"),
+      &reporter);
+  finder.addMatcher(
+      parmVarDecl(hasType(realFloatingPointType()),
+                  matchesName(".*_(dbm|db|hz|seconds|m)$"))
+          .bind("raw-unit-param"),
+      &reporter);
+  finder.addMatcher(
+      functionDecl(returns(realFloatingPointType()),
+                   matchesName(".*_(dbm|db|hz|seconds|m)$"))
+          .bind("raw-unit-return"),
+      &reporter);
+
+  const auto pointerKeyedType = qualType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(classTemplateSpecializationDecl(
+          hasAnyName("::std::map", "::std::set"),
+          hasTemplateArgument(0, refersToType(pointerType())))))));
+  finder.addMatcher(fieldDecl(hasType(pointerKeyedType)).bind("pointer-key"),
+                    &reporter);
+  finder.addMatcher(
+      varDecl(hasType(pointerKeyedType), unless(parmVarDecl()))
+          .bind("pointer-key"),
+      &reporter);
+
+  // Deferred to the token engine for now: rng-shared-capture (lambda
+  // capture analysis across parallel_for), units-swappable-pair and
+  // units-value-roundtrip. docs/static-analysis.md tracks engine parity.
+
+  const int toolStatus =
+      tool.run(clang::tooling::newFrontendActionFactory(&finder).get());
+  if (toolStatus != 0) return 2;
+  return gFindings > 0 ? 1 : 0;
+}

@@ -62,7 +62,7 @@ RunStats run_city(const CityConfig& cfg, int shards, std::uint64_t seed,
   StandardLorawanOptions std_options;
   std_options.adr.installation_margin = Db{10.0};
   std_options.adr.min_tx_power = Dbm{8.0};
-  apply_standard_lorawan(deployment, network, rng, std_options);
+  StandardLorawanPolicy(std_options).configure(deployment, network, rng);
 
   RunOptions options;
   options.shards = shards;

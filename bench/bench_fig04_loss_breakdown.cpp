@@ -54,7 +54,7 @@ Breakdown run(std::size_t networks_count, std::size_t users_per_network,
     // the SAME standard plan, users on the plan's channels.
     StandardLorawanOptions options;
     options.spread_gateways_across_plans = false;
-    apply_standard_lorawan(deployment, net, rng, options);
+    StandardLorawanPolicy(options).configure(deployment, net, rng);
     // Data-rate mix of an operational network: the paper's measured TTN
     // distribution (Fig. 6e) rather than the fully-converged ADR of a
     // dense lab deployment (which would put 100% on DR5).

@@ -49,13 +49,13 @@ int main() {
   // Before ADR: join defaults (DR0, 14 dBm) — widest cells.
   StandardLorawanOptions no_adr;
   no_adr.use_adr = false;
-  apply_standard_lorawan(deployment, network, rng, no_adr);
+  StandardLorawanPolicy(no_adr).configure(deployment, network, rng);
   const double gw_before = mean_reachable_gateways(deployment, network);
 
   // After ADR.
   StandardLorawanOptions with_adr;
   with_adr.use_adr = true;
-  apply_standard_lorawan(deployment, network, rng, with_adr);
+  StandardLorawanPolicy(with_adr).configure(deployment, network, rng);
   const double gw_after = mean_reachable_gateways(deployment, network);
   const auto dist = dr_distribution(network);
 

@@ -3,9 +3,13 @@
 // (b) capacity and per-MHz efficiency vs operating spectrum (15 GWs)
 // (c) contention management: full vs no-node-side vs standard LoRaWAN
 // (d,e) spectrum sharing across 1..6 coexisting networks
+// (f) the scheme x decoder-pool grid: every registered baseline measured
+//     under shrunken/grown decoder pools (extension beyond the paper)
+// All per-network schemes are pulled from the baseline registry
+// (baselines/registry.hpp); ALPHAWAN_BASELINE restricts the (f) grid.
 #include "harness.hpp"
 
-#include "baselines/random_cp.hpp"
+#include "baselines/registry.hpp"
 
 using namespace alphawan;
 using namespace alphawan::bench;
@@ -23,56 +27,63 @@ AlphaWanConfig fast_alphawan(bool strategy1, bool node_side = true) {
   return cfg;
 }
 
+// Tuning for the pre-orthogonalized burst experiments (12a/12b/12de):
+// the users already hold globally orthogonal (channel, SF) pairs, so every
+// scheme provisions gateways only and leaves node configs alone.
+BaselineTuning gateway_side_tuning() {
+  BaselineTuning tuning;
+  tuning.node_side.configure_nodes = false;
+  return tuning;
+}
+
+BaselineTuning alphawan_tuning(bool strategy1, bool node_side = true) {
+  BaselineTuning tuning = gateway_side_tuning();
+  tuning.alphawan.controller = fast_alphawan(strategy1, node_side);
+  // Orthogonal burst users: one packet per window each.
+  tuning.alphawan.demand_per_node = 1.0;
+  return tuning;
+}
+
 // Build a clustered-gateway deployment with `users` orthogonal ring users
-// and measure burst capacity under a configuration strategy.
-template <typename ConfigureFn>
+// and measure burst capacity under a registry scheme: configure, shape the
+// burst through the scheme's MAC policy, resolve captures through its
+// gateway-side policy. `decoders` > 0 overrides the per-gateway pool size.
 std::size_t capacity_of(const Spectrum& spectrum, int gateways, int users,
-                        ConfigureFn&& configure, std::uint64_t seed = 7) {
-  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum, quiet_channel()};
+                        const BaselineScheme& scheme, std::uint64_t cfg_seed,
+                        std::uint64_t seed = 7, int decoders = 0,
+                        PerfAccumulator* perf = nullptr) {
+  Deployment deployment{Region{Meters{600}, Meters{600}}, spectrum,
+                        quiet_channel()};
   auto& network = deployment.add_network("op");
-  place_clustered_gateways(deployment, network, gateways);
+  GatewayProfile profile = default_profile();
+  if (decoders > 0) profile.decoders = decoders;
+  place_clustered_gateways(deployment, network, gateways, profile);
   Rng rng(seed);
   auto nodes = add_orthogonal_users(deployment, network, users, rng);
-  configure(deployment, network);
+  Rng cfg_rng(cfg_seed);
+  scheme.configure(deployment, network, cfg_rng);
   PacketIdSource ids;
-  return run_burst(deployment, nodes, Seconds{0.0}, ids, seed)
-      .total_delivered();
-}
-
-void homogeneous_standard(Deployment& deployment, Network& network) {
-  std::vector<GatewayId> ids;
-  for (const auto& gw : network.gateways()) ids.push_back(gw.id());
-  network.apply_config(homogeneous_standard_config(deployment.spectrum(), ids,
-                                                   /*spread=*/true));
-}
-
-void random_cp_gateways(Deployment& deployment, Network& network,
-                        std::uint64_t seed) {
-  // Random channel windows only (node settings untouched, they are already
-  // orthogonal) — the Random CP comparator of Sec. 5.1.1.
-  Rng rng(seed);
-  const Spectrum& spectrum = deployment.spectrum();
-  NetworkChannelConfig config;
-  for (const auto& gw : network.gateways()) {
-    const int width = static_cast<int>(rng.uniform_int(2, 4));
-    const int start =
-        static_cast<int>(rng.uniform_int(0, spectrum.grid_size() - width));
-    GatewayChannelConfig gw_cfg;
-    for (int c = start; c < start + width; ++c) {
-      gw_cfg.channels.push_back(spectrum.grid_channel(c));
-    }
-    config.gateways[gw.id()] = std::move(gw_cfg);
+  auto txs =
+      staggered_by_lock_on(std::move(nodes), Seconds{0.0}, Seconds{0.0004}, ids);
+  Rng shape_rng = cfg_rng.substream("mac-shape");
+  txs = scheme.shape_window(std::move(txs), shape_rng);
+  RunOptions options;
+  options.capture_policy = scheme.capture;
+  ScenarioRunner runner(deployment, seed, std::move(options));
+  if (perf != nullptr) {
+    return perf->time(txs.size(), [&] { return runner.run_window(txs); })
+        .total_delivered();
   }
-  network.apply_config(config);
+  return runner.run_window(txs).total_delivered();
 }
 
-void alphawan_upgrade(Deployment& deployment, Network& network,
-                      const AlphaWanConfig& cfg) {
-  LatencyModel latency{LatencyModelConfig{}, 3};
-  AlphaWanController controller(cfg, latency);
-  const auto links = oracle_link_estimates(deployment, network);
-  (void)controller.upgrade(network, deployment.spectrum(), links,
-                           uniform_traffic(network));
+std::size_t capacity_of(const Spectrum& spectrum, int gateways, int users,
+                        const std::string& scheme_name,
+                        const BaselineTuning& tuning, std::uint64_t cfg_seed,
+                        std::uint64_t seed = 7) {
+  return capacity_of(spectrum, gateways, users,
+                     BaselineRegistry::instance().make(scheme_name, tuning),
+                     cfg_seed, seed);
 }
 
 void figure_12a() {
@@ -84,20 +95,15 @@ void figure_12a() {
               "standard", "random-CP", "alpha-no-S1", "alpha-full");
   const Spectrum spec = spectrum_4m8();
   for (int gws : {1, 3, 5, 7, 9, 11, 13, 15}) {
-    const std::size_t std_cap = capacity_of(
-        spec, gws, 144,
-        [](Deployment& d, Network& n) { homogeneous_standard(d, n); });
+    const std::size_t std_cap =
+        capacity_of(spec, gws, 144, "standard", gateway_side_tuning(), 7);
     const std::size_t rnd_cap = capacity_of(
-        spec, gws, 144,
-        [&](Deployment& d, Network& n) { random_cp_gateways(d, n, 100 + gws); });
+        spec, gws, 144, "random-cp", gateway_side_tuning(),
+        100 + static_cast<std::uint64_t>(gws));
     const std::size_t no_s1 = capacity_of(
-        spec, gws, 144, [&](Deployment& d, Network& n) {
-          alphawan_upgrade(d, n, fast_alphawan(/*strategy1=*/false));
-        });
+        spec, gws, 144, "alphawan", alphawan_tuning(/*strategy1=*/false), 7);
     const std::size_t full = capacity_of(
-        spec, gws, 144, [&](Deployment& d, Network& n) {
-          alphawan_upgrade(d, n, fast_alphawan(/*strategy1=*/true));
-        });
+        spec, gws, 144, "alphawan", alphawan_tuning(/*strategy1=*/true), 7);
     std::printf("  %-6d %-8d %-10zu %-12zu %-14zu %-12zu\n", gws, 144,
                 std_cap, rnd_cap, no_s1, full);
   }
@@ -114,16 +120,12 @@ void figure_12b() {
   for (double mhz : {1.6, 3.2, 4.8, 6.4}) {
     const Spectrum spec{Hz{916.8e6}, Hz{mhz * 1e6}};
     const int users = oracle_capacity(spec);
-    const std::size_t std_cap = capacity_of(
-        spec, 15, users,
-        [](Deployment& d, Network& n) { homogeneous_standard(d, n); });
-    const std::size_t rnd_cap = capacity_of(
-        spec, 15, users,
-        [&](Deployment& d, Network& n) { random_cp_gateways(d, n, 55); });
-    const std::size_t full = capacity_of(
-        spec, 15, users, [&](Deployment& d, Network& n) {
-          alphawan_upgrade(d, n, fast_alphawan(true));
-        });
+    const std::size_t std_cap =
+        capacity_of(spec, 15, users, "standard", gateway_side_tuning(), 7);
+    const std::size_t rnd_cap =
+        capacity_of(spec, 15, users, "random-cp", gateway_side_tuning(), 55);
+    const std::size_t full =
+        capacity_of(spec, 15, users, "alphawan", alphawan_tuning(true), 7);
     std::printf("  %-10.1f %-8d %-10zu %-12zu %-12zu %-14.1f %-14.1f\n", mhz,
                 users, std_cap, full, rnd_cap,
                 static_cast<double>(std_cap) / mhz,
@@ -137,6 +139,9 @@ void figure_12c() {
       "paper means: standard 42, AlphaWAN w/o node side 57, full 68");
   // Realistic population: random placement, standard-ADR settings — the
   // node mix AlphaWAN has to manage rather than a pre-orthogonalized one.
+  // The alphawan scheme's configure() applies the same standard-ADR
+  // provisioning first, so all three variants share node settings.
+  const auto& registry = BaselineRegistry::instance();
   RunningStats std_stats, gw_only_stats, full_stats;
   for (std::uint64_t trial = 0; trial < 8; ++trial) {
     for (int variant = 0; variant < 3; ++variant) {
@@ -146,13 +151,13 @@ void figure_12c() {
       Rng rng(trial * 13 + 1);
       deployment.place_gateways(network, 15, default_profile(), rng);
       deployment.place_nodes(network, 144, rng);
-      apply_standard_lorawan(deployment, network, rng);
-      if (variant == 1) {
-        alphawan_upgrade(deployment, network,
-                         fast_alphawan(true, /*node_side=*/false));
-      } else if (variant == 2) {
-        alphawan_upgrade(deployment, network, fast_alphawan(true, true));
-      }
+      BaselineTuning tuning;  // node side fully provisioned this time
+      tuning.alphawan.controller =
+          fast_alphawan(true, /*node_side=*/variant == 2);
+      tuning.alphawan.demand_per_node = 1.0;
+      const BaselineScheme scheme =
+          registry.make(variant == 0 ? "standard" : "alphawan", tuning);
+      scheme.configure(deployment, network, rng);
       std::vector<EndNode*> nodes;
       for (auto& n : network.nodes()) nodes.push_back(&n);
       PacketIdSource ids;
@@ -182,6 +187,11 @@ void figure_12de() {
   std::printf("  %-9s %-22s %-22s %-12s %-12s\n", "networks",
               "std per-net (min..max)", "alpha per-net (min..max)", "std/MHz",
               "alpha/MHz");
+  // The standard mode runs through the registry; the AlphaWAN mode keeps
+  // its multi-network Master wiring inline — strategy-8 spectrum sharing
+  // spans networks, outside the per-network scheme interface.
+  const BaselineScheme standard =
+      BaselineRegistry::instance().make("standard", gateway_side_tuning());
   for (int count = 1; count <= 6; ++count) {
     std::size_t std_total = 0, alpha_total = 0;
     std::size_t std_min = 1e9, std_max = 0, alpha_min = 1e9, alpha_max = 0;
@@ -212,7 +222,7 @@ void figure_12de() {
                                    uniform_traffic(*net), &master);
         }
       } else {
-        for (auto* net : nets) homogeneous_standard(deployment, *net);
+        for (auto* net : nets) standard.configure(deployment, *net, rng);
       }
       // Joint burst: all networks interleaved in lock-on order.
       std::vector<EndNode*> all;
@@ -244,12 +254,59 @@ void figure_12de() {
   }
 }
 
+// Fig. 12f (extension beyond the paper): every registered scheme, measured
+// over a contended burst at three decoder-pool sizes. One perf row per
+// scheme ("fig12_policy.<name>") lands in the bench JSON so CI's perf
+// smoke tracks each policy's receive-pipeline cost individually. This is
+// the section perf-smoke mode runs.
+void figure_12f() {
+  const auto schemes =
+      baselines_from_env(BaselineRegistry::instance().names());
+  print_header(
+      "Fig. 12f — delivered packets vs decoder-pool size, per scheme\n"
+      "(4.8 MHz, 5 GWs, 96 contended users; extension beyond the paper)");
+  const std::vector<int> pools = {4, 8, 16};
+  // Contended population: more users than orthogonal pairs at this
+  // spectrum, so capture policies actually have collisions to resolve.
+  BaselineTuning tuning = gateway_side_tuning();
+  tuning.alphawan.controller = fast_alphawan(true);
+  tuning.alphawan.controller.planner.ga.generations = 12;  // grid budget
+  tuning.alphawan.demand_per_node = 1.0;
+  std::printf("  %-14s", "scheme");
+  for (int p : pools) std::printf(" %8d", p);
+  std::printf("\n");
+  std::vector<PerfAccumulator> perf;
+  perf.reserve(schemes.size());
+  for (const auto& name : schemes) {
+    perf.emplace_back("fig12_policy." + name);
+  }
+  for (std::size_t si = 0; si < schemes.size(); ++si) {
+    const BaselineScheme scheme =
+        BaselineRegistry::instance().make(schemes[si], tuning);
+    std::printf("  %-14s", schemes[si].c_str());
+    for (const int pool : pools) {
+      const std::size_t delivered = capacity_of(
+          spectrum_4m8(), 5, 96, scheme, /*cfg_seed=*/23, /*seed=*/7, pool,
+          &perf[si]);
+      std::printf(" %8zu", delivered);
+    }
+    std::printf("\n");
+  }
+  for (const auto& acc : perf) acc.report();
+}
+
 }  // namespace
 
 int main() {
-  figure_12a();
-  figure_12b();
-  figure_12c();
-  figure_12de();
+  // Perf-smoke mode (ALPHAWAN_BENCH_SMOKE=1) runs only the per-scheme
+  // decoder-pool grid: one JSON row per registered policy, cheap enough
+  // for CI while still driving every capture/MAC implementation.
+  if (!perf_smoke_mode()) {
+    figure_12a();
+    figure_12b();
+    figure_12c();
+    figure_12de();
+  }
+  figure_12f();
   return 0;
 }

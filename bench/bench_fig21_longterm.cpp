@@ -91,7 +91,7 @@ struct World {
         // TTN-style homogeneous operation (paper Sec. 3.2).
         StandardLorawanOptions options;
         options.spread_gateways_across_plans = false;
-        apply_standard_lorawan(deployment, *net, rng, options);
+        StandardLorawanPolicy(options).configure(deployment, *net, rng);
       }
     }
   }

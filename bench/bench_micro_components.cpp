@@ -152,7 +152,7 @@ void BM_WindowThreads(benchmark::State& state) {
   Rng rng(17);
   deployment.place_gateways(network, 15, default_profile(), rng);
   deployment.place_nodes(network, 1000, rng);
-  apply_standard_lorawan(deployment, network, rng);
+  StandardLorawanPolicy().configure(deployment, network, rng);
 
   RunOptions options;
   options.threads = static_cast<int>(state.range(0));

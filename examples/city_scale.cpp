@@ -53,7 +53,7 @@ int main() {
 
   StandardLorawanOptions options;
   options.spread_gateways_across_plans = false;  // status-quo operator
-  apply_standard_lorawan(deployment, network, rng, options);
+  StandardLorawanPolicy(options).configure(deployment, network, rng);
 
   std::printf("city-scale deployment: 15 gateways, 600 nodes, 4.8 MHz\n\n");
 
@@ -120,7 +120,7 @@ int main() {
     world.place_nodes(op, densities[i], world_rng);
     StandardLorawanOptions sweep_options;
     sweep_options.spread_gateways_across_plans = false;
-    apply_standard_lorawan(world, op, world_rng, sweep_options);
+    StandardLorawanPolicy(sweep_options).configure(world, op, world_rng);
     ScenarioRunner sweep_runner(world, 3);
     PacketIdSource sweep_ids;
     return run_epoch(world, op, sweep_runner, sweep_ids, world_rng,

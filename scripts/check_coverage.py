@@ -112,7 +112,8 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("build_dir", help="CMake build dir with .gcda files")
     parser.add_argument("--dirs", nargs="*",
-                        default=["src/backhaul", "src/core", "src/sim"],
+                        default=["src/backhaul", "src/baselines", "src/core",
+                                 "src/sim"],
                         help="source directories to aggregate")
     parser.add_argument("--baseline", default="COVERAGE_BASELINE.json")
     parser.add_argument("--update-baseline", action="store_true",

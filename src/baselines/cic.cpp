@@ -1,86 +1,35 @@
 #include "baselines/cic.hpp"
 
-#include <algorithm>
-#include <map>
-
-#include "phy/overlap.hpp"
+#include "baselines/overlap_index.hpp"
 #include "phy/sensitivity.hpp"
 
 namespace alphawan {
-namespace {
 
-std::int64_t freq_bucket(Hz center) {
-  return static_cast<std::int64_t>(center / kChannelSpacing);
-}
+void CicCapturePolicy::resolve(const CaptureContext& context,
+                               std::vector<RxOutcome>& outcomes) const {
+  const CicOptions& options = options_;
+  const auto& events = context.events;
+  const OverlapIndex index(events);
 
-}  // namespace
-
-RxPostProcessor make_cic_processor(CicOptions options) {
-  return [options](const Gateway& gw, const std::vector<RxEvent>& events,
-                   std::vector<RxOutcome>& outcomes) {
-    // Index events by coarse frequency and start time so the
-    // overlapping-transmission count is a windowed scan, not O(n) per
-    // packet.
-    std::map<std::int64_t, std::vector<std::size_t>> by_bucket;
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      by_bucket[freq_bucket(events[i].tx.channel.center)].push_back(i);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    auto& out = outcomes[i];
+    if (out.disposition != RxDisposition::kDroppedCollision) continue;
+    const auto& ev = events[i];
+    // Count simultaneous transmissions on (nearly) the same channel.
+    int overlapping = 0;
+    index.for_each_cochannel_overlap(i, [&](std::size_t /*j*/) {
+      return ++overlapping < options.max_resolvable;
+    });
+    if (overlapping >= options.max_resolvable) continue;
+    // CIC needs workable SNR to pick apart sub-band spectra.
+    if (out.snr <
+        demod_snr_threshold(ev.tx.params.sf) + options.snr_headroom) {
+      continue;
     }
-    std::map<std::int64_t, Seconds> longest;
-    for (auto& [bucket, indices] : by_bucket) {
-      std::sort(indices.begin(), indices.end(),
-                [&](std::size_t a, std::size_t b) {
-                  return events[a].tx.start < events[b].tx.start;
-                });
-      Seconds max_dur{0.0};
-      for (const auto idx : indices) {
-        max_dur =
-            std::max(max_dur, events[idx].tx.end() - events[idx].tx.start);
-      }
-      longest[bucket] = max_dur;
-    }
-
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      auto& out = outcomes[i];
-      if (out.disposition != RxDisposition::kDroppedCollision) continue;
-      const auto& ev = events[i];
-      // Count simultaneous transmissions on (nearly) the same channel.
-      int overlapping = 0;
-      const std::int64_t center = freq_bucket(ev.tx.channel.center);
-      for (std::int64_t bucket = center - 1;
-           bucket <= center + 1 && overlapping < options.max_resolvable;
-           ++bucket) {
-        const auto it = by_bucket.find(bucket);
-        if (it == by_bucket.end()) continue;
-        const auto& indices = it->second;
-        const auto first = std::lower_bound(
-            indices.begin(), indices.end(), ev.tx.start - longest[bucket],
-            [&](std::size_t idx, Seconds t) {
-              return events[idx].tx.start < t;
-            });
-        for (auto jt = first; jt != indices.end(); ++jt) {
-          const std::size_t j = *jt;
-          if (events[j].tx.start >= ev.tx.end()) break;
-          if (j == i) continue;
-          const auto& other = events[j];
-          if (!ev.tx.overlaps_in_time(other.tx)) continue;
-          if (overlap_ratio(other.tx.channel, ev.tx.channel) <
-              kDetectOverlapThreshold) {
-            continue;
-          }
-          if (++overlapping >= options.max_resolvable) break;
-        }
-      }
-      if (overlapping >= options.max_resolvable) continue;
-      // CIC needs workable SNR to pick apart sub-band spectra.
-      if (out.snr <
-          demod_snr_threshold(ev.tx.params.sf) + options.snr_headroom) {
-        continue;
-      }
-      out.disposition = ev.tx.sync_word == gw.radio().sync_word()
-                            ? RxDisposition::kDelivered
-                            : RxDisposition::kDecodedForeign;
-    }
-  };
+    out.disposition = ev.tx.sync_word == context.sync_word
+                          ? RxDisposition::kDelivered
+                          : RxDisposition::kDecodedForeign;
+  }
 }
 
 }  // namespace alphawan

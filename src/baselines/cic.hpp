@@ -7,6 +7,9 @@
 // stay dropped.
 #pragma once
 
+#include <memory>
+
+#include "radio/capture_policy.hpp"
 #include "sim/scenario.hpp"
 
 namespace alphawan {
@@ -19,9 +22,38 @@ struct CicOptions {
   Db snr_headroom{1.0};
 };
 
-// Post-processor for ScenarioRunner: promotes collision drops back to
+// Registry scheme "cic" (capture side): promotes collision drops back to
 // receptions when CIC could have resolved them.
-[[nodiscard]] RxPostProcessor make_cic_processor(
-    CicOptions options = CicOptions{});
+class CicCapturePolicy final : public CapturePolicy {
+ public:
+  explicit CicCapturePolicy(CicOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override { return "cic"; }
+  void resolve(const CaptureContext& context,
+               std::vector<RxOutcome>& outcomes) const override;
+
+  [[nodiscard]] const CicOptions& options() const { return options_; }
+
+ private:
+  CicOptions options_;
+};
+
+// Deprecated ScenarioRunner post-processor entry point, kept one release
+// as a shim: prefer RunOptions::capture_policy with a CicCapturePolicy
+// (or the registry's "cic" scheme), which resolves inside
+// GatewayRadio::process. Same logic, bit-identical outcomes.
+[[deprecated(
+    "set RunOptions::capture_policy to a CicCapturePolicy "
+    "(baselines/cic.hpp) or use the baseline registry")]]
+[[nodiscard]] inline RxPostProcessor make_cic_processor(
+    CicOptions options = CicOptions{}) {
+  auto policy = std::make_shared<CicCapturePolicy>(options);
+  return [policy](const Gateway& gw, const std::vector<RxEvent>& events,
+                  std::vector<RxOutcome>& outcomes) {
+    policy->resolve(CaptureContext{events, gw.radio().sync_word(),
+                                   gw.profile().decoders},
+                    outcomes);
+  };
+}
 
 }  // namespace alphawan

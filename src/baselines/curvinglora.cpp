@@ -1,0 +1,45 @@
+#include "baselines/curvinglora.hpp"
+
+#include "baselines/overlap_index.hpp"
+#include "phy/sensitivity.hpp"
+
+namespace alphawan {
+
+void CurvingLoraCapturePolicy::resolve(const CaptureContext& context,
+                                       std::vector<RxOutcome>& outcomes) const {
+  const CurvingLoraOptions& options = options_;
+  const auto& events = context.events;
+  const OverlapIndex index(events);
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    auto& out = outcomes[i];
+    if (out.disposition != RxDisposition::kDroppedCollision) continue;
+    const auto& ev = events[i];
+    const int wanted_curvature = curvature_of(ev.tx.node);
+
+    // Despreading with the wanted packet's curvature suppresses every
+    // same-SF interferer on a *different* curvature; a same-curvature
+    // interferer (or any cross-SF overlapper — curvature families are
+    // defined within one SF) keeps the collision fatal.
+    bool orthogonal = true;
+    index.for_each_cochannel_overlap(i, [&](std::size_t j) {
+      const auto& other = events[j];
+      if (other.tx.params.sf != ev.tx.params.sf ||
+          curvature_of(other.tx.node) == wanted_curvature) {
+        orthogonal = false;
+        return false;
+      }
+      return true;
+    });
+    if (!orthogonal) continue;
+    if (out.snr <
+        demod_snr_threshold(ev.tx.params.sf) + options.snr_headroom) {
+      continue;
+    }
+    out.disposition = ev.tx.sync_word == context.sync_word
+                          ? RxDisposition::kDelivered
+                          : RxDisposition::kDecodedForeign;
+  }
+}
+
+}  // namespace alphawan

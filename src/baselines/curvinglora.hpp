@@ -1,0 +1,52 @@
+// Baseline: CurvingLoRa-style concurrent-transmission capture (Li et al.,
+// NSDI'22). Nonlinear ("curved") chirps replace LoRa's linear upchirps;
+// transmissions using distinct curvatures stay quasi-orthogonal even on
+// the same channel and spreading factor, so a gateway can despread a
+// packet straight through a collision with differently-curved interferers.
+// Curvature diversity fixes RF collisions only: every concurrently decoded
+// packet still holds a decoder, so the pool stays the bottleneck.
+#pragma once
+
+#include "baselines/standard_lorawan.hpp"
+#include "radio/capture_policy.hpp"
+
+namespace alphawan {
+
+struct CurvingLoraOptions {
+  // Number of curvature-orthogonal chirp families the deployment assigns.
+  // A node's curvature is a static hash of its id (curvature is baked into
+  // the radio configuration, not negotiated per packet).
+  int curvature_count = 4;
+  // SNR headroom above the demod threshold needed to despread through the
+  // residual cross-curvature energy.
+  Db snr_headroom{1.0};
+};
+
+// Registry scheme "curvinglora" (capture side): rescues collision drops
+// whose same-SF interferers all use a different curvature than the wanted
+// packet.
+class CurvingLoraCapturePolicy final : public CapturePolicy {
+ public:
+  explicit CurvingLoraCapturePolicy(CurvingLoraOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "curvinglora";
+  }
+  void resolve(const CaptureContext& context,
+               std::vector<RxOutcome>& outcomes) const override;
+
+  // The curvature family a node's radio is configured with.
+  [[nodiscard]] int curvature_of(NodeId node) const {
+    return static_cast<int>(static_cast<std::uint64_t>(node) %
+                            static_cast<std::uint64_t>(
+                                options_.curvature_count));
+  }
+
+  [[nodiscard]] const CurvingLoraOptions& options() const { return options_; }
+
+ private:
+  CurvingLoraOptions options_;
+};
+
+}  // namespace alphawan

@@ -19,8 +19,9 @@ std::int64_t freq_bucket(Hz center) {
 
 }  // namespace
 
-std::vector<Transmission> lmac_schedule(std::vector<Transmission> txs,
-                                        Rng& rng, const LmacOptions& options) {
+std::vector<Transmission> LmacPolicy::shape_window(
+    std::vector<Transmission> txs, Rng& rng) const {
+  const LmacOptions& options = options_;
   sort_by_start(txs);
   // Per frequency bucket: transmissions still on the air (pruned lazily).
   std::map<std::int64_t, std::vector<Transmission>> active;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "baselines/standard_lorawan.hpp"
 #include "common/rng.hpp"
 #include "radio/transmission.hpp"
 
@@ -24,10 +25,38 @@ struct LmacOptions {
   Meters sense_range{1500.0};
 };
 
-// Reschedule transmissions according to carrier-sense rules. Returns a new
-// schedule (same packets, possibly deferred starts).
-[[nodiscard]] std::vector<Transmission> lmac_schedule(
+// Registry scheme "lmac": standard-LoRaWAN provisioning (node_side) plus
+// carrier-sense deferral applied to every window's schedule.
+class LmacPolicy final : public NodeMacPolicy {
+ public:
+  explicit LmacPolicy(LmacOptions options = {},
+                      StandardLorawanOptions node_side = {})
+      : options_(options), node_side_(node_side) {}
+
+  [[nodiscard]] std::string_view name() const override { return "lmac"; }
+  void configure(Deployment& deployment, Network& network,
+                 Rng& rng) const override {
+    StandardLorawanPolicy(node_side_).configure(deployment, network, rng);
+  }
+  [[nodiscard]] std::vector<Transmission> shape_window(
+      std::vector<Transmission> txs, Rng& rng) const override;
+
+  [[nodiscard]] const LmacOptions& options() const { return options_; }
+
+ private:
+  LmacOptions options_;
+  StandardLorawanOptions node_side_;
+};
+
+// Deprecated free-function entry point, kept one release as a shim over
+// LmacPolicy::shape_window (same draws, bit-identical schedules).
+[[deprecated(
+    "use LmacPolicy::shape_window (baselines/lmac.hpp) or the baseline "
+    "registry (baselines/registry.hpp)")]]
+[[nodiscard]] inline std::vector<Transmission> lmac_schedule(
     std::vector<Transmission> txs, Rng& rng,
-    const LmacOptions& options = LmacOptions{});
+    const LmacOptions& options = LmacOptions{}) {
+  return LmacPolicy(options).shape_window(std::move(txs), rng);
+}
 
 }  // namespace alphawan

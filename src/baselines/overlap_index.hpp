@@ -1,0 +1,83 @@
+// Shared coarse-frequency event index for gateway-side capture policies
+// (CIC, SS5G, CurvingLoRa). Buckets one window's events by coarse
+// frequency and sorts each bucket by start time, so finding a packet's
+// co-channel time-overlappers is a windowed scan instead of O(n) per
+// packet. Built per resolve() call — capture policies are stateless by
+// contract (radio/capture_policy.hpp), so the index lives on the stack of
+// the concurrent per-gateway task that needs it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "phy/overlap.hpp"
+#include "radio/transmission.hpp"
+
+namespace alphawan {
+
+class OverlapIndex {
+ public:
+  explicit OverlapIndex(const std::vector<RxEvent>& events)
+      : events_(events) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      by_bucket_[bucket_of(events[i].tx.channel.center)].push_back(i);
+    }
+    for (auto& [bucket, indices] : by_bucket_) {
+      std::sort(indices.begin(), indices.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return events[a].tx.start < events[b].tx.start;
+                });
+      Seconds max_dur{0.0};
+      for (const auto idx : indices) {
+        max_dur =
+            std::max(max_dur, events[idx].tx.end() - events[idx].tx.start);
+      }
+      longest_[bucket] = max_dur;
+    }
+  }
+
+  // Visit every event j != i overlapping event i in time with co-channel
+  // spectral overlap (overlap_ratio >= kDetectOverlapThreshold). The
+  // visitor returns false to stop the scan early.
+  template <typename Visitor>
+  void for_each_cochannel_overlap(std::size_t i, Visitor&& visit) const {
+    const auto& ev = events_[i];
+    const std::int64_t center = bucket_of(ev.tx.channel.center);
+    for (std::int64_t bucket = center - 1; bucket <= center + 1; ++bucket) {
+      const auto it = by_bucket_.find(bucket);
+      if (it == by_bucket_.end()) continue;
+      const auto& indices = it->second;
+      const auto first = std::lower_bound(
+          indices.begin(), indices.end(),
+          ev.tx.start - longest_.at(bucket),
+          [&](std::size_t idx, Seconds t) {
+            return events_[idx].tx.start < t;
+          });
+      for (auto jt = first; jt != indices.end(); ++jt) {
+        const std::size_t j = *jt;
+        if (events_[j].tx.start >= ev.tx.end()) break;
+        if (j == i) continue;
+        const auto& other = events_[j];
+        if (!ev.tx.overlaps_in_time(other.tx)) continue;
+        if (overlap_ratio(other.tx.channel, ev.tx.channel) <
+            kDetectOverlapThreshold) {
+          continue;
+        }
+        if (!visit(j)) return;
+      }
+    }
+  }
+
+ private:
+  static std::int64_t bucket_of(Hz center) {
+    return static_cast<std::int64_t>(center / kChannelSpacing);
+  }
+
+  const std::vector<RxEvent>& events_;
+  std::map<std::int64_t, std::vector<std::size_t>> by_bucket_;
+  std::map<std::int64_t, Seconds> longest_;
+};
+
+}  // namespace alphawan

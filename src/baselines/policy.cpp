@@ -1,0 +1,13 @@
+#include "baselines/policy.hpp"
+
+namespace alphawan {
+
+void NodeMacPolicy::configure(Deployment& /*deployment*/,
+                              Network& /*network*/, Rng& /*rng*/) const {}
+
+std::vector<Transmission> NodeMacPolicy::shape_window(
+    std::vector<Transmission> txs, Rng& /*rng*/) const {
+  return txs;
+}
+
+}  // namespace alphawan

@@ -2,16 +2,19 @@
 
 #include <algorithm>
 
-#include "baselines/standard_lorawan.hpp"
-
 namespace alphawan {
 
-void apply_random_cp(Deployment& deployment, Network& network, Rng& rng,
-                     const RandomCpOptions& options) {
-  // Node side behaves like a standard ADR network.
-  StandardLorawanOptions std_options;
-  std_options.use_adr = true;
-  apply_standard_lorawan(deployment, network, rng, std_options);
+void RandomCpPolicy::configure(Deployment& deployment, Network& network,
+                               Rng& rng) const {
+  const RandomCpOptions& options = options_;
+  // Node side behaves like a standard ADR network (skipped entirely when
+  // the caller pre-assigned node configs — fig12's orthogonalized users).
+  const bool touch_nodes = node_side_.configure_nodes;
+  if (touch_nodes) {
+    StandardLorawanOptions std_options = node_side_;
+    std_options.use_adr = true;
+    StandardLorawanPolicy(std_options).configure(deployment, network, rng);
+  }
 
   // Gateway side: random contiguous windows of random width.
   const Spectrum& spectrum = deployment.spectrum();
@@ -33,6 +36,8 @@ void apply_random_cp(Deployment& deployment, Network& network, Rng& rng,
     config.gateways[gw.id()] = std::move(gw_cfg);
   }
   network.apply_config(config);
+
+  if (!touch_nodes) return;
 
   // Re-home nodes onto channels some gateway actually monitors (an
   // operator rolling out new gateway plans pushes matching channel masks

@@ -5,6 +5,7 @@
 // gain comes from optimization rather than from merely diversifying.
 #pragma once
 
+#include "baselines/standard_lorawan.hpp"
 #include "sim/topology.hpp"
 
 namespace alphawan {
@@ -14,7 +15,35 @@ struct RandomCpOptions {
   int max_channels_per_gateway = 4;
 };
 
-void apply_random_cp(Deployment& deployment, Network& network, Rng& rng,
-                     const RandomCpOptions& options = RandomCpOptions{});
+// Registry scheme "random-cp": standard-ADR node side (unless
+// node_side.configure_nodes is false), random contiguous gateway channel
+// windows, nodes re-homed onto monitored channels.
+class RandomCpPolicy final : public NodeMacPolicy {
+ public:
+  explicit RandomCpPolicy(RandomCpOptions options = {},
+                          StandardLorawanOptions node_side = {})
+      : options_(options), node_side_(node_side) {}
+
+  [[nodiscard]] std::string_view name() const override { return "random-cp"; }
+  void configure(Deployment& deployment, Network& network,
+                 Rng& rng) const override;
+
+  [[nodiscard]] const RandomCpOptions& options() const { return options_; }
+
+ private:
+  RandomCpOptions options_;
+  StandardLorawanOptions node_side_;
+};
+
+// Deprecated free-function entry point, kept one release as a shim over
+// RandomCpPolicy (same draws, bit-identical provisioning).
+[[deprecated(
+    "use RandomCpPolicy (baselines/random_cp.hpp) or the baseline "
+    "registry (baselines/registry.hpp)")]]
+inline void apply_random_cp(Deployment& deployment, Network& network,
+                            Rng& rng,
+                            const RandomCpOptions& options = RandomCpOptions{}) {
+  RandomCpPolicy(options).configure(deployment, network, rng);
+}
 
 }  // namespace alphawan

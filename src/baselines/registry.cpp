@@ -1,0 +1,151 @@
+#include "baselines/registry.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace alphawan {
+namespace {
+
+std::shared_ptr<const NodeMacPolicy> standard_mac(
+    const BaselineTuning& tuning, bool use_adr) {
+  StandardLorawanOptions options = tuning.node_side;
+  options.use_adr = use_adr;
+  return std::make_shared<StandardLorawanPolicy>(options);
+}
+
+std::string known_names(const BaselineRegistry& registry) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& name : registry.names()) {
+    out << (first ? "" : ", ") << name;
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+BaselineRegistry::BaselineRegistry() {
+  register_scheme("standard", [](const BaselineTuning& t) {
+    return BaselineScheme{"standard", standard_mac(t, true), nullptr};
+  });
+  register_scheme("standard-no-adr", [](const BaselineTuning& t) {
+    return BaselineScheme{"standard-no-adr", standard_mac(t, false), nullptr};
+  });
+  register_scheme("random-cp", [](const BaselineTuning& t) {
+    return BaselineScheme{
+        "random-cp",
+        std::make_shared<RandomCpPolicy>(t.random_cp, t.node_side), nullptr};
+  });
+  register_scheme("lmac", [](const BaselineTuning& t) {
+    return BaselineScheme{
+        "lmac", std::make_shared<LmacPolicy>(t.lmac, t.node_side), nullptr};
+  });
+  register_scheme("cic", [](const BaselineTuning& t) {
+    return BaselineScheme{"cic", standard_mac(t, true),
+                          std::make_shared<CicCapturePolicy>(t.cic)};
+  });
+  register_scheme("saloha", [](const BaselineTuning& t) {
+    return BaselineScheme{
+        "saloha", std::make_shared<SlottedAlohaPolicy>(t.saloha, t.node_side),
+        nullptr};
+  });
+  register_scheme("ss5g", [](const BaselineTuning& t) {
+    return BaselineScheme{"ss5g", standard_mac(t, true),
+                          std::make_shared<Ss5gCapturePolicy>(t.ss5g)};
+  });
+  register_scheme("curvinglora", [](const BaselineTuning& t) {
+    return BaselineScheme{
+        "curvinglora", standard_mac(t, true),
+        std::make_shared<CurvingLoraCapturePolicy>(t.curvinglora)};
+  });
+  register_scheme("alphawan", [](const BaselineTuning& t) {
+    return BaselineScheme{
+        "alphawan", std::make_shared<AlphaWanPolicy>(t.alphawan, t.node_side),
+        nullptr};
+  });
+}
+
+BaselineRegistry& BaselineRegistry::instance() {
+  static BaselineRegistry registry;
+  return registry;
+}
+
+void BaselineRegistry::register_scheme(std::string name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("BaselineRegistry: empty scheme name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("BaselineRegistry: null factory for '" +
+                                name + "'");
+  }
+  const auto [it, inserted] =
+      factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    throw std::invalid_argument("BaselineRegistry: scheme '" + it->first +
+                                "' is already registered");
+  }
+}
+
+BaselineScheme BaselineRegistry::make(std::string_view name,
+                                      const BaselineTuning& tuning) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("BaselineRegistry: unknown scheme '" +
+                                std::string(name) + "' (registered: " +
+                                known_names(*this) + ")");
+  }
+  return it->second(tuning);
+}
+
+bool BaselineRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> BaselineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> parse_baseline_list(std::string_view text,
+                                             const BaselineRegistry& registry) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view entry = text.substr(begin, end - begin);
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) {
+      entry.remove_prefix(1);
+    }
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) {
+      entry.remove_suffix(1);
+    }
+    if (!entry.empty()) {
+      if (!registry.contains(entry)) {
+        throw std::invalid_argument(
+            "ALPHAWAN_BASELINE: unknown scheme '" + std::string(entry) +
+            "' (registered: " + known_names(registry) + ")");
+      }
+      out.emplace_back(entry);
+    }
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> baselines_from_env(
+    std::vector<std::string> fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once, before any threads.
+  const char* text = std::getenv("ALPHAWAN_BASELINE");
+  if (text == nullptr || *text == '\0') return fallback;
+  auto parsed = parse_baseline_list(text);
+  return parsed.empty() ? fallback : parsed;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,107 @@
+// Name-keyed registry of coexistence schemes: every baseline is a
+// (NodeMacPolicy, CapturePolicy) pair bound to a stable name, so benches,
+// examples, and tests select schemes by string — via RunOptions, a CLI
+// flag, or the ALPHAWAN_BASELINE environment variable — instead of
+// hard-wiring per-baseline includes and calls.
+//
+// Built-in schemes (docs/baselines.md):
+//   standard, standard-no-adr, random-cp, lmac, cic, saloha, ss5g,
+//   curvinglora, alphawan
+//
+// Factories are deterministic: make(name, tuning) builds a fresh policy
+// pair from the tuning value alone, and names() iterates an ordered map,
+// so every enumeration of the registry is reproducible.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/alphawan_policy.hpp"
+#include "baselines/cic.hpp"
+#include "baselines/curvinglora.hpp"
+#include "baselines/lmac.hpp"
+#include "baselines/policy.hpp"
+#include "baselines/random_cp.hpp"
+#include "baselines/saloha.hpp"
+#include "baselines/ss5g.hpp"
+
+namespace alphawan {
+
+// One instantiated scheme. Either side may be null: a null mac leaves
+// provisioning and scheduling to the caller, a null capture runs the stock
+// COTS pipeline.
+struct BaselineScheme {
+  std::string name;
+  std::shared_ptr<const NodeMacPolicy> mac;
+  std::shared_ptr<const CapturePolicy> capture;
+
+  // Convenience pass-throughs treating the null sides as no-ops.
+  void configure(Deployment& deployment, Network& network, Rng& rng) const {
+    if (mac) mac->configure(deployment, network, rng);
+  }
+  [[nodiscard]] std::vector<Transmission> shape_window(
+      std::vector<Transmission> txs, Rng& rng) const {
+    return mac ? mac->shape_window(std::move(txs), rng) : std::move(txs);
+  }
+};
+
+// Cross-scheme knobs a factory may consume. One tuning value configures a
+// whole eval grid: the shared node side plus each scheme's own options.
+struct BaselineTuning {
+  StandardLorawanOptions node_side{};
+  RandomCpOptions random_cp{};
+  LmacOptions lmac{};
+  CicOptions cic{};
+  SlottedAlohaOptions saloha{};
+  Ss5gOptions ss5g{};
+  CurvingLoraOptions curvinglora{};
+  AlphaWanBaselineOptions alphawan{};
+};
+
+class BaselineRegistry {
+ public:
+  using Factory = std::function<BaselineScheme(const BaselineTuning&)>;
+
+  // The process-wide registry, with the built-in schemes pre-registered.
+  [[nodiscard]] static BaselineRegistry& instance();
+
+  // Register a scheme factory. Throws std::invalid_argument if `name` is
+  // already taken or empty.
+  void register_scheme(std::string name, Factory factory);
+
+  // Instantiate a scheme. Throws std::invalid_argument naming the unknown
+  // scheme (and listing the registered ones) on a bad name.
+  [[nodiscard]] BaselineScheme make(
+      std::string_view name, const BaselineTuning& tuning = {}) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  // Registered names in lexicographic order (deterministic enumeration).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  // A fresh registry with only the built-ins (for tests that register
+  // schemes without polluting the process-wide instance).
+  BaselineRegistry();
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+// Parse a comma-separated scheme list ("lmac,cic,saloha"). Whitespace
+// around entries is ignored; an empty string yields an empty list. Throws
+// std::invalid_argument on a name the registry does not contain.
+[[nodiscard]] std::vector<std::string> parse_baseline_list(
+    std::string_view text, const BaselineRegistry& registry =
+                               BaselineRegistry::instance());
+
+// The ALPHAWAN_BASELINE selection (mirrors ALPHAWAN_SHARDS): a
+// comma-separated scheme list restricts benches/examples to those schemes;
+// unset or empty keeps `fallback`. Unknown names throw, listing the
+// registered schemes.
+[[nodiscard]] std::vector<std::string> baselines_from_env(
+    std::vector<std::string> fallback);
+
+}  // namespace alphawan

@@ -1,0 +1,37 @@
+#include "baselines/saloha.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/traffic.hpp"
+
+namespace alphawan {
+
+std::vector<Transmission> SlottedAlohaPolicy::shape_window(
+    std::vector<Transmission> txs, Rng& rng) const {
+  const SlottedAlohaOptions& options = options_;
+  // Per-node clock offsets come from a keyed substream so a node's sync
+  // error is identical no matter how the window's packets are ordered (and
+  // across windows — a clock does not re-draw its error per packet).
+  const Rng sync_root = rng.substream("saloha-sync");
+  for (auto& tx : txs) {
+    // Slot grid of this transmission's radio setting: airtime + guard,
+    // anchored at t=0. All nodes in a DR class share the grid.
+    const Seconds slot =
+        time_on_air(tx.params, tx.payload_bytes) + options.guard;
+    Rng node_clock = sync_root.substream(static_cast<std::uint64_t>(tx.node));
+    const double offset = std::clamp(
+        node_clock.normal(0.0, options.sync_jitter.value()),
+        -options.max_offset.value(), options.max_offset.value());
+    // Delay to the next slot boundary as seen by the node's local clock:
+    // boundaries sit at k * slot + offset in true time, and the first one
+    // at or after tx.start is the transmit instant.
+    const double k =
+        std::ceil((tx.start.value() - offset) / slot.value());
+    tx.start = Seconds{k * slot.value() + offset};
+  }
+  sort_by_start(txs);
+  return txs;
+}
+
+}  // namespace alphawan

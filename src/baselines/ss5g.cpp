@@ -1,0 +1,59 @@
+#include "baselines/ss5g.hpp"
+
+#include <cmath>
+
+#include "baselines/overlap_index.hpp"
+#include "phy/airtime.hpp"
+#include "phy/sensitivity.hpp"
+
+namespace alphawan {
+
+void Ss5gCapturePolicy::resolve(const CaptureContext& context,
+                                std::vector<RxOutcome>& outcomes) const {
+  const Ss5gOptions& options = options_;
+  const auto& events = context.events;
+  const OverlapIndex index(events);
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    auto& out = outcomes[i];
+    if (out.disposition != RxDisposition::kDroppedCollision) continue;
+    const auto& ev = events[i];
+    const Seconds symbol =
+        symbol_duration(ev.tx.params.sf, ev.tx.channel.bandwidth);
+    const Seconds min_offset{options.min_offset_symbols * symbol.value()};
+
+    // Every co-channel overlapper must be same-SF (cross-SF energy defeats
+    // the symbol slicer) and offset by whole symbols; the superposition
+    // count is bounded by what the algorithm can disentangle.
+    int superposed = 1;  // the wanted packet itself
+    bool resolvable = true;
+    index.for_each_cochannel_overlap(i, [&](std::size_t j) {
+      const auto& other = events[j];
+      if (other.tx.params.sf != ev.tx.params.sf) {
+        resolvable = false;
+        return false;
+      }
+      const Seconds offset{
+          std::abs(other.tx.start.value() - ev.tx.start.value())};
+      if (offset < min_offset) {
+        resolvable = false;  // near-aligned symbols cannot be sliced apart
+        return false;
+      }
+      if (++superposed > options.max_superposed) {
+        resolvable = false;
+        return false;
+      }
+      return true;
+    });
+    if (!resolvable) continue;
+    if (out.snr <
+        demod_snr_threshold(ev.tx.params.sf) + options.snr_headroom) {
+      continue;
+    }
+    out.disposition = ev.tx.sync_word == context.sync_word
+                          ? RxDisposition::kDelivered
+                          : RxDisposition::kDecodedForeign;
+  }
+}
+
+}  // namespace alphawan

@@ -6,8 +6,9 @@
 
 namespace alphawan {
 
-void apply_standard_lorawan(Deployment& deployment, Network& network,
-                            Rng& rng, const StandardLorawanOptions& options) {
+void StandardLorawanPolicy::configure(Deployment& deployment,
+                                      Network& network, Rng& rng) const {
+  const StandardLorawanOptions& options = options_;
   const Spectrum& spectrum = deployment.spectrum();
 
   // Gateways: homogeneous standard plans.
@@ -16,6 +17,11 @@ void apply_standard_lorawan(Deployment& deployment, Network& network,
   for (const auto& gw : network.gateways()) gw_ids.push_back(gw.id());
   NetworkChannelConfig config = homogeneous_standard_config(
       spectrum, gw_ids, options.spread_gateways_across_plans);
+
+  if (!options.configure_nodes) {
+    network.apply_config(config);
+    return;
+  }
 
   // Nodes: random channel among those the network's gateways actually
   // monitor (users join the operator's channel plan); DR0 without ADR, or

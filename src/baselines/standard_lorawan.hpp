@@ -5,6 +5,7 @@
 // standard ADR (ADR on).
 #pragma once
 
+#include "baselines/policy.hpp"
 #include "net/adr.hpp"
 #include "sim/topology.hpp"
 
@@ -15,14 +16,45 @@ struct StandardLorawanOptions {
   // Spread gateways across the available standard plans (operators with
   // more gateways than one plan covers do this for spectrum coverage).
   bool spread_gateways_across_plans = true;
+  // When false, only the gateway side is provisioned and existing node
+  // configs are kept — for experiments (fig12) that pre-assign node
+  // channels/DRs themselves and only want the scheme's gateway plan.
+  bool configure_nodes = true;
   AdrConfig adr{};
 };
 
-// Configure a network the way commercial operators run LoRaWAN today.
-// Node data rates use `deployment` geometry as a stand-in for the ADR
-// feedback loop (the strongest-gateway SNR standard ADR would converge to).
-void apply_standard_lorawan(Deployment& deployment, Network& network,
-                            Rng& rng, const StandardLorawanOptions& options =
-                                          StandardLorawanOptions{});
+// Registry schemes "standard" / "standard-no-adr": the way commercial
+// operators run LoRaWAN today. Node data rates use deployment geometry as
+// a stand-in for the ADR feedback loop (the strongest-gateway SNR standard
+// ADR would converge to).
+class StandardLorawanPolicy final : public NodeMacPolicy {
+ public:
+  explicit StandardLorawanPolicy(StandardLorawanOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return options_.use_adr ? "standard" : "standard-no-adr";
+  }
+  void configure(Deployment& deployment, Network& network,
+                 Rng& rng) const override;
+
+  [[nodiscard]] const StandardLorawanOptions& options() const {
+    return options_;
+  }
+
+ private:
+  StandardLorawanOptions options_;
+};
+
+// Deprecated free-function entry point, kept one release as a shim over
+// StandardLorawanPolicy (same streams, bit-identical provisioning).
+[[deprecated(
+    "use StandardLorawanPolicy (baselines/policy.hpp) or the baseline "
+    "registry (baselines/registry.hpp)")]]
+inline void apply_standard_lorawan(
+    Deployment& deployment, Network& network, Rng& rng,
+    const StandardLorawanOptions& options = StandardLorawanOptions{}) {
+  StandardLorawanPolicy(options).configure(deployment, network, rng);
+}
 
 }  // namespace alphawan

@@ -61,6 +61,13 @@ class Gateway {
   // Attach/detach a correctness observer on the underlying radio.
   void set_observer(SimObserver* observer) { radio_.set_observer(observer); }
 
+  // Attach/detach a pluggable capture policy on the underlying radio
+  // (nullptr = stock COTS pipeline). Not owned; see radio/capture_policy.hpp
+  // for the contract.
+  void set_capture_policy(const CapturePolicy* policy) {
+    radio_.set_capture_policy(policy);
+  }
+
   // Antenna control (omni by default; directional for the Fig. 7 study).
   void set_antenna(std::unique_ptr<Antenna> antenna, double boresight_rad);
   [[nodiscard]] Db antenna_gain_towards(const Point& target) const;

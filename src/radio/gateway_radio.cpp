@@ -63,6 +63,10 @@ void GatewayRadio::set_observer(SimObserver* observer) {
   pool_.set_observer(observer);
 }
 
+void GatewayRadio::set_capture_policy(const CapturePolicy* policy) {
+  capture_policy_ = policy;
+}
+
 int GatewayRadio::chain_for(const Channel& packet_channel) {
   for (const auto& memo : scratch_.chain_memo) {
     if (memo.center == packet_channel.center &&
@@ -404,6 +408,34 @@ std::vector<RxOutcome> GatewayRadio::process(
     out.disposition = ev.tx.sync_word == sync_word_
                           ? RxDisposition::kDelivered
                           : RxDisposition::kDecodedForeign;
+  }
+
+  // Phase 4 (optional): pluggable capture resolution. The policy may
+  // rescue packets the stock demodulator lost to collisions, but the
+  // decoder budget is binding: only outcomes whose packet already held a
+  // decoder may change, and they must stay decoder-consuming — a policy
+  // cannot un-busy kDroppedDecoderBusy or decode an undetected packet.
+  if (capture_policy_ != nullptr) {
+    sc.pre_policy.resize(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      sc.pre_policy[i] = outcomes[i].disposition;
+    }
+    capture_policy_->resolve(
+        CaptureContext{events, sync_word_, profile_.decoders}, outcomes);
+    if (outcomes.size() != events.size()) {
+      throw std::logic_error(
+          "CapturePolicy: outcome count changed during resolve");
+    }
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const RxDisposition before = sc.pre_policy[i];
+      const RxDisposition after = outcomes[i].disposition;
+      if (after == before) continue;
+      if (!consumed_decoder(before) || !consumed_decoder(after)) {
+        throw std::logic_error(
+            "CapturePolicy violated the decoder budget: rewrote an outcome "
+            "that did not hold a decoder (or released one it held)");
+      }
+    }
   }
   return outcomes;
 }

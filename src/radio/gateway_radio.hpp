@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "radio/capture_policy.hpp"
 #include "radio/decoder_pool.hpp"
 #include "radio/dispatcher.hpp"
 #include "radio/profiles.hpp"
@@ -46,6 +47,17 @@ class GatewayRadio {
   // dispatch, and (via the pool) every decoder acquire/release/refusal.
   // Pass nullptr to detach.
   void set_observer(SimObserver* observer);
+
+  // Attach a capture policy invoked at the end of process() (nullptr =
+  // stock pipeline only, bit-identical to the pre-policy code path). The
+  // policy is not owned; the caller keeps it alive across windows. After
+  // resolve(), process() verifies the policy only rewrote outcomes whose
+  // packet already held a decoder (consumed_decoder) and throws
+  // std::logic_error otherwise — see capture_policy.hpp.
+  void set_capture_policy(const CapturePolicy* policy);
+  [[nodiscard]] const CapturePolicy* capture_policy() const {
+    return capture_policy_;
+  }
 
   // Process one window of transmissions observed at this gateway. Events
   // may arrive unsorted. Returns one outcome per input event (same order).
@@ -107,6 +119,9 @@ class GatewayRadio {
     // window draws from a handful of radio settings, so the full airtime
     // formula runs once per setting instead of once per event.
     std::vector<AirtimeMemo> airtime_memo;
+    // Pre-resolve disposition snapshot for the capture-policy budget check
+    // (only filled when a policy is installed).
+    std::vector<RxDisposition> pre_policy;
   };
 
   // Memoized best_chain: the chain index for a packet channel, or -1 when
@@ -123,6 +138,7 @@ class GatewayRadio {
   std::vector<RxChain> chains_;
   DecoderPool pool_;
   SimObserver* observer_ = nullptr;
+  const CapturePolicy* capture_policy_ = nullptr;
   RxScratch scratch_;
 };
 

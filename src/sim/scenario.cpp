@@ -59,10 +59,13 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   // fan-out runs them in any order, the merge below walks them in this one.
   std::vector<std::pair<Network*, Gateway*>> tasks;
   for (auto& network : deployment_.networks()) {
-    // (Re)attach the checker every window: gateways may have been added
-    // since the last one, and a null attach detaches a stale checker.
+    // (Re)attach the checker and capture policy every window: gateways may
+    // have been added since the last one, and a null attach detaches stale
+    // state. The policy pointer is const and shared across concurrent
+    // gateway tasks — safe because resolve() is stateless by contract.
     for (auto& gw : network.gateways()) {
       gw.set_observer(invariants_);
+      gw.set_capture_policy(options_.capture_policy.get());
       tasks.emplace_back(&network, &gw);
     }
   }

@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -51,6 +52,13 @@ struct RunOptions {
   // nor meaningfully interfere).
   Db prune_margin{25.0};
   RxPostProcessor post_processor;
+  // Pluggable gateway-side capture resolution (radio/capture_policy.hpp):
+  // installed on every gateway each window, invoked inside
+  // GatewayRadio::process so rescued packets flow through the normal
+  // uplink-forwarding path. nullptr = stock COTS pipeline, bit-identical
+  // to the pre-policy engine. The shared_ptr keeps registry-built schemes
+  // alive for the lifetime of the options value.
+  std::shared_ptr<const CapturePolicy> capture_policy;
   // Worker threads for the per-gateway fan-out: 0 = the ALPHAWAN_THREADS
   // process default, 1 = force serial.
   int threads = 0;

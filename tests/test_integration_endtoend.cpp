@@ -99,7 +99,7 @@ TEST(EndToEnd, ExtraHomogeneousGatewaysDoNotHelp) {
   auto& network = deployment.add_network("ttn");
   Rng rng(2);
   deployment.place_gateways(network, 3, default_profile(), rng);
-  apply_standard_lorawan(deployment, network, rng);  // homogeneous plans
+  StandardLorawanPolicy().configure(deployment, network, rng);  // homogeneous plans
   auto nodes = add_orthogonal_users(deployment, network, 48, rng);
   PacketIdSource ids;
   const auto delivered =

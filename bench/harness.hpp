@@ -36,7 +36,7 @@ namespace alphawan::bench {
 // named hot path and the recorder writes every record at process exit.
 //
 // Output path: $ALPHAWAN_BENCH_JSON if set (empty disables), else
-// BENCH_PR8.json in the working directory. Nothing is written when no
+// BENCH_PR10.json in the working directory. Nothing is written when no
 // record was made, so benches that don't opt in stay side-effect free.
 
 struct PerfRecord {
@@ -65,7 +65,7 @@ class PerfRecorder {
 
   ~PerfRecorder() {
     if (records_.empty()) return;
-    std::string path = "BENCH_PR8.json";
+    std::string path = "BENCH_PR10.json";
     if (const char* env = std::getenv("ALPHAWAN_BENCH_JSON")) {
       path = env;
     }

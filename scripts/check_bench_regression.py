@@ -14,12 +14,31 @@ any benchmark present in both files fails the check (exit 1); benchmarks
 present on only one side are reported but never fail it.
 
 Usage:
-  scripts/check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.30]
+  scripts/check_bench_regression.py CURRENT.json [BASELINE.json] [--tolerance 0.30]
+
+When BASELINE.json is omitted, the latest committed BENCH_PR<N>.json in the
+repository root (highest N) is used, so the CI gate follows the perf
+trajectory without a hardcoded filename to forget on each PR.
 """
 
 import argparse
 import json
+import re
 import sys
+from pathlib import Path
+
+
+def latest_committed_baseline():
+    """The repo-root BENCH_PR<N>.json with the highest N, or None."""
+    repo_root = Path(__file__).resolve().parent.parent
+    best = None
+    best_n = -1
+    for path in repo_root.glob("BENCH_PR*.json"):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if match and int(match.group(1)) > best_n:
+            best_n = int(match.group(1))
+            best = path
+    return best
 
 
 def load_records(path):
@@ -36,7 +55,12 @@ def load_records(path):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
-    parser.add_argument("baseline")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="baseline JSON (default: latest committed BENCH_PR<N>.json)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -45,8 +69,15 @@ def main():
     )
     args = parser.parse_args()
 
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = latest_committed_baseline()
+        if baseline_path is None:
+            sys.exit("no BENCH_PR<N>.json baseline found in the repo root")
+        print(f"  baseline: {baseline_path.name} (latest committed)")
+
     current = load_records(args.current)
-    baseline = load_records(args.baseline)
+    baseline = load_records(baseline_path)
 
     failed = False
     for name in sorted(current.keys() | baseline.keys()):

@@ -4,7 +4,8 @@
 Works with plain `gcov --json-format --stdout` (no gcovr/llvm-cov
 dependency): finds every .gcda under the build tree, asks gcov for the
 JSON intermediate format, and folds executable/executed line counts per
-watched source directory (default: src/backhaul and src/core).
+watched source directory (default: src/backhaul, src/baselines,
+src/core, src/phy, src/radio, and src/sim).
 
 Usage:
   # after building with -DALPHAWAN_COVERAGE=ON and running ctest
@@ -113,7 +114,7 @@ def main() -> int:
     parser.add_argument("build_dir", help="CMake build dir with .gcda files")
     parser.add_argument("--dirs", nargs="*",
                         default=["src/backhaul", "src/baselines", "src/core",
-                                 "src/sim"],
+                                 "src/phy", "src/radio", "src/sim"],
                         help="source directories to aggregate")
     parser.add_argument("--baseline", default="COVERAGE_BASELINE.json")
     parser.add_argument("--update-baseline", action="store_true",

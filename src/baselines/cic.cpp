@@ -8,13 +8,11 @@ namespace alphawan {
 void CicCapturePolicy::resolve(const CaptureContext& context,
                                std::vector<RxOutcome>& outcomes) const {
   const CicOptions& options = options_;
-  const auto& events = context.events;
-  const OverlapIndex index(events);
+  const OverlapIndex index(context);
 
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     auto& out = outcomes[i];
     if (out.disposition != RxDisposition::kDroppedCollision) continue;
-    const auto& ev = events[i];
     // Count simultaneous transmissions on (nearly) the same channel.
     int overlapping = 0;
     index.for_each_cochannel_overlap(i, [&](std::size_t /*j*/) {
@@ -23,10 +21,10 @@ void CicCapturePolicy::resolve(const CaptureContext& context,
     if (overlapping >= options.max_resolvable) continue;
     // CIC needs workable SNR to pick apart sub-band spectra.
     if (out.snr <
-        demod_snr_threshold(ev.tx.params.sf) + options.snr_headroom) {
+        demod_snr_threshold(context.sf[i]) + options.snr_headroom) {
       continue;
     }
-    out.disposition = ev.tx.sync_word == context.sync_word
+    out.disposition = context.tx_sync[i] == context.sync_word
                           ? RxDisposition::kDelivered
                           : RxDisposition::kDecodedForeign;
   }

@@ -50,9 +50,10 @@ class CicCapturePolicy final : public CapturePolicy {
   auto policy = std::make_shared<CicCapturePolicy>(options);
   return [policy](const Gateway& gw, const std::vector<RxEvent>& events,
                   std::vector<RxOutcome>& outcomes) {
-    policy->resolve(CaptureContext{events, gw.radio().sync_word(),
-                                   gw.profile().decoders},
-                    outcomes);
+    const CaptureColumns columns(events);
+    policy->resolve(
+        columns.context(gw.radio().sync_word(), gw.profile().decoders),
+        outcomes);
   };
 }
 

@@ -8,14 +8,13 @@ namespace alphawan {
 void CurvingLoraCapturePolicy::resolve(const CaptureContext& context,
                                        std::vector<RxOutcome>& outcomes) const {
   const CurvingLoraOptions& options = options_;
-  const auto& events = context.events;
-  const OverlapIndex index(events);
+  const OverlapIndex index(context);
 
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     auto& out = outcomes[i];
     if (out.disposition != RxDisposition::kDroppedCollision) continue;
-    const auto& ev = events[i];
-    const int wanted_curvature = curvature_of(ev.tx.node);
+    const SpreadingFactor sf = context.sf[i];
+    const int wanted_curvature = curvature_of(context.node[i]);
 
     // Despreading with the wanted packet's curvature suppresses every
     // same-SF interferer on a *different* curvature; a same-curvature
@@ -23,20 +22,18 @@ void CurvingLoraCapturePolicy::resolve(const CaptureContext& context,
     // defined within one SF) keeps the collision fatal.
     bool orthogonal = true;
     index.for_each_cochannel_overlap(i, [&](std::size_t j) {
-      const auto& other = events[j];
-      if (other.tx.params.sf != ev.tx.params.sf ||
-          curvature_of(other.tx.node) == wanted_curvature) {
+      if (context.sf[j] != sf ||
+          curvature_of(context.node[j]) == wanted_curvature) {
         orthogonal = false;
         return false;
       }
       return true;
     });
     if (!orthogonal) continue;
-    if (out.snr <
-        demod_snr_threshold(ev.tx.params.sf) + options.snr_headroom) {
+    if (out.snr < demod_snr_threshold(sf) + options.snr_headroom) {
       continue;
     }
-    out.disposition = ev.tx.sync_word == context.sync_word
+    out.disposition = context.tx_sync[i] == context.sync_word
                           ? RxDisposition::kDelivered
                           : RxDisposition::kDecodedForeign;
   }

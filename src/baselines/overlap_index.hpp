@@ -4,7 +4,9 @@
 // co-channel time-overlappers is a windowed scan instead of O(n) per
 // packet. Built per resolve() call — capture policies are stateless by
 // contract (radio/capture_policy.hpp), so the index lives on the stack of
-// the concurrent per-gateway task that needs it.
+// the concurrent per-gateway task that needs it. Reads only the columnar
+// CaptureContext, never an RxEvent struct, so the batched pipeline can
+// run policies without materializing events.
 #pragma once
 
 #include <algorithm>
@@ -13,26 +15,24 @@
 #include <vector>
 
 #include "phy/overlap.hpp"
-#include "radio/transmission.hpp"
+#include "radio/capture_policy.hpp"
 
 namespace alphawan {
 
 class OverlapIndex {
  public:
-  explicit OverlapIndex(const std::vector<RxEvent>& events)
-      : events_(events) {
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      by_bucket_[bucket_of(events[i].tx.channel.center)].push_back(i);
+  explicit OverlapIndex(const CaptureContext& ctx) : ctx_(ctx) {
+    for (std::size_t i = 0; i < ctx.count; ++i) {
+      by_bucket_[bucket_of(ctx.channel[i].center)].push_back(i);
     }
     for (auto& [bucket, indices] : by_bucket_) {
       std::sort(indices.begin(), indices.end(),
                 [&](std::size_t a, std::size_t b) {
-                  return events[a].tx.start < events[b].tx.start;
+                  return ctx.start[a] < ctx.start[b];
                 });
       Seconds max_dur{0.0};
       for (const auto idx : indices) {
-        max_dur =
-            std::max(max_dur, events[idx].tx.end() - events[idx].tx.start);
+        max_dur = std::max(max_dur, ctx.end[idx] - ctx.start[idx]);
       }
       longest_[bucket] = max_dur;
     }
@@ -43,25 +43,24 @@ class OverlapIndex {
   // visitor returns false to stop the scan early.
   template <typename Visitor>
   void for_each_cochannel_overlap(std::size_t i, Visitor&& visit) const {
-    const auto& ev = events_[i];
-    const std::int64_t center = bucket_of(ev.tx.channel.center);
+    const Seconds ev_start = ctx_.start[i];
+    const Seconds ev_end = ctx_.end[i];
+    const Channel& ev_channel = ctx_.channel[i];
+    const std::int64_t center = bucket_of(ev_channel.center);
     for (std::int64_t bucket = center - 1; bucket <= center + 1; ++bucket) {
       const auto it = by_bucket_.find(bucket);
       if (it == by_bucket_.end()) continue;
       const auto& indices = it->second;
       const auto first = std::lower_bound(
-          indices.begin(), indices.end(),
-          ev.tx.start - longest_.at(bucket),
-          [&](std::size_t idx, Seconds t) {
-            return events_[idx].tx.start < t;
-          });
+          indices.begin(), indices.end(), ev_start - longest_.at(bucket),
+          [&](std::size_t idx, Seconds t) { return ctx_.start[idx] < t; });
       for (auto jt = first; jt != indices.end(); ++jt) {
         const std::size_t j = *jt;
-        if (events_[j].tx.start >= ev.tx.end()) break;
+        if (ctx_.start[j] >= ev_end) break;
         if (j == i) continue;
-        const auto& other = events_[j];
-        if (!ev.tx.overlaps_in_time(other.tx)) continue;
-        if (overlap_ratio(other.tx.channel, ev.tx.channel) <
+        // Transmission::overlaps_in_time over the columns.
+        if (!(ev_start < ctx_.end[j] && ctx_.start[j] < ev_end)) continue;
+        if (overlap_ratio(ctx_.channel[j], ev_channel) <
             kDetectOverlapThreshold) {
           continue;
         }
@@ -75,7 +74,7 @@ class OverlapIndex {
     return static_cast<std::int64_t>(center / kChannelSpacing);
   }
 
-  const std::vector<RxEvent>& events_;
+  const CaptureContext& ctx_;
   std::map<std::int64_t, std::vector<std::size_t>> by_bucket_;
   std::map<std::int64_t, Seconds> longest_;
 };

@@ -11,15 +11,13 @@ namespace alphawan {
 void Ss5gCapturePolicy::resolve(const CaptureContext& context,
                                 std::vector<RxOutcome>& outcomes) const {
   const Ss5gOptions& options = options_;
-  const auto& events = context.events;
-  const OverlapIndex index(events);
+  const OverlapIndex index(context);
 
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     auto& out = outcomes[i];
     if (out.disposition != RxDisposition::kDroppedCollision) continue;
-    const auto& ev = events[i];
-    const Seconds symbol =
-        symbol_duration(ev.tx.params.sf, ev.tx.channel.bandwidth);
+    const SpreadingFactor sf = context.sf[i];
+    const Seconds symbol = symbol_duration(sf, context.channel[i].bandwidth);
     const Seconds min_offset{options.min_offset_symbols * symbol.value()};
 
     // Every co-channel overlapper must be same-SF (cross-SF energy defeats
@@ -28,13 +26,12 @@ void Ss5gCapturePolicy::resolve(const CaptureContext& context,
     int superposed = 1;  // the wanted packet itself
     bool resolvable = true;
     index.for_each_cochannel_overlap(i, [&](std::size_t j) {
-      const auto& other = events[j];
-      if (other.tx.params.sf != ev.tx.params.sf) {
+      if (context.sf[j] != sf) {
         resolvable = false;
         return false;
       }
       const Seconds offset{
-          std::abs(other.tx.start.value() - ev.tx.start.value())};
+          std::abs(context.start[j].value() - context.start[i].value())};
       if (offset < min_offset) {
         resolvable = false;  // near-aligned symbols cannot be sliced apart
         return false;
@@ -46,11 +43,10 @@ void Ss5gCapturePolicy::resolve(const CaptureContext& context,
       return true;
     });
     if (!resolvable) continue;
-    if (out.snr <
-        demod_snr_threshold(ev.tx.params.sf) + options.snr_headroom) {
+    if (out.snr < demod_snr_threshold(sf) + options.snr_headroom) {
       continue;
     }
-    out.disposition = ev.tx.sync_word == context.sync_word
+    out.disposition = context.tx_sync[i] == context.sync_word
                           ? RxDisposition::kDelivered
                           : RxDisposition::kDecodedForeign;
   }

@@ -192,4 +192,28 @@ class Rng {
   bool has_cached_normal_ = false;
 };
 
+// A family of substreams sharing the first key: SubstreamBatch(root, a)
+// then at(b) returns a generator bit-identical to root.substream(a, b),
+// with the first SplitMix64 round (which depends only on the root seed and
+// `a`) hoisted out of the per-`b` derivation. The batched fading kernel
+// (phy/batch_kernels.hpp) uses one batch per (window, gateway) and derives
+// the per-packet streams from it, so determinism — streams keyed by ids,
+// never by iteration order — is preserved by construction.
+class SubstreamBatch {
+ public:
+  SubstreamBatch(const Rng& root, std::uint64_t a) {
+    std::uint64_t s = root.root_seed();
+    partial_ = detail::splitmix64(s) ^ a;
+  }
+
+  [[nodiscard]] Rng at(std::uint64_t b) const {
+    std::uint64_t mixed = partial_;
+    mixed = detail::splitmix64(mixed) ^ b;
+    return Rng(detail::splitmix64(mixed));
+  }
+
+ private:
+  std::uint64_t partial_ = 0;
+};
+
 }  // namespace alphawan

@@ -56,4 +56,33 @@ std::vector<RxOutcome> Gateway::receive_window(
   return outcomes;
 }
 
+std::vector<RxOutcome> Gateway::receive_window(
+    const RxEventView& view, std::vector<UplinkRecord>& uplinks) {
+  std::vector<RxOutcome> outcomes;
+  receive_window(view, uplinks, outcomes);
+  return outcomes;
+}
+
+void Gateway::receive_window(const RxEventView& view,
+                             std::vector<UplinkRecord>& uplinks,
+                             std::vector<RxOutcome>& outcomes) {
+  radio_.process_into(view, outcomes);
+  const WindowTxTable& tbl = *view.table;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& out = outcomes[i];
+    if (out.disposition != RxDisposition::kDelivered) continue;
+    const std::uint32_t t = view.tx_index[i];
+    UplinkRecord rec;
+    rec.packet = out.packet;
+    rec.node = out.node;
+    rec.gateway = id_;
+    rec.network = network_;
+    rec.timestamp = tbl.end[t];
+    rec.channel = tbl.channel[t];
+    rec.dr = sf_to_dr(tbl.sf[t]);
+    rec.snr = out.snr;
+    uplinks.push_back(rec);
+  }
+}
+
 }  // namespace alphawan

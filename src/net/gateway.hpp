@@ -81,6 +81,22 @@ class Gateway {
   [[nodiscard]] std::vector<RxOutcome> receive_window(
       const std::vector<RxEvent>& events, std::vector<UplinkRecord>& uplinks);
 
+  // Batched-mode variant (ALPHAWAN_BATCH=1): same pipeline through the
+  // batched radio kernels, with uplink metadata read from the window's
+  // shared transmission table — the table's memoized end instant is the
+  // identical sum Transmission::end() evaluates, so records are
+  // bit-identical. Capture policies run off the columnar CaptureContext
+  // inside the radio; no RxEvent list is needed.
+  [[nodiscard]] std::vector<RxOutcome> receive_window(
+      const RxEventView& view, std::vector<UplinkRecord>& uplinks);
+
+  // In-place form of the batched variant: fills a caller-owned outcome
+  // buffer (GatewayRadio::process_into), so per-window arenas keep their
+  // capacity across windows.
+  void receive_window(const RxEventView& view,
+                      std::vector<UplinkRecord>& uplinks,
+                      std::vector<RxOutcome>& outcomes);
+
   [[nodiscard]] int reboot_count() const { return reboot_count_; }
 
  private:

@@ -1,0 +1,310 @@
+// Batched PHY receive kernels (ALPHAWAN_BATCH=1, sim/batch.hpp) and the
+// scalar reference kernel they are differentially tested against.
+//
+// The four hot loops of the receive pipeline — candidate link-gain /
+// sensitivity filtering, the co-SF / inter-SF SIR capture tests, the
+// partial-overlap interference scan, and the Box–Muller fading draws — are
+// each expressed twice: a scalar reference (a verbatim transcription of the
+// original per-event loop) and a batched form that restructures the *scan*
+// but never the *arithmetic*. Bit-exactness is by construction:
+//
+//  * every floating-point expression a batched kernel evaluates for a live
+//    element is the same expression, on the same operands, in the same
+//    order, as the scalar loop (hoisted subexpressions are values the
+//    scalar loop recomputes identically each iteration — overlap couplings
+//    per uniform bucket, SIR thresholds per SF pair, the first SplitMix64
+//    round of each fading substream);
+//  * elements the batched form skips are exactly those whose scalar
+//    contribution is dead: interference sums are never read once a
+//    collision is established (the event is dropped before the SNR test),
+//    and range pruning uses the identical floating-point bound the scalar
+//    lower_bound evaluates, so the candidate sets match element for
+//    element;
+//  * order-sensitive outputs are preserved explicitly: same-SF linear power
+//    accumulates in the scalar subsequence order (the SF grouping is a
+//    stable sort), and the fatal-interferer attribution — last colliding
+//    element in scalar scan order — is recovered from the max stable-sort
+//    rank among colliders.
+//
+// The differential harness (tests/property/test_prop_kernels.cpp) checks
+// scalar == batched bit-for-bit across randomized worlds; the equivalences
+// above are what make that hold for every input, not just the sampled ones.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+#include "phy/capture.hpp"
+#include "phy/link_cache.hpp"
+#include "phy/overlap.hpp"
+
+namespace alphawan {
+
+namespace batch_detail {
+// Same formula as the receive pipeline's local dBm->linear helper
+// (radio/gateway_radio.cpp); qualified so it cannot collide with that
+// translation unit's anonymous-namespace copy.
+inline double dbm_to_lin(Dbm p) { return std::pow(10.0, p.value() / 10.0); }
+}  // namespace batch_detail
+
+// Columns of the per-event scratch arrays the interferer scan reads
+// (GatewayRadio::RxScratch fills them in phase 1; all pointers are indexed
+// by event and valid for the whole scan).
+struct RxScanSoA {
+  const Seconds* start = nullptr;
+  const Seconds* end = nullptr;
+  const double* lin_power = nullptr;  // dBm->linear received power
+  const Channel* channel = nullptr;
+  const Dbm* power = nullptr;
+  const SpreadingFactor* sf = nullptr;
+  const NetworkId* net = nullptr;
+};
+
+// The event currently being decoded, hoisted out of its scratch columns.
+struct ScanEvent {
+  std::size_t index = 0;  // its own event index (skipped as an interferer)
+  Seconds start{0.0};
+  Seconds end{0.0};
+  Dbm power{-400.0};
+  SpreadingFactor sf = SpreadingFactor::kSF7;
+  NetworkId net = 0;
+  Channel rx_channel{};  // the receiving chain's channel
+};
+
+// Interference accumulated for one decoded event across all scanned
+// buckets. The sums are only meaningful while !collided: the scalar loop
+// keeps accumulating after a collision but the event is dropped before
+// either sum is read, so batched kernels stop contributing to them the
+// moment a collision is established.
+struct ScanAccum {
+  double misaligned_intf_lin = 0.0;
+  double aligned_same_sf_lin = 0.0;
+  bool collided = false;
+  bool foreign_fatal = false;  // fatal interferer was foreign (last in scan
+                               // order, matching the scalar overwrite chain)
+  Dbm strongest_same_sf{-400.0};
+};
+
+// One same-SF run of a bucket's stable SF grouping: [begin, end) into the
+// order_sf/pos_sf arrays, events in ascending start time (the stable sort
+// preserves the bucket's start order within each SF). max_power is the
+// strongest received power in the group: since ev.power - p is monotone
+// (non-increasing) in p under IEEE rounding, a group whose strongest member
+// fails the capture predicate cannot contain a collider, and the aligned
+// kernel skips it without touching its elements.
+struct SfGroup {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  SpreadingFactor sf = SpreadingFactor::kSF7;
+  Dbm max_power{-400.0};
+};
+
+// Scalar reference scan of one frequency bucket — a verbatim transcription
+// of the original GatewayRadio::process phase-3 inner loop, shared by the
+// scalar pipeline and by batched buckets that don't qualify for a fast
+// kernel (mixed-channel buckets). `order_begin/order_end` delimit the
+// bucket's start-sorted event indices; `uniform`/`rho_uniform` mirror the
+// bucket's uniform-channel fast path; `lookback` is the bucket's longest
+// event duration.
+inline void scan_bucket_scalar(const RxScanSoA& soa,
+                               const std::uint32_t* order_begin,
+                               const std::uint32_t* order_end, bool uniform,
+                               double rho_uniform, Seconds lookback,
+                               const ScanEvent& ev, ScanAccum& acc) {
+  const std::uint32_t* first = std::lower_bound(
+      order_begin, order_end, ev.start - lookback,
+      [&](std::uint32_t idx, Seconds t) { return soa.start[idx] < t; });
+  for (const std::uint32_t* it = first; it != order_end; ++it) {
+    const std::size_t j = *it;
+    const Seconds j_start = soa.start[j];
+    if (j_start >= ev.end) break;
+    if (j == ev.index) continue;
+    if (!(ev.start < soa.end[j] && j_start < ev.end)) continue;
+    const double rho =
+        uniform ? rho_uniform : overlap_ratio(soa.channel[j], ev.rx_channel);
+    if (rho <= 0.0) continue;
+    const bool same_sf = soa.sf[j] == ev.sf;
+    if (rho >= kDetectOverlapThreshold) {
+      // Co-channel interferer: SF capture matrix applies.
+      if (same_sf) {
+        acc.aligned_same_sf_lin += soa.lin_power[j];
+        if (soa.power[j] > acc.strongest_same_sf) {
+          acc.strongest_same_sf = soa.power[j];
+          // Attribute a potential fatal collision to this interferer.
+        }
+        if (ev.power - soa.power[j] < capture_sir_threshold(ev.sf, soa.sf[j])) {
+          acc.collided = true;
+          acc.foreign_fatal = soa.net[j] != ev.net;
+        }
+      } else if (ev.power - soa.power[j] <
+                 capture_sir_threshold(ev.sf, soa.sf[j])) {
+        acc.collided = true;
+        acc.foreign_fatal = soa.net[j] != ev.net;
+      }
+    } else {
+      // Misaligned interferer: filter-truncated energy acts as noise.
+      Dbm eff =
+          effective_interference_dbm(soa.power[j], soa.channel[j], ev.rx_channel);
+      if (!same_sf) eff -= kCrossSfMisalignedRejection;
+      if (eff > Dbm{-250.0}) acc.misaligned_intf_lin += batch_detail::dbm_to_lin(eff);
+    }
+  }
+}
+
+// Batched scan of a uniform-channel bucket whose overlap with the receiving
+// chain is >= kDetectOverlapThreshold: every overlapper takes the aligned
+// (capture-matrix) branch, so the scan runs per SF group instead of testing
+// SFs per element. Per group the SIR threshold is hoisted (the scalar loop
+// recomputes capture_sir_threshold(ev.sf, sf_j) with the same arguments at
+// every element), and the candidate range is the scalar's time window — the
+// identical floating-point bound ev.start - lookback, and start < ev.end —
+// restricted to the group:
+//  * the window's lower edge comes from `cursors` (one per group, parallel
+//    to the groups span): the caller scans decoded events in ascending
+//    start order, so ev.start - lookback is non-decreasing per group and a
+//    monotone cursor lands on exactly the element a per-event lower_bound
+//    from the group's begin would — without the per-event binary searches;
+//  * the event's own SF group accumulates same-SF linear power in scalar
+//    subsequence order; past the first collider the remaining terms are
+//    dead (the sum is only read when no collision occurred anywhere);
+//  * the fatal-interferer attribution takes the collider with the maximum
+//    stable-sort rank — the forward overwrite chain leaves the group's
+//    last collider, exactly as the scalar loop's does.
+// `order_sf`/`pos_sf` are bucket-global arrays: order_sf holds the bucket's
+// events stably regrouped by SF, pos_sf the bucket rank of each entry.
+inline void scan_bucket_aligned_grouped(const RxScanSoA& soa,
+                                        const std::uint32_t* order_sf,
+                                        const std::uint32_t* pos_sf,
+                                        const SfGroup* groups_begin,
+                                        const SfGroup* groups_end,
+                                        std::uint32_t* cursors,
+                                        Seconds lookback, const ScanEvent& ev,
+                                        ScanAccum& acc) {
+  // The scalar time-window bound, evaluated once with the scalar's exact
+  // floating-point expression (bucket-wide lookback, not per group, so the
+  // candidate set matches the reference element for element).
+  const Seconds window_from = ev.start - lookback;
+  bool found = false;       // a collider exists in this bucket
+  std::uint32_t best_pos = 0;  // bucket rank of the last collider so far
+  std::uint32_t best_j = 0;
+  for (const SfGroup* g = groups_begin; g != groups_end; ++g) {
+    const Db threshold = capture_sir_threshold(ev.sf, g->sf);
+    // Strongest-member precheck: if even max_power fails the capture
+    // predicate, no member can pass it (monotonicity — see SfGroup), so the
+    // group matters only through the same-SF power sum, if that is live.
+    const bool may_collide = ev.power - g->max_power < threshold;
+    const bool sums_live = g->sf == ev.sf && !acc.collided && !found;
+    if (!may_collide && !sums_live) continue;
+    std::uint32_t& cur = cursors[g - groups_begin];
+    while (cur < g->end && soa.start[order_sf[cur]] < window_from) ++cur;
+    if (sums_live && !may_collide) {
+      // Collider-free by the precheck: accumulate the whole window — the
+      // identical terms in the identical order, the per-element predicate
+      // provably false throughout.
+      for (std::uint32_t it = cur; it < g->end; ++it) {
+        const std::uint32_t j = order_sf[it];
+        if (soa.start[j] >= ev.end) break;
+        if (j == ev.index) continue;
+        if (!(ev.start < soa.end[j])) continue;
+        acc.aligned_same_sf_lin += soa.lin_power[j];
+      }
+      continue;
+    }
+    // Forward scan: accumulate (own-SF group only) until the first collider
+    // — everything after it is dead, see ScanAccum — while the overwrite
+    // chain keeps the group's last collider for the attribution.
+    bool hit = false;
+    std::uint32_t last_pos = 0;
+    std::uint32_t last_j = 0;
+    for (std::uint32_t it = cur; it < g->end; ++it) {
+      const std::uint32_t j = order_sf[it];
+      if (soa.start[j] >= ev.end) break;
+      if (j == ev.index) continue;
+      if (!(ev.start < soa.end[j])) continue;
+      if (sums_live && !hit) acc.aligned_same_sf_lin += soa.lin_power[j];
+      if (ev.power - soa.power[j] < threshold) {
+        hit = true;
+        last_pos = pos_sf[it];
+        last_j = j;
+      }
+    }
+    if (hit && (!found || last_pos > best_pos)) {
+      best_pos = last_pos;
+      best_j = last_j;
+    }
+    found = found || hit;
+  }
+  if (found) {
+    acc.collided = true;
+    acc.foreign_fatal = soa.net[best_j] != ev.net;
+  }
+}
+
+// Batched scan of a uniform-channel bucket with partial overlap
+// (0 < rho < kDetectOverlapThreshold): every overlapper takes the
+// misaligned branch, whose channel coupling is constant across the bucket —
+// `coupling` must be coupling_db(bucket channel, chain channel), the value
+// the scalar loop recomputes identically per element inside
+// effective_interference_dbm. Skipped entirely when a collision is already
+// established (the interference sum is dead — the event is dropped before
+// the SNR test reads it) or when the coupling pins every contribution to
+// the -400 dBm floor (below the -250 dBm accumulation cutoff).
+// `cursor` is the bucket's monotone window-start cursor into [0, count):
+// like the aligned kernel's per-group cursors, it replaces the per-event
+// lower_bound because callers scan decoded events in ascending start order.
+// The cursor only advances on live scans (early returns leave it parked),
+// which is safe: a lagging cursor re-skips the same already-expired
+// elements the lower_bound would.
+inline void scan_bucket_misaligned_uniform(const RxScanSoA& soa,
+                                           const std::uint32_t* order_begin,
+                                           const std::uint32_t* order_end,
+                                           std::uint32_t& cursor,
+                                           Seconds lookback, Db coupling,
+                                           const ScanEvent& ev,
+                                           ScanAccum& acc) {
+  if (acc.collided) return;
+  if (coupling <= Db{-399.0}) return;
+  const Seconds window_from = ev.start - lookback;
+  const auto count = static_cast<std::uint32_t>(order_end - order_begin);
+  while (cursor < count && soa.start[order_begin[cursor]] < window_from) {
+    ++cursor;
+  }
+  for (const std::uint32_t* it = order_begin + cursor; it != order_end; ++it) {
+    const std::uint32_t j = *it;
+    if (soa.start[j] >= ev.end) break;
+    if (j == ev.index) continue;
+    if (!(ev.start < soa.end[j])) continue;
+    Dbm eff = effective_interference_from_coupling(soa.power[j], coupling);
+    if (soa.sf[j] != ev.sf) eff -= kCrossSfMisalignedRejection;
+    if (eff > Dbm{-250.0}) acc.misaligned_intf_lin += batch_detail::dbm_to_lin(eff);
+  }
+}
+
+// Batched per-(window, gateway) fast-fading draws: out[k] is the Box–Muller
+// draw of the keyed substream for packet packets[tx_index[k]], bit-identical
+// to Rng::substream(a, packet).normal_once(0.0, sigma) where `stream` is
+// SubstreamBatch(root, a) — the per-packet derivation only re-mixes the
+// second key. Streams stay keyed by ids, never iteration order, so the
+// batching cannot reorder draws by construction.
+void batch_fading_draws(const SubstreamBatch& stream, const PacketId* packets,
+                        const std::uint32_t* tx_index, std::size_t count,
+                        double sigma, double* out);
+
+// Batched candidate filter: computes each candidate transmission's received
+// power through the cached static link terms —
+//   ((tx_power - path_loss) + fading) + antenna_gain
+// the exact expression and operand order of the scalar consider() — and
+// compacts tx_index in place to the transmissions clearing `floor`, writing
+// the surviving powers to out_power. fading[k] parallels the *input*
+// tx_index. Returns the number kept; compaction preserves ascending order.
+std::size_t batch_rx_power_filter(std::span<const LinkGain> gains,
+                                  const std::uint32_t* row_of_tx,
+                                  const Dbm* tx_power, const double* fading,
+                                  Dbm floor, std::uint32_t* tx_index,
+                                  std::size_t count, Dbm* out_power);
+
+}  // namespace alphawan

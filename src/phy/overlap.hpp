@@ -62,15 +62,34 @@ inline constexpr Db kSelectivitySlope{35.0};
   return Db{10.0 * std::log10(rho) - (1.0 - rho) * kSelectivitySlope.value()};
 }
 
+// Interferer power through a precomputed coupling — the hoisted form of
+// effective_interference_dbm used by the batched uniform-bucket kernel
+// (phy/batch_kernels.hpp): within a uniform-channel frequency bucket every
+// interferer shares one (src, dst) pair, so coupling_db runs once per
+// bucket and each event pays only the addition. Bit-identical to the
+// per-event form because `power + coupling` is the exact expression
+// effective_interference_dbm evaluates after its own coupling_db call.
+[[nodiscard]] inline Dbm effective_interference_from_coupling(Dbm power,
+                                                              Db coupling) {
+  if (coupling <= Db{-399.0}) return Dbm{-400.0};
+  return power + coupling;
+}
+
 // Effective in-band power (dBm) at a receiver on `dst` of an interferer
 // with received power `power` on channel `src`. Returns -infinity-ish
 // (-400 dBm) for disjoint channels.
 [[nodiscard]] inline Dbm effective_interference_dbm(Dbm power,
                                                     const Channel& src,
                                                     const Channel& dst) {
-  const Db coupling = coupling_db(src, dst);
-  if (coupling <= Db{-399.0}) return Dbm{-400.0};
-  return power + coupling;
+  return effective_interference_from_coupling(power, coupling_db(src, dst));
 }
+
+// Extra rejection (dB) applied to a *misaligned* interferer using a
+// different spreading factor: partial-band energy of an orthogonal chirp is
+// further suppressed by despreading. Same-SF misaligned energy keeps some
+// chirp structure and is only suppressed by the channel filter. This split
+// is what makes non-orthogonal DRs on overlapping channels measurably worse
+// (paper Figs. 8 and 16).
+inline constexpr Db kCrossSfMisalignedRejection{12.0};
 
 }  // namespace alphawan

@@ -27,17 +27,66 @@
 
 namespace alphawan {
 
-// Everything GatewayRadio exposes to a capture policy about one window.
+// Everything GatewayRadio exposes to a capture policy about one window:
+// per-event columns over every transmission the front-end observed
+// (including foreign-network and never-detected ones — their RF energy
+// shaped the outcomes). Columnar rather than a vector<RxEvent> so the
+// batched pipeline (ALPHAWAN_BATCH, sim/batch.hpp) can hand policies the
+// per-event scratch columns it already filled instead of materializing
+// wide RxEvent structs per (gateway, window); the scalar pipeline fills
+// the same columns from its event list, so both feed policies identical
+// values (tests/property/test_prop_kernels.cpp).
 struct CaptureContext {
-  // Every transmission the front-end observed (including foreign-network
-  // and never-detected ones — their RF energy shaped the outcomes).
-  const std::vector<RxEvent>& events;
+  std::size_t count = 0;                   // events this window
+  const Seconds* start = nullptr;          // tx start time
+  const Seconds* end = nullptr;            // tx end (start + time_on_air)
+  const Channel* channel = nullptr;        // tx channel
+  const SpreadingFactor* sf = nullptr;     // tx spreading factor
+  const NodeId* node = nullptr;            // transmitting node
+  const std::uint16_t* tx_sync = nullptr;  // per-tx sync word
   // The gateway's network sync word: a rescued packet is kDelivered only
   // if its sync word matches, kDecodedForeign otherwise.
   std::uint16_t sync_word = 0;
   // Decoder-pool capacity of this gateway (diagnostic; the budget itself
   // is enforced by the outcome contract above).
   int decoders = 0;
+};
+
+// Owned columnar snapshot of an RxEvent list: adapts event-vector call
+// sites (the deprecated post-processor shim, unit tests) to the columnar
+// CaptureContext. end comes from Transmission::end() — the same pure
+// airtime formula the radio memoizes, so values match the in-radio path.
+struct CaptureColumns {
+  std::vector<Seconds> start;
+  std::vector<Seconds> end;
+  std::vector<Channel> channel;
+  std::vector<SpreadingFactor> sf;
+  std::vector<NodeId> node;
+  std::vector<std::uint16_t> sync;
+
+  explicit CaptureColumns(const std::vector<RxEvent>& events) {
+    start.reserve(events.size());
+    end.reserve(events.size());
+    channel.reserve(events.size());
+    sf.reserve(events.size());
+    node.reserve(events.size());
+    sync.reserve(events.size());
+    for (const auto& ev : events) {
+      start.push_back(ev.tx.start);
+      end.push_back(ev.tx.end());
+      channel.push_back(ev.tx.channel);
+      sf.push_back(ev.tx.params.sf);
+      node.push_back(ev.tx.node);
+      sync.push_back(ev.tx.sync_word);
+    }
+  }
+
+  [[nodiscard]] CaptureContext context(std::uint16_t sync_word,
+                                       int decoders) const {
+    return CaptureContext{start.size(),   start.data(), end.data(),
+                          channel.data(), sf.data(),    node.data(),
+                          sync.data(),    sync_word,    decoders};
+  }
 };
 
 class CapturePolicy {

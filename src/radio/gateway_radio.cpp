@@ -28,6 +28,12 @@ double noise_floor_lin(Hz bandwidth) {
   return dbm_to_lin(noise_floor_dbm(bandwidth));
 }
 
+// Coarse frequency bucket of a channel center (interference requires
+// spectral overlap, so candidates live in the same or an adjacent bucket).
+std::int64_t bucket_of(Hz center) {
+  return static_cast<std::int64_t>(center / kChannelSpacing);
+}
+
 }  // namespace
 
 GatewayRadio::GatewayRadio(GatewayProfile profile, NetworkId network,
@@ -94,68 +100,18 @@ const GatewayRadio::RxScratch::AirtimeMemo& GatewayRadio::airtime_for(
   return scratch_.airtime_memo.back();
 }
 
-std::vector<RxOutcome> GatewayRadio::process(
-    const std::vector<RxEvent>& events) {
-  std::vector<RxOutcome> outcomes(events.size());
-  pool_.reset();
-  if (observer_ != nullptr) observer_->on_radio_window_begin();
+// Phase 2: FCFS dispatch into the decoder pool. The observer timestamp is
+// the event's start time, read from the phase-1 scratch column (the same
+// value the RxEvent held).
+void GatewayRadio::dispatch_queue(std::vector<RxOutcome>& outcomes,
+                                  bool already_sorted) {
   auto& sc = scratch_;
-
-  // Phase 1: front-end + detection per event. Also fills the per-event
-  // caches phase 3 leans on: tx.end() (a full airtime recomputation) and
-  // the linear rx power (a pow), each otherwise paid once per *candidate
-  // pair* in the interferer scan.
-  sc.queue.clear();
-  sc.queue.reserve(events.size());
-  sc.chain_of.assign(events.size(), -1);
-  sc.end_of.resize(events.size());
-  sc.lin_power.resize(events.size());
-  sc.start_of.resize(events.size());
-  sc.channel_of.resize(events.size());
-  sc.power_of.resize(events.size());
-  sc.sf_of.resize(events.size());
-  sc.net_of.resize(events.size());
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const auto& ev = events[i];
-    auto& out = outcomes[i];
-    // airtime_for memoizes the airtime formula per radio setting; the sums
-    // below are term-for-term the ones tx.end() / tx.lock_on() compute.
-    const auto& airtime = airtime_for(ev.tx);
-    sc.end_of[i] = ev.tx.start + airtime.airtime;
-    sc.lin_power[i] = dbm_to_lin(ev.rx_power);
-    sc.start_of[i] = ev.tx.start;
-    sc.channel_of[i] = ev.tx.channel;
-    sc.power_of[i] = ev.rx_power;
-    sc.sf_of[i] = ev.tx.params.sf;
-    sc.net_of[i] = ev.tx.network;
-    out.packet = ev.tx.id;
-    out.node = ev.tx.node;
-    out.network = ev.tx.network;
-    const int chain = chain_for(ev.tx.channel);
-    if (chain < 0) {
-      out.disposition = RxDisposition::kRejectedFrontEnd;
-      continue;
-    }
-    sc.chain_of[i] = chain;
-    out.chain_channel = chain;
-    out.snr = packet_snr(ev.rx_power, ev.tx.channel.bandwidth);
-    // Inline detect(): the lock-on instant comes from the memoized
-    // preamble duration instead of a fresh preamble_duration call.
-    if (out.snr < demod_snr_threshold(ev.tx.params.sf) + kDetectionMargin) {
-      out.disposition = RxDisposition::kNotDetected;
-      continue;
-    }
-    sc.queue.push_back(DispatchEntry{i, ev.tx.start + airtime.preamble,
-                                     sc.end_of[i], ev.tx.network, ev.tx.id});
-  }
-
-  // Phase 2: FCFS dispatch into the decoder pool.
-  sort_fcfs(sc.queue);
+  if (!already_sorted) sort_fcfs(sc.queue);
   sc.decoding.clear();
   sc.decoding.reserve(sc.queue.size());
   for (const auto& entry : sc.queue) {
     if (observer_ != nullptr) {
-      observer_->on_dispatch(events[entry.event_index].tx.start, entry.lock_on,
+      observer_->on_dispatch(sc.start_of[entry.event_index], entry.lock_on,
                              entry.packet);
     }
     const DispatchResult result = dispatch(pool_, entry);
@@ -167,51 +123,49 @@ std::vector<RxOutcome> GatewayRadio::process(
     }
     sc.decoding.push_back(entry.event_index);
   }
+}
 
-  // Phase 3: decode each packet that holds a decoder, accounting for
-  // interference from *all* transmissions in the air (including ones the
-  // front-end rejected or that were never detected — their RF energy is
-  // still present). Events are bucketed by coarse frequency (interference
-  // requires spectral overlap) and sorted by start time within a bucket,
-  // bounding the interferer scan to plausible overlappers.
-  //
-  // The bucket index is flat: sorting (bucket, event index) pairs groups
-  // each bucket's events in ascending index order — the same initial
-  // sequence the map-based code fed to the identical start-time sort, so
-  // the per-bucket permutation (and thus every floating-point accumulation
-  // order below) is unchanged.
-  constexpr auto bucket_of = [](Hz center) {
-    return static_cast<std::int64_t>(center / kChannelSpacing);
-  };
-  sc.order.resize(events.size());
+// Phase 3a: group events into coarse frequency buckets (interference
+// requires spectral overlap) and sort each bucket by start time, bounding
+// the interferer scan to plausible overlappers. Reads only the phase-1
+// scratch columns, so both pipelines share it verbatim.
+//
+// The bucket index is flat: sorting (bucket, event index) pairs groups
+// each bucket's events in ascending index order — the same initial
+// sequence the map-based code fed to the identical start-time sort, so
+// the per-bucket permutation (and thus every floating-point accumulation
+// order downstream) is unchanged.
+void GatewayRadio::build_bucket_index(std::size_t count) {
+  auto& sc = scratch_;
+  sc.order.resize(count);
   sc.buckets.clear();
-  if (!events.empty()) {
-    sc.bucket_id.resize(events.size());
+  if (count != 0) {
+    sc.bucket_id.resize(count);
     std::int64_t lo = bucket_of(sc.channel_of[0].center);
     std::int64_t hi = lo;
-    for (std::size_t i = 0; i < events.size(); ++i) {
+    for (std::size_t i = 0; i < count; ++i) {
       const std::int64_t b = bucket_of(sc.channel_of[i].center);
       sc.bucket_id[i] = b;
       lo = std::min(lo, b);
       hi = std::max(hi, b);
     }
     const std::int64_t span = hi - lo + 1;
-    if (span <= static_cast<std::int64_t>(4 * events.size() + 64)) {
+    if (span <= static_cast<std::int64_t>(4 * count + 64)) {
       // Stable counting sort over the compact id range: within a bucket,
       // ascending scatter order keeps indices ascending — the exact order
       // sorting (bucket, index) pairs produces — without the comparison
       // sort.
       sc.bucket_count.assign(static_cast<std::size_t>(span), 0);
-      for (std::size_t i = 0; i < events.size(); ++i) {
+      for (std::size_t i = 0; i < count; ++i) {
         ++sc.bucket_count[static_cast<std::size_t>(sc.bucket_id[i] - lo)];
       }
       std::uint32_t running = 0;
       for (auto& c : sc.bucket_count) {
-        const std::uint32_t count = c;
+        const std::uint32_t n = c;
         c = running;
-        running += count;
+        running += n;
       }
-      for (std::size_t i = 0; i < events.size(); ++i) {
+      for (std::size_t i = 0; i < count; ++i) {
         auto& cursor =
             sc.bucket_count[static_cast<std::size_t>(sc.bucket_id[i] - lo)];
         sc.order[cursor++] = static_cast<std::uint32_t>(i);
@@ -232,8 +186,8 @@ std::vector<RxOutcome> GatewayRadio::process(
       // Pathological center spread (sparse ids): fall back to the pair
       // sort, which produces the identical grouping.
       sc.keyed.clear();
-      sc.keyed.reserve(events.size());
-      for (std::size_t i = 0; i < events.size(); ++i) {
+      sc.keyed.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
         sc.keyed.emplace_back(sc.bucket_id[i], static_cast<std::uint32_t>(i));
       }
       std::sort(sc.keyed.begin(), sc.keyed.end());
@@ -252,11 +206,12 @@ std::vector<RxOutcome> GatewayRadio::process(
     const auto begin = sc.order.begin() + b.begin;
     const auto end = sc.order.begin() + b.end;
     // Sort each bucket's group by start time — through a contiguous
-    // (start, index) staging array, because comparing via events[idx] costs
-    // a scattered RxEvent load per comparison. A start-only comparator sees
-    // exactly the comparison outcomes the index comparator would, so the
-    // resulting index permutation is identical to sorting the indices
-    // directly (bit-identity of every downstream accumulation order).
+    // (start, index) staging array, because comparing via the wide event
+    // records costs a scattered load per comparison. A start-only
+    // comparator sees exactly the comparison outcomes the index comparator
+    // would, so the resulting index permutation is identical to sorting
+    // the indices directly (bit-identity of every downstream accumulation
+    // order).
     auto& staged = sc.start_idx;
     staged.clear();
     bool sorted = true;
@@ -297,7 +252,183 @@ std::vector<RxOutcome> GatewayRadio::process(
     }
     b.max_duration = longest;
   }
+}
 
+// Batched phase-3 prep: per uniform bucket, a stable counting sort by SF
+// (preserving the start order within each SF, so every same-SF subsequence
+// keeps its scalar accumulation order) plus the per-(bucket, chain)
+// overlap/coupling memo — overlap_ratio and coupling_db are pure functions
+// of the two channels, so memoized values are bit-identical to the ones the
+// scalar scan recomputes per decoded event.
+void GatewayRadio::build_sf_groups_and_memos(std::size_t count) {
+  auto& sc = scratch_;
+  sc.order_sf.resize(count);
+  sc.pos_sf.resize(count);
+  sc.sf_groups.clear();
+  sc.bucket_cursor.assign(sc.buckets.size(), 0);
+  const std::size_t n_chains = chains_.size();
+  sc.bucket_chain.resize(sc.buckets.size() * n_chains);
+  for (std::size_t bpos = 0; bpos < sc.buckets.size(); ++bpos) {
+    auto& b = sc.buckets[bpos];
+    b.groups_begin = static_cast<std::uint32_t>(sc.sf_groups.size());
+    b.groups_end = b.groups_begin;
+    if (!b.uniform) continue;  // mixed buckets take the scalar kernel
+    for (std::size_t c = 0; c < n_chains; ++c) {
+      auto& memo = sc.bucket_chain[bpos * n_chains + c];
+      memo.rho = overlap_ratio(b.channel, chains_[c].channel);
+      memo.coupling =
+          (memo.rho > 0.0 && memo.rho < kDetectOverlapThreshold)
+              ? coupling_db(b.channel, chains_[c].channel)
+              : Db{-400.0};
+    }
+    std::uint32_t counts[6] = {0, 0, 0, 0, 0, 0};
+    Dbm max_power[6] = {Dbm{-400.0}, Dbm{-400.0}, Dbm{-400.0},
+                        Dbm{-400.0}, Dbm{-400.0}, Dbm{-400.0}};
+    for (std::uint32_t k = b.begin; k < b.end; ++k) {
+      const std::uint32_t j = sc.order[k];
+      const int s = sf_index(sc.sf_of[j]);
+      ++counts[s];
+      if (sc.power_of[j] > max_power[s]) max_power[s] = sc.power_of[j];
+    }
+    std::uint32_t cursor[6];
+    std::uint32_t running = b.begin;
+    for (int s = 0; s < 6; ++s) {
+      cursor[s] = running;
+      if (counts[s] > 0) {
+        sc.sf_groups.push_back(SfGroup{running, running + counts[s],
+                                       sf_from_index(s), max_power[s]});
+      }
+      running += counts[s];
+    }
+    for (std::uint32_t k = b.begin; k < b.end; ++k) {
+      const std::uint32_t j = sc.order[k];
+      auto& cur = cursor[sf_index(sc.sf_of[j])];
+      sc.order_sf[cur] = j;
+      sc.pos_sf[cur] = k - b.begin;  // bucket rank, for last-collider order
+      ++cur;
+    }
+    b.groups_end = static_cast<std::uint32_t>(sc.sf_groups.size());
+  }
+  // Window-start cursors begin at each group's first element; the scan
+  // loop advances them monotonically (decoded events visit in ascending
+  // start order).
+  sc.group_cursor.resize(sc.sf_groups.size());
+  for (std::size_t g = 0; g < sc.sf_groups.size(); ++g) {
+    sc.group_cursor[g] = sc.sf_groups[g].begin;
+  }
+}
+
+// Phase 4 (optional): pluggable capture resolution. The policy may
+// rescue packets the stock demodulator lost to collisions, but the
+// decoder budget is binding: only outcomes whose packet already held a
+// decoder may change, and they must stay decoder-consuming — a policy
+// cannot un-busy kDroppedDecoderBusy or decode an undetected packet.
+void GatewayRadio::apply_capture_policy(std::size_t count,
+                                        std::vector<RxOutcome>& outcomes) {
+  auto& sc = scratch_;
+  sc.pre_policy.resize(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    sc.pre_policy[i] = outcomes[i].disposition;
+  }
+  capture_policy_->resolve(
+      CaptureContext{count, sc.start_of.data(), sc.end_of.data(),
+                     sc.channel_of.data(), sc.sf_of.data(), sc.node_of.data(),
+                     sc.sync_of.data(), sync_word_, profile_.decoders},
+      outcomes);
+  if (outcomes.size() != count) {
+    throw std::logic_error(
+        "CapturePolicy: outcome count changed during resolve");
+  }
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const RxDisposition before = sc.pre_policy[i];
+    const RxDisposition after = outcomes[i].disposition;
+    if (after == before) continue;
+    if (!consumed_decoder(before) || !consumed_decoder(after)) {
+      throw std::logic_error(
+          "CapturePolicy violated the decoder budget: rewrote an outcome "
+          "that did not hold a decoder (or released one it held)");
+    }
+  }
+}
+
+std::vector<RxOutcome> GatewayRadio::process(
+    const std::vector<RxEvent>& events) {
+  std::vector<RxOutcome> outcomes(events.size());
+  pool_.reset();
+  if (observer_ != nullptr) observer_->on_radio_window_begin();
+  auto& sc = scratch_;
+
+  // Phase 1: front-end + detection per event. Also fills the per-event
+  // caches phase 3 leans on: tx.end() (a full airtime recomputation) and
+  // the linear rx power (a pow), each otherwise paid once per *candidate
+  // pair* in the interferer scan.
+  sc.queue.clear();
+  sc.queue.reserve(events.size());
+  sc.chain_of.assign(events.size(), -1);
+  sc.end_of.resize(events.size());
+  sc.lin_power.resize(events.size());
+  sc.start_of.resize(events.size());
+  sc.channel_of.resize(events.size());
+  sc.power_of.resize(events.size());
+  sc.sf_of.resize(events.size());
+  sc.net_of.resize(events.size());
+  const bool policy_columns = capture_policy_ != nullptr;
+  if (policy_columns) {
+    sc.node_of.resize(events.size());
+    sc.sync_of.resize(events.size());
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    auto& out = outcomes[i];
+    if (policy_columns) {
+      sc.node_of[i] = ev.tx.node;
+      sc.sync_of[i] = ev.tx.sync_word;
+    }
+    // airtime_for memoizes the airtime formula per radio setting; the sums
+    // below are term-for-term the ones tx.end() / tx.lock_on() compute.
+    const auto& airtime = airtime_for(ev.tx);
+    sc.end_of[i] = ev.tx.start + airtime.airtime;
+    sc.lin_power[i] = dbm_to_lin(ev.rx_power);
+    sc.start_of[i] = ev.tx.start;
+    sc.channel_of[i] = ev.tx.channel;
+    sc.power_of[i] = ev.rx_power;
+    sc.sf_of[i] = ev.tx.params.sf;
+    sc.net_of[i] = ev.tx.network;
+    out.packet = ev.tx.id;
+    out.node = ev.tx.node;
+    out.network = ev.tx.network;
+    const int chain = chain_for(ev.tx.channel);
+    if (chain < 0) {
+      out.disposition = RxDisposition::kRejectedFrontEnd;
+      continue;
+    }
+    sc.chain_of[i] = chain;
+    out.chain_channel = chain;
+    out.snr = packet_snr(ev.rx_power, ev.tx.channel.bandwidth);
+    // Inline detect(): the lock-on instant comes from the memoized
+    // preamble duration instead of a fresh preamble_duration call.
+    if (out.snr < demod_snr_threshold(ev.tx.params.sf) + kDetectionMargin) {
+      out.disposition = RxDisposition::kNotDetected;
+      continue;
+    }
+    sc.queue.push_back(DispatchEntry{i, ev.tx.start + airtime.preamble,
+                                     sc.end_of[i], ev.tx.network, ev.tx.id});
+  }
+
+  // Phase 2: FCFS dispatch into the decoder pool.
+  dispatch_queue(outcomes, /*already_sorted=*/false);
+
+  // Phase 3: decode each packet that holds a decoder, accounting for
+  // interference from *all* transmissions in the air (including ones the
+  // front-end rejected or that were never detected — their RF energy is
+  // still present).
+  build_bucket_index(events.size());
+
+  const RxScanSoA soa{sc.start_of.data(), sc.end_of.data(),
+                      sc.lin_power.data(), sc.channel_of.data(),
+                      sc.power_of.data(),  sc.sf_of.data(),
+                      sc.net_of.data()};
+  const std::uint32_t* order = sc.order.data();
   for (const std::size_t i : sc.decoding) {
     const auto& ev = events[i];
     auto& out = outcomes[i];
@@ -305,16 +436,14 @@ std::vector<RxOutcome> GatewayRadio::process(
         chains_[static_cast<std::size_t>(sc.chain_of[i])].channel;
 
     const double noise_lin = noise_floor_lin(ev.tx.channel.bandwidth);
-    double misaligned_intf_lin = 0.0;
-    double aligned_same_sf_lin = 0.0;
-    bool collided = false;
-    bool foreign_fatal = false;
-    Dbm strongest_same_sf{-400.0};
-    const Seconds ev_start = sc.start_of[i];
-    const Seconds ev_end = sc.end_of[i];
-    const Dbm ev_power = sc.power_of[i];
-    const SpreadingFactor ev_sf = sc.sf_of[i];
-    const NetworkId ev_net = sc.net_of[i];
+    ScanAccum acc;
+    const ScanEvent se{i,
+                       sc.start_of[i],
+                       sc.end_of[i],
+                       sc.power_of[i],
+                       sc.sf_of[i],
+                       sc.net_of[i],
+                       rx_ch};
 
     // Candidates: same or adjacent frequency bucket, starting within
     // [ev.start - bucket_longest, ev.end). The scan reads only the flat
@@ -337,69 +466,28 @@ std::vector<RxOutcome> GatewayRadio::process(
         rho_uniform = overlap_ratio(bucket_it->channel, rx_ch);
         if (rho_uniform <= 0.0) continue;
       }
-      const Seconds lookback = bucket_it->max_duration;
-      const auto indices_begin = sc.order.begin() + bucket_it->begin;
-      const auto indices_end = sc.order.begin() + bucket_it->end;
-      const auto first = std::lower_bound(
-          indices_begin, indices_end, ev_start - lookback,
-          [&](std::uint32_t idx, Seconds t) {
-            return sc.start_of[idx] < t;
-          });
-    for (auto it = first; it != indices_end; ++it) {
-      const std::size_t j = *it;
-      const Seconds j_start = sc.start_of[j];
-      if (j_start >= ev_end) break;
-      if (j == i) continue;
-      if (!(ev_start < sc.end_of[j] && j_start < ev_end)) continue;
-      const double rho =
-          uniform ? rho_uniform : overlap_ratio(sc.channel_of[j], rx_ch);
-      if (rho <= 0.0) continue;
-      const bool same_sf = sc.sf_of[j] == ev_sf;
-      if (rho >= kDetectOverlapThreshold) {
-        // Co-channel interferer: SF capture matrix applies.
-        if (same_sf) {
-          aligned_same_sf_lin += sc.lin_power[j];
-          if (sc.power_of[j] > strongest_same_sf) {
-            strongest_same_sf = sc.power_of[j];
-            // Attribute a potential fatal collision to this interferer.
-          }
-          if (ev_power - sc.power_of[j] <
-              capture_sir_threshold(ev_sf, sc.sf_of[j])) {
-            collided = true;
-            foreign_fatal = sc.net_of[j] != ev_net;
-          }
-        } else if (ev_power - sc.power_of[j] <
-                   capture_sir_threshold(ev_sf, sc.sf_of[j])) {
-          collided = true;
-          foreign_fatal = sc.net_of[j] != ev_net;
-        }
-      } else {
-        // Misaligned interferer: filter-truncated energy acts as noise.
-        Dbm eff = effective_interference_dbm(sc.power_of[j], sc.channel_of[j],
-                                             rx_ch);
-        if (!same_sf) eff -= kCrossSfMisalignedRejection;
-        if (eff > Dbm{-250.0}) misaligned_intf_lin += dbm_to_lin(eff);
-      }
-    }
+      scan_bucket_scalar(soa, order + bucket_it->begin,
+                         order + bucket_it->end, uniform, rho_uniform,
+                         bucket_it->max_duration, se, acc);
     }
 
     // Combined same-SF co-channel power must also satisfy capture.
-    if (!collided && aligned_same_sf_lin > 0.0) {
-      const Dbm combined = lin_to_dbm(aligned_same_sf_lin);
+    if (!acc.collided && acc.aligned_same_sf_lin > 0.0) {
+      const Dbm combined = lin_to_dbm(acc.aligned_same_sf_lin);
       if (ev.rx_power - combined <
           capture_sir_threshold(ev.tx.params.sf, ev.tx.params.sf)) {
-        collided = true;
+        acc.collided = true;
       }
     }
 
-    if (collided) {
+    if (acc.collided) {
       out.disposition = RxDisposition::kDroppedCollision;
-      out.foreign_interferer = foreign_fatal;
+      out.foreign_interferer = acc.foreign_fatal;
       continue;
     }
 
     const Db snr_eff =
-        ev.rx_power - lin_to_dbm(noise_lin + misaligned_intf_lin);
+        ev.rx_power - lin_to_dbm(noise_lin + acc.misaligned_intf_lin);
     if (snr_eff < demod_snr_threshold(ev.tx.params.sf)) {
       out.disposition = RxDisposition::kDroppedLowSnr;
       continue;
@@ -410,34 +498,196 @@ std::vector<RxOutcome> GatewayRadio::process(
                           : RxDisposition::kDecodedForeign;
   }
 
-  // Phase 4 (optional): pluggable capture resolution. The policy may
-  // rescue packets the stock demodulator lost to collisions, but the
-  // decoder budget is binding: only outcomes whose packet already held a
-  // decoder may change, and they must stay decoder-consuming — a policy
-  // cannot un-busy kDroppedDecoderBusy or decode an undetected packet.
-  if (capture_policy_ != nullptr) {
-    sc.pre_policy.resize(outcomes.size());
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      sc.pre_policy[i] = outcomes[i].disposition;
+  if (capture_policy_ != nullptr) apply_capture_policy(events.size(), outcomes);
+  return outcomes;
+}
+
+
+std::vector<RxOutcome> GatewayRadio::process(const RxEventView& view) {
+  std::vector<RxOutcome> outcomes;
+  process_into(view, outcomes);
+  return outcomes;
+}
+
+void GatewayRadio::process_into(const RxEventView& view,
+                                std::vector<RxOutcome>& outcomes) {
+  const WindowTxTable& tbl = *view.table;
+  outcomes.assign(view.count, RxOutcome{});
+  pool_.reset();
+  if (observer_ != nullptr) observer_->on_radio_window_begin();
+  auto& sc = scratch_;
+
+  // Phase 1, batched: the same per-event pipeline, reading the window's
+  // shared table columns instead of wide RxEvent structs. The airtime-
+  // derived instants (end, lock_on) come memoized from the table — the
+  // identical sums the scalar phase computes through airtime_for. As the
+  // dispatch queue fills, a running strict-order check records whether
+  // sort_fcfs can be skipped (ascending tx order usually already is
+  // lock-on ordered within a chain mix).
+  sc.queue.clear();
+  sc.queue.reserve(view.count);
+  sc.chain_of.assign(view.count, -1);
+  sc.end_of.resize(view.count);
+  sc.lin_power.resize(view.count);
+  sc.start_of.resize(view.count);
+  sc.channel_of.resize(view.count);
+  sc.power_of.resize(view.count);
+  sc.sf_of.resize(view.count);
+  sc.net_of.resize(view.count);
+  const bool policy_columns = capture_policy_ != nullptr;
+  if (policy_columns) {
+    sc.node_of.resize(view.count);
+    sc.sync_of.resize(view.count);
+  }
+  bool queue_sorted = true;
+  for (std::size_t k = 0; k < view.count; ++k) {
+    const std::uint32_t t = view.tx_index[k];
+    const Dbm rx_power = view.rx_power[k];
+    auto& out = outcomes[k];
+    sc.end_of[k] = tbl.end[t];
+    sc.lin_power[k] = dbm_to_lin(rx_power);
+    sc.start_of[k] = tbl.start[t];
+    sc.channel_of[k] = tbl.channel[t];
+    sc.power_of[k] = rx_power;
+    sc.sf_of[k] = tbl.sf[t];
+    sc.net_of[k] = tbl.net[t];
+    out.packet = tbl.packet[t];
+    out.node = tbl.node[t];
+    out.network = tbl.net[t];
+    if (policy_columns) {
+      sc.node_of[k] = tbl.node[t];
+      sc.sync_of[k] = tbl.sync[t];
     }
-    capture_policy_->resolve(
-        CaptureContext{events, sync_word_, profile_.decoders}, outcomes);
-    if (outcomes.size() != events.size()) {
-      throw std::logic_error(
-          "CapturePolicy: outcome count changed during resolve");
+    const int chain = chain_for(tbl.channel[t]);
+    if (chain < 0) {
+      out.disposition = RxDisposition::kRejectedFrontEnd;
+      continue;
     }
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      const RxDisposition before = sc.pre_policy[i];
-      const RxDisposition after = outcomes[i].disposition;
-      if (after == before) continue;
-      if (!consumed_decoder(before) || !consumed_decoder(after)) {
-        throw std::logic_error(
-            "CapturePolicy violated the decoder budget: rewrote an outcome "
-            "that did not hold a decoder (or released one it held)");
+    sc.chain_of[k] = chain;
+    out.chain_channel = chain;
+    out.snr = packet_snr(rx_power, tbl.channel[t].bandwidth);
+    if (out.snr < demod_snr_threshold(tbl.sf[t]) + kDetectionMargin) {
+      out.disposition = RxDisposition::kNotDetected;
+      continue;
+    }
+    if (!sc.queue.empty()) {
+      const auto& prev = sc.queue.back();
+      const bool strictly_before =
+          prev.lock_on < tbl.lock_on[t] ||
+          (prev.lock_on == tbl.lock_on[t] && prev.packet < tbl.packet[t]);
+      if (!strictly_before) queue_sorted = false;
+    }
+    sc.queue.push_back(DispatchEntry{k, tbl.lock_on[t], sc.end_of[k],
+                                     tbl.net[t], tbl.packet[t]});
+  }
+
+  // Phase 2: FCFS dispatch (sort skipped when provably the identity).
+  dispatch_queue(outcomes, queue_sorted);
+
+  // Phase 3, batched: the shared bucket index plus the batched-only prep
+  // (SF grouping, per-(bucket, chain) overlap memos), then the kernel
+  // dispatch per bucket: aligned uniform buckets take the SF-grouped
+  // kernel, partially overlapping uniform buckets the hoisted-coupling
+  // kernel, mixed-channel buckets the scalar reference kernel.
+  build_bucket_index(view.count);
+  build_sf_groups_and_memos(view.count);
+
+  const RxScanSoA soa{sc.start_of.data(), sc.end_of.data(),
+                      sc.lin_power.data(), sc.channel_of.data(),
+                      sc.power_of.data(),  sc.sf_of.data(),
+                      sc.net_of.data()};
+  const std::uint32_t* order = sc.order.data();
+  const std::size_t n_chains = chains_.size();
+  // Visit decoded events in ascending start order (ties by event index):
+  // outcomes are per-event independent, so any visit order gives identical
+  // results, and a monotone order lets the kernels' window-start cursors
+  // replace per-event lower_bounds. sc.decoding arrives in dispatch
+  // (lock-on) order and is not read again afterwards, so sort in place.
+  std::sort(sc.decoding.begin(), sc.decoding.end(),
+            [&sc](std::size_t a, std::size_t b) {
+              if (sc.start_of[a] != sc.start_of[b]) {
+                return sc.start_of[a] < sc.start_of[b];
+              }
+              return a < b;
+            });
+  for (const std::size_t i : sc.decoding) {
+    auto& out = outcomes[i];
+    const auto chain = static_cast<std::size_t>(sc.chain_of[i]);
+    const Channel& rx_ch = chains_[chain].channel;
+
+    const double noise_lin = noise_floor_lin(sc.channel_of[i].bandwidth);
+    ScanAccum acc;
+    const ScanEvent se{i,
+                       sc.start_of[i],
+                       sc.end_of[i],
+                       sc.power_of[i],
+                       sc.sf_of[i],
+                       sc.net_of[i],
+                       rx_ch};
+
+    // One lower_bound finds the candidate bucket run (ids are consecutive
+    // within [center-1, center+1], and buckets are id-sorted), walked in
+    // ascending id order — the same order the scalar loop probes them.
+    const std::int64_t center_bucket = bucket_of(sc.channel_of[i].center);
+    auto bucket_it = std::lower_bound(
+        sc.buckets.begin(), sc.buckets.end(), center_bucket - 1,
+        [](const RxScratch::Bucket& b, std::int64_t id) { return b.id < id; });
+    for (; bucket_it != sc.buckets.end() && bucket_it->id <= center_bucket + 1;
+         ++bucket_it) {
+      const auto bpos =
+          static_cast<std::size_t>(bucket_it - sc.buckets.begin());
+      if (bucket_it->uniform) {
+        const auto& memo = sc.bucket_chain[bpos * n_chains + chain];
+        if (memo.rho <= 0.0) continue;
+        if (memo.rho >= kDetectOverlapThreshold) {
+          scan_bucket_aligned_grouped(
+              soa, sc.order_sf.data(), sc.pos_sf.data(),
+              sc.sf_groups.data() + bucket_it->groups_begin,
+              sc.sf_groups.data() + bucket_it->groups_end,
+              sc.group_cursor.data() + bucket_it->groups_begin,
+              bucket_it->max_duration, se, acc);
+        } else {
+          scan_bucket_misaligned_uniform(soa, order + bucket_it->begin,
+                                         order + bucket_it->end,
+                                         sc.bucket_cursor[bpos],
+                                         bucket_it->max_duration,
+                                         memo.coupling, se, acc);
+        }
+      } else {
+        scan_bucket_scalar(soa, order + bucket_it->begin,
+                           order + bucket_it->end, /*uniform=*/false,
+                           /*rho_uniform=*/0.0, bucket_it->max_duration, se,
+                           acc);
       }
     }
+
+    // Combined same-SF co-channel power must also satisfy capture.
+    if (!acc.collided && acc.aligned_same_sf_lin > 0.0) {
+      const Dbm combined = lin_to_dbm(acc.aligned_same_sf_lin);
+      if (se.power - combined < capture_sir_threshold(se.sf, se.sf)) {
+        acc.collided = true;
+      }
+    }
+
+    if (acc.collided) {
+      out.disposition = RxDisposition::kDroppedCollision;
+      out.foreign_interferer = acc.foreign_fatal;
+      continue;
+    }
+
+    const Db snr_eff =
+        se.power - lin_to_dbm(noise_lin + acc.misaligned_intf_lin);
+    if (snr_eff < demod_snr_threshold(se.sf)) {
+      out.disposition = RxDisposition::kDroppedLowSnr;
+      continue;
+    }
+
+    out.disposition = tbl.sync[view.tx_index[i]] == sync_word_
+                          ? RxDisposition::kDelivered
+                          : RxDisposition::kDecodedForeign;
   }
-  return outcomes;
+
+  if (capture_policy_ != nullptr) apply_capture_policy(view.count, outcomes);
 }
 
 }  // namespace alphawan

@@ -11,22 +11,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "phy/batch_kernels.hpp"
+#include "phy/overlap.hpp"
 #include "radio/capture_policy.hpp"
 #include "radio/decoder_pool.hpp"
 #include "radio/dispatcher.hpp"
 #include "radio/profiles.hpp"
 #include "radio/rx_chain.hpp"
+#include "radio/rx_batch.hpp"
 #include "radio/transmission.hpp"
 
 namespace alphawan {
-
-// Extra rejection (dB) applied to a *misaligned* interferer using a
-// different spreading factor: partial-band energy of an orthogonal chirp is
-// further suppressed by despreading. Same-SF misaligned energy keeps some
-// chirp structure and is only suppressed by the channel filter. This split
-// is what makes non-orthogonal DRs on overlapping channels measurably worse
-// (paper Figs. 8 and 16).
-inline constexpr Db kCrossSfMisalignedRejection{12.0};
 
 class GatewayRadio {
  public:
@@ -64,6 +59,20 @@ class GatewayRadio {
   [[nodiscard]] std::vector<RxOutcome> process(
       const std::vector<RxEvent>& events);
 
+  // Batched-mode variant (ALPHAWAN_BATCH=1, sim/batch.hpp): same pipeline
+  // driven off the window's shared WindowTxTable columns through the
+  // batched kernels (phy/batch_kernels.hpp), returning outcomes
+  // bit-identical to process() on the equivalent RxEvent list
+  // (tests/property/test_prop_kernels.cpp). Capture policies read the
+  // columnar CaptureContext, filled from the same per-event scratch
+  // columns in both pipelines, so no RxEvent list is ever materialized.
+  [[nodiscard]] std::vector<RxOutcome> process(const RxEventView& view);
+
+  // In-place form of the batched variant: fills `outcomes` (resized to
+  // view.count) instead of returning a fresh vector, so a caller-owned
+  // buffer keeps its capacity across windows.
+  void process_into(const RxEventView& view, std::vector<RxOutcome>& outcomes);
+
  private:
   // Reusable per-window working storage (docs/performance.md): allocated
   // once, capacity retained across windows, so a steady-state window does
@@ -83,6 +92,11 @@ class GatewayRadio {
     std::vector<Dbm> power_of;
     std::vector<SpreadingFactor> sf_of;
     std::vector<NetworkId> net_of;
+    // Capture-policy columns (node + per-tx sync word), filled only when a
+    // policy is installed — the columnar CaptureContext points into these
+    // plus the hot columns above.
+    std::vector<NodeId> node_of;
+    std::vector<std::uint16_t> sync_of;
     struct Bucket {
       std::int64_t id = 0;      // coarse frequency bucket
       std::uint32_t begin = 0;  // [begin, end) range into `order`
@@ -93,6 +107,10 @@ class GatewayRadio {
       // and zero overlap skips its entire scan range.
       bool uniform = true;
       Channel channel{};
+      // Batched mode only: [groups_begin, groups_end) into sf_groups for a
+      // uniform bucket's stable SF grouping (empty for mixed buckets).
+      std::uint32_t groups_begin = 0;
+      std::uint32_t groups_end = 0;
     };
     std::vector<std::int64_t> bucket_id;     // per-event coarse bucket
     std::vector<std::uint32_t> bucket_count; // counting-sort workspace
@@ -122,6 +140,24 @@ class GatewayRadio {
     // Pre-resolve disposition snapshot for the capture-policy budget check
     // (only filled when a policy is installed).
     std::vector<RxDisposition> pre_policy;
+    // Batched-mode extras, filled by build_sf_groups_and_memos: every
+    // uniform bucket's events stably regrouped by SF (order_sf, with
+    // pos_sf the bucket rank of each entry), the flat SF-group ranges, and
+    // the per-(bucket, chain) overlap/coupling memo — values the scalar
+    // scan recomputes identically per decoded event.
+    std::vector<std::uint32_t> order_sf;
+    std::vector<std::uint32_t> pos_sf;
+    std::vector<SfGroup> sf_groups;
+    // Monotone window-start cursors (one per SF group / per bucket): the
+    // batched scan walks decoded events in ascending start order, so each
+    // kernel's lower window edge only ever advances (phy/batch_kernels.hpp).
+    std::vector<std::uint32_t> group_cursor;
+    std::vector<std::uint32_t> bucket_cursor;
+    struct BucketChainMemo {
+      double rho = 0.0;
+      Db coupling{-400.0};
+    };
+    std::vector<BucketChainMemo> bucket_chain;  // bucket * n_chains + chain
   };
 
   // Memoized best_chain: the chain index for a packet channel, or -1 when
@@ -131,6 +167,23 @@ class GatewayRadio {
   // Memoized airtime terms for one transmission's radio settings.
   [[nodiscard]] const RxScratch::AirtimeMemo& airtime_for(
       const Transmission& tx);
+
+  // Phase 2: FCFS dispatch of the filled queue into the decoder pool.
+  // `already_sorted` skips sort_fcfs when the caller proved the queue
+  // strictly ascending by (lock_on, packet) — any comparison sort is the
+  // identity there, so skipping cannot change the dispatch order.
+  void dispatch_queue(std::vector<RxOutcome>& outcomes, bool already_sorted);
+  // Phase 3a: coarse frequency bucketing + per-bucket start-time sort over
+  // the phase-1 scratch columns (shared verbatim by both pipelines).
+  void build_bucket_index(std::size_t count);
+  // Batched phase-3 prep: stable SF grouping of every uniform bucket and
+  // the per-(bucket, chain) overlap/coupling memos.
+  void build_sf_groups_and_memos(std::size_t count);
+  // Phase 4: pluggable capture resolution + the decoder-budget check.
+  // Builds the columnar CaptureContext over the first `count` entries of
+  // the per-event scratch columns (both pipelines fill the same columns).
+  void apply_capture_policy(std::size_t count,
+                            std::vector<RxOutcome>& outcomes);
 
   GatewayProfile profile_;
   NetworkId network_;

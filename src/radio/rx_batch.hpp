@@ -1,0 +1,73 @@
+// Window-level SoA views for the batched receive pipeline (ALPHAWAN_BATCH,
+// sim/batch.hpp).
+//
+// The scalar runner hands each gateway a vector of wide RxEvent structs; the
+// batched runner instead builds ONE WindowTxTable per window — the per-field
+// columns of the shared transmission list, with the airtime-derived times
+// (lock_on / end) memoized once per radio setting — and hands each gateway a
+// thin RxEventView: indices into that table plus the per-gateway received
+// powers. Every per-event quantity a gateway reads is either a table column
+// (shared, computed once per window instead of once per (gateway, event))
+// or a view column, so the batched GatewayRadio::process never touches a
+// Transmission struct on its hot path.
+//
+// Bit-exactness: the table columns hold exactly the values the scalar path
+// computes from the structs — end[t] is start + time_on_air(...) through the
+// same memoized pure function GatewayRadio::airtime_for evaluates, lock_on[t]
+// likewise — so both pipelines feed identical doubles into identical
+// expressions (tests/property/test_prop_kernels.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/transmission.hpp"
+
+namespace alphawan {
+
+// Per-field columns of one window's transmission list. build() may be called
+// every window; the airtime memo persists across builds (time_on_air /
+// preamble_duration are pure functions of the radio settings).
+struct WindowTxTable {
+  std::vector<Seconds> start;
+  std::vector<Seconds> end;      // start + time_on_air (== Transmission::end)
+  std::vector<Seconds> lock_on;  // start + preamble   (== Transmission::lock_on)
+  std::vector<Channel> channel;
+  std::vector<SpreadingFactor> sf;
+  std::vector<NetworkId> net;
+  std::vector<Dbm> tx_power;
+  std::vector<PacketId> packet;
+  std::vector<NodeId> node;
+  std::vector<std::uint16_t> sync;
+
+  void build(const std::vector<Transmission>& txs);
+  [[nodiscard]] std::size_t size() const { return start.size(); }
+
+ private:
+  // time_on_air/preamble_duration per distinct (params, payload) — the same
+  // memo shape as GatewayRadio::RxScratch::AirtimeMemo, evaluated through
+  // the same pure formulas, so the cached terms are bit-identical.
+  struct AirtimeMemo {
+    TxParams params{};
+    std::uint32_t payload_bytes = 0;
+    Seconds airtime{0.0};
+    Seconds preamble{0.0};
+  };
+  [[nodiscard]] const AirtimeMemo& airtime_for(const Transmission& tx);
+  std::vector<AirtimeMemo> memo_;
+};
+
+// One gateway's view of a window: `count` events, where event k is
+// transmission tx_index[k] received at power rx_power[k]. Both arrays are
+// owned by the caller (the runner's per-task arenas) and must outlive the
+// process() call. Indices ascend in transmission order — the same order the
+// scalar path pushes RxEvents — so every downstream accumulation order is
+// identical.
+struct RxEventView {
+  const WindowTxTable* table = nullptr;
+  const std::uint32_t* tx_index = nullptr;
+  const Dbm* rx_power = nullptr;
+  std::size_t count = 0;
+};
+
+}  // namespace alphawan

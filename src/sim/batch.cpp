@@ -1,0 +1,25 @@
+#include "sim/batch.hpp"
+
+#include <cstdlib>
+
+namespace alphawan {
+
+int parse_batch_mode(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value == 0) return 0;
+  return 1;
+}
+
+int default_batch_mode() {
+  static const int mode = parse_batch_mode(std::getenv("ALPHAWAN_BATCH"));
+  return mode;
+}
+
+int resolve_batch_mode(int requested) {
+  if (requested < 0) return default_batch_mode();
+  return requested == 0 ? 0 : 1;
+}
+
+}  // namespace alphawan

@@ -1,0 +1,24 @@
+// Batched-kernel mode selection for the receive pipeline, mirroring the
+// ALPHAWAN_SHARDS / ALPHAWAN_THREADS conventions (sim/shard.hpp): an env
+// process default plus an explicit RunOptions override. Mode 0 runs the
+// scalar reference kernels, mode 1 the batched ones (phy/batch_kernels.hpp);
+// both produce bit-identical results (docs/performance.md, enforced by
+// tests/property/test_prop_kernels.cpp), so the switch trades nothing but
+// speed.
+#pragma once
+
+namespace alphawan {
+
+// Parse an ALPHAWAN_BATCH value: "1" (or any nonzero integer) selects the
+// batched kernels, everything else — unset, empty, "0", garbage — the
+// scalar reference path.
+[[nodiscard]] int parse_batch_mode(const char* text);
+
+// The process-wide default, read once from ALPHAWAN_BATCH.
+[[nodiscard]] int default_batch_mode();
+
+// Resolve a RunOptions::batch request: negative = the process default,
+// otherwise 0 (scalar) / nonzero (batched).
+[[nodiscard]] int resolve_batch_mode(int requested);
+
+}  // namespace alphawan

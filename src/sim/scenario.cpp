@@ -4,8 +4,10 @@
 
 #include "check/invariants.hpp"
 #include "common/parallel.hpp"
+#include "phy/batch_kernels.hpp"
 #include "phy/sensitivity.hpp"
 #include "radio/detector.hpp"
+#include "sim/batch.hpp"
 
 namespace alphawan {
 namespace {
@@ -13,13 +15,6 @@ namespace {
 // substreams derived from the same runner seed.
 constexpr std::uint64_t kFadingDomain = 0xFAD1'F0E5'7A7EULL;
 
-// Everything one gateway produces from a window, computed independently of
-// every other gateway and merged in deployment order afterwards.
-struct GatewayYield {
-  std::vector<RxOutcome> outcomes;
-  std::vector<std::size_t> event_tx_index;
-  std::vector<UplinkRecord> uplinks;
-};
 }  // namespace
 
 Rng packet_link_rng(const Rng& root, GatewayId gateway, PacketId packet) {
@@ -153,13 +148,29 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   if (sc.events.size() < tasks.size()) sc.events.resize(tasks.size());
   const double fading_sigma = channel.config().fast_fading_sigma_db.value();
 
+  // Batched receive kernels (sim/batch.hpp): build the window's shared
+  // transmission columns once; each gateway task then consumes them through
+  // the batched fading / filter / scan kernels instead of per-event struct
+  // walks. Either mode yields bit-identical windows
+  // (tests/property/test_prop_kernels.cpp).
+  const bool batched = resolve_batch_mode(options_.batch) != 0;
+  if (batched) {
+    sc.table.build(txs);
+    if (sc.task_idx.size() < tasks.size()) {
+      sc.task_idx.resize(tasks.size());
+      sc.task_fade.resize(tasks.size());
+      sc.task_power.resize(tasks.size());
+    }
+  }
+
   // Per-gateway pipelines are independent: each consumes its shard's
   // candidate transmission list and touches only its own gateway (the link
   // cache slices and scratch arenas are read-only / per-task here). Yields
   // land in shard-local staging; the window barrier below publishes them.
   // The invariant checker's observer protocol is sequential, so an attached
   // checker forces serial execution.
-  std::vector<std::vector<GatewayYield>> staged(shards);
+  auto& staged = sc.staged;
+  staged.resize(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     staged[s].resize(sc.shards[s].tasks.size());
   }
@@ -170,6 +181,7 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
         auto& [network, gw] = tasks[t];
         const auto& sh = sc.shards[sc.task_shard[t]];
         auto& yield = staged[sc.task_shard[t]][sc.task_slot[t]];
+        yield.uplinks.clear();
         // Build this gateway's view of the air from the cached static link
         // terms; only the fast-fading draw is per-packet. The expression
         // reproduces the uncached arithmetic term for term —
@@ -178,29 +190,78 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
         const auto gains = caches.slice(sc.task_shard[t]).gains(sc.task_col[t]);
         auto& events = sc.events[t];
         events.clear();
-        events.reserve(txs.size());
-        yield.event_tx_index.reserve(txs.size());
-        const auto consider = [&](std::size_t i) {
-          const auto& tx = txs[i];
-          const LinkGain g = gains[sh.row_of_tx[i]];
-          Rng link_rng = packet_link_rng(rng_, gw->id(), tx.id);
-          const Db fading{link_rng.normal_once(0.0, fading_sigma)};
-          const Dbm rx_power =
-              tx.tx_power - g.path_loss + fading + g.antenna_gain;
-          if (rx_power < floor) return;
-          events.push_back(RxEvent{tx, rx_power});
-          yield.event_tx_index.push_back(i);
-        };
-        if (sh.use_mask) {
-          const std::uint64_t bit = std::uint64_t{1} << sc.task_col[t];
-          for (std::size_t i = 0; i < txs.size(); ++i) {
-            if (sh.tx_mask[i] & bit) consider(i);
+        if (batched) {
+          // Batched pipeline: gather the gateway's candidate transmission
+          // indices (same ascending order the scalar loop visits), draw
+          // their fading in one keyed batch, filter by the prune floor,
+          // then run the batched radio kernels off the shared columns.
+          auto& idx = sc.task_idx[t];
+          auto& fade = sc.task_fade[t];
+          auto& power = sc.task_power[t];
+          idx.clear();
+          if (sh.use_mask) {
+            const std::uint64_t bit = std::uint64_t{1} << sc.task_col[t];
+            for (std::size_t i = 0; i < txs.size(); ++i) {
+              if (sh.tx_mask[i] & bit) {
+                idx.push_back(static_cast<std::uint32_t>(i));
+              }
+            }
+          } else {
+            const auto& list = sh.gw_txs[sc.task_col[t]];
+            idx.assign(list.begin(), list.end());
           }
+          fade.resize(idx.size());
+          power.resize(idx.size());
+          const SubstreamBatch fading_stream(
+              rng_,
+              kFadingDomain ^ (static_cast<std::uint64_t>(gw->id()) << 40));
+          batch_fading_draws(fading_stream, sc.table.packet.data(), idx.data(),
+                             idx.size(), fading_sigma, fade.data());
+          const std::size_t kept = batch_rx_power_filter(
+              gains, sh.row_of_tx.data(), sc.table.tx_power.data(),
+              fade.data(), floor, idx.data(), idx.size(), power.data());
+          idx.resize(kept);
+          power.resize(kept);
+          yield.event_tx_index.assign(idx.begin(), idx.end());
+          // The deprecated RxPostProcessor shim is the one consumer left
+          // that takes an RxEvent list; capture policies read the columnar
+          // CaptureContext inside the radio and need no materialization.
+          if (options_.post_processor) {
+            events.reserve(kept);
+            for (std::size_t k = 0; k < kept; ++k) {
+              events.push_back(RxEvent{txs[idx[k]], power[k]});
+            }
+          }
+          const RxEventView view{&sc.table, idx.data(), power.data(), kept};
+          gw->receive_window(view, yield.uplinks, yield.outcomes);
         } else {
-          for (const std::uint32_t i : sh.gw_txs[sc.task_col[t]]) consider(i);
-        }
+          events.reserve(txs.size());
+          yield.event_tx_index.clear();
+          yield.event_tx_index.reserve(txs.size());
+          const auto consider = [&](std::size_t i) {
+            const auto& tx = txs[i];
+            const LinkGain g = gains[sh.row_of_tx[i]];
+            Rng link_rng = packet_link_rng(rng_, gw->id(), tx.id);
+            const Db fading{link_rng.normal_once(0.0, fading_sigma)};
+            const Dbm rx_power =
+                tx.tx_power - g.path_loss + fading + g.antenna_gain;
+            if (rx_power < floor) return;
+            events.push_back(RxEvent{tx, rx_power});
+            yield.event_tx_index.push_back(i);
+          };
+          if (sh.use_mask) {
+            const std::uint64_t bit = std::uint64_t{1} << sc.task_col[t];
+            for (std::size_t i = 0; i < txs.size(); ++i) {
+              if (sh.tx_mask[i] & bit) consider(i);
+            }
+          } else {
+            for (const std::uint32_t i : sh.gw_txs[sc.task_col[t]]) {
+              consider(i);
+            }
+          }
 
-        yield.outcomes = gw->receive_window(events, yield.uplinks);
+          yield.outcomes = gw->receive_window(events, yield.uplinks);
+        }
         if (options_.post_processor) {
           options_.post_processor(*gw, events, yield.outcomes);
           // Post-processors may promote outcomes to kDelivered; forward
@@ -238,7 +299,7 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   // (docs/sharding.md).
   Seconds barrier{0.0};
   for (const auto& tx : txs) barrier = std::max(barrier, tx.end());
-  std::vector<GatewayYield> yields(tasks.size());
+  sc.yield_ptr.assign(tasks.size(), nullptr);
   for (std::size_t s = 0; s < shards; ++s) {
     auto& sh = sc.shards[s];
     sh.engine.reset();
@@ -251,7 +312,7 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
             ++shard_stats_.boundary_events;
           }
         }
-        yields[owned[k]] = std::move(mine[k]);
+        sc.yield_ptr[owned[k]] = &mine[k];
       }
     });
   }
@@ -267,7 +328,7 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
     std::size_t t = 0;
     for (auto& network : deployment_.networks()) {
       for ([[maybe_unused]] auto& gw : network.gateways()) {
-        const auto& yield = yields[t++];
+        const auto& yield = *sc.yield_ptr[t++];
         for (const std::size_t i : yield.event_tx_index) {
           if (txs[i].network == network.id()) ++sc.own_count[i];
         }
@@ -279,7 +340,12 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
   for (std::size_t i = 0; i < txs.size(); ++i) {
     sc.own_offset[i + 1] = sc.own_offset[i] + sc.own_count[i];
   }
-  sc.own_flat.resize(sc.own_offset[txs.size()]);
+  // Growth-only: every slot in [0, own_offset[n]) is written by the fill
+  // pass below before the classify pass reads it, so neither shrinking nor
+  // zero-initializing a reused prefix buys anything.
+  if (sc.own_flat.size() < sc.own_offset[txs.size()]) {
+    sc.own_flat.resize(sc.own_offset[txs.size()]);
+  }
   // Reuse own_count as the per-packet fill cursor (relative to the offset).
   std::fill(sc.own_count.begin(), sc.own_count.end(), 0);
   std::size_t t = 0;
@@ -287,7 +353,7 @@ WindowResult ScenarioRunner::run_window(const std::vector<Transmission>& txs) {
     std::vector<UplinkRecord>& uplinks = sc.uplinks;
     uplinks.clear();
     for ([[maybe_unused]] auto& gw : network.gateways()) {
-      auto& yield = yields[t++];
+      const auto& yield = *sc.yield_ptr[t++];
       for (std::size_t e = 0; e < yield.outcomes.size(); ++e) {
         const std::size_t i = yield.event_tx_index[e];
         if (txs[i].network != network.id()) continue;  // foreign at this GW

@@ -66,6 +66,11 @@ struct RunOptions {
   // ALPHAWAN_SHARDS process default, >= 1 explicit. Any count produces
   // bit-identical results (docs/sharding.md).
   int shards = 0;
+  // Batched PHY receive kernels (sim/batch.hpp): -1 = the ALPHAWAN_BATCH
+  // process default, 0 = scalar reference, >= 1 = batched. Either mode
+  // produces bit-identical results (docs/performance.md, enforced by
+  // tests/property/test_prop_kernels.cpp).
+  int batch = -1;
 };
 
 // Telemetry from the last window's shard partition: how many transmitter
@@ -77,6 +82,16 @@ struct ShardWindowStats {
   std::size_t resident_rows = 0;   // rows materialized across all slices
   std::size_t boundary_rows = 0;   // audible (tx, shard) pairs away from home
   std::size_t boundary_events = 0; // rx events that crossed a border
+};
+
+// Everything one gateway produces from a window, computed independently of
+// every other gateway and merged in deployment order afterwards. Lives in
+// the runner's scratch so the buffers (outcome lists above all) keep their
+// capacity across windows instead of being reallocated every window.
+struct GatewayYield {
+  std::vector<RxOutcome> outcomes;
+  std::vector<std::size_t> event_tx_index;
+  std::vector<UplinkRecord> uplinks;
 };
 
 struct WindowResult {
@@ -160,6 +175,21 @@ class ScenarioRunner {
     std::vector<std::uint32_t> task_shard;  // task index -> home shard
     std::vector<std::uint32_t> task_slot;   // task index -> slot in shard
     std::vector<std::vector<RxEvent>> events;  // per-task event arena
+    // Per-shard staging slots for the window's yields, plus the publish
+    // pointers the barrier exchange fills (global task index -> staged
+    // yield). Pointer publication replaces the old move-into-a-local-vector
+    // exchange so the per-task buffers persist window to window.
+    std::vector<std::vector<GatewayYield>> staged;
+    std::vector<const GatewayYield*> yield_ptr;
+    // Batched-mode arenas (ALPHAWAN_BATCH=1): the window's shared
+    // transmission columns plus per-task candidate index / fading / power
+    // buffers consumed by the batched kernels (phy/batch_kernels.hpp).
+    // The RxEvent arenas above are then only materialized for tasks whose
+    // gateway runs a post-processor or capture policy (both take events).
+    WindowTxTable table;
+    std::vector<std::vector<std::uint32_t>> task_idx;
+    std::vector<std::vector<double>> task_fade;
+    std::vector<std::vector<Dbm>> task_power;
     // Flat per-packet own-network outcome gather (count / prefix / fill).
     std::vector<std::uint32_t> own_count;
     std::vector<std::uint32_t> own_offset;

@@ -1,0 +1,356 @@
+// Kernel-level differential tests of the batched PHY receive kernels
+// (phy/batch_kernels.hpp) against their scalar references, on synthetic
+// SoA buckets the tests control exactly — the property suite
+// (tests/property/test_prop_kernels.cpp) covers whole-pipeline worlds;
+// here each kernel is driven in isolation, including the edge shapes:
+// empty buckets, a single event, and the monotone-cursor protocol.
+#include "phy/batch_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "phy/band_plan.hpp"
+#include "phy/lora_params.hpp"
+
+namespace alphawan {
+namespace {
+
+const Spectrum kSpec = spectrum_1m6();
+
+// ---- keyed substream batching --------------------------------------------
+
+TEST(SubstreamBatch, MatchesTwoKeySubstreamBitForBit) {
+  const Rng root(0xFEED5EEDULL);
+  const std::uint64_t a = 0xFAD1'F0E5'7A7EULL ^ (std::uint64_t{7} << 40);
+  const SubstreamBatch batch(root, a);
+  for (const std::uint64_t b : {0ULL, 1ULL, 42ULL, 0xFFFF'FFFF'FFFFULL}) {
+    Rng direct = root.substream(a, b);
+    Rng batched = batch.at(b);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(direct.next(), batched.next()) << "key " << b << " draw " << i;
+    }
+  }
+}
+
+TEST(BatchFadingDraws, MatchesScalarNormalOnceDraws) {
+  const Rng root(20260808ULL);
+  const std::uint64_t domain = 0xFAD1'F0E5'7A7EULL ^ (std::uint64_t{3} << 40);
+  const SubstreamBatch stream(root, domain);
+  const double sigma = 2.5;
+
+  std::vector<PacketId> packets = {901, 17, 17, 5000, 1, 902};
+  std::vector<std::uint32_t> tx_index = {5, 0, 2, 3};  // arbitrary subset
+  std::vector<double> out(tx_index.size());
+  batch_fading_draws(stream, packets.data(), tx_index.data(), tx_index.size(),
+                     sigma, out.data());
+  for (std::size_t k = 0; k < tx_index.size(); ++k) {
+    Rng scalar = root.substream(domain, packets[tx_index[k]]);
+    EXPECT_EQ(out[k], scalar.normal_once(0.0, sigma)) << "draw " << k;
+  }
+}
+
+TEST(BatchFadingDraws, EmptyBatchWritesNothing) {
+  const Rng root(1ULL);
+  const SubstreamBatch stream(root, 99);
+  double sentinel = 123.0;
+  batch_fading_draws(stream, nullptr, nullptr, 0, 1.0, &sentinel);
+  EXPECT_EQ(sentinel, 123.0);
+}
+
+// ---- candidate rx-power filter -------------------------------------------
+
+TEST(BatchRxPowerFilter, MatchesScalarExpressionAndCompacts) {
+  std::vector<LinkGain> gains = {
+      LinkGain{Db{70.0}, Db{2.0}},
+      LinkGain{Db{120.0}, Db{0.0}},
+      LinkGain{Db{95.5}, Db{-1.5}},
+  };
+  std::vector<std::uint32_t> row_of_tx = {0, 1, 2, 1, 0};
+  std::vector<Dbm> tx_power = {Dbm{14.0}, Dbm{14.0}, Dbm{12.0}, Dbm{20.0},
+                               Dbm{2.0}};
+  std::vector<std::uint32_t> idx = {0, 1, 2, 3, 4};
+  std::vector<double> fading = {0.5, -3.0, 1.25, 4.0, -0.75};
+  const Dbm floor{-100.0};
+
+  std::vector<std::uint32_t> expect_idx;
+  std::vector<Dbm> expect_power;
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const LinkGain g = gains[row_of_tx[idx[k]]];
+    const Dbm rx =
+        tx_power[idx[k]] - g.path_loss + Db{fading[k]} + g.antenna_gain;
+    if (rx < floor) continue;
+    expect_idx.push_back(idx[k]);
+    expect_power.push_back(rx);
+  }
+  ASSERT_FALSE(expect_idx.empty());
+  ASSERT_LT(expect_idx.size(), idx.size());  // the case exercises both fates
+
+  std::vector<Dbm> out_power(idx.size(), Dbm{-400.0});
+  const std::size_t kept = batch_rx_power_filter(
+      gains, row_of_tx.data(), tx_power.data(), fading.data(), floor,
+      idx.data(), idx.size(), out_power.data());
+  ASSERT_EQ(kept, expect_idx.size());
+  for (std::size_t k = 0; k < kept; ++k) {
+    EXPECT_EQ(idx[k], expect_idx[k]);
+    EXPECT_EQ(out_power[k].value(), expect_power[k].value());
+  }
+}
+
+TEST(BatchRxPowerFilter, EmptyBatchKeepsNothing) {
+  std::vector<LinkGain> gains = {LinkGain{}};
+  EXPECT_EQ(batch_rx_power_filter(gains, nullptr, nullptr, nullptr,
+                                  Dbm{-100.0}, nullptr, 0, nullptr),
+            0u);
+}
+
+// ---- synthetic uniform buckets for the scan kernels ----------------------
+
+struct SyntheticBucket {
+  std::vector<Seconds> start;
+  std::vector<Seconds> end;
+  std::vector<double> lin_power;
+  std::vector<Channel> channel;
+  std::vector<Dbm> power;
+  std::vector<SpreadingFactor> sf;
+  std::vector<NetworkId> net;
+  std::vector<std::uint32_t> order;     // start-sorted event indices
+  std::vector<std::uint32_t> order_sf;  // stable SF regrouping of `order`
+  std::vector<std::uint32_t> pos_sf;    // bucket rank of each order_sf entry
+  std::vector<SfGroup> groups;
+  Seconds lookback{0.0};
+
+  [[nodiscard]] RxScanSoA soa() const {
+    return RxScanSoA{start.data(), end.data(),   lin_power.data(),
+                     channel.data(), power.data(), sf.data(),
+                     net.data()};
+  }
+};
+
+// A random uniform-channel bucket, grouped exactly the way
+// GatewayRadio::build_sf_groups_and_memos does it (stable counting sort by
+// SF over the start-sorted order).
+SyntheticBucket make_bucket(Rng& rng, std::size_t count, const Channel& ch) {
+  SyntheticBucket b;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Seconds start{rng.uniform(0.0, 0.8)};
+    const Seconds dur{rng.uniform(0.02, 0.2)};
+    const Dbm power{rng.uniform(-135.0, -55.0)};
+    b.start.push_back(start);
+    b.end.push_back(start + dur);
+    b.power.push_back(power);
+    b.lin_power.push_back(batch_detail::dbm_to_lin(power));
+    b.channel.push_back(ch);
+    b.sf.push_back(sf_from_index(
+        static_cast<int>(rng.uniform_int(0, kNumSpreadingFactors - 1))));
+    b.net.push_back(static_cast<NetworkId>(rng.uniform_int(0, 2)));
+  }
+  b.order.resize(count);
+  std::iota(b.order.begin(), b.order.end(), 0u);
+  std::sort(b.order.begin(), b.order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              if (b.start[x] != b.start[y]) return b.start[x] < b.start[y];
+              return x < y;
+            });
+  Seconds longest{0.0};
+  for (std::size_t i = 0; i < count; ++i) {
+    longest = std::max(longest, b.end[i] - b.start[i]);
+  }
+  b.lookback = longest;
+
+  // Stable counting sort by SF, mirroring build_sf_groups_and_memos.
+  std::uint32_t counts[kNumSpreadingFactors] = {};
+  Dbm max_power[kNumSpreadingFactors];
+  for (auto& p : max_power) p = Dbm{-400.0};
+  for (const std::uint32_t j : b.order) {
+    const int s = sf_index(b.sf[j]);
+    ++counts[s];
+    if (b.power[j] > max_power[s]) max_power[s] = b.power[j];
+  }
+  std::uint32_t cursor[kNumSpreadingFactors];
+  std::uint32_t running = 0;
+  for (int s = 0; s < kNumSpreadingFactors; ++s) {
+    cursor[s] = running;
+    if (counts[s] > 0) {
+      b.groups.push_back(
+          SfGroup{running, running + counts[s], sf_from_index(s), max_power[s]});
+    }
+    running += counts[s];
+  }
+  b.order_sf.resize(count);
+  b.pos_sf.resize(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint32_t j = b.order[k];
+    auto& cur = cursor[sf_index(b.sf[j])];
+    b.order_sf[cur] = j;
+    b.pos_sf[cur] = k;
+    ++cur;
+  }
+  return b;
+}
+
+// Decoded events in ascending (start, index) order — the visit order the
+// batched pipeline guarantees the cursor kernels.
+std::vector<std::uint32_t> decoded_ascending(const SyntheticBucket& b) {
+  std::vector<std::uint32_t> decoded(b.start.size());
+  std::iota(decoded.begin(), decoded.end(), 0u);
+  std::sort(decoded.begin(), decoded.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              if (b.start[x] != b.start[y]) return b.start[x] < b.start[y];
+              return x < y;
+            });
+  return decoded;
+}
+
+ScanEvent event_of(const SyntheticBucket& b, std::uint32_t i,
+                   const Channel& rx_ch) {
+  return ScanEvent{i,        b.start[i], b.end[i], b.power[i],
+                   b.sf[i],  b.net[i],   rx_ch};
+}
+
+// Scalar-vs-batched comparison contract: the collision verdict and its
+// attribution always match; the interference sums only while no collision
+// occurred (they are dead values afterwards — the pipeline drops the event
+// before reading them, and the batched kernels stop maintaining them).
+void expect_equivalent(const ScanAccum& scalar, const ScanAccum& batched,
+                       std::uint32_t i) {
+  ASSERT_EQ(scalar.collided, batched.collided) << "event " << i;
+  if (scalar.collided) {
+    EXPECT_EQ(scalar.foreign_fatal, batched.foreign_fatal) << "event " << i;
+  } else {
+    EXPECT_EQ(scalar.aligned_same_sf_lin, batched.aligned_same_sf_lin)
+        << "event " << i;
+    EXPECT_EQ(scalar.misaligned_intf_lin, batched.misaligned_intf_lin)
+        << "event " << i;
+  }
+}
+
+TEST(ScanBucketAligned, MatchesScalarOnRandomBuckets) {
+  Rng rng(0xA11C0DEULL);
+  const Channel ch = kSpec.grid_channel(0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 80));
+    SyntheticBucket b = make_bucket(rng, count, ch);
+    std::vector<std::uint32_t> cursors;
+    for (const auto& g : b.groups) cursors.push_back(g.begin);
+    for (const std::uint32_t i : decoded_ascending(b)) {
+      const ScanEvent ev = event_of(b, i, ch);
+      ScanAccum scalar;
+      scan_bucket_scalar(b.soa(), b.order.data(),
+                         b.order.data() + b.order.size(), /*uniform=*/true,
+                         /*rho_uniform=*/1.0, b.lookback, ev, scalar);
+      ScanAccum batched;
+      scan_bucket_aligned_grouped(b.soa(), b.order_sf.data(), b.pos_sf.data(),
+                                  b.groups.data(),
+                                  b.groups.data() + b.groups.size(),
+                                  cursors.data(), b.lookback, ev, batched);
+      expect_equivalent(scalar, batched, i);
+    }
+  }
+}
+
+TEST(ScanBucketAligned, SingleEventBucketSeesNoInterferer) {
+  Rng rng(7ULL);
+  const Channel ch = kSpec.grid_channel(1);
+  SyntheticBucket b = make_bucket(rng, 1, ch);
+  std::vector<std::uint32_t> cursors = {b.groups[0].begin};
+  const ScanEvent ev = event_of(b, 0, ch);
+  ScanAccum acc;
+  scan_bucket_aligned_grouped(b.soa(), b.order_sf.data(), b.pos_sf.data(),
+                              b.groups.data(), b.groups.data() + 1,
+                              cursors.data(), b.lookback, ev, acc);
+  EXPECT_FALSE(acc.collided);
+  EXPECT_EQ(acc.aligned_same_sf_lin, 0.0);
+  EXPECT_EQ(acc.misaligned_intf_lin, 0.0);
+}
+
+TEST(ScanBucketAligned, EmptyGroupSpanIsANoOp) {
+  Rng rng(8ULL);
+  const Channel ch = kSpec.grid_channel(2);
+  SyntheticBucket b = make_bucket(rng, 4, ch);
+  const ScanEvent ev = event_of(b, 0, ch);
+  ScanAccum acc;
+  // groups_begin == groups_end: the mixed-bucket / empty-bucket shape.
+  scan_bucket_aligned_grouped(b.soa(), b.order_sf.data(), b.pos_sf.data(),
+                              b.groups.data(), b.groups.data(), nullptr,
+                              b.lookback, ev, acc);
+  EXPECT_FALSE(acc.collided);
+  EXPECT_EQ(acc.aligned_same_sf_lin, 0.0);
+}
+
+TEST(ScanBucketMisaligned, MatchesScalarOnPartialOverlapBuckets) {
+  Rng rng(0xB0B0ULL);
+  const Channel bucket_ch = kSpec.grid_channel(0);
+  // A receive chain whose channel partially overlaps the bucket's: shift
+  // the center by 60% of the bandwidth, keeping 0 < rho < threshold.
+  const Channel rx_ch{bucket_ch.center + Hz{0.6 * bucket_ch.bandwidth.value()},
+                      bucket_ch.bandwidth};
+  const double rho = overlap_ratio(bucket_ch, rx_ch);
+  ASSERT_GT(rho, 0.0);
+  ASSERT_LT(rho, kDetectOverlapThreshold);
+  const Db coupling = coupling_db(bucket_ch, rx_ch);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 60));
+    SyntheticBucket b = make_bucket(rng, count, bucket_ch);
+    std::uint32_t cursor = 0;
+    for (const std::uint32_t i : decoded_ascending(b)) {
+      const ScanEvent ev = event_of(b, i, rx_ch);
+      ScanAccum scalar;
+      scan_bucket_scalar(b.soa(), b.order.data(),
+                         b.order.data() + b.order.size(), /*uniform=*/true,
+                         rho, b.lookback, ev, scalar);
+      ScanAccum batched;
+      scan_bucket_misaligned_uniform(b.soa(), b.order.data(),
+                                     b.order.data() + b.order.size(), cursor,
+                                     b.lookback, coupling, ev, batched);
+      expect_equivalent(scalar, batched, i);
+    }
+  }
+}
+
+TEST(ScanBucketMisaligned, ParkedCursorStaysSoundAfterSkippedScans) {
+  Rng rng(0xCAFEULL);
+  const Channel bucket_ch = kSpec.grid_channel(3);
+  const Channel rx_ch{bucket_ch.center + Hz{0.6 * bucket_ch.bandwidth.value()},
+                      bucket_ch.bandwidth};
+  const double rho = overlap_ratio(bucket_ch, rx_ch);
+  const Db coupling = coupling_db(bucket_ch, rx_ch);
+  SyntheticBucket b = make_bucket(rng, 40, bucket_ch);
+  std::uint32_t cursor = 0;
+  bool skipped_one = false;
+  for (const std::uint32_t i : decoded_ascending(b)) {
+    const ScanEvent ev = event_of(b, i, rx_ch);
+    // Every other decoded event arrives already-collided: the kernel must
+    // return untouched (dead sum) and leave the cursor parked without
+    // corrupting later live scans.
+    if (!skipped_one) {
+      ScanAccum dead;
+      dead.collided = true;
+      const std::uint32_t before = cursor;
+      scan_bucket_misaligned_uniform(b.soa(), b.order.data(),
+                                     b.order.data() + b.order.size(), cursor,
+                                     b.lookback, coupling, ev, dead);
+      EXPECT_EQ(cursor, before);
+      EXPECT_EQ(dead.misaligned_intf_lin, 0.0);
+      skipped_one = true;
+      continue;
+    }
+    ScanAccum scalar;
+    scan_bucket_scalar(b.soa(), b.order.data(),
+                       b.order.data() + b.order.size(), /*uniform=*/true, rho,
+                       b.lookback, ev, scalar);
+    ScanAccum batched;
+    scan_bucket_misaligned_uniform(b.soa(), b.order.data(),
+                                   b.order.data() + b.order.size(), cursor,
+                                   b.lookback, coupling, ev, batched);
+    expect_equivalent(scalar, batched, i);
+    skipped_one = false;
+  }
+}
+
+}  // namespace
+}  // namespace alphawan
